@@ -1,0 +1,41 @@
+//! Tables 3/4 and Fig. 8 machinery on real hardware: the threaded
+//! master–worker framework and the discrete-event scaling simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fcma_cluster::{run_cluster, ClusterModel};
+use fcma_core::{OptimizedExecutor, TaskContext};
+use fcma_fmri::presets;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_threaded_cluster(c: &mut Criterion) {
+    let mut cfg = presets::tiny();
+    cfg.n_voxels = 96;
+    let (dataset, _) = cfg.generate();
+    let ctx = TaskContext::full(&dataset);
+    let exec: Arc<dyn fcma_core::TaskExecutor> = Arc::new(OptimizedExecutor::default());
+
+    let mut g = c.benchmark_group("threaded_master_worker");
+    g.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| black_box(run_cluster(&ctx, Arc::clone(&exec), w, 16, None)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_scaling_simulator(c: &mut Criterion) {
+    let tasks: Vec<f64> = vec![2.0; 144 * 18]; // face-scene offline shape
+    let model = ClusterModel { data_bytes: 0.48e9, ..Default::default() };
+    let mut g = c.benchmark_group("discrete_event_simulator");
+    for nodes in [8usize, 96] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(model.simulate(&tasks, n)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded_cluster, bench_scaling_simulator);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 9 on real hardware: the full three-stage task pipeline, baseline
+//! vs optimized executors, normalized per voxel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fcma_core::{BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelTask};
+use fcma_fmri::presets;
+use std::hint::black_box;
+
+fn context() -> TaskContext {
+    let mut cfg = presets::face_scene_scaled(384);
+    cfg.n_subjects = 6;
+    let (dataset, _) = cfg.generate();
+    TaskContext::full(&dataset)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let ctx = context();
+    let task = VoxelTask { start: 0, count: 24 };
+    let baseline = BaselineExecutor::default();
+    let optimized = OptimizedExecutor::default();
+
+    let mut g = c.benchmark_group("fig9_full_task_pipeline");
+    g.sample_size(10);
+    g.bench_function("baseline_executor", |b| {
+        b.iter(|| black_box(baseline.process(&ctx, task)))
+    });
+    g.bench_function("optimized_executor", |b| {
+        b.iter(|| black_box(optimized.process(&ctx, task)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! # fcma-bench — reproduction harness internals
+//!
+//! Shared machinery for `fcma-repro` (one subcommand per table/figure of
+//! the paper) and the criterion benches:
+//!
+//! * [`workloads`] — the two datasets' full-scale shapes and scaled
+//!   configs;
+//! * [`measure`] — real host measurements (SMO iterations per solver,
+//!   kernel wall times);
+//! * [`model`] — composite pipeline models assembling `fcma-sim` counters
+//!   into task- and cluster-level times;
+//! * [`report`] — plain-text table rendering.
+
+pub mod measure;
+pub mod model;
+pub mod report;
+pub mod workloads;
+
+pub use measure::{measure_stage12, measure_svm_solvers, SvmMeasurement};
+pub use model::{
+    baseline_task, offline_task_list, online_task_list, optimized_task, per_voxel_speedup,
+    StageTimes,
+};
+pub use workloads::{DatasetKind, OPT_TASK_VOXELS};

@@ -1,0 +1,142 @@
+//! Minimal flag parsing for the `fcma` CLI (no external dependencies).
+
+use std::collections::HashMap;
+
+/// Parsed command line: a subcommand plus `--key value` / `--flag` pairs.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` options.
+    options: HashMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+/// Parsing errors with user-facing messages.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    NoCommand,
+    /// An option that expected a value got none.
+    MissingValue(String),
+    /// A value failed to parse.
+    BadValue { key: String, value: String, want: &'static str },
+    /// Extra positional argument.
+    UnexpectedPositional(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::NoCommand => write!(f, "no command given (try `fcma help`)"),
+            ArgError::MissingValue(k) => write!(f, "option --{k} expects a value"),
+            ArgError::BadValue { key, value, want } => {
+                write!(f, "option --{key}: {value:?} is not a valid {want}")
+            }
+            ArgError::UnexpectedPositional(p) => {
+                write!(f, "unexpected argument {p:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Keys that are switches (take no value).
+const SWITCHES: &[&str] = &["verbose", "help"];
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
+        let mut it = args.into_iter().peekable();
+        let command = it.next().ok_or(ArgError::NoCommand)?;
+        if command.starts_with("--") {
+            return Err(ArgError::NoCommand);
+        }
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                if SWITCHES.contains(&key) {
+                    flags.push(key.to_string());
+                } else {
+                    let v = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                    options.insert(key.to_string(), v);
+                }
+            } else {
+                return Err(ArgError::UnexpectedPositional(a));
+            }
+        }
+        Ok(Args { command, options, flags })
+    }
+
+    /// Raw string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// String option with default.
+    pub fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// Parsed numeric/typed option with default.
+    pub fn get_parsed<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        want: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.into(),
+                value: v.into(),
+                want,
+            }),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let a = parse(&["generate", "--voxels", "512", "--out", "ds", "--verbose"]).unwrap();
+        assert_eq!(a.command, "generate");
+        assert_eq!(a.get("voxels"), Some("512"));
+        assert_eq!(a.get_or("preset", "tiny"), "tiny");
+        assert!(a.has_flag("verbose"));
+        assert_eq!(a.get_parsed("voxels", 0usize, "integer").unwrap(), 512);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(parse(&[]).unwrap_err(), ArgError::NoCommand);
+        assert_eq!(
+            parse(&["run", "--out"]).unwrap_err(),
+            ArgError::MissingValue("out".into())
+        );
+        assert!(matches!(
+            parse(&["run", "stray"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
+        let a = parse(&["run", "--voxels", "abc"]).unwrap();
+        assert!(matches!(
+            a.get_parsed("voxels", 0usize, "integer").unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+}

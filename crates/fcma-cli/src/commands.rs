@@ -1,0 +1,377 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use fcma_core::{
+    offline_analysis, recovery_rate, score_all_voxels, select_top_k, AnalysisConfig,
+    BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelScore,
+};
+use fcma_fmri::geometry::{extract_clusters, Grid3};
+use fcma_fmri::mask::VoxelMask;
+use fcma_fmri::{io as fio, presets, Placement};
+use std::error::Error;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+type Result<T> = std::result::Result<T, Box<dyn Error>>;
+
+/// Print the command reference.
+pub fn print_help() {
+    println!(
+        "fcma — full correlation matrix analysis\n\n\
+         commands:\n\
+         \u{20} generate  synthesize a dataset      --preset tiny|face-scene|attention\n\
+         \u{20}                                     --voxels N --subjects S --coupling X\n\
+         \u{20}                                     --placement random|blobs --seed N --out STEM\n\
+         \u{20} info      describe a dataset        --data STEM\n\
+         \u{20} analyze   score every voxel         --data STEM --executor optimized|baseline\n\
+         \u{20}                                     --task-size N --top-k K [--out scores.tsv]\n\
+         \u{20}                                     [--truth STEM.truth]\n\
+         \u{20} offline   nested LOSO analysis      --data STEM --top-k K [--task-size N]\n\
+         \u{20} clusters  ROI cluster extraction    --scores scores.tsv --top-k K [--grid X,Y,Z]\n\
+         \u{20} mask      threshold-mask a dataset  --data STEM --threshold T --out STEM2\n\
+         \u{20} help      this text"
+    );
+}
+
+fn stem(args: &Args, key: &str) -> Result<PathBuf> {
+    Ok(PathBuf::from(args.get(key).ok_or(format!("--{key} is required"))?))
+}
+
+/// `fcma generate`
+pub fn generate(args: &Args) -> Result<()> {
+    let preset = args.get_or("preset", "tiny");
+    let mut cfg = match preset.as_str() {
+        "tiny" => presets::tiny(),
+        "face-scene" => presets::face_scene_scaled(512),
+        "attention" => presets::attention_scaled(512),
+        other => return Err(format!("unknown preset {other:?}").into()),
+    };
+    if let Some(v) = args.get("voxels") {
+        cfg.n_voxels = v.parse()?;
+        cfg.n_informative = (cfg.n_voxels / 16).max(4) & !1;
+    }
+    if let Some(v) = args.get("subjects") {
+        cfg.n_subjects = v.parse()?;
+    }
+    if let Some(v) = args.get("coupling") {
+        cfg.coupling = v.parse()?;
+    }
+    if let Some(v) = args.get("seed") {
+        cfg.seed = v.parse()?;
+    }
+    match args.get_or("placement", "random").as_str() {
+        "random" => cfg.placement = Placement::Random,
+        "blobs" => cfg.placement = Placement::SphericalBlobs,
+        other => return Err(format!("unknown placement {other:?}").into()),
+    }
+    let out = stem(args, "out")?;
+    let (dataset, truth) = cfg.generate();
+    fio::save_dataset(&out, &dataset)?;
+    // Ground truth sidecar: one informative voxel index per line.
+    let mut f = std::fs::File::create(out.with_extension("truth"))?;
+    for v in &truth.informative {
+        writeln!(f, "{v}")?;
+    }
+    println!(
+        "wrote {} ({} voxels, {} subjects, {} epochs) + .epochs + .truth ({} planted voxels)",
+        out.with_extension("fcma").display(),
+        dataset.n_voxels(),
+        dataset.n_subjects(),
+        dataset.n_epochs(),
+        truth.informative.len()
+    );
+    Ok(())
+}
+
+/// `fcma info`
+pub fn info(args: &Args) -> Result<()> {
+    let data = stem(args, "data")?;
+    let dataset = fio::load_dataset(&data)?;
+    println!("dataset    {}", data.display());
+    println!("voxels     {}", dataset.n_voxels());
+    println!("timepoints {}", dataset.n_timepoints());
+    println!("subjects   {}", dataset.n_subjects());
+    println!("epochs     {}", dataset.n_epochs());
+    let a = dataset
+        .epochs()
+        .iter()
+        .filter(|e| e.label == fcma_fmri::Condition::A)
+        .count();
+    println!("labels     {a} A / {} B", dataset.n_epochs() - a);
+    let lens: Vec<usize> = dataset.epochs().iter().map(|e| e.len).collect();
+    println!(
+        "epoch len  {}..{}",
+        lens.iter().min().unwrap(),
+        lens.iter().max().unwrap()
+    );
+    Ok(())
+}
+
+fn executor_of(args: &Args) -> Result<Box<dyn TaskExecutor>> {
+    match args.get_or("executor", "optimized").as_str() {
+        "optimized" => Ok(Box::new(OptimizedExecutor::default())),
+        "baseline" => Ok(Box::new(BaselineExecutor::default())),
+        other => Err(format!("unknown executor {other:?}").into()),
+    }
+}
+
+/// `fcma analyze`
+pub fn analyze(args: &Args) -> Result<()> {
+    let data = stem(args, "data")?;
+    let dataset = fio::load_dataset(&data)?;
+    let exec = executor_of(args)?;
+    let task_size = args.get_parsed("task-size", 64usize, "integer")?;
+    let top_k = args.get_parsed("top-k", 16usize, "integer")?;
+
+    let ctx = TaskContext::full(&dataset);
+    let t0 = std::time::Instant::now();
+    let scores = score_all_voxels(&ctx, exec.as_ref(), task_size, None);
+    eprintln!(
+        "scored {} voxels with the {} executor in {:.2?}",
+        scores.len(),
+        exec.name(),
+        t0.elapsed()
+    );
+
+    if let Some(out) = args.get("out") {
+        write_scores(Path::new(out), &scores)?;
+        eprintln!("wrote {out}");
+    }
+    let selected = select_top_k(&scores, top_k);
+    println!("voxel\taccuracy");
+    for &v in &selected {
+        println!("{v}\t{:.4}", scores[v].accuracy);
+    }
+    if let Some(truth_path) = args.get("truth") {
+        let truth = read_index_list(Path::new(truth_path))?;
+        let rec = recovery_rate(&selected, &truth);
+        eprintln!("recovery of planted network: {:.0}%", rec * 100.0);
+    }
+    Ok(())
+}
+
+/// `fcma offline`
+pub fn offline(args: &Args) -> Result<()> {
+    let data = stem(args, "data")?;
+    let dataset = fio::load_dataset(&data)?;
+    let exec = executor_of(args)?;
+    let cfg = AnalysisConfig {
+        task_size: args.get_parsed("task-size", 64usize, "integer")?,
+        top_k: args.get_parsed("top-k", 16usize, "integer")?,
+    };
+    let t0 = std::time::Instant::now();
+    let r = offline_analysis(&dataset, exec.as_ref(), &cfg);
+    println!("fold\theld-out\ttest-accuracy");
+    for f in &r.folds {
+        println!("{}\t{}\t{:.4}", f.held_out, f.held_out, f.test_accuracy);
+    }
+    println!("mean test accuracy\t{:.4}", r.mean_test_accuracy);
+    println!("stable ROI ({} voxels)\t{:?}", r.stable.len(), r.stable);
+    eprintln!("nested LOSO finished in {:.2?}", t0.elapsed());
+    Ok(())
+}
+
+/// `fcma clusters`
+pub fn clusters(args: &Args) -> Result<()> {
+    let scores_path = stem(args, "scores")?;
+    let scores = read_scores(&scores_path)?;
+    let top_k = args.get_parsed("top-k", 16usize, "integer")?;
+    let selected = select_top_k(&scores, top_k);
+    let grid = match args.get("grid") {
+        None => Grid3::cube_for(scores.len()),
+        Some(spec) => {
+            let dims: Vec<usize> =
+                spec.split(',').map(|d| d.parse()).collect::<std::result::Result<_, _>>()?;
+            if dims.len() != 3 {
+                return Err("--grid expects X,Y,Z".into());
+            }
+            Grid3::new(dims[0], dims[1], dims[2])
+        }
+    };
+    let clusters = extract_clusters(&grid, &selected);
+    println!("cluster\tsize\tcentroid\tvoxels");
+    for (i, c) in clusters.iter().enumerate() {
+        let (x, y, z) = c.centroid(&grid);
+        println!("{i}\t{}\t({x:.1},{y:.1},{z:.1})\t{:?}", c.len(), c.voxels);
+    }
+    Ok(())
+}
+
+/// `fcma mask`
+pub fn mask(args: &Args) -> Result<()> {
+    let data = stem(args, "data")?;
+    let out = stem(args, "out")?;
+    let threshold: f32 = args.get_parsed("threshold", 0.0f32, "number")?;
+    let dataset = fio::load_dataset(&data)?;
+    let mask = VoxelMask::threshold_mean_abs(&dataset, threshold);
+    if mask.n_kept() == 0 {
+        return Err("mask keeps zero voxels; lower --threshold".into());
+    }
+    let (masked, map) = mask.apply(&dataset);
+    fio::save_dataset(&out, &masked)?;
+    let mut f = std::fs::File::create(out.with_extension("map"))?;
+    for &orig in &map {
+        writeln!(f, "{orig}")?;
+    }
+    println!(
+        "kept {} / {} voxels; wrote {} + .epochs + .map",
+        mask.n_kept(),
+        dataset.n_voxels(),
+        out.with_extension("fcma").display()
+    );
+    Ok(())
+}
+
+fn write_scores(path: &Path, scores: &[VoxelScore]) -> Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "voxel\taccuracy")?;
+    for s in scores {
+        writeln!(f, "{}\t{:.6}", s.voxel, s.accuracy)?;
+    }
+    Ok(())
+}
+
+fn read_scores(path: &Path) -> Result<Vec<VoxelScore>> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for (ln, line) in f.lines().enumerate() {
+        let line = line?;
+        if ln == 0 && line.starts_with("voxel") {
+            continue;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let voxel: usize = parts
+            .next()
+            .ok_or(format!("line {}: missing voxel", ln + 1))?
+            .parse()?;
+        let accuracy: f64 = parts
+            .next()
+            .ok_or(format!("line {}: missing accuracy", ln + 1))?
+            .parse()?;
+        out.push(VoxelScore { voxel, accuracy });
+    }
+    Ok(out)
+}
+
+fn read_index_list(path: &Path) -> Result<Vec<usize>> {
+    let f = BufReader::new(std::fs::File::open(path)?);
+    let mut out = Vec::new();
+    for line in f.lines() {
+        let line = line?;
+        let t = line.trim();
+        if !t.is_empty() {
+            out.push(t.parse()?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Args;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("fcma_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_info_analyze_roundtrip() {
+        let ds = tmp("cli_ds");
+        let scores = tmp("cli_scores.tsv");
+        generate(&args(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--voxels",
+            "64",
+            "--coupling",
+            "1.8",
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        info(&args(&["info", "--data", ds.to_str().unwrap()])).unwrap();
+        analyze(&args(&[
+            "analyze",
+            "--data",
+            ds.to_str().unwrap(),
+            "--task-size",
+            "32",
+            "--top-k",
+            "8",
+            "--out",
+            scores.to_str().unwrap(),
+            "--truth",
+            ds.with_extension("truth").to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Scores file parses back.
+        let parsed = read_scores(&scores).unwrap();
+        assert_eq!(parsed.len(), 64);
+        assert!(parsed.iter().all(|s| (0.0..=1.0).contains(&s.accuracy)));
+    }
+
+    #[test]
+    fn clusters_reads_scores() {
+        let scores_path = tmp("cli_cluster_scores.tsv");
+        let scores: Vec<VoxelScore> = (0..27)
+            .map(|v| VoxelScore { voxel: v, accuracy: if v < 4 { 0.9 } else { 0.5 } })
+            .collect();
+        write_scores(&scores_path, &scores).unwrap();
+        clusters(&args(&[
+            "clusters",
+            "--scores",
+            scores_path.to_str().unwrap(),
+            "--top-k",
+            "4",
+            "--grid",
+            "3,3,3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn mask_threshold_roundtrip() {
+        let ds = tmp("cli_mask_ds");
+        let out = tmp("cli_mask_out");
+        generate(&args(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--voxels",
+            "48",
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        mask(&args(&[
+            "mask",
+            "--data",
+            ds.to_str().unwrap(),
+            "--threshold",
+            "0.0",
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let masked = fio::load_dataset(&out).unwrap();
+        assert_eq!(masked.n_voxels(), 48); // nothing below 0.0 threshold
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        assert!(generate(&args(&["generate", "--preset", "bogus", "--out", "x"])).is_err());
+        assert!(info(&args(&["info", "--data", "/nonexistent/xyz"])).is_err());
+        assert!(executor_of(&args(&["analyze", "--executor", "warp-speed"])).is_err());
+    }
+}

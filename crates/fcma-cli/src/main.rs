@@ -1,0 +1,47 @@
+//! `fcma` — command-line interface to the FCMA pipeline.
+//!
+//! ```sh
+//! fcma generate --preset face-scene --voxels 512 --out ds
+//! fcma info     --data ds
+//! fcma analyze  --data ds --executor optimized --top-k 16 --out scores.tsv
+//! fcma offline  --data ds --top-k 16
+//! fcma clusters --scores scores.tsv --top-k 16
+//! fcma mask     --data ds --threshold 0.05 --out ds_masked
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    if args.has_flag("help") || args.command == "help" {
+        commands::print_help();
+        return;
+    }
+    let result = match args.command.as_str() {
+        "generate" => commands::generate(&args),
+        "info" => commands::info(&args),
+        "analyze" => commands::analyze(&args),
+        "offline" => commands::offline(&args),
+        "clusters" => commands::clusters(&args),
+        "mask" => commands::mask(&args),
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            commands::print_help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

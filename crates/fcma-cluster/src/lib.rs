@@ -1,0 +1,21 @@
+//! # fcma-cluster — cluster substrate for FCMA
+//!
+//! The paper runs FCMA as an MPI master–worker application on a 48-node
+//! cluster with 96 Xeon Phi coprocessors. This crate substitutes:
+//!
+//! * [`protocol`] + [`driver`] — a *real* threaded master–worker framework
+//!   (crossbeam channels standing in for MPI messages) running the actual
+//!   FCMA pipeline with the paper's dynamic load-balancing protocol;
+//! * [`scaling`] — a discrete-event model of the same protocol at cluster
+//!   scale (data distribution, dispatch latency, greedy task placement)
+//!   that regenerates the elapsed-time-vs-nodes tables (Tables 3/4) and
+//!   the speedup curves (Fig. 8), with per-task times supplied by the
+//!   `fcma-sim` time model.
+
+pub mod driver;
+pub mod protocol;
+pub mod scaling;
+
+pub use driver::{run_cluster, ClusterRun};
+pub use protocol::{FromWorker, ToWorker};
+pub use scaling::ClusterModel;

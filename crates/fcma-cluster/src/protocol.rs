@@ -1,0 +1,79 @@
+//! Master–worker message protocol.
+//!
+//! The paper's cluster framework is MPI master–worker: the master
+//! distributes brain data up front, then hands out voxel-block tasks one
+//! at a time; a worker returns its scores and receives the next task
+//! (§3.1.1). This module defines the message types; the threaded
+//! transport lives in [`crate::driver`].
+
+use fcma_core::{VoxelScore, VoxelTask};
+
+/// Messages from the master to a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToWorker {
+    /// Process this voxel block.
+    Task(VoxelTask),
+    /// No more work; terminate.
+    Shutdown,
+}
+
+/// Messages from a worker to the master.
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// Initial "ready for work" handshake.
+    Ready {
+        /// Sender's worker id.
+        worker: usize,
+    },
+    /// A completed task's scores.
+    Done {
+        /// Sender's worker id.
+        worker: usize,
+        /// Scores for the completed task.
+        scores: Vec<VoxelScore>,
+    },
+    /// The worker failed while processing `task` and is terminating; the
+    /// master must requeue the task on a healthy worker.
+    Failed {
+        /// Sender's worker id.
+        worker: usize,
+        /// The task that must be re-executed.
+        task: VoxelTask,
+    },
+}
+
+impl FromWorker {
+    /// Sender's worker id.
+    pub fn worker(&self) -> usize {
+        match self {
+            FromWorker::Ready { worker }
+            | FromWorker::Done { worker, .. }
+            | FromWorker::Failed { worker, .. } => *worker,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_kinds_carry_worker_ids() {
+        assert_eq!(FromWorker::Ready { worker: 3 }.worker(), 3);
+        let done = FromWorker::Done {
+            worker: 1,
+            scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }],
+        };
+        assert_eq!(done.worker(), 1);
+        let failed =
+            FromWorker::Failed { worker: 2, task: VoxelTask { start: 0, count: 4 } };
+        assert_eq!(failed.worker(), 2);
+    }
+
+    #[test]
+    fn to_worker_equality() {
+        let t = ToWorker::Task(VoxelTask { start: 0, count: 8 });
+        assert_eq!(t, ToWorker::Task(VoxelTask { start: 0, count: 8 }));
+        assert_ne!(t, ToWorker::Shutdown);
+    }
+}

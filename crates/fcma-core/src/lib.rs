@@ -1,0 +1,43 @@
+//! # fcma-core — the FCMA three-stage pipeline
+//!
+//! The paper's primary contribution: full correlation matrix analysis
+//! with both the §3.2 **baseline** implementation (generic blocked GEMM,
+//! three-pass normalization, generic SYRK, LibSVM-replica solver) and the
+//! §4 **optimized** implementation (tall-skinny strip-blocked correlation
+//! fused with within-subject normalization, panel SYRK, PhiSVM).
+//!
+//! * [`context::TaskContext`] — shared normalized data + epoch structure;
+//! * [`task`] — voxel-block partitioning (the cluster work unit);
+//! * [`stage1`] — correlation computation;
+//! * [`stage2`] — Fisher + within-subject z-scoring, three schedules
+//!   (baseline / separated / merged) that agree bit-for-bit within f32
+//!   tolerance;
+//! * [`stage3`] — kernel precompute + per-voxel SVM cross validation;
+//! * [`executor`] — the baseline and optimized single-node pipelines;
+//! * [`selection`] — ROI ranking and cross-fold stability;
+//! * [`analysis`] — offline nested LOSO and online voxel selection.
+
+pub mod analysis;
+pub mod context;
+pub mod executor;
+pub mod realtime;
+pub mod selection;
+pub mod stage1;
+pub mod stats;
+pub mod stage2;
+pub mod stage3;
+pub mod task;
+
+pub use analysis::{
+    offline_analysis, online_voxel_selection, score_all_voxels, AnalysisConfig, FoldOutcome,
+    OfflineResult, OnlineResult,
+};
+pub use context::TaskContext;
+pub use realtime::{FeedbackModel, OnlineSession, SessionConfig, SessionError};
+pub use executor::{BaselineExecutor, OptimizedExecutor, TaskExecutor};
+pub use selection::{recovery_rate, select_top_k, stable_voxels};
+pub use stage1::{corr_baseline, corr_optimized, CorrData};
+pub use stage2::{corr_normalized_merged, normalize_baseline, normalize_separated};
+pub use stage3::{score_task, score_voxel, KernelPrecompute};
+pub use stats::{benjamini_hochberg, permutation_p_value, voxel_permutation_test};
+pub use task::{partition, VoxelScore, VoxelTask};

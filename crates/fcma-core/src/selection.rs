@@ -1,0 +1,94 @@
+//! Voxel selection: ranking stage-3 accuracies into regions of interest.
+//!
+//! The master collects every voxel's cross-validation accuracy, sorts,
+//! and takes the top voxels as the ROI (paper §3.1.2). Across outer
+//! cross-validation folds, voxels selected repeatedly are the "reliable"
+//! ones (§5.2.1).
+
+use crate::task::VoxelScore;
+
+/// Sort scores descending by accuracy (ties broken by voxel index for
+/// determinism) and return the top `k` voxel indices.
+pub fn select_top_k(scores: &[VoxelScore], k: usize) -> Vec<usize> {
+    let mut ranked: Vec<&VoxelScore> = scores.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.accuracy
+            .partial_cmp(&a.accuracy)
+            .expect("accuracy must not be NaN")
+            .then(a.voxel.cmp(&b.voxel))
+    });
+    ranked.iter().take(k).map(|s| s.voxel).collect()
+}
+
+/// Voxels selected in at least `min_folds` of the per-fold selections —
+/// the reliable ROI.
+pub fn stable_voxels(fold_selections: &[Vec<usize>], min_folds: usize) -> Vec<usize> {
+    use std::collections::HashMap;
+    let mut counts: HashMap<usize, usize> = HashMap::new();
+    for sel in fold_selections {
+        for &v in sel {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<usize> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_folds)
+        .map(|(v, _)| v)
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// Fraction of `truth` recovered by `selected` (recall of the planted
+/// ground-truth network — the end-to-end correctness metric for the
+/// synthetic datasets).
+pub fn recovery_rate(selected: &[usize], truth: &[usize]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = selected.iter().filter(|v| truth.contains(v)).count();
+    hits as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vs(voxel: usize, accuracy: f64) -> VoxelScore {
+        VoxelScore { voxel, accuracy }
+    }
+
+    #[test]
+    fn top_k_orders_by_accuracy() {
+        let scores = vec![vs(0, 0.5), vs(1, 0.9), vs(2, 0.7), vs(3, 0.6)];
+        assert_eq!(select_top_k(&scores, 2), vec![1, 2]);
+        assert_eq!(select_top_k(&scores, 10), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn top_k_ties_break_by_index() {
+        let scores = vec![vs(5, 0.8), vs(2, 0.8), vs(9, 0.8)];
+        assert_eq!(select_top_k(&scores, 3), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn top_k_zero() {
+        assert!(select_top_k(&[vs(0, 1.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn stable_voxels_requires_min_folds() {
+        let folds = vec![vec![1, 2, 3], vec![2, 3, 4], vec![3, 4, 5]];
+        assert_eq!(stable_voxels(&folds, 3), vec![3]);
+        assert_eq!(stable_voxels(&folds, 2), vec![2, 3, 4]);
+        assert_eq!(stable_voxels(&folds, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recovery_rate_bounds() {
+        assert_eq!(recovery_rate(&[1, 2, 3], &[2, 3]), 1.0);
+        assert_eq!(recovery_rate(&[1], &[2, 3]), 0.0);
+        assert_eq!(recovery_rate(&[2], &[2, 3]), 0.5);
+        assert_eq!(recovery_rate(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Stage 1 — correlation computation.
+//!
+//! A worker computes, for its assigned voxel block, the Pearson
+//! correlation vector against the whole brain for every epoch, storing
+//! the results grouped by voxel (row `v·M + e`). Two implementations:
+//!
+//! * [`corr_baseline`] — the paper's §3.2 baseline: one generic blocked
+//!   GEMM call per epoch, using the output leading dimension to interleave
+//!   (the `cblas_sgemm`+`ldc` trick);
+//! * [`corr_optimized`] — the paper's §4.2 kernel: tall-skinny-specialized
+//!   blocking via [`fcma_linalg::corr_tall_skinny`].
+
+use crate::context::TaskContext;
+use crate::task::VoxelTask;
+use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
+use fcma_linalg::{corr_tall_skinny, gemm_blocked, CorrLayout, Mat};
+
+/// The interleaved correlation buffer for one task: `V·M` rows of `N`
+/// floats, row `v·M + e` holding voxel `v`'s correlation vector for
+/// epoch `e`.
+#[derive(Debug, Clone)]
+pub struct CorrData {
+    /// Backing buffer.
+    pub buf: Vec<f32>,
+    /// Shape descriptor.
+    pub layout: CorrLayout,
+}
+
+impl CorrData {
+    /// Voxel `v`'s full `M × N` correlation data matrix (rows are epochs)
+    /// — exactly the stage-3 SVM data matrix, contiguous by construction.
+    pub fn voxel_matrix(&self, v: usize) -> &[f32] {
+        let m = self.layout.n_epochs;
+        let n = self.layout.n_brain;
+        &self.buf[v * m * n..(v + 1) * m * n]
+    }
+
+    /// Mutable row for (voxel, epoch).
+    pub fn row_mut(&mut self, v: usize, e: usize) -> &mut [f32] {
+        let n = self.layout.n_brain;
+        let r = self.layout.row(v, e);
+        &mut self.buf[r * n..(r + 1) * n]
+    }
+
+    /// Row for (voxel, epoch).
+    pub fn row(&self, v: usize, e: usize) -> &[f32] {
+        let n = self.layout.n_brain;
+        let r = self.layout.row(v, e);
+        &self.buf[r * n..(r + 1) * n]
+    }
+}
+
+/// Extract the per-epoch assigned-voxel matrices for a task.
+pub(crate) fn assigned_blocks(ctx: &TaskContext, task: VoxelTask) -> Vec<Mat> {
+    ctx.norm.assigned_blocks(task.range())
+}
+
+/// Baseline stage 1: per-epoch generic blocked GEMM with interleaved
+/// output via the leading dimension.
+pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
+    let v = task.count;
+    let n = ctx.n_voxels();
+    let m = ctx.n_epochs();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    let mut buf = vec![0.0f32; layout.out_len()];
+    let assigned = assigned_blocks(ctx, task);
+    for e in 0..m {
+        let a = &assigned[e];
+        let b = ctx.norm.brain(e);
+        let k = a.cols();
+        gemm_blocked(
+            v,
+            n,
+            k,
+            a.as_slice(),
+            k.max(1),
+            b.as_slice(),
+            n,
+            &mut buf[e * n..],
+            m * n,
+        );
+    }
+    CorrData { buf, layout }
+}
+
+/// Optimized stage 1: the tall-skinny strip-blocked kernel.
+pub fn corr_optimized(ctx: &TaskContext, task: VoxelTask, opts: TallSkinnyOpts) -> CorrData {
+    let v = task.count;
+    let n = ctx.n_voxels();
+    let m = ctx.n_epochs();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    let mut buf = vec![0.0f32; layout.out_len()];
+    let assigned = assigned_blocks(ctx, task);
+    let pairs: Vec<EpochPair> = assigned
+        .iter()
+        .enumerate()
+        .map(|(e, a)| EpochPair { assigned: a, brain: ctx.norm.brain(e) })
+        .collect();
+    let got = corr_tall_skinny(&pairs, &mut buf, opts);
+    debug_assert_eq!(got, layout);
+    CorrData { buf, layout }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fcma_fmri::presets;
+    use fcma_linalg::dot;
+
+    fn ctx() -> TaskContext {
+        let (d, _) = presets::tiny().generate();
+        TaskContext::full(&d)
+    }
+
+    #[test]
+    fn baseline_and_optimized_agree() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 8, count: 13 };
+        let a = corr_baseline(&ctx, task);
+        let b = corr_optimized(&ctx, task, TallSkinnyOpts::default());
+        assert_eq!(a.buf.len(), b.buf.len());
+        for (i, (x, y)) in a.buf.iter().zip(&b.buf).enumerate() {
+            assert!((x - y).abs() < 1e-4, "idx {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn self_correlation_is_one() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 0, count: 6 };
+        let c = corr_optimized(&ctx, task, TallSkinnyOpts::default());
+        for v in 0..6 {
+            for e in 0..ctx.n_epochs() {
+                let r = c.row(v, e)[task.start + v];
+                assert!((r - 1.0).abs() < 1e-3, "voxel {v} epoch {e}: self-corr {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn correlations_match_direct_dot_products() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 3, count: 2 };
+        let c = corr_baseline(&ctx, task);
+        for e in [0usize, 5] {
+            let b = ctx.norm.brain(e);
+            for vi in 0..2 {
+                let col_a: Vec<f32> = (0..b.rows()).map(|t| b.get(t, 3 + vi)).collect();
+                for j in [0usize, 17, 95] {
+                    let col_b: Vec<f32> = (0..b.rows()).map(|t| b.get(t, j)).collect();
+                    let want = dot(&col_a, &col_b);
+                    let got = c.row(vi, e)[j];
+                    assert!((got - want).abs() < 1e-4, "v{vi} e{e} j{j}: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn voxel_matrix_is_contiguous_epoch_rows() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 0, count: 3 };
+        let c = corr_baseline(&ctx, task);
+        let m = ctx.n_epochs();
+        let n = ctx.n_voxels();
+        let vm = c.voxel_matrix(1);
+        assert_eq!(vm.len(), m * n);
+        for e in 0..m {
+            assert_eq!(&vm[e * n..(e + 1) * n], c.row(1, e));
+        }
+    }
+
+    #[test]
+    fn correlations_bounded_by_one() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 0, count: 4 };
+        let c = corr_optimized(&ctx, task, TallSkinnyOpts::default());
+        for &x in &c.buf {
+            assert!(x.abs() <= 1.0 + 1e-3, "correlation {x} out of range");
+        }
+    }
+}

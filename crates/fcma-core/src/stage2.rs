@@ -1,0 +1,281 @@
+//! Stage 2 — within-subject normalization (Fisher transform + z-scoring,
+//! paper Eqs. 4–5).
+//!
+//! Every correlation coefficient is Fisher-transformed, then z-scored
+//! against the population of the same (voxel, brain-voxel) pair's values
+//! across one subject's epochs (the "vertical black line" of Fig. 4 —
+//! `E` values per column per subject).
+//!
+//! Three schedules produce **bit-comparable results** and are tested for
+//! agreement:
+//!
+//! * [`normalize_baseline`] — the §3.2 baseline: a full Fisher pass over
+//!   the buffer, then a stats pass, then an apply pass (three trips to
+//!   memory);
+//! * [`normalize_separated`] — the optimized-but-unmerged variant of
+//!   Table 7: a fused Fisher+stats pass followed by the apply pass (two
+//!   trips);
+//! * [`corr_normalized_merged`] — optimization idea #2 (§4.3): stage 1
+//!   computes one (voxel-block × subject × column-strip) tile at a time,
+//!   normalizes it *while it is still cache-resident*, and the z-apply is
+//!   fused with the single write to the interleaved output buffer.
+//!
+//! Statistics accumulate in `f32`: the population is one subject's `E`
+//! (≈12) epochs, far below any f32 summation-accuracy concern, and it
+//! keeps the stat loops on the vector units (idea #3).
+
+use crate::context::TaskContext;
+use crate::stage1::CorrData;
+use crate::task::VoxelTask;
+use fcma_linalg::tall_skinny::{corr_tile_block, EpochPair, TallSkinnyOpts};
+use fcma_linalg::{fisher_z_slice, CorrLayout};
+
+/// Baseline schedule: Fisher pass, then stats pass, then apply pass.
+pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
+    let n = corr.layout.n_brain;
+    let v = corr.layout.n_assigned;
+    // Pass 1: Fisher-transform everything.
+    for row in corr.buf.chunks_mut(n) {
+        fisher_z_slice(row);
+    }
+    // Pass 2 + 3: per (voxel, subject): column stats, then apply.
+    let mut sum = vec![0.0f32; n];
+    let mut sumsq = vec![0.0f32; n];
+    let mut mean = vec![0.0f32; n];
+    let mut inv_std = vec![0.0f32; n];
+    for vi in 0..v {
+        for sr in ctx.subject_ranges.iter() {
+            sum.fill(0.0);
+            sumsq.fill(0.0);
+            for e in sr.clone() {
+                accumulate(corr.row(vi, e), &mut sum, &mut sumsq);
+            }
+            finish_stats(&sum, &sumsq, sr.len() as f32, &mut mean, &mut inv_std);
+            for e in sr.clone() {
+                let row = corr.row_mut(vi, e);
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = (*x - mean[j]) * inv_std[j];
+                }
+            }
+        }
+    }
+}
+
+/// Separated-optimized schedule: fused Fisher+stats pass, then apply.
+pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
+    let n = corr.layout.n_brain;
+    let v = corr.layout.n_assigned;
+    let mut sum = vec![0.0f32; n];
+    let mut sumsq = vec![0.0f32; n];
+    let mut mean = vec![0.0f32; n];
+    let mut inv_std = vec![0.0f32; n];
+    for vi in 0..v {
+        for sr in ctx.subject_ranges.iter() {
+            sum.fill(0.0);
+            sumsq.fill(0.0);
+            // Fused pass: Fisher each row while accumulating column sums.
+            for e in sr.clone() {
+                let row = corr.row_mut(vi, e);
+                fisher_z_slice(row);
+                accumulate(row, &mut sum, &mut sumsq);
+            }
+            finish_stats(&sum, &sumsq, sr.len() as f32, &mut mean, &mut inv_std);
+            for e in sr.clone() {
+                let row = corr.row_mut(vi, e);
+                for (j, x) in row.iter_mut().enumerate() {
+                    *x = (*x - mean[j]) * inv_std[j];
+                }
+            }
+        }
+    }
+}
+
+/// Merged schedule: stage 1 and stage 2 fused at tile granularity.
+///
+/// Equivalent to `corr_optimized` followed by `normalize_separated`, but
+/// each tile is normalized immediately after being computed, before it
+/// leaves cache (Fig. 5), and the z-apply doubles as the single write to
+/// the interleaved output. Produces the finished normalized buffer.
+pub fn corr_normalized_merged(
+    ctx: &TaskContext,
+    task: VoxelTask,
+    opts: TallSkinnyOpts,
+) -> CorrData {
+    let v = task.count;
+    let n = ctx.n_voxels();
+    let m = ctx.n_epochs();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    let mut buf = vec![0.0f32; layout.out_len()];
+
+    let assigned = crate::stage1::assigned_blocks(ctx, task);
+    let pairs: Vec<EpochPair> = assigned
+        .iter()
+        .enumerate()
+        .map(|(e, a)| EpochPair { assigned: a, brain: ctx.norm.brain(e) })
+        .collect();
+
+    let w_max = opts.tile_cols.max(16);
+    let mut tile = vec![0.0f32; v * max_subject_epochs(ctx) * w_max];
+    // Workhorse stat buffers reused across every tile.
+    let mut sum = vec![0.0f32; w_max];
+    let mut sumsq = vec![0.0f32; w_max];
+    let mut mean = vec![0.0f32; w_max];
+    let mut inv_std = vec![0.0f32; w_max];
+
+    let mut j0 = 0;
+    while j0 < n {
+        let w = w_max.min(n - j0);
+        for sr in ctx.subject_ranges.iter() {
+            let e_cnt = sr.len();
+            // Compute the (all task voxels × subject epochs × strip) tile.
+            corr_tile_block(&pairs, sr.clone(), j0..j0 + w, &mut tile);
+            for vi in 0..v {
+                let base = vi * e_cnt * w;
+                let block = &mut tile[base..base + e_cnt * w];
+                sum[..w].fill(0.0);
+                sumsq[..w].fill(0.0);
+                for row in block.chunks_mut(w) {
+                    fisher_z_slice(row);
+                    accumulate(row, &mut sum[..w], &mut sumsq[..w]);
+                }
+                finish_stats(
+                    &sum[..w],
+                    &sumsq[..w],
+                    e_cnt as f32,
+                    &mut mean[..w],
+                    &mut inv_std[..w],
+                );
+                // Fused z-apply + scatter: the tile is read once (hot in
+                // cache) and the finished values stream to memory once.
+                for (ei, e) in sr.clone().enumerate() {
+                    let src = &block[ei * w..(ei + 1) * w];
+                    let dst_row = layout.row(vi, e);
+                    let dst = &mut buf[dst_row * n + j0..dst_row * n + j0 + w];
+                    for j in 0..w {
+                        dst[j] = (src[j] - mean[j]) * inv_std[j];
+                    }
+                }
+            }
+        }
+        j0 += w;
+    }
+    CorrData { buf, layout }
+}
+
+fn max_subject_epochs(ctx: &TaskContext) -> usize {
+    ctx.subject_ranges.iter().map(|r| r.len()).max().unwrap_or(0)
+}
+
+/// Column-wise accumulation of sums and sums of squares (vectorizes: all
+/// three slices are contiguous).
+#[inline]
+fn accumulate(row: &[f32], sum: &mut [f32], sumsq: &mut [f32]) {
+    for (j, &z) in row.iter().enumerate() {
+        sum[j] += z;
+        sumsq[j] += z * z;
+    }
+}
+
+/// Turn accumulated sums into (mean, 1/std) with the zero-variance
+/// convention (constant populations z-score to 0).
+#[inline]
+fn finish_stats(sum: &[f32], sumsq: &[f32], cnt: f32, mean: &mut [f32], inv_std: &mut [f32]) {
+    for j in 0..sum.len() {
+        let m = sum[j] / cnt;
+        let var = (sumsq[j] / cnt - m * m).max(0.0);
+        mean[j] = m;
+        inv_std[j] = if var <= f32::MIN_POSITIVE { 0.0 } else { 1.0 / var.sqrt() };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stage1::{corr_baseline, corr_optimized};
+    use fcma_fmri::presets;
+
+    fn ctx() -> TaskContext {
+        let (d, _) = presets::tiny().generate();
+        TaskContext::full(&d)
+    }
+
+    fn max_diff(a: &CorrData, b: &CorrData) -> f32 {
+        a.buf
+            .iter()
+            .zip(&b.buf)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max)
+    }
+
+    #[test]
+    fn baseline_and_separated_agree() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 4, count: 9 };
+        let mut a = corr_baseline(&ctx, task);
+        let mut b = corr_baseline(&ctx, task);
+        normalize_baseline(&mut a, &ctx);
+        normalize_separated(&mut b, &ctx);
+        assert!(max_diff(&a, &b) < 1e-4);
+    }
+
+    #[test]
+    fn merged_agrees_with_separated() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 0, count: 11 };
+        let mut sep = corr_optimized(&ctx, task, TallSkinnyOpts::default());
+        normalize_separated(&mut sep, &ctx);
+        let merged = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
+        assert!(max_diff(&sep, &merged) < 1e-4);
+    }
+
+    #[test]
+    fn merged_agrees_with_small_tiles() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 2, count: 5 };
+        let mut sep = corr_optimized(&ctx, task, TallSkinnyOpts::default());
+        normalize_separated(&mut sep, &ctx);
+        let merged = corr_normalized_merged(&ctx, task, TallSkinnyOpts { tile_cols: 24 });
+        assert!(max_diff(&sep, &merged) < 1e-4);
+    }
+
+    #[test]
+    fn normalized_columns_have_zero_mean_per_subject() {
+        let ctx = ctx();
+        let task = VoxelTask { start: 0, count: 3 };
+        let mut c = corr_baseline(&ctx, task);
+        normalize_baseline(&mut c, &ctx);
+        for vi in 0..3 {
+            for sr in ctx.subject_ranges.iter() {
+                for j in [0usize, 31, 77] {
+                    let vals: Vec<f32> = sr.clone().map(|e| c.row(vi, e)[j]).collect();
+                    let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                    assert!(mean.abs() < 1e-4, "v{vi} j{j}: mean {mean}");
+                    let var: f32 =
+                        vals.iter().map(|z| (z - mean) * (z - mean)).sum::<f32>()
+                            / vals.len() as f32;
+                    // Variance is 1 unless the column was constant.
+                    assert!(
+                        (var - 1.0).abs() < 1e-2 || var.abs() < 1e-6,
+                        "v{vi} j{j}: var {var}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_correlation_column_zscores_to_zero() {
+        // Voxel's correlation with itself is always ~1 (constant across
+        // epochs) → Fisher clamps it, variance ≈ 0 → z-scored to 0.
+        let ctx = ctx();
+        let task = VoxelTask { start: 5, count: 2 };
+        let mut c = corr_baseline(&ctx, task);
+        normalize_baseline(&mut c, &ctx);
+        for vi in 0..2 {
+            for e in 0..ctx.n_epochs() {
+                let z = c.row(vi, e)[5 + vi];
+                assert!(z.abs() < 1e-2, "self column not degenerate: {z}");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Task partitioning: the unit of work the master hands to workers.
+//!
+//! FCMA parallelizes across the cluster by partitioning the full
+//! correlation matrix along its rows — each task is "run the three-stage
+//! pipeline for this contiguous block of voxels" (paper §3.1.1).
+
+use std::ops::Range;
+
+/// A contiguous block of assigned voxels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VoxelTask {
+    /// First assigned voxel.
+    pub start: usize,
+    /// Number of voxels in the task.
+    pub count: usize,
+}
+
+impl VoxelTask {
+    /// The voxel range this task covers.
+    pub fn range(&self) -> Range<usize> {
+        self.start..self.start + self.count
+    }
+}
+
+/// Split `n_voxels` into tasks of at most `task_size` voxels.
+///
+/// # Panics
+/// Panics if `task_size` is zero.
+pub fn partition(n_voxels: usize, task_size: usize) -> Vec<VoxelTask> {
+    assert!(task_size > 0, "partition: task_size must be positive");
+    let mut out = Vec::with_capacity(n_voxels.div_ceil(task_size));
+    let mut start = 0;
+    while start < n_voxels {
+        let count = task_size.min(n_voxels - start);
+        out.push(VoxelTask { start, count });
+        start += count;
+    }
+    out
+}
+
+/// Accuracy score assigned to one voxel by stage 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoxelScore {
+    /// Global voxel index.
+    pub voxel: usize,
+    /// Cross-validation accuracy in `[0, 1]`.
+    pub accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_once() {
+        let tasks = partition(1000, 120);
+        assert_eq!(tasks.len(), 9);
+        let mut covered = vec![false; 1000];
+        for t in &tasks {
+            for v in t.range() {
+                assert!(!covered[v], "voxel {v} covered twice");
+                covered[v] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+        assert_eq!(tasks.last().unwrap().count, 40);
+    }
+
+    #[test]
+    fn partition_exact_division() {
+        let tasks = partition(240, 120);
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks.iter().all(|t| t.count == 120));
+    }
+
+    #[test]
+    fn partition_single_small_task() {
+        let tasks = partition(5, 120);
+        assert_eq!(tasks, vec![VoxelTask { start: 0, count: 5 }]);
+    }
+
+    #[test]
+    fn partition_empty() {
+        assert!(partition(0, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "task_size")]
+    fn partition_rejects_zero_size() {
+        let _ = partition(10, 0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the FCMA pipeline: schedule equivalence,
+//! partition invariance, and statistical sanity across randomized
+//! dataset configurations.
+
+use fcma_core::{
+    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline,
+    normalize_separated, score_task, KernelPrecompute, TaskContext, VoxelTask,
+};
+use fcma_fmri::noise::{Ar1, Drift};
+use fcma_fmri::synth::{Placement, SynthConfig};
+use fcma_linalg::tall_skinny::TallSkinnyOpts;
+use fcma_svm::{SmoParams, SolverKind};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = SynthConfig> {
+    (12usize..48, 2usize..4, 2usize..4, any::<u64>()).prop_map(
+        |(nv, ns, eh, seed)| SynthConfig {
+            n_voxels: nv,
+            n_subjects: ns,
+            epochs_per_subject: eh * 2,
+            epoch_len: 8,
+            gap: 2,
+            n_informative: (nv / 4).max(2) & !1,
+            coupling: 1.2,
+            noise: Ar1 { phi: 0.3, sigma: 1.0 },
+            drift: Drift { linear: 0.5, sin_amp: 0.2, sin_cycles: 1.0 },
+            seed,
+            placement: Placement::Random,
+            hrf: None,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The three stage-1+2 schedules agree on every dataset and task.
+    #[test]
+    fn all_schedules_agree(cfg in config_strategy(), start_frac in 0.0f32..0.8) {
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let start = (start_frac * d.n_voxels() as f32) as usize;
+        let count = (d.n_voxels() - start).min(7).max(1);
+        let task = VoxelTask { start, count };
+
+        let mut a = corr_baseline(&ctx, task);
+        normalize_baseline(&mut a, &ctx);
+        let mut b = corr_optimized(&ctx, task, TallSkinnyOpts { tile_cols: 16 });
+        normalize_separated(&mut b, &ctx);
+        let c = corr_normalized_merged(&ctx, task, TallSkinnyOpts { tile_cols: 24 });
+
+        for (i, ((x, y), z)) in a.buf.iter().zip(&b.buf).zip(&c.buf).enumerate() {
+            prop_assert!((x - y).abs() < 1e-3, "baseline vs separated at {i}: {x} vs {y}");
+            prop_assert!((y - z).abs() < 1e-3, "separated vs merged at {i}: {y} vs {z}");
+        }
+    }
+
+    /// Scores are identical no matter how the brain is partitioned into
+    /// tasks (no hidden coupling between tasks).
+    #[test]
+    fn scores_are_partition_invariant(cfg in config_strategy(), size in 1usize..9) {
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let solver = SolverKind::PhiSvm(SmoParams::default());
+
+        let whole_task = VoxelTask { start: 0, count: d.n_voxels() };
+        let whole = corr_normalized_merged(&ctx, whole_task, TallSkinnyOpts::default());
+        let ref_scores = score_task(
+            &whole, whole_task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+        );
+
+        let mut start = 0;
+        while start < d.n_voxels() {
+            let count = size.min(d.n_voxels() - start);
+            let task = VoxelTask { start, count };
+            let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
+            let scores = score_task(
+                &corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+            );
+            for s in &scores {
+                let r = &ref_scores[s.voxel];
+                prop_assert!(
+                    (s.accuracy - r.accuracy).abs() < 1e-9,
+                    "voxel {}: {} vs {}",
+                    s.voxel,
+                    s.accuracy,
+                    r.accuracy
+                );
+            }
+            start += count;
+        }
+    }
+
+    /// Accuracies are probabilities and normalized output is bounded.
+    #[test]
+    fn outputs_are_bounded(cfg in config_strategy()) {
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let task = VoxelTask { start: 0, count: d.n_voxels().min(8) };
+        let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
+        // Fisher-z of |r| <= 1 clamped then z-scored over E epochs: values
+        // stay small and finite.
+        for &v in &corr.buf {
+            prop_assert!(v.is_finite());
+            prop_assert!(v.abs() < 10.0, "normalized value {v} out of range");
+        }
+        let scores = score_task(
+            &corr,
+            task,
+            &ctx.y,
+            &ctx.subjects,
+            &SolverKind::PhiSvm(SmoParams::default()),
+            KernelPrecompute::Optimized,
+        );
+        for s in &scores {
+            prop_assert!((0.0..=1.0).contains(&s.accuracy));
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the data substrate: generator invariants,
+//! I/O round-trips, geometry laws, and mask algebra.
+
+use fcma_fmri::geometry::{extract_clusters, Grid3};
+use fcma_fmri::mask::VoxelMask;
+use fcma_fmri::noise::{Ar1, Drift};
+use fcma_fmri::synth::{Placement, SynthConfig};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn config_strategy() -> impl Strategy<Value = SynthConfig> {
+    (
+        8usize..80,          // n_voxels
+        1usize..4,           // n_subjects
+        1usize..5,           // epochs_per_subject halves
+        3usize..16,          // epoch_len
+        0usize..5,           // gap
+        any::<u64>(),        // seed
+        prop_oneof![Just(Placement::Random), Just(Placement::SphericalBlobs)],
+    )
+        .prop_map(|(nv, ns, eh, el, gap, seed, placement)| SynthConfig {
+            n_voxels: nv,
+            n_subjects: ns,
+            epochs_per_subject: eh * 2,
+            epoch_len: el,
+            gap,
+            n_informative: (nv / 4).max(2) & !1,
+            coupling: 1.0,
+            noise: Ar1 { phi: 0.3, sigma: 1.0 },
+            drift: Drift { linear: 0.5, sin_amp: 0.2, sin_cycles: 1.0 },
+            seed,
+            placement,
+            hrf: None,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated dataset validates and matches its config's shape.
+    #[test]
+    fn generated_datasets_are_wellformed(cfg in config_strategy()) {
+        let (d, gt) = cfg.generate();
+        prop_assert_eq!(d.n_voxels(), cfg.n_voxels);
+        prop_assert_eq!(d.n_subjects(), cfg.n_subjects);
+        prop_assert_eq!(d.n_epochs(), cfg.n_epochs());
+        prop_assert_eq!(gt.informative.len(), cfg.n_informative);
+        prop_assert!(gt.informative.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(gt.informative.iter().all(|&v| v < cfg.n_voxels));
+        prop_assert!(d.data().as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Generation is a pure function of the config.
+    #[test]
+    fn generation_is_deterministic(cfg in config_strategy()) {
+        let (d1, g1) = cfg.generate();
+        let (d2, g2) = cfg.generate();
+        prop_assert_eq!(g1.informative, g2.informative);
+        prop_assert_eq!(d1.data().as_slice(), d2.data().as_slice());
+        prop_assert_eq!(d1.epochs(), d2.epochs());
+    }
+
+    /// Activity + epoch table round-trip through the on-disk formats.
+    #[test]
+    fn io_roundtrip(cfg in config_strategy()) {
+        let (d, _) = cfg.generate();
+        let mut abuf = Vec::new();
+        fcma_fmri::io::write_activity(&mut abuf, d.data()).unwrap();
+        let data = fcma_fmri::io::read_activity(&mut Cursor::new(abuf)).unwrap();
+        prop_assert_eq!(data.as_slice(), d.data().as_slice());
+
+        let mut ebuf = Vec::new();
+        fcma_fmri::io::write_epoch_table(&mut ebuf, d.epochs()).unwrap();
+        let eps = fcma_fmri::io::read_epoch_table(&mut Cursor::new(ebuf)).unwrap();
+        prop_assert_eq!(&eps[..], d.epochs());
+    }
+
+    /// Grid index/coords are a bijection; distance is a metric on sampled
+    /// triples (symmetry + triangle inequality).
+    #[test]
+    fn grid_geometry_laws(
+        nx in 1usize..8,
+        ny in 1usize..8,
+        nz in 1usize..8,
+        seed in any::<u32>(),
+    ) {
+        let g = Grid3::new(nx, ny, nz);
+        for i in 0..g.len() {
+            let (x, y, z) = g.coords(i);
+            prop_assert_eq!(g.index(x, y, z), i);
+        }
+        let n = g.len();
+        let pick = |s: u32| (s as usize) % n;
+        let (a, b, c) = (pick(seed), pick(seed.wrapping_mul(31)), pick(seed.wrapping_mul(77)));
+        prop_assert!((g.distance(a, b) - g.distance(b, a)).abs() < 1e-12);
+        prop_assert!(g.distance(a, c) <= g.distance(a, b) + g.distance(b, c) + 1e-9);
+        prop_assert_eq!(g.distance(a, a), 0.0);
+    }
+
+    /// Cluster extraction partitions the selection: every selected voxel
+    /// appears in exactly one cluster.
+    #[test]
+    fn clusters_partition_selection(
+        nx in 2usize..7,
+        ny in 2usize..7,
+        sel_bits in any::<u64>(),
+    ) {
+        let g = Grid3::new(nx, ny, 2);
+        let selected: Vec<usize> =
+            (0..g.len().min(64)).filter(|&i| sel_bits & (1 << i) != 0).collect();
+        let clusters = extract_clusters(&g, &selected);
+        let mut all: Vec<usize> = clusters.iter().flat_map(|c| c.voxels.clone()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, selected);
+        // Sizes are non-increasing.
+        for w in clusters.windows(2) {
+            prop_assert!(w[0].len() >= w[1].len());
+        }
+    }
+
+    /// Mask algebra: and() is idempotent and commutative; apply preserves
+    /// row content.
+    #[test]
+    fn mask_laws(cfg in config_strategy(), bits in any::<u64>()) {
+        let (d, _) = cfg.generate();
+        let n = d.n_voxels();
+        let a = VoxelMask::from_fn(n, |v| bits & (1 << (v % 64)) != 0 || v == 0);
+        let b = VoxelMask::from_fn(n, |v| v % 2 == 0);
+        prop_assert_eq!(a.and(&a).indices(), a.indices());
+        prop_assert_eq!(a.and(&b).indices(), b.and(&a).indices());
+        let (masked, map) = a.apply(&d);
+        prop_assert_eq!(masked.n_voxels(), a.n_kept());
+        for (ci, &oi) in map.iter().enumerate() {
+            prop_assert_eq!(masked.data().row(ci), d.data().row(oi));
+        }
+    }
+
+    /// Normalized epochs have unit self-correlation for non-constant
+    /// voxels regardless of config.
+    #[test]
+    fn normalization_is_unit_norm(cfg in config_strategy()) {
+        let (d, _) = cfg.generate();
+        let ne = fcma_fmri::NormalizedEpochs::from_dataset(&d);
+        for e in [0usize, d.n_epochs() - 1] {
+            let b = ne.brain(e);
+            for v in [0usize, d.n_voxels() - 1] {
+                let col: Vec<f32> = (0..b.rows()).map(|t| b.get(t, v)).collect();
+                let s = fcma_linalg::dot(&col, &col);
+                prop_assert!(
+                    (s - 1.0).abs() < 1e-3 || s.abs() < 1e-6,
+                    "epoch {e} voxel {v}: ||x||² = {s}"
+                );
+            }
+        }
+    }
+}

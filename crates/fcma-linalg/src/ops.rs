@@ -1,0 +1,138 @@
+//! Matrix–vector and elementwise operations.
+//!
+//! Small BLAS-1/2 utilities used around the pipeline: `gemv` for batch
+//! SVM decision evaluation, row/column statistics for diagnostics, and
+//! elementwise combinators for building test fixtures and reports.
+
+use crate::Mat;
+
+/// `y = A · x` for row-major `A[m × n]` (BLAS `sgemv`, no transpose).
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn gemv(a: &Mat, x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.cols(), x.len(), "gemv: A cols {} != x len {}", a.cols(), x.len());
+    assert_eq!(a.rows(), y.len(), "gemv: A rows {} != y len {}", a.rows(), y.len());
+    for (r, yi) in y.iter_mut().enumerate() {
+        *yi = crate::norms::dot(a.row(r), x);
+    }
+}
+
+/// `y = Aᵀ · x` for row-major `A[m × n]` (BLAS `sgemv`, transposed):
+/// accumulates over rows, so the inner loops stream `A` contiguously.
+///
+/// # Panics
+/// Panics on shape mismatches.
+pub fn gemv_t(a: &Mat, x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.rows(), x.len(), "gemv_t: A rows {} != x len {}", a.rows(), x.len());
+    assert_eq!(a.cols(), y.len(), "gemv_t: A cols {} != y len {}", a.cols(), y.len());
+    y.fill(0.0);
+    for (r, &xr) in x.iter().enumerate() {
+        crate::norms::axpy(xr, a.row(r), y);
+    }
+}
+
+/// Per-row means of a matrix.
+pub fn row_means(a: &Mat) -> Vec<f32> {
+    let n = a.cols().max(1) as f32;
+    (0..a.rows()).map(|r| a.row(r).iter().sum::<f32>() / n).collect()
+}
+
+/// Per-column means of a matrix.
+pub fn col_means(a: &Mat) -> Vec<f32> {
+    let mut out = vec![0.0f32; a.cols()];
+    for r in 0..a.rows() {
+        crate::norms::axpy(1.0, a.row(r), &mut out);
+    }
+    let m = a.rows().max(1) as f32;
+    for v in &mut out {
+        *v /= m;
+    }
+    out
+}
+
+/// Elementwise `C = A + β·B` into a fresh matrix.
+///
+/// # Panics
+/// Panics on shape mismatch.
+pub fn add_scaled(a: &Mat, beta: f32, b: &Mat) -> Mat {
+    assert_eq!(a.rows(), b.rows(), "add_scaled: row mismatch");
+    assert_eq!(a.cols(), b.cols(), "add_scaled: col mismatch");
+    let data: Vec<f32> = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| x + beta * y)
+        .collect();
+    Mat::from_vec(a.rows(), a.cols(), data)
+}
+
+/// Scale a matrix in place.
+pub fn scale(a: &mut Mat, alpha: f32) {
+    for v in a.as_mut_slice() {
+        *v *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm_ref;
+
+    fn fixture(m: usize, n: usize) -> Mat {
+        Mat::from_fn(m, n, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0)
+    }
+
+    #[test]
+    fn gemv_matches_gemm_with_one_column() {
+        let a = fixture(5, 7);
+        let x: Vec<f32> = (0..7).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let mut y = vec![0.0f32; 5];
+        gemv(&a, &x, &mut y);
+        let mut expect = vec![0.0f32; 5];
+        gemm_ref(5, 1, 7, a.as_slice(), 7, &x, 1, &mut expect, 1);
+        for (g, e) in y.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_explicit_transpose() {
+        let a = fixture(4, 6);
+        let x: Vec<f32> = (0..4).map(|i| (i as f32).cos()).collect();
+        let mut y = vec![0.0f32; 6];
+        gemv_t(&a, &x, &mut y);
+        let at = a.transposed();
+        let mut expect = vec![0.0f32; 6];
+        gemv(&at, &x, &mut expect);
+        for (g, e) in y.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gemv: A cols")]
+    fn gemv_rejects_bad_shapes() {
+        let a = fixture(2, 3);
+        let mut y = vec![0.0; 2];
+        gemv(&a, &[1.0, 2.0], &mut y);
+    }
+
+    #[test]
+    fn means_are_correct() {
+        let a = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
+        assert_eq!(row_means(&a), vec![2.0, 6.0]);
+        assert_eq!(col_means(&a), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let a = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![10.0, 10.0, 10.0]);
+        let c = add_scaled(&a, 0.5, &b);
+        assert_eq!(c.as_slice(), &[6.0, 7.0, 8.0]);
+        let mut d = c;
+        scale(&mut d, 2.0);
+        assert_eq!(d.as_slice(), &[12.0, 14.0, 16.0]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Symmetric rank-k update kernels: `C = A · Aᵀ` for tall-skinny `A`.
+//!
+//! Stage 3 of FCMA precomputes, per voxel, the linear-SVM kernel matrix
+//! `K = X · Xᵀ` where `X` is `M × N` (`M` ≈ 200 epochs, `N` ≈ 35,000
+//! brain voxels) — a symmetric product whose *depth* dimension is enormous
+//! while the output is tiny. The paper replaces MKL's `cblas_ssyrk` with a
+//! custom kernel (§4.4, Fig. 7): threads walk the long dimension in blocks
+//! of 96, copy each block into a local buffer, transpose sub-blocks, run a
+//! `16x9x96` register microkernel, and merge their partial `C` under a
+//! lock.
+//!
+//! Three implementations live here:
+//! * [`crate::gemm_ref::syrk_ref`] — the triple-loop oracle (in `gemm_ref`);
+//! * [`syrk_dot`] — a generic library-style version (chunked row dot
+//!   products over the lower triangle), the `cblas_ssyrk` stand-in;
+//! * [`syrk_panel`] — the paper's panel-blocked, microkernel-based design,
+//!   with an optional rayon-parallel path whose partial-`C` merge uses a
+//!   `parking_lot` mutex exactly like the paper's OpenMP lock.
+
+use crate::microkernel::{microkernel, microkernel_edge, pack_a_panel};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Register tile height of the SYRK microkernel.
+pub const MR: usize = 8;
+/// Register tile width of the SYRK microkernel.
+pub const NR: usize = 16;
+/// Depth of one packed panel — the paper's "blocks of 96 rows (an integral
+/// multiple of VPU length)".
+pub const PANEL_K: usize = 96;
+
+/// Generic chunked-dot-product SYRK (the `cblas_ssyrk` stand-in).
+///
+/// Computes the lower triangle of `C[0..m, 0..m] = A · Aᵀ` via row dot
+/// products taken `kc` elements at a time, then mirrors. Vectorizes well
+/// per dot product but re-streams both operand rows from memory for every
+/// `C` entry — the reuse failure mode the paper measures for MKL on this
+/// shape.
+pub fn syrk_dot(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
+    assert!(lda >= n, "syrk_dot: lda {lda} < n {n}");
+    assert!(ldc >= m, "syrk_dot: ldc {ldc} < m {m}");
+    if m > 0 {
+        assert!(a.len() >= (m - 1) * lda + n, "syrk_dot: A too short");
+        assert!(c.len() >= (m - 1) * ldc + m, "syrk_dot: C too short");
+    }
+    for i in 0..m {
+        let ai = &a[i * lda..i * lda + n];
+        for j in 0..=i {
+            let aj = &a[j * lda..j * lda + n];
+            let s = crate::norms::dot(ai, aj);
+            c[i * ldc + j] = s;
+            c[j * ldc + i] = s;
+        }
+    }
+}
+
+/// The paper's optimized SYRK: panel-blocked over the long dimension with
+/// a register microkernel. Sequential driver; see [`syrk_panel_parallel`]
+/// for the threaded version.
+pub fn syrk_panel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
+    syrk_panel_with(PANEL_K, m, n, a, lda, c, ldc);
+}
+
+/// [`syrk_panel`] with an explicit panel depth — the ablation knob for
+/// the paper's choice of 96 (an integral multiple of the 16-lane VPU
+/// width sized so a packed `m × panel_k` slab stays L2-resident).
+///
+/// # Panics
+/// Panics if `panel_k` is zero or buffers are inconsistent.
+pub fn syrk_panel_with(
+    panel_k: usize,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    assert!(panel_k > 0, "syrk: panel_k must be positive");
+    validate(m, n, a.len(), lda, c.len(), ldc);
+    if m == 0 {
+        return;
+    }
+    zero_lower(c, m, ldc);
+    let mut scratch = PanelScratch::new(m, panel_k);
+    for p in (0..n).step_by(panel_k) {
+        let kp = panel_k.min(n - p);
+        accumulate_panel(m, a, lda, p, kp, c, ldc, &mut scratch, panel_k);
+    }
+    mirror_lower_to_upper(c, m, ldc);
+}
+
+/// Rayon-parallel variant: panels are distributed across threads, each
+/// thread accumulates into a private partial `C`, and partials are merged
+/// into the shared output under a mutex (the paper's OpenMP-lock design).
+///
+/// `grain` panels are processed per task; the default entry point uses one
+/// task per [`PANEL_K`]-deep panel group of 8.
+pub fn syrk_panel_parallel(
+    m: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    validate(m, n, a.len(), lda, c.len(), ldc);
+    if m == 0 {
+        return;
+    }
+    zero_lower(c, m, ldc);
+    let n_panels = n.div_ceil(PANEL_K);
+    let grain = 8usize;
+    let shared = Mutex::new(&mut *c);
+    (0..n_panels.div_ceil(grain)).into_par_iter().for_each(|g| {
+        let mut local = vec![0.0f32; m * m];
+        let mut scratch = PanelScratch::new(m, PANEL_K);
+        for pi in g * grain..((g + 1) * grain).min(n_panels) {
+            let p = pi * PANEL_K;
+            let kp = PANEL_K.min(n - p);
+            accumulate_panel(m, a, lda, p, kp, &mut local, m, &mut scratch, PANEL_K);
+        }
+        // "After the thread completes its portion of the matrix multiply,
+        // it takes a lock corresponding to the C matrix and adds its
+        // contribution" (§4.4).
+        let mut guard = shared.lock();
+        for i in 0..m {
+            for j in 0..=i {
+                guard[i * ldc + j] += local[i * m + j];
+            }
+        }
+    });
+    mirror_lower_to_upper(c, m, ldc);
+}
+
+/// Reusable packing buffers for one thread's panel walk (`A_local` and
+/// `A^T_local` in the paper's Fig. 7 terminology).
+struct PanelScratch {
+    /// `MR`-tall packed slabs for every row tile (the `Aᵀ_local` role).
+    a_packs: Vec<f32>,
+}
+
+impl PanelScratch {
+    fn new(m: usize, panel_k: usize) -> Self {
+        let n_row_tiles = m.div_ceil(MR);
+        PanelScratch { a_packs: vec![0.0; n_row_tiles * panel_k * MR] }
+    }
+}
+
+/// Add one `kp`-deep panel's contribution to the lower triangle of `c`.
+#[allow(clippy::too_many_arguments)]
+fn accumulate_panel(
+    m: usize,
+    a: &[f32],
+    lda: usize,
+    p: usize,
+    kp: usize,
+    c: &mut [f32],
+    ldc: usize,
+    scratch: &mut PanelScratch,
+    panel_k: usize,
+) {
+    // Pack every MR-tall row tile of A[:, p..p+kp] once; tiles serve as
+    // both the left (a_panel) and — re-read NR-wide — the right operand.
+    for (t, i0) in (0..m).step_by(MR).enumerate() {
+        let mr = MR.min(m - i0);
+        pack_a_panel::<MR>(
+            &a[i0 * lda + p..],
+            lda,
+            mr,
+            kp,
+            &mut scratch.a_packs[t * panel_k * MR..],
+        );
+    }
+    // Right-operand panels need the B layout (l*NR + j = A[j0+j, p+l]);
+    // build them per column tile from A directly.
+    let mut b_panel = vec![0.0f32; kp * NR];
+    for j0 in (0..m).step_by(NR) {
+        let nr = NR.min(m - j0);
+        for l in 0..kp {
+            let dst = &mut b_panel[l * NR..(l + 1) * NR];
+            for j in 0..nr {
+                dst[j] = a[(j0 + j) * lda + p + l];
+            }
+            dst[nr..].fill(0.0);
+        }
+        // Only row tiles at or below this column tile contribute to the
+        // lower triangle (j0 <= i0 covers all i >= j; see mirror step).
+        for (t, i0) in (0..m).step_by(MR).enumerate() {
+            if i0 < j0 {
+                continue;
+            }
+            let mr = MR.min(m - i0);
+            let a_panel = &scratch.a_packs[t * panel_k * MR..t * panel_k * MR + kp * MR];
+            let c_off = i0 * ldc + j0;
+            if mr == MR && nr == NR {
+                microkernel::<MR, NR>(kp, a_panel, &b_panel, &mut c[c_off..], ldc, true);
+            } else {
+                microkernel_edge::<MR, NR>(
+                    kp,
+                    mr,
+                    nr,
+                    a_panel,
+                    &b_panel,
+                    &mut c[c_off..],
+                    ldc,
+                    true,
+                );
+            }
+        }
+    }
+}
+
+fn validate(m: usize, n: usize, a_len: usize, lda: usize, c_len: usize, ldc: usize) {
+    assert!(lda >= n, "syrk: lda {lda} < n {n}");
+    assert!(ldc >= m, "syrk: ldc {ldc} < m {m}");
+    if m > 0 {
+        assert!(a_len >= (m - 1) * lda + n, "syrk: A too short");
+        assert!(c_len >= (m - 1) * ldc + m, "syrk: C too short");
+    }
+}
+
+fn zero_lower(c: &mut [f32], m: usize, ldc: usize) {
+    // Tiles straddling the diagonal write a few upper entries too; zero the
+    // full square so stale data never leaks through the mirror step.
+    for i in 0..m {
+        c[i * ldc..i * ldc + m].fill(0.0);
+    }
+}
+
+fn mirror_lower_to_upper(c: &mut [f32], m: usize, ldc: usize) {
+    for i in 0..m {
+        for j in i + 1..m {
+            c[i * ldc + j] = c[j * ldc + i];
+        }
+    }
+}
+
+/// Re-export of the reference oracle for convenience.
+pub use crate::gemm_ref::syrk_ref;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(n: usize, seed: u32) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(99);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((state >> 8) as f32 / (1 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn check(m: usize, n: usize, f: impl Fn(usize, usize, &[f32], usize, &mut [f32], usize)) {
+        let a = pseudo(m * n, 3);
+        let mut got = vec![f32::NAN; m * m];
+        let mut expect = vec![0.0; m * m];
+        f(m, n, &a, n, &mut got, m);
+        syrk_ref(m, n, &a, n, &mut expect, m);
+        let tol = 1e-4 * n.max(1) as f32 * 0.05 + 1e-4;
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!((g - e).abs() < tol, "m={m} n={n} idx {i}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn dot_version_matches_reference() {
+        check(7, 33, syrk_dot);
+        check(16, 96, syrk_dot);
+    }
+
+    #[test]
+    fn panel_version_matches_reference_exact_panels() {
+        check(16, 192, syrk_panel);
+    }
+
+    #[test]
+    fn panel_version_matches_reference_ragged() {
+        check(13, 100, syrk_panel);
+        check(9, 97, syrk_panel);
+        check(21, 1, syrk_panel);
+        check(1, 200, syrk_panel);
+    }
+
+    #[test]
+    fn panel_version_fcma_shape_scaled() {
+        // M ~ epochs (204 in the paper; scaled), N ~ brain voxels.
+        check(52, 700, syrk_panel);
+    }
+
+    #[test]
+    fn parallel_version_matches_reference() {
+        check(20, 2000, syrk_panel_parallel);
+        check(17, 777, syrk_panel_parallel);
+    }
+
+    #[test]
+    fn output_is_symmetric() {
+        let m = 19;
+        let n = 131;
+        let a = pseudo(m * n, 8);
+        let mut c = vec![0.0; m * m];
+        syrk_panel(m, n, &a, n, &mut c, m);
+        for i in 0..m {
+            for j in 0..m {
+                assert_eq!(c[i * m + j], c[j * m + i], "asymmetry at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_is_nonnegative() {
+        let m = 10;
+        let n = 50;
+        let a = pseudo(m * n, 21);
+        let mut c = vec![0.0; m * m];
+        syrk_panel(m, n, &a, n, &mut c, m);
+        for i in 0..m {
+            assert!(c[i * m + i] >= 0.0, "negative diagonal at {i}");
+        }
+    }
+
+    #[test]
+    fn panel_depth_does_not_change_results() {
+        let m = 17;
+        let n = 333;
+        let a = pseudo(m * n, 11);
+        let mut expect = vec![0.0; m * m];
+        syrk_ref(m, n, &a, n, &mut expect, m);
+        for panel_k in [1usize, 16, 48, 96, 200, 512] {
+            let mut got = vec![0.0; m * m];
+            syrk_panel_with(panel_k, m, n, &a, n, &mut got, m);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 0.05, "panel {panel_k}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "panel_k")]
+    fn rejects_zero_panel_depth() {
+        let mut c = vec![0.0; 4];
+        syrk_panel_with(0, 2, 4, &[0.0; 8], 4, &mut c, 2);
+    }
+
+    #[test]
+    fn zero_depth_gives_zero_matrix() {
+        let mut c = vec![5.0; 9];
+        syrk_panel(3, 0, &[], 0, &mut c, 3);
+        assert_eq!(c, vec![0.0; 9]);
+    }
+
+    #[test]
+    fn respects_ldc() {
+        let m = 4;
+        let n = 24;
+        let a = pseudo(m * n, 4);
+        let ldc = 7;
+        let mut c = vec![-3.0; m * ldc];
+        syrk_panel(m, n, &a, n, &mut c, ldc);
+        let mut expect = vec![0.0; m * m];
+        syrk_ref(m, n, &a, n, &mut expect, m);
+        for i in 0..m {
+            for j in 0..m {
+                assert!((c[i * ldc + j] - expect[i * m + j]).abs() < 1e-3);
+            }
+            for j in m..ldc.min(if i + 1 < m { ldc } else { m }) {
+                // Padding beyond column m must be untouched (except the
+                // last row, whose padding was never part of the buffer walk).
+                assert_eq!(c[i * ldc + j], -3.0, "padding clobbered at ({i},{j})");
+            }
+        }
+    }
+}

@@ -1,0 +1,448 @@
+//! Shape-specialized tall-skinny correlation GEMM — optimization ideas #1
+//! and #3 of the paper (§4.2).
+//!
+//! Stage 1 of FCMA multiplies, for every epoch, a small `V × k` matrix of
+//! assigned-voxel activity against a huge `k × N` matrix of whole-brain
+//! activity (`k` ≈ 12 time points, `N` ≈ 35,000 voxels), writing each
+//! result row into an output interleaved *by voxel*: the correlation row
+//! for (voxel `v`, epoch `e`) lands at row `v·M + e` of a `(V·M) × N`
+//! buffer, so that all of one voxel's correlation vectors are contiguous
+//! for the later SVM stage.
+//!
+//! A generic square-blocking GEMM (MKL, [`crate::gemm_blocked::gemm_blocked`]) handles
+//! this shape poorly: with `k` this small there is nothing to block in the
+//! depth dimension and the packing traffic dominates. The specialized
+//! kernel here instead:
+//!
+//! 1. tiles the *wide* dimension `N` into column strips sized to keep the
+//!    brain-data strip plus the output tile resident in one core's L2
+//!    (idea #1 — "partitioning tall-skinny matrices for blocking");
+//! 2. transposes/packs each strip once and reuses it across **all** epochs
+//!    and all voxel groups before moving on (the strip is the hot data);
+//! 3. bottoms out in the 16-lane register microkernel so every multiply is
+//!    a full-width vector FMA (idea #3 — vectorization-friendly layout).
+
+use crate::gemm_ref::gemm_ref;
+use crate::microkernel::{microkernel, microkernel_edge, pack_a_panel, pack_b_panel};
+use crate::Mat;
+use std::ops::Range;
+
+/// Register tile height for the correlation kernel.
+pub const MR: usize = 8;
+/// Register tile width (Phi vector width in f32 lanes).
+pub const NR: usize = 16;
+
+/// One epoch's pair of normalized activity matrices.
+///
+/// `assigned` is `V × k` (the task's voxels over the epoch's time points,
+/// already normalized per Eq. 2); `brain` is `k × N` (every brain voxel,
+/// same normalization, transposed so time is the leading dimension).
+/// The dot product of a row of `assigned` with a column of `brain` is the
+/// Pearson correlation of that voxel pair over the epoch.
+#[derive(Clone, Copy)]
+pub struct EpochPair<'a> {
+    /// `V × k` assigned-voxel matrix.
+    pub assigned: &'a Mat,
+    /// `k × N` whole-brain matrix.
+    pub brain: &'a Mat,
+}
+
+impl<'a> EpochPair<'a> {
+    /// Number of time points in this epoch.
+    pub fn k(&self) -> usize {
+        self.assigned.cols()
+    }
+
+    fn validate(&self, v: usize, n: usize) {
+        assert_eq!(self.assigned.rows(), v, "EpochPair: assigned rows != V");
+        assert_eq!(self.brain.cols(), n, "EpochPair: brain cols != N");
+        assert_eq!(
+            self.assigned.cols(),
+            self.brain.rows(),
+            "EpochPair: assigned cols (k={}) != brain rows (k={})",
+            self.assigned.cols(),
+            self.brain.rows()
+        );
+    }
+}
+
+/// Tuning knobs for the tall-skinny kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TallSkinnyOpts {
+    /// Width of each brain-voxel column strip. The default (512 columns ×
+    /// 12 time points × 4 B ≈ 24 KB strip + per-voxel-group output tiles)
+    /// keeps the working set inside a 512 KB Phi L2.
+    pub tile_cols: usize,
+}
+
+impl Default for TallSkinnyOpts {
+    fn default() -> Self {
+        TallSkinnyOpts { tile_cols: 512 }
+    }
+}
+
+/// Shape summary for the interleaved stage-1 output buffer.
+///
+/// The buffer holds `V · M` rows of `N` floats; row `v·M + e` is voxel
+/// `v`'s correlation vector for epoch `e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorrLayout {
+    /// Assigned voxels (`V`).
+    pub n_assigned: usize,
+    /// Epochs (`M`).
+    pub n_epochs: usize,
+    /// Brain voxels (`N`).
+    pub n_brain: usize,
+}
+
+impl CorrLayout {
+    /// Required output buffer length.
+    pub fn out_len(&self) -> usize {
+        self.n_assigned * self.n_epochs * self.n_brain
+    }
+
+    /// Row index of (voxel `v`, epoch `e`) in the interleaved buffer.
+    #[inline]
+    pub fn row(&self, v: usize, e: usize) -> usize {
+        v * self.n_epochs + e
+    }
+}
+
+/// Optimized stage-1 kernel: compute every epoch's correlation rows for
+/// every assigned voxel, writing the voxel-interleaved layout.
+///
+/// Returns the [`CorrLayout`] describing `out`.
+///
+/// # Panics
+/// Panics if the epochs disagree on `V`/`N` or `out` is too short.
+pub fn corr_tall_skinny(
+    epochs: &[EpochPair<'_>],
+    out: &mut [f32],
+    opts: TallSkinnyOpts,
+) -> CorrLayout {
+    assert!(!epochs.is_empty(), "corr_tall_skinny: no epochs");
+    let v = epochs[0].assigned.rows();
+    let n = epochs[0].brain.cols();
+    for ep in epochs {
+        ep.validate(v, n);
+    }
+    let m = epochs.len();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    assert!(
+        out.len() >= layout.out_len(),
+        "corr_tall_skinny: out buffer {} < required {}",
+        out.len(),
+        layout.out_len()
+    );
+    let k_max = epochs.iter().map(|e| e.k()).max().unwrap_or(0);
+    let tile = opts.tile_cols.max(NR);
+    let mut b_pack = vec![0.0f32; k_max * tile.div_ceil(NR) * NR];
+    let mut a_pack = vec![0.0f32; k_max * MR];
+
+    // Column-strip-major traversal: one strip of brain data is packed once
+    // and consumed by every (epoch, voxel-group) pair before eviction.
+    for j0 in (0..n).step_by(tile) {
+        let tw = tile.min(n - j0);
+        let n_tiles = tw.div_ceil(NR);
+        for (e, ep) in epochs.iter().enumerate() {
+            let k = ep.k();
+            if k == 0 {
+                for vi in 0..v {
+                    out[(layout.row(vi, e)) * n + j0..(layout.row(vi, e)) * n + j0 + tw]
+                        .fill(0.0);
+                }
+                continue;
+            }
+            // Pack (transpose) this epoch's strip of brain data.
+            for t in 0..n_tiles {
+                let jt = j0 + t * NR;
+                let nr = NR.min(n - jt);
+                pack_b_panel::<NR>(&ep.brain.as_slice()[jt..], n, k, nr, &mut b_pack[t * k_max * NR..]);
+            }
+            for v0 in (0..v).step_by(MR) {
+                let mr = MR.min(v - v0);
+                pack_a_panel::<MR>(&ep.assigned.as_slice()[v0 * k..], k, mr, k, &mut a_pack);
+                for t in 0..n_tiles {
+                    let jt = j0 + t * NR;
+                    let nr = NR.min(n - jt);
+                    let b_panel = &b_pack[t * k_max * NR..t * k_max * NR + k * NR];
+                    // Output rows for consecutive voxels are M rows apart:
+                    // leading dimension M·N expresses the interleaving.
+                    let c_off = layout.row(v0, e) * n + jt;
+                    if mr == MR && nr == NR {
+                        microkernel::<MR, NR>(k, &a_pack, b_panel, &mut out[c_off..], m * n, false);
+                    } else {
+                        microkernel_edge::<MR, NR>(
+                            k,
+                            mr,
+                            nr,
+                            &a_pack,
+                            b_panel,
+                            &mut out[c_off..],
+                            m * n,
+                            false,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    layout
+}
+
+/// Compute a compact correlation block for a contiguous range of epochs
+/// and a strip of brain-voxel columns.
+///
+/// This is the primitive behind the *merged* stage-1+2 pipeline
+/// (optimization idea #2): the caller asks for exactly the `(all voxels) ×
+/// (one subject's epochs) × (one column strip)` block that within-subject
+/// normalization needs, normalizes it while it is cache-hot, and only then
+/// scatters it to the big interleaved buffer.
+///
+/// `buf` is written densely: `buf[(vi · E + ei) · W + (j − col0)]` where
+/// `E = epoch_range.len()` and `W = col_range.len()`.
+///
+/// # Panics
+/// Panics on inconsistent shapes, empty/out-of-bounds ranges, or a short
+/// buffer.
+pub fn corr_tile_block(
+    epochs: &[EpochPair<'_>],
+    epoch_range: Range<usize>,
+    col_range: Range<usize>,
+    buf: &mut [f32],
+) {
+    assert!(!epochs.is_empty(), "corr_tile_block: no epochs");
+    let v = epochs[0].assigned.rows();
+    let n = epochs[0].brain.cols();
+    assert!(epoch_range.end <= epochs.len(), "corr_tile_block: epoch range out of bounds");
+    assert!(col_range.end <= n, "corr_tile_block: column range out of bounds");
+    let e_count = epoch_range.len();
+    let w = col_range.len();
+    assert!(buf.len() >= v * e_count * w, "corr_tile_block: buffer too short");
+
+    let k_max = epochs[epoch_range.clone()].iter().map(|e| e.k()).max().unwrap_or(0);
+    let mut b_pack = vec![0.0f32; k_max.max(1) * w.div_ceil(NR) * NR];
+    let mut a_pack = vec![0.0f32; k_max.max(1) * MR];
+    let n_tiles = w.div_ceil(NR);
+
+    for (ei, eidx) in epoch_range.clone().enumerate() {
+        let ep = &epochs[eidx];
+        ep.validate(v, n);
+        let k = ep.k();
+        if k == 0 {
+            for vi in 0..v {
+                buf[(vi * e_count + ei) * w..(vi * e_count + ei + 1) * w].fill(0.0);
+            }
+            continue;
+        }
+        for t in 0..n_tiles {
+            let jt = col_range.start + t * NR;
+            let nr = NR.min(col_range.end - jt);
+            pack_b_panel::<NR>(&ep.brain.as_slice()[jt..], n, k, nr, &mut b_pack[t * k_max * NR..]);
+        }
+        for v0 in (0..v).step_by(MR) {
+            let mr = MR.min(v - v0);
+            pack_a_panel::<MR>(&ep.assigned.as_slice()[v0 * k..], k, mr, k, &mut a_pack);
+            for t in 0..n_tiles {
+                let jt = t * NR;
+                let nr = NR.min(w - jt);
+                let b_panel = &b_pack[t * k_max * NR..t * k_max * NR + k * NR];
+                let c_off = (v0 * e_count + ei) * w + jt;
+                if mr == MR && nr == NR {
+                    microkernel::<MR, NR>(k, &a_pack, b_panel, &mut buf[c_off..], e_count * w, false);
+                } else {
+                    microkernel_edge::<MR, NR>(
+                        k,
+                        mr,
+                        nr,
+                        &a_pack,
+                        b_panel,
+                        &mut buf[c_off..],
+                        e_count * w,
+                        false,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Baseline stage-1 reference: per-epoch `gemm_ref` with the interleaving
+/// expressed via `ldc`, exactly how the paper's baseline drives
+/// `cblas_sgemm`. Used as the correctness oracle for the optimized kernel.
+pub fn corr_reference(epochs: &[EpochPair<'_>], out: &mut [f32]) -> CorrLayout {
+    assert!(!epochs.is_empty(), "corr_reference: no epochs");
+    let v = epochs[0].assigned.rows();
+    let n = epochs[0].brain.cols();
+    let m = epochs.len();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    assert!(out.len() >= layout.out_len(), "corr_reference: out buffer too short");
+    for (e, ep) in epochs.iter().enumerate() {
+        ep.validate(v, n);
+        gemm_ref(
+            v,
+            n,
+            ep.k(),
+            ep.assigned.as_slice(),
+            ep.k().max(1),
+            ep.brain.as_slice(),
+            n,
+            &mut out[e * n..],
+            m * n,
+        );
+    }
+    layout
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_mat(rows: usize, cols: usize, seed: u32) -> Mat {
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((state >> 8) as f32 / (1 << 24) as f32) - 0.5
+        })
+    }
+
+    fn make_epochs(v: usize, n: usize, ks: &[usize]) -> (Vec<Mat>, Vec<Mat>) {
+        let mut assigned = Vec::new();
+        let mut brain = Vec::new();
+        for (i, &k) in ks.iter().enumerate() {
+            assigned.push(pseudo_mat(v, k, 100 + i as u32));
+            brain.push(pseudo_mat(k, n, 200 + i as u32));
+        }
+        (assigned, brain)
+    }
+
+    fn pairs<'a>(assigned: &'a [Mat], brain: &'a [Mat]) -> Vec<EpochPair<'a>> {
+        assigned
+            .iter()
+            .zip(brain)
+            .map(|(a, b)| EpochPair { assigned: a, brain: b })
+            .collect()
+    }
+
+    fn compare(v: usize, n: usize, ks: &[usize], opts: TallSkinnyOpts) {
+        let (assigned, brain) = make_epochs(v, n, ks);
+        let eps = pairs(&assigned, &brain);
+        let m = ks.len();
+        let mut got = vec![f32::NAN; v * m * n];
+        let mut expect = vec![0.0; v * m * n];
+        let l1 = corr_tall_skinny(&eps, &mut got, opts);
+        let l2 = corr_reference(&eps, &mut expect);
+        assert_eq!(l1, l2);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!((g - e).abs() < 1e-4, "idx {i}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        compare(8, 64, &[12, 12], TallSkinnyOpts::default());
+    }
+
+    #[test]
+    fn matches_reference_ragged_everything() {
+        compare(11, 93, &[12, 7, 12, 5], TallSkinnyOpts { tile_cols: 48 });
+    }
+
+    #[test]
+    fn matches_reference_fcma_shape_scaled() {
+        // 24 voxels x 300 brain voxels x 6 epochs of 12 tp.
+        compare(24, 300, &[12; 6], TallSkinnyOpts::default());
+    }
+
+    #[test]
+    fn matches_reference_single_voxel_single_epoch() {
+        compare(1, 20, &[12], TallSkinnyOpts { tile_cols: 16 });
+    }
+
+    #[test]
+    fn interleaved_rows_are_grouped_by_voxel() {
+        // Construct epochs where the correlation row value identifies the
+        // epoch, then verify row (v, e) lands at v*M + e.
+        let v = 2;
+        let n = 4;
+        let m = 3;
+        let mut assigned = Vec::new();
+        let mut brain = Vec::new();
+        for e in 0..m {
+            // A[v, 0] = v + 1; B[0, j] = (e + 1) * 10 -> C[v, j] = (v+1)(e+1)*10
+            assigned.push(Mat::from_fn(v, 1, |r, _| (r + 1) as f32));
+            brain.push(Mat::from_fn(1, n, |_, _| (e + 1) as f32 * 10.0));
+        }
+        let eps = pairs(&assigned, &brain);
+        let mut out = vec![0.0; v * m * n];
+        let layout = corr_tall_skinny(&eps, &mut out, TallSkinnyOpts::default());
+        for vi in 0..v {
+            for e in 0..m {
+                let row = layout.row(vi, e);
+                let want = (vi + 1) as f32 * (e + 1) as f32 * 10.0;
+                assert!(out[row * n..(row + 1) * n].iter().all(|&x| x == want));
+            }
+        }
+    }
+
+    #[test]
+    fn tile_block_matches_full_computation() {
+        let v = 5;
+        let n = 40;
+        let ks = [12usize; 6];
+        let (assigned, brain) = make_epochs(v, n, &ks);
+        let eps = pairs(&assigned, &brain);
+        let mut full = vec![0.0; v * ks.len() * n];
+        let layout = corr_reference(&eps, &mut full);
+
+        // Block: epochs 2..5, columns 7..29.
+        let er = 2..5usize;
+        let cr = 7..29usize;
+        let w = cr.len();
+        let ec = er.len();
+        let mut buf = vec![f32::NAN; v * ec * w];
+        corr_tile_block(&eps, er.clone(), cr.clone(), &mut buf);
+        for vi in 0..v {
+            for (ei, e) in er.clone().enumerate() {
+                for (ji, j) in cr.clone().enumerate() {
+                    let got = buf[(vi * ec + ei) * w + ji];
+                    let want = full[layout.row(vi, e) * n + j];
+                    assert!((got - want).abs() < 1e-4, "v{vi} e{e} j{j}: {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_inputs_give_unit_self_correlation() {
+        // When A rows are also columns of B and all are Eq.2-normalized,
+        // the correlation of a voxel with itself must be ~1.
+        use crate::norms::normalize_epoch;
+        let v = 3;
+        let n = 3;
+        let k = 12;
+        let raw = pseudo_mat(n, k, 7);
+        let mut norm = raw.clone();
+        for r in 0..n {
+            normalize_epoch(norm.row_mut(r));
+        }
+        let brain = norm.transposed(); // k x n
+        let eps = [EpochPair { assigned: &norm, brain: &brain }];
+        let mut out = vec![0.0; v * n];
+        let layout = corr_tall_skinny(&eps, &mut out, TallSkinnyOpts::default());
+        for vi in 0..v {
+            let self_corr = out[layout.row(vi, 0) * n + vi];
+            assert!((self_corr - 1.0).abs() < 1e-4, "self corr {self_corr}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out buffer")]
+    fn rejects_short_output() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(3, 5);
+        let eps = [EpochPair { assigned: &a, brain: &b }];
+        let mut out = vec![0.0; 5];
+        let _ = corr_tall_skinny(&eps, &mut out, TallSkinnyOpts::default());
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests pinning every optimized kernel to the reference
+//! implementations across randomized shapes and data.
+
+use fcma_linalg::gemm_blocked::BlockSizes;
+use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
+use fcma_linalg::*;
+use proptest::prelude::*;
+
+fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+fn close(a: f32, b: f32, scale: f32) -> bool {
+    (a - b).abs() <= 1e-3 * scale.max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gemm_blocked_matches_reference(
+        m in 1usize..24,
+        n in 1usize..70,
+        k in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng_state = seed;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k.max(1)).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k.max(1) * n).map(|_| next()).collect();
+        let mut got = vec![f32::NAN; m * n];
+        let mut expect = vec![0.0; m * n];
+        gemm_blocked(m, n, k, &a, k.max(1), &b, n, &mut got, n);
+        gemm_ref(m, n, k, &a, k.max(1), &b, n, &mut expect, n);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!(close(*g, *e, k as f32), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_matches_reference_weird_blocks(
+        m in 1usize..20,
+        n in 1usize..50,
+        k in 1usize..30,
+        mc in 8usize..32,
+        kc in 1usize..16,
+        nc in 16usize..64,
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 17 + 5) % 23) as f32 - 11.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 13 + 7) % 19) as f32 - 9.0).collect();
+        let mut got = vec![0.0; m * n];
+        let mut expect = vec![0.0; m * n];
+        gemm_blocked_with(BlockSizes { mc, kc, nc }, m, n, k, &a, k, &b, n, &mut got, n);
+        gemm_ref(m, n, k, &a, k, &b, n, &mut expect, n);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!(close(*g, *e, (k * 23) as f32));
+        }
+    }
+
+    #[test]
+    fn syrk_panel_matches_reference(
+        m in 1usize..24,
+        n in 1usize..220,
+        seed in any::<u32>(),
+    ) {
+        let a: Vec<f32> = (0..m * n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 16) % 100) as f32 / 50.0 - 1.0)
+            .collect();
+        let mut got = vec![f32::NAN; m * m];
+        let mut expect = vec![0.0; m * m];
+        syrk_panel(m, n, &a, n, &mut got, m);
+        syrk_ref(m, n, &a, n, &mut expect, m);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!(close(*g, *e, n as f32), "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn syrk_outputs_agree_across_variants(
+        m in 1usize..16,
+        n in 1usize..150,
+    ) {
+        let a: Vec<f32> = (0..m * n).map(|i| ((i * 31 + 11) % 17) as f32 * 0.1 - 0.8).collect();
+        let mut dotv = vec![0.0; m * m];
+        let mut pan = vec![0.0; m * m];
+        let mut par = vec![0.0; m * m];
+        syrk_dot(m, n, &a, n, &mut dotv, m);
+        syrk_panel(m, n, &a, n, &mut pan, m);
+        syrk_panel_parallel(m, n, &a, n, &mut par, m);
+        for i in 0..m * m {
+            prop_assert!(close(dotv[i], pan[i], n as f32));
+            prop_assert!(close(pan[i], par[i], n as f32));
+        }
+    }
+
+    #[test]
+    fn corr_tall_skinny_matches_reference(
+        v in 1usize..12,
+        n in 1usize..80,
+        m_epochs in 1usize..5,
+        k in 1usize..14,
+        tile in 16usize..64,
+    ) {
+        let assigned: Vec<Mat> = (0..m_epochs)
+            .map(|e| Mat::from_fn(v, k, |r, c| ((r * 7 + c * 3 + e) % 13) as f32 * 0.2 - 1.0))
+            .collect();
+        let brain: Vec<Mat> = (0..m_epochs)
+            .map(|e| Mat::from_fn(k, n, |r, c| ((r * 5 + c * 11 + e * 2) % 17) as f32 * 0.1 - 0.7))
+            .collect();
+        let eps: Vec<EpochPair> = assigned
+            .iter()
+            .zip(&brain)
+            .map(|(a, b)| EpochPair { assigned: a, brain: b })
+            .collect();
+        let mut got = vec![f32::NAN; v * m_epochs * n];
+        let mut expect = vec![0.0; v * m_epochs * n];
+        corr_tall_skinny(&eps, &mut got, TallSkinnyOpts { tile_cols: tile });
+        corr_reference(&eps, &mut expect);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!(close(*g, *e, k as f32));
+        }
+    }
+
+    #[test]
+    fn normalize_epoch_idempotent_direction(mut x in finite_vec(12)) {
+        // Normalizing twice gives the same vector as normalizing once
+        // (the vector is already zero-mean unit-RSS after one pass).
+        normalize_epoch(&mut x);
+        let once = x.clone();
+        normalize_epoch(&mut x);
+        for (a, b) in x.iter().zip(&once) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pearson_via_dot_is_bounded(x in finite_vec(12), y in finite_vec(12)) {
+        let mut xn = x.clone();
+        let mut yn = y.clone();
+        normalize_epoch(&mut xn);
+        normalize_epoch(&mut yn);
+        let r = dot(&xn, &yn);
+        prop_assert!(r.abs() <= 1.0 + 1e-4, "correlation {r} out of range");
+    }
+
+    #[test]
+    fn fisher_z_monotone(a in -0.99f32..0.99, b in -0.99f32..0.99) {
+        if a < b {
+            prop_assert!(fisher_z(a) < fisher_z(b));
+        } else if a > b {
+            prop_assert!(fisher_z(a) > fisher_z(b));
+        }
+    }
+
+    #[test]
+    fn zscore_then_stats_are_standard(x in proptest::collection::vec(-100.0f32..100.0, 4..64)) {
+        let spread = x.iter().cloned().fold(f32::MIN, f32::max)
+            - x.iter().cloned().fold(f32::MAX, f32::min);
+        prop_assume!(spread > 1e-3);
+        let mut z = x.clone();
+        zscore(&mut z);
+        let (m, v) = mean_var_onepass(&z);
+        prop_assert!(m.abs() < 1e-3, "mean {m}");
+        prop_assert!((v - 1.0).abs() < 1e-2, "var {v}");
+    }
+}

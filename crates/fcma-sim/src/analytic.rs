@@ -1,0 +1,581 @@
+//! Closed-form counter models for every FCMA kernel variant.
+//!
+//! The paper characterizes its kernels with vTune hardware counters
+//! (memory references, L2 misses, vectorization intensity — Tables 1, 5,
+//! 6, 7, 8). Full-size trace simulation of those workloads would need
+//! ~10¹⁰ simulated line accesses, so the reproduction uses closed-form
+//! access-pattern models derived from each kernel's block structure. The
+//! models are *validated against the trace simulator*
+//! ([`crate::trace`]) on small shapes by property tests; full-size numbers
+//! are then extrapolations of a validated model.
+//!
+//! ## Modeling ground rules
+//!
+//! * **L2 misses** are derived from first principles: compulsory streaming
+//!   traffic of each operand at 64-byte lines, multiplied by the number of
+//!   passes the algorithm's blocking makes over it — which depends on the
+//!   target machine's per-core cache size.
+//! * **Memory references** count retired memory-access instructions: a
+//!   full-width vector load is one reference.
+//! * **Vectorization intensity** of *our* kernels is derived from their
+//!   loop structure (packed panels → full-width lanes). The intensities
+//!   of the closed-source baselines (MKL 3.6 on the Phi, LibSVM 1.9,
+//!   baseline normalization 8.5) are **calibration constants taken from
+//!   the paper's Table 1/8 measurements** — properties of binaries we
+//!   cannot inspect. They live in [`params`] and are flagged as such.
+//!   On the Xeon, MKL is mature and gets a correspondingly higher
+//!   intensity, which is what shrinks the optimization gap in Fig. 10.
+//!
+//! All models are for single precision (4-byte) data and 64-byte lines.
+
+use crate::counters::KernelCounters;
+use crate::machine::MachineConfig;
+
+/// Bytes per element (everything is f32).
+const ELEM: u64 = 4;
+/// Bytes per cache line.
+const LINE: u64 = 64;
+
+/// Calibration and structural constants of the models.
+pub mod params {
+    use crate::machine::MachineConfig;
+
+    /// VI of our packed-panel microkernels: full-width ops by
+    /// construction (the paper measures exactly 16 on the Phi).
+    pub fn vi_opt_matmul(m: &MachineConfig) -> f64 {
+        m.vpu_lanes as f64
+    }
+
+    /// Vectorization intensity of MKL's GEMM/SYRK on tall-skinny shapes.
+    /// **Calibrated**: 3.6 on the Phi (paper Table 1); on the mature AVX
+    /// Xeon port MKL reaches ~80% of the 8-lane ideal.
+    pub fn vi_mkl_matmul(m: &MachineConfig) -> f64 {
+        if m.vpu_lanes >= 16 {
+            3.6
+        } else {
+            0.8 * m.vpu_lanes as f64
+        }
+    }
+
+    /// VI of the baseline normalization. **Calibrated** to Table 1 (8.5 on
+    /// the Phi); proportionally scaled on narrower machines.
+    pub fn vi_norm_baseline(m: &MachineConfig) -> f64 {
+        8.5 * m.vpu_lanes as f64 / 16.0
+    }
+
+    /// VI of the optimized 16-voxel-chunk normalization: full-width SIMD
+    /// with a scalar transcendental tail (derived ≈ 14/16 of ideal).
+    pub fn vi_norm_opt(m: &MachineConfig) -> f64 {
+        14.0 * m.vpu_lanes as f64 / 16.0
+    }
+
+    /// VI of LibSVM's node-walking loops. **Calibrated** to Table 8
+    /// (1.9) — essentially scalar on every machine.
+    pub fn vi_libsvm(_m: &MachineConfig) -> f64 {
+        1.9
+    }
+
+    /// VI of the float-converted LibSVM (dense f32 but un-restructured
+    /// loops; between LibSVM and PhiSVM).
+    pub fn vi_libsvm_opt(m: &MachineConfig) -> f64 {
+        8.0 * m.vpu_lanes as f64 / 16.0
+    }
+
+    /// VI of PhiSVM's fused dense loops. **Calibrated** to Table 8 (9.8 on
+    /// the Phi; the selection scans vectorize imperfectly).
+    pub fn vi_phisvm(m: &MachineConfig) -> f64 {
+        9.8 * m.vpu_lanes as f64 / 16.0
+    }
+
+    /// MKL model: average operand-load instructions per FMA instruction.
+    /// **Calibrated** so the combined face-scene matmul references land
+    /// near Table 1's 34.9 B on the Phi.
+    pub const MKL_LOADS_PER_FMA: f64 = 1.25;
+    /// MKL model: square tile edge of its generic SYRK blocking.
+    /// **Calibrated** against Table 1's 709 M misses.
+    pub const MKL_SYRK_TILE: u64 = 32;
+    /// MKL model: extra streaming passes over B from its packing stage in
+    /// the tall-skinny GEMM (read + packed write + packed read).
+    pub const MKL_PACK_FACTOR: f64 = 2.0;
+
+    /// Microkernel geometry shared by the optimized kernels.
+    pub const MR: u64 = 8;
+    pub const NR: u64 = 16;
+    /// SYRK panel depth (the paper's 96).
+    pub const PANEL_K: u64 = 96;
+}
+
+/// Shape of the stage-1 correlation workload: `m` epoch multiplications of
+/// `A[v,k] × B[k,n]` (paper §5.4.2: 216 × (120×12 · 12×34470)).
+#[derive(Debug, Clone, Copy)]
+pub struct CorrShape {
+    /// Assigned voxels per task.
+    pub v: u64,
+    /// Brain voxels.
+    pub n: u64,
+    /// Epochs.
+    pub m: u64,
+    /// Time points per epoch.
+    pub k: u64,
+}
+
+impl CorrShape {
+    /// Useful floating point work: one FMA per output element per k-step.
+    pub fn flops(&self) -> u64 {
+        2 * self.v * self.n * self.m * self.k
+    }
+
+    /// Output elements (the full correlation data for the task).
+    pub fn out_elems(&self) -> u64 {
+        self.v * self.n * self.m
+    }
+}
+
+/// Shape of the stage-3 kernel-matrix workload: `voxels` independent
+/// `A[m,n]·Aᵀ` products (paper: 120 × (204 × 34470)).
+#[derive(Debug, Clone, Copy)]
+pub struct SyrkShape {
+    /// Samples (epochs in the training set).
+    pub m: u64,
+    /// Features (brain voxels).
+    pub n: u64,
+    /// Independent problems (voxels per task).
+    pub voxels: u64,
+}
+
+impl SyrkShape {
+    /// Triangle-only flops, as the paper counts them (§5.4.2).
+    pub fn flops(&self) -> u64 {
+        self.voxels * (self.m * (self.m + 1) / 2) * self.n * 2
+    }
+}
+
+// --------------------------------------------------------------------
+// Stage 1: correlation matrix computation
+// --------------------------------------------------------------------
+
+/// Optimized tall-skinny correlation kernel (paper §4.2).
+///
+/// Misses: B is streamed once per epoch (compulsory — its values change
+/// every epoch) and C is write-allocated once; the L2-sized column strips
+/// make every other access a hit. References: the packed microkernel
+/// issues, per `MR×NR` tile and k-step, one panel-B vector load plus `MR`
+/// broadcasts, and `MR` stores per tile; packing adds `2·n·k/NR` vector
+/// ops per epoch.
+pub fn corr_optimized(s: &CorrShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let tiles = s.v.div_ceil(MR) * s.n.div_ceil(NR) * s.m;
+    let micro_refs = tiles * (s.k * (1 + MR) + MR);
+    let pack_refs = s.m * 2 * s.n * s.k / NR + s.m * s.v.div_ceil(MR) * 2 * s.k;
+    let mem_refs = micro_refs + pack_refs;
+
+    let b_stream_lines = s.m * (s.k * s.n * ELEM).div_ceil(LINE);
+    let c_write_lines = (s.out_elems() * ELEM).div_ceil(LINE);
+    let a_lines = s.m * (s.v * s.k * ELEM).div_ceil(LINE);
+    let l2_misses = b_stream_lines + c_write_lines + a_lines;
+
+    let flops = s.flops();
+    let vi = vi_opt_matmul(mach);
+    counters(flops, vi, mem_refs, vi, l2_misses)
+}
+
+/// MKL-style per-epoch GEMM (the baseline's stage 1, §3.2).
+///
+/// Same compulsory traffic as the optimized kernel plus the packing
+/// factor's extra passes over B; instruction counts follow the calibrated
+/// `vi_mkl_matmul` / `MKL_LOADS_PER_FMA` model.
+pub fn corr_mkl(s: &CorrShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let flops = s.flops();
+    let vi = vi_mkl_matmul(mach);
+    let fma_instr = (flops as f64 / (2.0 * vi)) as u64;
+    let store_instr = (s.out_elems() as f64 / vi) as u64;
+    let mem_refs = (fma_instr as f64 * MKL_LOADS_PER_FMA) as u64 + store_instr;
+
+    // Packing costs an extra pass over B only when the packed epoch matrix
+    // exceeds the per-core cache (it does on the Phi; on the Xeon the
+    // 12×n slab of a *scaled* problem may fit).
+    let b_bytes_per_epoch = s.k * s.n * ELEM;
+    let pack_factor = if b_bytes_per_epoch > mach.l2_per_core.size_bytes as u64 {
+        MKL_PACK_FACTOR
+    } else {
+        1.0
+    };
+    let b_stream_lines =
+        (s.m as f64 * b_bytes_per_epoch.div_ceil(LINE) as f64 * pack_factor) as u64;
+    let c_write_lines = (s.out_elems() * ELEM).div_ceil(LINE);
+    let l2_misses = b_stream_lines + c_write_lines;
+
+    counters(flops, vi, mem_refs, vi, l2_misses)
+}
+
+// --------------------------------------------------------------------
+// Stage 2: within-subject normalization
+// --------------------------------------------------------------------
+
+/// Normalization shape: the correlation data of one task
+/// (`elems = v·m·n`).
+#[derive(Debug, Clone, Copy)]
+pub struct NormShape {
+    /// Total correlation elements to normalize.
+    pub elems: u64,
+}
+
+impl NormShape {
+    /// Derive from the correlation shape it consumes.
+    pub fn of(corr: &CorrShape) -> Self {
+        NormShape { elems: corr.out_elems() }
+    }
+}
+
+/// Per-element float work of the Fisher transform (polynomial `ln`
+/// expansion on the EMU) plus the two z-score passes.
+const NORM_OPS_PER_ELEM: f64 = 4.0;
+
+/// Memory-reference instructions per element for the three normalization
+/// schedules. **Calibrated** to Tables 1 and 7: the baseline walks
+/// within-subject *columns* (stride `N` — scalar gather-like accesses,
+/// ~7 refs/element → 6.2 B); the separated-but-vectorized version streams
+/// rows twice (~4 refs/element → Table 7's 4.35 B including stage 1); the
+/// merged version touches L2-resident tiles with 16-wide ops
+/// (~1.25 refs/element → Table 7's 1.93 B including stage 1).
+const NORM_REFS_PER_ELEM_BASELINE: f64 = 7.0;
+const NORM_REFS_PER_ELEM_SEPARATED: f64 = 4.0;
+const NORM_REFS_PER_ELEM_MERGED: f64 = 1.25;
+
+/// Normalization fused into the correlation tiles (optimization idea #2):
+/// the data is L2-resident, so the stage adds **zero** L2 misses — only
+/// the transform instructions and in-cache references.
+pub fn norm_merged(s: &NormShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let refs = (s.elems as f64 * NORM_REFS_PER_ELEM_MERGED) as u64;
+    let flops = (s.elems as f64 * NORM_OPS_PER_ELEM) as u64;
+    counters(flops, vi_norm_opt(mach), refs, vi_norm_opt(mach), 0)
+}
+
+/// Separated optimized normalization: two streaming passes over data that
+/// has already left the cache (fused Fisher+stats pass, then the z-apply
+/// pass). Each pass misses every line once.
+pub fn norm_separated(s: &NormShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let refs = (s.elems as f64 * NORM_REFS_PER_ELEM_SEPARATED) as u64;
+    let lines = (s.elems * ELEM).div_ceil(LINE);
+    let flops = (s.elems as f64 * NORM_OPS_PER_ELEM) as u64;
+    counters(flops, vi_norm_opt(mach), refs, vi_norm_opt(mach), 2 * lines)
+}
+
+/// Baseline normalization (Table 1 row 2): three column-strided passes
+/// (Fisher; stats; apply) at the baseline's measured intensity.
+pub fn norm_baseline(s: &NormShape, mach: &MachineConfig) -> KernelCounters {
+    let vi = params::vi_norm_baseline(mach);
+    let refs = (s.elems as f64 * NORM_REFS_PER_ELEM_BASELINE) as u64;
+    let lines = (s.elems * ELEM).div_ceil(LINE);
+    let flops = (s.elems as f64 * NORM_OPS_PER_ELEM) as u64;
+    counters(flops, vi, refs, vi, 3 * lines)
+}
+
+// --------------------------------------------------------------------
+// Stage 3a: SVM kernel-matrix SYRK
+// --------------------------------------------------------------------
+
+/// The paper's panel SYRK (§4.4): A streamed exactly once per voxel
+/// (96-deep panels stay L2-resident while all C tiles consume them).
+pub fn syrk_optimized(s: &SyrkShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let row_tiles = s.m.div_ceil(MR);
+    let col_tiles = s.m.div_ceil(NR);
+    // Lower-triangle tile pairs (j0 <= i0).
+    let mut tile_pairs = 0u64;
+    for it in 0..row_tiles {
+        for jt in 0..col_tiles {
+            if jt * NR <= it * MR {
+                tile_pairs += 1;
+            }
+        }
+    }
+    let panels = s.n.div_ceil(PANEL_K);
+    let micro_refs = s.voxels * panels * tile_pairs * (PANEL_K * (1 + MR) + MR);
+    let pack_refs = s.voxels * panels * 2 * s.m * PANEL_K / NR;
+    let mem_refs = micro_refs + pack_refs;
+
+    let a_lines = (s.m * s.n * ELEM).div_ceil(LINE);
+    let c_lines = (s.m * s.m * ELEM).div_ceil(LINE);
+    let l2_misses = s.voxels * (a_lines + c_lines);
+
+    // The microkernel computes full tiles, slightly more than the
+    // triangle; count the flops it actually performs.
+    let flops = s.voxels * tile_pairs * MR * NR * s.n * 2;
+    let vi = vi_opt_matmul(mach);
+    counters(flops, vi, mem_refs, vi, l2_misses)
+}
+
+/// MKL-style SYRK with generic square blocking: each `T×T` tile of `C`
+/// re-streams two `T × n` slabs of `A`. When the machine's per-core cache
+/// can hold a slab (the Xeon's 2.5 MB often can at scaled sizes), slabs
+/// are re-used across a block row and only `grid` passes remain.
+pub fn syrk_mkl(s: &SyrkShape, mach: &MachineConfig) -> KernelCounters {
+    use params::*;
+    let flops = s.flops();
+    let vi = vi_mkl_matmul(mach);
+    let fma_instr = (flops as f64 / (2.0 * vi)) as u64;
+    let mem_refs = (fma_instr as f64 * MKL_LOADS_PER_FMA) as u64;
+
+    let t = MKL_SYRK_TILE;
+    let grid = s.m.div_ceil(t);
+    let tri_tiles = grid * (grid + 1) / 2;
+    let slab_bytes = t * s.n * ELEM;
+    let slab_lines = slab_bytes.div_ceil(LINE);
+    let slab_fits = slab_bytes * 2 <= mach.l2_per_core.size_bytes as u64;
+    let streams = if slab_fits {
+        // One slab pinned per block row: A streamed ~grid + 1 times total.
+        (grid + 1) * slab_lines
+    } else {
+        tri_tiles * 2 * slab_lines
+    };
+    let l2_misses = s.voxels * streams;
+
+    counters(flops, vi, mem_refs, vi, l2_misses)
+}
+
+// --------------------------------------------------------------------
+// Stage 3b: SVM cross validation
+// --------------------------------------------------------------------
+
+/// Which SVM implementation a counter model describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvmImpl {
+    /// LibSVM replica: f64 sparse nodes, cached Q rows.
+    LibSvm,
+    /// Float-converted LibSVM: dense f32, fixed second-order WSS.
+    OptimizedLibSvm,
+    /// PhiSVM: dense f32, adaptive WSS.
+    PhiSvm,
+}
+
+/// SVM cross-validation workload: `voxels` problems, each running `folds`
+/// solves of `l` training samples taking `iters` SMO iterations in total
+/// (across all folds of one voxel). `iters` should come from *measured*
+/// runs of the real solvers in `fcma-svm` — the algorithmic differences
+/// between the three implementations are real, not modeled.
+#[derive(Debug, Clone, Copy)]
+pub struct SvmShape {
+    /// Training samples per fold.
+    pub l: u64,
+    /// Folds per voxel.
+    pub folds: u64,
+    /// Independent voxel problems.
+    pub voxels: u64,
+    /// Total measured SMO iterations per voxel (sum over folds).
+    pub iters: u64,
+}
+
+/// Counter model for one SVM CV workload.
+///
+/// Per SMO iteration the solver touches ~4 length-`l` arrays (selection
+/// scan over gradient/alpha, two kernel rows for the update); LibSVM's
+/// node representation doubles the bytes per element (index+value, f64)
+/// and serializes the loops, reflected in its calibrated intensity and a
+/// per-element instruction overhead for node decoding.
+pub fn svm_cv(impl_: SvmImpl, s: &SvmShape, mach: &MachineConfig) -> KernelCounters {
+    let elems_per_iter = 6 * s.l; // selection (2l) + two row updates (2·2l)
+    let total_elems = s.voxels * s.iters * elems_per_iter;
+    let (vi, node_overhead, bytes_per_elem) = match impl_ {
+        // (i32 idx + f64 value) nodes; ~2 extra instructions per element
+        // for node decode/convert.
+        SvmImpl::LibSvm => (params::vi_libsvm(mach), 2.0f64, 12u64),
+        SvmImpl::OptimizedLibSvm => (params::vi_libsvm_opt(mach), 0.3, 4),
+        SvmImpl::PhiSvm => (params::vi_phisvm(mach), 0.0, 4),
+    };
+    let mem_refs = (total_elems as f64 / vi) as u64;
+    let flops = s.voxels * s.iters * 4 * s.l; // two FMA streams per iter
+    let extra_instr = (total_elems as f64 * node_overhead) as u64;
+    // Working set per fold: the sub-kernel block + vectors; compulsory
+    // misses only when the block exceeds the per-core cache.
+    let fold_bytes = s.l * s.l * bytes_per_elem;
+    let fold_lines = fold_bytes.div_ceil(LINE);
+    let resident = fold_bytes <= mach.l2_per_core.size_bytes as u64;
+    let l2_misses = if resident {
+        s.voxels * s.folds * fold_lines // one cold pass per fold
+    } else {
+        s.voxels * s.folds * fold_lines * 4 // re-streamed during iterations
+    };
+    let mut c = counters(flops, vi, mem_refs, vi, l2_misses);
+    c.vpu_instructions += extra_instr;
+    // The decode overhead is part of the same measured binary whose
+    // aggregate intensity `vi` is calibrated, so it carries `vi`
+    // elements per instruction on average.
+    c.vector_elements += (extra_instr as f64 * vi) as u64;
+    c
+}
+
+// --------------------------------------------------------------------
+// helpers
+// --------------------------------------------------------------------
+
+/// Assemble a counter bundle for a kernel whose FMA stream runs at
+/// intensity `vi_fma` and whose `mem_refs` memory instructions move
+/// `vi_mem` elements each.
+fn counters(flops: u64, vi_fma: f64, mem_refs: u64, vi_mem: f64, l2_misses: u64) -> KernelCounters {
+    let fma_instr = (flops as f64 / (2.0 * vi_fma)) as u64;
+    KernelCounters {
+        mem_refs,
+        l2_misses,
+        flops,
+        vpu_instructions: fma_instr + mem_refs,
+        vector_elements: (fma_instr as f64 * vi_fma) as u64 + (mem_refs as f64 * vi_mem) as u64,
+    }
+}
+
+/// The paper's face-scene single-task shapes (§3.3, §5.4).
+pub mod face_scene_task {
+    use super::*;
+
+    /// Stage-1 shape: 216 epochs of `120×12 · 12×34470`.
+    pub fn corr() -> CorrShape {
+        CorrShape { v: 120, n: 34_470, m: 216, k: 12 }
+    }
+
+    /// Stage-3a shape: 120 voxels of `204×34470 · (·)ᵀ`.
+    pub fn syrk() -> SyrkShape {
+        SyrkShape { m: 204, n: 34_470, voxels: 120 }
+    }
+
+    /// Stage-2 shape.
+    pub fn norm() -> NormShape {
+        NormShape::of(&corr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::phi_5110p;
+
+    /// Table 5: the paper counts 21.443 B flops for the correlation stage.
+    #[test]
+    fn corr_flops_match_paper() {
+        let f = face_scene_task::corr().flops();
+        assert!((f as f64 - 21.443e9).abs() / 21.443e9 < 0.01, "flops {f}");
+    }
+
+    /// Table 5: 172.14 B flops for the SVM kernel stage (triangle only).
+    #[test]
+    fn syrk_flops_match_paper() {
+        let f = face_scene_task::syrk().flops();
+        assert!((f as f64 - 172.14e9).abs() / 172.14e9 < 0.01, "flops {f}");
+    }
+
+    /// Table 6: our matmul (corr + syrk) ≈ 9.97 B refs, 121.8 M misses,
+    /// VI 16. The model must land in the same regime.
+    #[test]
+    fn optimized_matmul_counters_match_table6_regime() {
+        let m = phi_5110p();
+        let c = corr_optimized(&face_scene_task::corr(), &m)
+            + syrk_optimized(&face_scene_task::syrk(), &m);
+        let refs = c.mem_refs as f64;
+        assert!((6e9..16e9).contains(&refs), "refs {refs:e}");
+        let misses = c.l2_misses as f64;
+        assert!((9e7..1.6e8).contains(&misses), "misses {misses:e}");
+        assert!(c.vector_intensity() > 14.0, "VI {}", c.vector_intensity());
+    }
+
+    /// Table 6: MKL ≈ 34.9 B refs, 708.9 M misses, VI 3.6.
+    #[test]
+    fn mkl_matmul_counters_match_table6_regime() {
+        let m = phi_5110p();
+        let c = corr_mkl(&face_scene_task::corr(), &m) + syrk_mkl(&face_scene_task::syrk(), &m);
+        let refs = c.mem_refs as f64;
+        assert!((2.2e10..5e10).contains(&refs), "refs {refs:e}");
+        let misses = c.l2_misses as f64;
+        assert!((3.5e8..1.1e9).contains(&misses), "misses {misses:e}");
+        assert!((3.0..4.5).contains(&c.vector_intensity()), "VI {}", c.vector_intensity());
+    }
+
+    /// The optimized/MKL ratios the paper emphasizes: ~3.5x fewer refs,
+    /// ~5.8x fewer misses.
+    #[test]
+    fn optimized_vs_mkl_ratios() {
+        let m = phi_5110p();
+        let opt = corr_optimized(&face_scene_task::corr(), &m)
+            + syrk_optimized(&face_scene_task::syrk(), &m);
+        let mkl = corr_mkl(&face_scene_task::corr(), &m) + syrk_mkl(&face_scene_task::syrk(), &m);
+        let ref_ratio = mkl.mem_refs as f64 / opt.mem_refs as f64;
+        let miss_ratio = mkl.l2_misses as f64 / opt.l2_misses as f64;
+        assert!((2.0..6.0).contains(&ref_ratio), "ref ratio {ref_ratio}");
+        assert!((3.0..9.0).contains(&miss_ratio), "miss ratio {miss_ratio}");
+    }
+
+    /// Table 7: merged ≈ 1.93 B refs / 67.5 M misses; separated ≈ 4.35 B /
+    /// 188.1 M (rows include stage 1). Check ratios.
+    #[test]
+    fn merged_vs_separated_matches_table7_shape() {
+        let m = phi_5110p();
+        let corr = corr_optimized(&face_scene_task::corr(), &m);
+        let merged = corr + norm_merged(&face_scene_task::norm(), &m);
+        let separated = corr + norm_separated(&face_scene_task::norm(), &m);
+        assert!(merged.mem_refs < separated.mem_refs);
+        let miss_ratio = separated.l2_misses as f64 / merged.l2_misses as f64;
+        // Paper: 188.1/67.5 = 2.79.
+        assert!((1.8..4.0).contains(&miss_ratio), "miss ratio {miss_ratio}");
+    }
+
+    /// Table 1 row 2: baseline normalization ≈ 6.2 B refs, 179 M misses.
+    #[test]
+    fn baseline_norm_matches_table1_regime() {
+        let m = phi_5110p();
+        let c = norm_baseline(&face_scene_task::norm(), &m);
+        assert!((4e9..9e9).contains(&(c.mem_refs as f64)), "refs {:e}", c.mem_refs as f64);
+        assert!(
+            (1.2e8..2.5e8).contains(&(c.l2_misses as f64)),
+            "misses {:e}",
+            c.l2_misses as f64
+        );
+        assert!((c.vector_intensity() - 8.5).abs() < 1.0);
+    }
+
+    /// SVM models: LibSVM must have far more references per unit work and
+    /// far lower intensity than PhiSVM.
+    #[test]
+    fn svm_model_orderings() {
+        let m = phi_5110p();
+        let s = SvmShape { l: 192, folds: 17, voxels: 120, iters: 5000 };
+        let lib = svm_cv(SvmImpl::LibSvm, &s, &m);
+        let opt = svm_cv(SvmImpl::OptimizedLibSvm, &s, &m);
+        let phi = svm_cv(SvmImpl::PhiSvm, &s, &m);
+        assert!(lib.mem_refs > opt.mem_refs);
+        assert!(opt.mem_refs >= phi.mem_refs);
+        assert!(lib.vector_intensity() < 3.0, "lib VI {}", lib.vector_intensity());
+        assert!(phi.vector_intensity() > 9.0, "phi VI {}", phi.vector_intensity());
+        assert!(lib.vpu_instructions > 3 * phi.vpu_instructions);
+    }
+
+    #[test]
+    fn counters_scale_linearly_in_voxels() {
+        let m = phi_5110p();
+        let s1 = SyrkShape { m: 52, n: 700, voxels: 1 };
+        let s4 = SyrkShape { m: 52, n: 700, voxels: 4 };
+        let c1 = syrk_optimized(&s1, &m);
+        let c4 = syrk_optimized(&s4, &m);
+        assert_eq!(c4.l2_misses, 4 * c1.l2_misses);
+        assert_eq!(c4.flops, 4 * c1.flops);
+    }
+
+    /// On a machine with big per-core caches (the Xeon), MKL's SYRK miss
+    /// count must collapse toward compulsory — the §5.5 effect.
+    #[test]
+    fn mkl_misses_shrink_on_big_caches() {
+        let phi = phi_5110p();
+        let xeon = crate::machine::xeon_e5_2670();
+        // Scaled problem where a 32-row slab fits the Xeon LLC share but
+        // not the Phi L2.
+        let s = SyrkShape { m: 204, n: 8000, voxels: 1 };
+        let on_phi = syrk_mkl(&s, &phi);
+        let on_xeon = syrk_mkl(&s, &xeon);
+        assert!(
+            on_xeon.l2_misses < on_phi.l2_misses,
+            "xeon {} !< phi {}",
+            on_xeon.l2_misses,
+            on_phi.l2_misses
+        );
+    }
+}

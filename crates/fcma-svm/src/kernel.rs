@@ -1,0 +1,177 @@
+//! Linear-kernel (Gram) matrix precomputation.
+//!
+//! FCMA's stage 3 trains one linear SVM per voxel over that voxel's
+//! correlation vectors. Because the feature dimension (`N` ≈ 35,000
+//! brain voxels) dwarfs the sample count (`M` ≈ a few hundred epochs),
+//! the paper precomputes the entire `M × M` kernel matrix
+//! `K = X · Xᵀ` once per voxel with a symmetric rank-k update (§3.2),
+//! then runs every cross-validation fold against sub-blocks of it. The
+//! precompute also collapses a ~60 MB data matrix into a ~160 KB kernel —
+//! the memory reduction that lets a coprocessor hold 240 voxels' problems
+//! at once (§4.4).
+
+use fcma_linalg::{syrk_dot, syrk_panel, Mat};
+
+/// A precomputed symmetric positive semidefinite Gram matrix over `M`
+/// samples.
+#[derive(Debug, Clone)]
+pub struct KernelMatrix {
+    k: Mat,
+}
+
+impl KernelMatrix {
+    /// Precompute `K = X · Xᵀ` from an `M × N` sample-by-feature matrix
+    /// using the paper's optimized panel SYRK.
+    pub fn precompute(data: &Mat) -> Self {
+        Self::precompute_raw(data.rows(), data.cols(), data.as_slice())
+    }
+
+    /// Precompute via the generic library-style SYRK (baseline path).
+    pub fn precompute_baseline(data: &Mat) -> Self {
+        Self::precompute_baseline_raw(data.rows(), data.cols(), data.as_slice())
+    }
+
+    /// [`Self::precompute`] over a raw row-major `m × n` slice (avoids a
+    /// copy when the data lives inside a larger buffer, as FCMA's
+    /// per-voxel correlation matrices do).
+    pub fn precompute_raw(m: usize, n: usize, data: &[f32]) -> Self {
+        let mut k = Mat::zeros(m, m);
+        syrk_panel(m, n, data, n, k.as_mut_slice(), m);
+        KernelMatrix { k }
+    }
+
+    /// [`Self::precompute_baseline`] over a raw row-major slice.
+    pub fn precompute_baseline_raw(m: usize, n: usize, data: &[f32]) -> Self {
+        let mut k = Mat::zeros(m, m);
+        syrk_dot(m, n, data, n, k.as_mut_slice(), m);
+        KernelMatrix { k }
+    }
+
+    /// Wrap an existing symmetric matrix as a kernel.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or departs from symmetry by more
+    /// than a small tolerance.
+    pub fn from_mat(k: Mat) -> Self {
+        assert_eq!(k.rows(), k.cols(), "KernelMatrix: not square");
+        for i in 0..k.rows() {
+            for j in 0..i {
+                let d = (k.get(i, j) - k.get(j, i)).abs();
+                let scale = k.get(i, i).abs().max(k.get(j, j).abs()).max(1.0);
+                assert!(
+                    d <= 1e-3 * scale,
+                    "KernelMatrix: asymmetric at ({i},{j}): {} vs {}",
+                    k.get(i, j),
+                    k.get(j, i)
+                );
+            }
+        }
+        KernelMatrix { k }
+    }
+
+    /// Number of samples `M`.
+    pub fn n(&self) -> usize {
+        self.k.rows()
+    }
+
+    /// Full kernel row for sample `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        self.k.row(i)
+    }
+
+    /// Diagonal entry `K[i, i]`.
+    #[inline]
+    pub fn diag(&self, i: usize) -> f32 {
+        self.k.get(i, i)
+    }
+
+    /// Extract the dense sub-kernel over `idx × idx` (one CV fold's
+    /// training block). Contiguous output keeps the SMO hot loops
+    /// vectorizable.
+    pub fn sub_kernel(&self, idx: &[usize]) -> Mat {
+        let l = idx.len();
+        let mut out = Mat::zeros(l, l);
+        for (a, &ia) in idx.iter().enumerate() {
+            let src = self.k.row(ia);
+            let dst = out.row_mut(a);
+            for (b, &ib) in idx.iter().enumerate() {
+                dst[b] = src[ib];
+            }
+        }
+        out
+    }
+
+    /// Underlying matrix (for inspection / serialization).
+    pub fn as_mat(&self) -> &Mat {
+        &self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Mat {
+        Mat::from_fn(6, 40, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.21 - 1.2)
+    }
+
+    #[test]
+    fn precompute_matches_baseline() {
+        let x = samples();
+        let a = KernelMatrix::precompute(&x);
+        let b = KernelMatrix::precompute_baseline(&x);
+        assert!(a.as_mat().max_abs_diff(b.as_mat()) < 1e-3);
+    }
+
+    #[test]
+    fn kernel_is_gram_matrix() {
+        let x = samples();
+        let k = KernelMatrix::precompute(&x);
+        for i in 0..x.rows() {
+            for j in 0..x.rows() {
+                let want = fcma_linalg::dot(x.row(i), x.row(j));
+                assert!((k.row(i)[j] - want).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_is_squared_norm() {
+        let x = samples();
+        let k = KernelMatrix::precompute(&x);
+        for i in 0..x.rows() {
+            let want: f32 = x.row(i).iter().map(|v| v * v).sum();
+            assert!((k.diag(i) - want).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sub_kernel_selects_rows_and_cols() {
+        let x = samples();
+        let k = KernelMatrix::precompute(&x);
+        let idx = [4usize, 0, 2];
+        let s = k.sub_kernel(&idx);
+        assert_eq!(s.rows(), 3);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(s.get(a, b), k.row(idx[a])[idx[b]]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not square")]
+    fn from_mat_rejects_rectangular() {
+        let _ = KernelMatrix::from_mat(Mat::zeros(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "asymmetric")]
+    fn from_mat_rejects_asymmetric() {
+        let mut m = Mat::zeros(2, 2);
+        m.set(0, 1, 1.0);
+        m.set(1, 0, -1.0);
+        let _ = KernelMatrix::from_mat(m);
+    }
+}

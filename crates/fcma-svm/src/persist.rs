@@ -1,0 +1,200 @@
+//! Model persistence: save and load trained SVM models.
+//!
+//! A closed-loop session trains a feedback classifier once and reuses it
+//! across the scan; persisting the model lets a session resume after an
+//! interruption and lets offline-selected models ship to the real-time
+//! rig. The format is a little-endian binary container, versioned and
+//! self-describing enough to fail loudly on corruption.
+
+use crate::model::{SvmModel, WssStats};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"FCMASVM1";
+
+/// Persistence errors.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic / truncated / inconsistent container.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Corrupt(m) => write!(f, "corrupt model file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Serialize a model to a writer.
+pub fn save_model<W: Write>(w: &mut W, model: &SvmModel) -> Result<(), PersistError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(model.train_idx.len() as u64).to_le_bytes())?;
+    for &i in &model.train_idx {
+        w.write_all(&(i as u64).to_le_bytes())?;
+    }
+    for &a in &model.alpha_y {
+        w.write_all(&a.to_le_bytes())?;
+    }
+    w.write_all(&model.rho.to_le_bytes())?;
+    w.write_all(&model.objective.to_le_bytes())?;
+    w.write_all(&(model.iterations as u64).to_le_bytes())?;
+    w.write_all(&(model.wss.first_order_iters as u64).to_le_bytes())?;
+    w.write_all(&(model.wss.second_order_iters as u64).to_le_bytes())?;
+    Ok(())
+}
+
+/// Deserialize a model from a reader.
+pub fn load_model<R: Read>(r: &mut R) -> Result<SvmModel, PersistError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|_| PersistError::Corrupt("shorter than header".into()))?;
+    if &magic != MAGIC {
+        return Err(PersistError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let l = read_u64(r)? as usize;
+    if l > (1 << 24) {
+        return Err(PersistError::Corrupt(format!("implausible sample count {l}")));
+    }
+    let mut train_idx = Vec::with_capacity(l);
+    for _ in 0..l {
+        train_idx.push(read_u64(r)? as usize);
+    }
+    let mut alpha_y = Vec::with_capacity(l);
+    for _ in 0..l {
+        alpha_y.push(read_f32(r)?);
+    }
+    let rho = read_f32(r)?;
+    let objective = read_f64(r)?;
+    let iterations = read_u64(r)? as usize;
+    let wss = WssStats {
+        first_order_iters: read_u64(r)? as usize,
+        second_order_iters: read_u64(r)? as usize,
+    };
+    if !alpha_y.iter().all(|a| a.is_finite()) || !rho.is_finite() {
+        return Err(PersistError::Corrupt("non-finite model parameters".into()));
+    }
+    Ok(SvmModel { train_idx, alpha_y, rho, objective, iterations, wss })
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|_| PersistError::Corrupt("truncated".into()))?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> Result<f32, PersistError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b).map_err(|_| PersistError::Corrupt("truncated".into()))?;
+    Ok(f32::from_le_bytes(b))
+}
+
+fn read_f64<R: Read>(r: &mut R) -> Result<f64, PersistError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b).map_err(|_| PersistError::Corrupt("truncated".into()))?;
+    Ok(f64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelMatrix;
+    use crate::phisvm::train_phisvm;
+    use crate::smo::SmoParams;
+    use fcma_linalg::Mat;
+    use std::io::Cursor;
+
+    fn trained_model() -> (SvmModel, KernelMatrix) {
+        let xs: Vec<(f32, f32)> = (0..12)
+            .map(|i| {
+                let t = i as f32 * 0.8;
+                (t.sin() * 0.4 + if i % 2 == 0 { 1.2 } else { -1.2 }, t.cos())
+            })
+            .collect();
+        let y: Vec<f32> = (0..12).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let k = KernelMatrix::from_mat(Mat::from_fn(12, 12, |r, c| {
+            xs[r].0 * xs[c].0 + xs[r].1 * xs[c].1
+        }));
+        let idx: Vec<usize> = (0..12).collect();
+        let m = train_phisvm(&k, &idx, &y, &SmoParams::default());
+        (m, k)
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let (m, k) = trained_model();
+        let mut buf = Vec::new();
+        save_model(&mut buf, &m).unwrap();
+        let loaded = load_model(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.train_idx, m.train_idx);
+        assert_eq!(loaded.alpha_y, m.alpha_y);
+        assert_eq!(loaded.rho, m.rho);
+        assert_eq!(loaded.objective, m.objective);
+        assert_eq!(loaded.iterations, m.iterations);
+        assert_eq!(loaded.wss, m.wss);
+        // Decisions identical.
+        for t in 0..12 {
+            assert_eq!(loaded.decision(&k, t), m.decision(&k, t));
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (m, _) = trained_model();
+        let mut buf = Vec::new();
+        save_model(&mut buf, &m).unwrap();
+        buf[0] ^= 0xFF;
+        assert!(matches!(
+            load_model(&mut Cursor::new(buf)),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let (m, _) = trained_model();
+        let mut buf = Vec::new();
+        save_model(&mut buf, &m).unwrap();
+        for cut in [4usize, 9, 20, buf.len() - 3] {
+            let truncated = buf[..cut].to_vec();
+            assert!(
+                load_model(&mut Cursor::new(truncated)).is_err(),
+                "cut at {cut} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_nonfinite_parameters() {
+        let (mut m, _) = trained_model();
+        m.rho = f32::NAN;
+        let mut buf = Vec::new();
+        save_model(&mut buf, &m).unwrap();
+        assert!(matches!(
+            load_model(&mut Cursor::new(buf)),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_absurd_sample_count() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load_model(&mut Cursor::new(buf)),
+            Err(PersistError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! Platt scaling: calibrated class probabilities from SVM decision
+//! values.
+//!
+//! Closed-loop neurofeedback (the paper's target application) shows the
+//! subject a *graded* signal, not a binary label, so the feedback
+//! classifier needs `P(condition A | epoch)` rather than `sign(f)`. Platt
+//! scaling fits a sigmoid `P(y=1|f) = 1 / (1 + exp(A·f + B))` to
+//! (decision value, label) pairs by regularized maximum likelihood —
+//! the same `-b` probability machinery LibSVM ships. The fit uses the
+//! Lin–Weng–Keerthi Newton iteration with backtracking, the numerically
+//! robust formulation from LibSVM's `sigmoid_train`.
+
+/// A fitted sigmoid calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaling {
+    /// Slope (negative for a well-oriented classifier: larger decision
+    /// values → higher probability of the positive class).
+    pub a: f64,
+    /// Offset.
+    pub b: f64,
+}
+
+impl PlattScaling {
+    /// Fit to decision values `f` and targets `y` (±1).
+    ///
+    /// # Panics
+    /// Panics on length mismatch, empty input, or single-class input.
+    pub fn fit(decisions: &[f64], y: &[f32]) -> Self {
+        assert_eq!(decisions.len(), y.len(), "platt: length mismatch");
+        assert!(!decisions.is_empty(), "platt: empty input");
+        let prior1 = y.iter().filter(|&&v| v > 0.0).count() as f64;
+        let prior0 = y.len() as f64 - prior1;
+        assert!(prior0 > 0.0 && prior1 > 0.0, "platt: need both classes");
+
+        // Soft targets with the Bayesian +1/+2 correction (Platt 1999).
+        let hi = (prior1 + 1.0) / (prior1 + 2.0);
+        let lo = 1.0 / (prior0 + 2.0);
+        let t: Vec<f64> =
+            y.iter().map(|&v| if v > 0.0 { hi } else { lo }).collect();
+
+        // Newton's method with backtracking on the regularized NLL.
+        let mut a = 0.0f64;
+        let mut b = ((prior0 + 1.0) / (prior1 + 1.0)).ln();
+        let min_step = 1e-10;
+        let sigma = 1e-12; // Hessian regularizer
+        let mut fval = nll(decisions, &t, a, b);
+        for _ in 0..100 {
+            // Gradient and Hessian.
+            let (mut h11, mut h22, mut h21) = (sigma, sigma, 0.0f64);
+            let (mut g1, mut g2) = (0.0f64, 0.0f64);
+            for (&f, &ti) in decisions.iter().zip(&t) {
+                let fab = f * a + b;
+                let (p, q) = pq(fab);
+                let d2 = p * q;
+                h11 += f * f * d2;
+                h22 += d2;
+                h21 += f * d2;
+                let d1 = ti - p;
+                g1 += f * d1;
+                g2 += d1;
+            }
+            if g1.abs() < 1e-5 && g2.abs() < 1e-5 {
+                break;
+            }
+            // Newton direction (2x2 solve).
+            let det = h11 * h22 - h21 * h21;
+            let da = -(h22 * g1 - h21 * g2) / det;
+            let db = -(-h21 * g1 + h11 * g2) / det;
+            let gd = g1 * da + g2 * db;
+            // Backtracking line search.
+            let mut step = 1.0f64;
+            let mut advanced = false;
+            while step >= min_step {
+                let new_a = a + step * da;
+                let new_b = b + step * db;
+                let new_f = nll(decisions, &t, new_a, new_b);
+                if new_f < fval + 1e-4 * step * gd {
+                    a = new_a;
+                    b = new_b;
+                    fval = new_f;
+                    advanced = true;
+                    break;
+                }
+                step *= 0.5;
+            }
+            if !advanced {
+                break;
+            }
+        }
+        PlattScaling { a, b }
+    }
+
+    /// Calibrated probability of the positive class for decision `f`.
+    pub fn probability(&self, f: f64) -> f64 {
+        let fab = f * self.a + self.b;
+        // 1/(1+exp(fab)), computed stably on both sides.
+        if fab >= 0.0 {
+            (-fab).exp() / (1.0 + (-fab).exp())
+        } else {
+            1.0 / (1.0 + fab.exp())
+        }
+    }
+}
+
+/// Stable (p, 1−p) of the sigmoid at `fab`.
+fn pq(fab: f64) -> (f64, f64) {
+    if fab >= 0.0 {
+        let e = (-fab).exp();
+        (e / (1.0 + e), 1.0 / (1.0 + e))
+    } else {
+        let e = fab.exp();
+        (1.0 / (1.0 + e), e / (1.0 + e))
+    }
+}
+
+/// Regularized negative log-likelihood of the sigmoid fit.
+fn nll(decisions: &[f64], t: &[f64], a: f64, b: f64) -> f64 {
+    let mut s = 0.0f64;
+    for (&f, &ti) in decisions.iter().zip(t) {
+        let fab = f * a + b;
+        // t·fab + log(1 + exp(−fab)), stable form.
+        s += if fab >= 0.0 {
+            ti * fab + (1.0 + (-fab).exp()).ln()
+        } else {
+            (ti - 1.0) * fab + (1.0 + fab.exp()).ln()
+        };
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_separated() -> (Vec<f64>, Vec<f32>) {
+        let decisions: Vec<f64> =
+            vec![-2.5, -1.8, -1.2, -0.7, -0.2, 0.3, 0.8, 1.4, 1.9, 2.6];
+        let y: Vec<f32> =
+            vec![-1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        (decisions, y)
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_decision() {
+        let (d, y) = well_separated();
+        let p = PlattScaling::fit(&d, &y);
+        let mut last = -1.0;
+        for f in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            let prob = p.probability(f);
+            assert!((0.0..=1.0).contains(&prob));
+            assert!(prob > last, "non-monotone at f={f}: {prob} <= {last}");
+            last = prob;
+        }
+    }
+
+    #[test]
+    fn separated_data_gets_confident_probabilities() {
+        let (d, y) = well_separated();
+        let p = PlattScaling::fit(&d, &y);
+        assert!(p.probability(2.6) > 0.8, "p(+2.6) = {}", p.probability(2.6));
+        assert!(p.probability(-2.5) < 0.2, "p(-2.5) = {}", p.probability(-2.5));
+        // The decision boundary sits near p = 0.5.
+        let mid = p.probability(0.05);
+        assert!((0.25..0.75).contains(&mid), "boundary probability {mid}");
+    }
+
+    #[test]
+    fn noisy_data_gets_soft_probabilities() {
+        // Labels uncorrelated with decisions: the fitted slope should be
+        // near zero and all probabilities near the class prior.
+        let d: Vec<f64> = (0..40).map(|i| ((i * 37) % 17) as f64 / 8.0 - 1.0).collect();
+        let y: Vec<f32> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let p = PlattScaling::fit(&d, &y);
+        for f in [-1.0, 0.0, 1.0] {
+            let prob = p.probability(f);
+            assert!((0.3..0.7).contains(&prob), "uninformative fit gave p({f}) = {prob}");
+        }
+    }
+
+    #[test]
+    fn fit_is_shift_equivariant() {
+        // Shifting all decisions by c shifts B but preserves predictions.
+        let (d, y) = well_separated();
+        let p1 = PlattScaling::fit(&d, &y);
+        let shifted: Vec<f64> = d.iter().map(|v| v + 5.0).collect();
+        let p2 = PlattScaling::fit(&shifted, &y);
+        for (a, b) in d.iter().zip(&shifted) {
+            let q1 = p1.probability(*a);
+            let q2 = p2.probability(*b);
+            assert!((q1 - q2).abs() < 5e-2, "{q1} vs {q2}");
+        }
+    }
+
+    #[test]
+    fn probability_is_numerically_stable_at_extremes() {
+        let (d, y) = well_separated();
+        let p = PlattScaling::fit(&d, &y);
+        assert!(p.probability(1e6).is_finite());
+        assert!(p.probability(-1e6).is_finite());
+        assert!(p.probability(1e6) > 0.99);
+        assert!(p.probability(-1e6) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "both classes")]
+    fn rejects_single_class() {
+        let _ = PlattScaling::fit(&[0.1, 0.2], &[1.0, 1.0]);
+    }
+}

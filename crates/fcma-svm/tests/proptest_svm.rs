@@ -1,0 +1,188 @@
+//! Property-based tests for the SVM solvers: optimizer invariants (KKT,
+//! feasibility), cross-solver agreement, and prediction invariances.
+
+use fcma_linalg::Mat;
+use fcma_svm::reference::{train_precomputed, LibSvmParams};
+use fcma_svm::smo::{solve, SmoParams, WssMode};
+use fcma_svm::KernelMatrix;
+use proptest::prelude::*;
+
+/// Random linearly-structured 2-D problem: points around ±(1,0) with
+/// class-dependent offset and noise; labels alternate.
+fn problem_strategy() -> impl Strategy<Value = (Vec<(f32, f32)>, Vec<f32>)> {
+    (4usize..24, 0.0f32..1.5, any::<u64>()).prop_map(|(l, noise, seed)| {
+        let l = l * 2; // even, both classes
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut pts = Vec::with_capacity(l);
+        let mut y = Vec::with_capacity(l);
+        for i in 0..l {
+            let side = if i % 2 == 0 { 1.0f32 } else { -1.0 };
+            pts.push((side * 1.0 + noise * next(), noise * next()));
+            y.push(side);
+        }
+        (pts, y)
+    })
+}
+
+fn kernel_of(pts: &[(f32, f32)]) -> Mat {
+    Mat::from_fn(pts.len(), pts.len(), |r, c| {
+        pts[r].0 * pts[c].0 + pts[r].1 * pts[c].1 + 1.0
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Dual feasibility: 0 ≤ α ≤ C and yᵀα = 0 at every returned solution.
+    #[test]
+    fn solution_is_always_feasible((pts, y) in problem_strategy(), c in 0.1f32..10.0) {
+        let k = kernel_of(&pts);
+        let r = solve(&k, &y, &SmoParams { c, ..Default::default() });
+        let mut ydota = 0.0f64;
+        for (a, yy) in r.alpha.iter().zip(&y) {
+            prop_assert!((-1e-6..=c as f64 + 1e-5).contains(&(*a as f64)), "alpha {a}");
+            ydota += *a as f64 * *yy as f64;
+        }
+        prop_assert!(ydota.abs() < 1e-3, "yᵀα = {ydota}");
+    }
+
+    /// The dual objective at the solution is ≤ 0 (α = 0 is feasible with
+    /// objective 0, and the solver minimizes).
+    #[test]
+    fn objective_never_positive((pts, y) in problem_strategy()) {
+        let k = kernel_of(&pts);
+        let r = solve(&k, &y, &SmoParams::default());
+        prop_assert!(r.objective <= 1e-9, "objective {}", r.objective);
+    }
+
+    /// All three working-set heuristics land near the same optimum. The
+    /// band is loose for first-order: in f32 its maximal-violating-pair
+    /// steps can crawl near the optimum and the numeric stall guard stops
+    /// it a few percent short — the very weakness second-order/adaptive
+    /// selection exists to fix.
+    #[test]
+    fn wss_modes_agree_on_objective((pts, y) in problem_strategy()) {
+        let k = kernel_of(&pts);
+        let p = SmoParams { eps: 1e-4, ..Default::default() };
+        let o1 = solve(&k, &y, &SmoParams { wss: WssMode::FirstOrder, ..p }).objective;
+        let o2 = solve(&k, &y, &SmoParams { wss: WssMode::SecondOrder, ..p }).objective;
+        let oa = solve(&k, &y, &SmoParams { wss: WssMode::Adaptive, ..p }).objective;
+        let loose = 0.12 * o2.abs().max(1e-2);
+        prop_assert!((o1 - o2).abs() < loose, "first {o1} vs second {o2}");
+        prop_assert!((oa - o2).abs() < loose, "adaptive {oa} vs second {o2}");
+        // Neither alternative may report a *better* (lower) objective than
+        // second-order by more than numeric noise — they solve the same
+        // dual, so a large advantage would signal a bookkeeping bug.
+        prop_assert!(o1 >= o2 - 1e-2 * o2.abs().max(1e-2));
+        prop_assert!(oa >= o2 - 1e-2 * o2.abs().max(1e-2));
+    }
+
+    /// The f64 LibSVM replica and the f32 dense solver agree.
+    #[test]
+    fn replica_agrees_with_dense_solver((pts, y) in problem_strategy()) {
+        let k = KernelMatrix::from_mat(kernel_of(&pts));
+        let idx: Vec<usize> = (0..y.len()).collect();
+        let r_ref = train_precomputed(&k, &idx, &y, &LibSvmParams::default());
+        let r_opt = solve(
+            &k.sub_kernel(&idx),
+            &y,
+            &SmoParams { wss: WssMode::SecondOrder, ..Default::default() },
+        );
+        let tol = 6e-2 * r_ref.objective.abs().max(1e-2);
+        prop_assert!(
+            (r_ref.objective - r_opt.objective).abs() < tol,
+            "replica {} vs dense {}",
+            r_ref.objective,
+            r_opt.objective
+        );
+    }
+
+    /// Label flip symmetry: negating all targets negates rho and preserves
+    /// alphas (the dual is symmetric under y → −y).
+    #[test]
+    fn label_flip_symmetry((pts, y) in problem_strategy()) {
+        let k = kernel_of(&pts);
+        let p = SmoParams { wss: WssMode::SecondOrder, ..Default::default() };
+        let r1 = solve(&k, &y, &p);
+        let y_neg: Vec<f32> = y.iter().map(|v| -v).collect();
+        let r2 = solve(&k, &y_neg, &p);
+        prop_assert!((r1.objective - r2.objective).abs() < 5e-2 * r1.objective.abs().max(1e-2));
+        // rho is only determined up to the free-SV bracket on degenerate
+        // problems; allow a loose symmetric band.
+        prop_assert!((r1.rho + r2.rho).abs() < 0.35, "rho {} vs {}", r1.rho, r2.rho);
+    }
+
+    /// Kernel scaling: K → s·K with C → C (linear kernel scaling) keeps
+    /// s·α constant-ish at the optimum in the interior regime: verify via
+    /// invariance of the *decision signs* instead, which must be stable.
+    #[test]
+    fn kernel_scaling_preserves_separability(
+        (pts, y) in problem_strategy(),
+        scale in 0.5f32..8.0,
+    ) {
+        let k1 = kernel_of(&pts);
+        let k2 = Mat::from_fn(k1.rows(), k1.cols(), |r, c| k1.get(r, c) * scale);
+        // C scaled inversely keeps the solution proportional.
+        let r1 = solve(&k1, &y, &SmoParams { c: 1.0, ..Default::default() });
+        let r2 = solve(&k2, &y, &SmoParams { c: 1.0 / scale, ..Default::default() });
+        // Training-set decision signs must match between the two.
+        let decide = |k: &Mat, r: &fcma_svm::smo::SolveResult, t: usize| -> f32 {
+            let mut s = 0.0;
+            for (i, (&a, &yy)) in r.alpha.iter().zip(&y).enumerate() {
+                s += a * yy * k.get(i, t);
+            }
+            s - r.rho
+        };
+        let mut agree = 0;
+        for t in 0..y.len() {
+            let d1 = decide(&k1, &r1, t);
+            let d2 = decide(&k2, &r2, t);
+            if d1.signum() == d2.signum() || d1.abs() < 1e-3 || d2.abs() < 1e-3 {
+                agree += 1;
+            }
+        }
+        prop_assert!(agree * 10 >= y.len() * 9, "{agree}/{} sign agreements", y.len());
+    }
+
+    /// Duplicating every training sample must not change the learned
+    /// decision function's signs (with C halved to keep the same
+    /// effective regularization budget per original point).
+    #[test]
+    fn sample_duplication_invariance((pts, y) in problem_strategy()) {
+        let l = y.len();
+        let mut pts2 = pts.clone();
+        pts2.extend_from_slice(&pts);
+        let mut y2 = y.clone();
+        y2.extend_from_slice(&y);
+        let k1 = kernel_of(&pts);
+        let k2 = kernel_of(&pts2);
+        let r1 = solve(&k1, &y, &SmoParams { c: 1.0, ..Default::default() });
+        let r2 = solve(&k2, &y2, &SmoParams { c: 0.5, ..Default::default() });
+        let d1 = |t: usize| -> f32 {
+            let mut s = 0.0;
+            for (i, (&a, &yy)) in r1.alpha.iter().zip(&y).enumerate() {
+                s += a * yy * k1.get(i, t);
+            }
+            s - r1.rho
+        };
+        let d2 = |t: usize| -> f32 {
+            let mut s = 0.0;
+            for (i, (&a, &yy)) in r2.alpha.iter().zip(&y2).enumerate() {
+                s += a * yy * k2.get(i, t);
+            }
+            s - r2.rho
+        };
+        let mut agree = 0;
+        for t in 0..l {
+            let (a, b) = (d1(t), d2(t));
+            if a.signum() == b.signum() || a.abs() < 1e-3 || b.abs() < 1e-3 {
+                agree += 1;
+            }
+        }
+        prop_assert!(agree * 10 >= l * 9, "{agree}/{l} sign agreements");
+    }
+}

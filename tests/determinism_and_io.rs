@@ -1,0 +1,90 @@
+//! Integration tests for determinism and persistence: identical seeds
+//! must give identical analyses, and a dataset round-tripped through the
+//! on-disk formats must produce identical scores.
+
+use fcma::prelude::*;
+
+#[test]
+fn identical_seeds_give_identical_scores() {
+    let cfg = fcma::fmri::presets::tiny();
+    let (d1, _) = cfg.generate();
+    let (d2, _) = cfg.generate();
+    let s1 = score_all_voxels(&TaskContext::full(&d1), &OptimizedExecutor::default(), 32, None);
+    let s2 = score_all_voxels(&TaskContext::full(&d2), &OptimizedExecutor::default(), 32, None);
+    for (a, b) in s1.iter().zip(&s2) {
+        assert_eq!(a.voxel, b.voxel);
+        assert_eq!(a.accuracy, b.accuracy, "nondeterminism at voxel {}", a.voxel);
+    }
+}
+
+#[test]
+fn task_partitioning_does_not_change_scores() {
+    let (d, _) = fcma::fmri::presets::tiny().generate();
+    let ctx = TaskContext::full(&d);
+    let exec = OptimizedExecutor::default();
+    let a = score_all_voxels(&ctx, &exec, 96, None); // one big task
+    let b = score_all_voxels(&ctx, &exec, 7, None); // many ragged tasks
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.voxel, y.voxel);
+        assert!(
+            (x.accuracy - y.accuracy).abs() < 1e-9,
+            "task-size dependence at voxel {}: {} vs {}",
+            x.voxel,
+            x.accuracy,
+            y.accuracy
+        );
+    }
+}
+
+#[test]
+fn dataset_roundtrip_preserves_scores() {
+    let (d, _) = fcma::fmri::presets::tiny().generate();
+    let dir = std::env::temp_dir().join("fcma_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let stem = dir.join("roundtrip");
+    fcma::fmri::io::save_dataset(&stem, &d).unwrap();
+    let loaded = fcma::fmri::io::load_dataset(&stem).unwrap();
+
+    let exec = OptimizedExecutor::default();
+    let before = score_all_voxels(&TaskContext::full(&d), &exec, 32, None);
+    let after = score_all_voxels(&TaskContext::full(&loaded), &exec, 32, None);
+    for (a, b) in before.iter().zip(&after) {
+        assert_eq!(a.accuracy, b.accuracy, "I/O roundtrip changed voxel {}", a.voxel);
+    }
+}
+
+#[test]
+fn epoch_table_text_format_is_stable() {
+    let (d, _) = fcma::fmri::presets::tiny().generate();
+    let mut buf = Vec::new();
+    fcma::fmri::io::write_epoch_table(&mut buf, d.epochs()).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    // Human-readable: one line per epoch plus the header comment.
+    assert_eq!(text.lines().count(), d.n_epochs() + 1);
+    assert!(text.starts_with('#'));
+    let parsed =
+        fcma::fmri::io::read_epoch_table(&mut std::io::Cursor::new(text.as_bytes())).unwrap();
+    assert_eq!(parsed, d.epochs());
+}
+
+#[test]
+fn svm_solvers_are_deterministic() {
+    let (d, _) = fcma::fmri::presets::tiny().generate();
+    let ctx = TaskContext::full(&d);
+    let corr = fcma::core::corr_normalized_merged(
+        &ctx,
+        VoxelTask { start: 0, count: 1 },
+        Default::default(),
+    );
+    let kernel = KernelMatrix::precompute_raw(ctx.n_epochs(), ctx.n_voxels(), corr.voxel_matrix(0));
+    for solver in [
+        SolverKind::LibSvm(Default::default()),
+        SolverKind::OptimizedLibSvm(SmoParams::default()),
+        SolverKind::PhiSvm(SmoParams::default()),
+    ] {
+        let a = fcma::svm::loso_cross_validate(&kernel, &ctx.y, &ctx.subjects, &solver);
+        let b = fcma::svm::loso_cross_validate(&kernel, &ctx.y, &ctx.subjects, &solver);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.total_iterations, b.total_iterations);
+    }
+}
