@@ -1,0 +1,37 @@
+//! fcma-audit: workspace-wide static analysis for the FCMA codebase.
+//!
+//! A zero-dependency (std-only) lint tool that walks the workspace
+//! source tree and enforces project-specific invariants that `clippy`
+//! cannot express: no `unsafe` anywhere, no panicking `.unwrap()` /
+//! `.expect()` in library code, no lossy `as` casts in the numeric
+//! kernel crates, property-test coverage of every public linalg kernel,
+//! and module-level documentation on every source file.
+//!
+//! Run it with `cargo run -p fcma-audit -- check`. Exit code 0 means
+//! clean, 1 means violations were printed, 2 means the tool itself
+//! could not run (bad usage or I/O failure).
+//!
+//! The implementation deliberately avoids `syn`: a line-preserving
+//! scrubbing lexer ([`lexer`]) plus a brace-depth scope analyzer
+//! ([`source`]) are exact for the constructs these passes need, keep
+//! the tool dependency-free, and make diagnostics trivially clickable.
+
+pub mod lexer;
+pub mod passes;
+pub mod source;
+pub mod workspace;
+
+use std::io;
+use std::path::Path;
+
+pub use passes::Violation;
+
+/// Analyze the workspace at `root` and return all violations.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources.
+pub fn audit(root: &Path) -> io::Result<Vec<Violation>> {
+    let files = workspace::discover(root)?;
+    Ok(passes::run_all(&files))
+}

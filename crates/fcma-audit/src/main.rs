@@ -1,0 +1,86 @@
+//! Command-line driver for the FCMA static-analysis audit.
+//!
+//! Usage: `fcma-audit check [--root DIR]`
+//!
+//! With no `--root`, the workspace root is resolved from the location
+//! of this crate at compile time (two levels above its manifest), so
+//! `cargo run -p fcma-audit -- check` works from any directory inside
+//! the workspace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("fcma-audit: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if command.is_none() => command = Some(other.to_owned()),
+            other => {
+                eprintln!("fcma-audit: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match command.as_deref() {
+        Some("check") => {}
+        Some(other) => {
+            eprintln!("fcma-audit: unknown command `{other}`\n{USAGE}");
+            return ExitCode::from(2);
+        }
+        None => {
+            eprintln!("fcma-audit: missing command\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    match fcma_audit::audit(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("fcma-audit: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("fcma-audit: {} violation(s)", violations.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("fcma-audit: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: fcma-audit check [--root DIR]
+
+passes:
+  unsafe    no `unsafe` blocks anywhere (no escape hatch)
+  unwrap    no .unwrap()/.expect() in library code
+  cast      no `as` numeric casts in kernel crates (fcma-linalg, fcma-core)
+  proptest  every pub fn kernel in fcma-linalg has a property test
+  moddoc    every src/*.rs has module-level //! docs
+
+escape markers (same line or the line above):
+  // audit: allow(unwrap) — <reason>
+  // audit: allow(cast) — <reason>
+  // audit: allow(proptest) — <reason>";

@@ -1,0 +1,362 @@
+//! The five audit passes. Each takes the analyzed workspace and returns
+//! violations; the driver prints them as `file:line: pass: message`.
+//!
+//! | pass       | scope                               | escape hatch |
+//! |------------|-------------------------------------|--------------|
+//! | `unsafe`   | every source file                   | none |
+//! | `unwrap`   | library code outside `#[cfg(test)]` | `# Panics` docs or allow marker |
+//! | `cast`     | kernel-crate library code           | allow marker |
+//! | `proptest` | top-level `pub fn`s of fcma-linalg  | allow marker |
+//! | `moddoc`   | every `src/*.rs` file               | none |
+//!
+//! Allow markers are comments of the form
+//! `// audit: allow(<pass>) — <reason>` on the offending line or the line
+//! directly above; the reason is mandatory.
+
+use crate::source::{Role, SourceFile};
+
+/// Crates whose numeric code is held to the no-`as`-cast rule.
+const KERNEL_CRATES: &[&str] = &["fcma-linalg", "fcma-core"];
+
+/// The crate whose public kernels must be exercised by property tests.
+const PROPTEST_CRATE: &str = "fcma-linalg";
+
+/// One diagnostic. Lines are 1-based for display.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Pass name (`unsafe`, `unwrap`, `cast`, `proptest`, `moddoc`).
+    pub pass: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.file, self.line, self.pass, self.message)
+    }
+}
+
+/// Run every pass over the analyzed workspace.
+pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
+    let mut v = Vec::new();
+    v.extend(check_unsafe(files));
+    v.extend(check_unwrap(files));
+    v.extend(check_casts(files));
+    v.extend(check_proptest_coverage(files));
+    v.extend(check_module_docs(files));
+    v.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+    v
+}
+
+/// Pass 1: no `unsafe` anywhere, no escape hatch.
+///
+/// The whole point of the Rust port is memory safety under heavy
+/// threading; a single `unsafe` block reopens the class of bugs the
+/// rewrite closed, so this pass has no allow marker.
+pub fn check_unsafe(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files {
+        for &line in &f.unsafe_lines {
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: line + 1,
+                pass: "unsafe",
+                message: "`unsafe` is forbidden workspace-wide (no escape hatch)".to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// Pass 2: no `.unwrap()` / `.expect()` in library code.
+///
+/// Exempt: test/bench/bin/example targets, `#[cfg(test)]` items,
+/// functions documented with a `# Panics` section, and explicitly
+/// justified allow markers.
+pub fn check_unwrap(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| f.role == Role::Lib) {
+        for &(line, which) in &f.unwrap_lines {
+            if f.in_test_span(line) || f.in_panics_fn(line) || f.allow_marker("unwrap", line) {
+                continue;
+            }
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: line + 1,
+                pass: "unwrap",
+                message: format!(
+                    "`.{which}()` in library code: return a typed error, document \
+                     `# Panics`, or add `// audit: allow(unwrap) — <reason>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Pass 3: no `as` numeric casts in kernel-crate library code.
+///
+/// `as` silently truncates and saturates; in the correlation kernels a
+/// lossy index or value cast corrupts results instead of failing. Use
+/// `From`/`TryFrom` (or the crate's cast helpers), or justify with
+/// `// audit: allow(cast) — <reason>`.
+pub fn check_casts(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| {
+        f.role == Role::Lib && f.crate_name.as_deref().is_some_and(|c| KERNEL_CRATES.contains(&c))
+    }) {
+        for cast in &f.casts {
+            if f.in_test_span(cast.line) || f.allow_marker("cast", cast.line) {
+                continue;
+            }
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: cast.line + 1,
+                pass: "cast",
+                message: format!(
+                    "`as {}` in kernel crate: use From/TryFrom or add \
+                     `// audit: allow(cast) — <reason>`",
+                    cast.target
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Pass 4: every top-level `pub fn` in the linalg crate is referenced
+/// from at least one of its integration-test files (where the property
+/// tests live), or carries an allow marker.
+pub fn check_proptest_coverage(files: &[SourceFile]) -> Vec<Violation> {
+    let test_code: Vec<&String> = files
+        .iter()
+        .filter(|f| f.crate_name.as_deref() == Some(PROPTEST_CRATE) && f.role == Role::Test)
+        .flat_map(|f| f.scan.code_lines.iter())
+        .collect();
+
+    let mut out = Vec::new();
+    for f in files
+        .iter()
+        .filter(|f| f.crate_name.as_deref() == Some(PROPTEST_CRATE) && f.role == Role::Lib)
+    {
+        for pf in &f.pub_fns {
+            if f.allow_marker("proptest", pf.line) {
+                continue;
+            }
+            let covered = test_code.iter().any(|line| contains_word(line, &pf.name));
+            if !covered {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: pf.line + 1,
+                    pass: "proptest",
+                    message: format!(
+                        "pub fn `{}` is not exercised by any {PROPTEST_CRATE} \
+                         integration test; add a property test or \
+                         `// audit: allow(proptest) — <reason>`",
+                        pf.name
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pass 5: every library/binary source file starts with `//!` docs.
+pub fn check_module_docs(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| matches!(f.role, Role::Lib | Role::Bin)) {
+        if !f.has_module_docs() {
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: 1,
+                pass: "moddoc",
+                message: "missing module-level `//!` documentation".to_owned(),
+            });
+        }
+    }
+    out
+}
+
+/// Word-boundary containment: `name` in `line` not flanked by ident chars.
+fn contains_word(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(p) = line[from..].find(name) {
+        let start = from + p;
+        let end = start + name.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn lib_file(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::new(&format!("crates/{crate_name}/src/a.rs"), Some(crate_name), Role::Lib, src)
+    }
+
+    fn test_file(crate_name: &str, src: &str) -> SourceFile {
+        SourceFile::new(
+            &format!("crates/{crate_name}/tests/t.rs"),
+            Some(crate_name),
+            Role::Test,
+            src,
+        )
+    }
+
+    #[test]
+    fn unsafe_fires_everywhere_no_escape() {
+        let f = SourceFile::new(
+            "crates/x/tests/t.rs",
+            Some("x"),
+            Role::Test,
+            "//! t\n// audit: allow(unsafe) — nice try\nunsafe fn f() {}\n",
+        );
+        let v = check_unsafe(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unsafe_quiet_on_clean_file() {
+        let f = lib_file("x", "//! m\nfn f() { let safety = \"unsafe\"; }\n");
+        assert!(check_unsafe(&[f]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_in_lib_code() {
+        let f = lib_file("x", "//! m\nfn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n");
+        let v = check_unwrap(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].pass, "unwrap");
+    }
+
+    #[test]
+    fn unwrap_quiet_in_tests_bins_and_cfg_test() {
+        let t = test_file("x", "//! t\nfn f(o: Option<u8>) { o.unwrap(); }\n");
+        let b = SourceFile::new(
+            "crates/x/src/main.rs",
+            Some("x"),
+            Role::Bin,
+            "//! b\nfn main() { Some(1).unwrap(); }\n",
+        );
+        let l = lib_file(
+            "x",
+            "//! m\n#[cfg(test)]\nmod tests {\n    fn f(o: Option<u8>) { o.unwrap(); }\n}\n",
+        );
+        assert!(check_unwrap(&[t, b, l]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_escaped_by_panics_docs_and_marker() {
+        let docs = lib_file(
+            "x",
+            "//! m\n/// # Panics\n/// If empty.\npub fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n",
+        );
+        let marker = lib_file(
+            "x",
+            "//! m\nfn f(o: Option<u8>) -> u8 {\n    // audit: allow(unwrap) — invariant: set in new()\n    o.unwrap()\n}\n",
+        );
+        assert!(check_unwrap(&[docs, marker]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_marker_without_reason_still_fires() {
+        let f = lib_file(
+            "x",
+            "//! m\nfn f(o: Option<u8>) -> u8 {\n    // audit: allow(unwrap)\n    o.unwrap()\n}\n",
+        );
+        assert_eq!(check_unwrap(&[f]).len(), 1);
+    }
+
+    #[test]
+    fn cast_fires_only_in_kernel_crates() {
+        let kernel = lib_file("fcma-linalg", "//! m\nfn f(n: usize) -> f32 {\n    n as f32\n}\n");
+        let other = lib_file("fcma-io", "//! m\nfn f(n: usize) -> f32 {\n    n as f32\n}\n");
+        let v = check_casts(&[kernel, other]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].file.contains("fcma-linalg"));
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn cast_escaped_by_marker_and_cfg_test() {
+        let marked = lib_file(
+            "fcma-core",
+            "//! m\nfn f(n: usize) -> f32 {\n    // audit: allow(cast) — n < 2^24, exact in f32\n    n as f32\n}\n",
+        );
+        let tested = lib_file(
+            "fcma-core",
+            "//! m\n#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> f32 { n as f32 }\n}\n",
+        );
+        assert!(check_casts(&[marked, tested]).is_empty());
+    }
+
+    #[test]
+    fn proptest_pass_fires_on_unreferenced_pub_fn() {
+        let l = lib_file("fcma-linalg", "//! m\npub fn lonely_kernel() {}\n");
+        let t = test_file("fcma-linalg", "//! t\nfn probe() { other(); }\n");
+        let v = check_proptest_coverage(&[l, t]);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("lonely_kernel"));
+    }
+
+    #[test]
+    fn proptest_pass_quiet_when_referenced_or_marked() {
+        let l = lib_file(
+            "fcma-linalg",
+            "//! m\npub fn covered_kernel() {}\n// audit: allow(proptest) — trivial accessor\npub fn marked_kernel() {}\n",
+        );
+        let t = test_file("fcma-linalg", "//! t\nfn probe() { covered_kernel(); }\n");
+        assert!(check_proptest_coverage(&[l, t]).is_empty());
+    }
+
+    #[test]
+    fn proptest_reference_needs_word_boundary() {
+        let l = lib_file("fcma-linalg", "//! m\npub fn dot() {}\n");
+        let t = test_file("fcma-linalg", "//! t\nfn probe() { syrk_dotty(); }\n");
+        assert_eq!(check_proptest_coverage(&[l, t]).len(), 1);
+    }
+
+    #[test]
+    fn moddoc_fires_on_missing_banner() {
+        let f = lib_file("x", "fn f() {}\n");
+        let v = check_module_docs(&[f]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pass, "moddoc");
+    }
+
+    #[test]
+    fn moddoc_quiet_with_banner_and_skips_tests() {
+        let l = lib_file("x", "//! Documented.\nfn f() {}\n");
+        let t = test_file("x", "fn f() {}\n");
+        assert!(check_module_docs(&[l, t]).is_empty());
+    }
+
+    #[test]
+    fn run_all_sorts_and_aggregates() {
+        let f = lib_file("fcma-linalg", "fn f(o: Option<u8>) {\n    o.unwrap();\n}\n");
+        let v = run_all(&[f]);
+        let passes: Vec<&str> = v.iter().map(|x| x.pass).collect();
+        assert!(passes.contains(&"unwrap"));
+        assert!(passes.contains(&"moddoc"));
+        let mut sorted = v.clone();
+        sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+        assert_eq!(v, sorted);
+    }
+}

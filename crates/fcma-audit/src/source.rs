@@ -1,0 +1,426 @@
+//! Per-file source model: role classification plus a single-pass
+//! structural analysis (test spans, documented-panic spans, token sites)
+//! that every lint pass consumes.
+
+use crate::lexer::{scan, Scanned};
+
+/// What kind of target a file belongs to, which decides which passes
+/// apply: library passes skip bins, tests, benches, and examples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Part of a library target (`src/` of a crate with a lib target).
+    Lib,
+    /// Part of a binary target (`src/main.rs`, `src/bin/`, bin-only crates).
+    Bin,
+    /// An integration test (`tests/`).
+    Test,
+    /// A benchmark (`benches/`).
+    Bench,
+    /// An example (`examples/`).
+    Example,
+}
+
+/// A numeric-cast site: `<expr> as <ty>` in scrubbed code.
+#[derive(Debug, Clone)]
+pub struct CastSite {
+    /// 0-based line.
+    pub line: usize,
+    /// The target type token (`usize`, `f32`, ...).
+    pub target: String,
+}
+
+/// A top-level `pub fn` declaration.
+#[derive(Debug, Clone)]
+pub struct PubFn {
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Function name.
+    pub name: String,
+}
+
+/// One analyzed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// The crate this file belongs to (`None` for the root package).
+    pub crate_name: Option<String>,
+    /// Target classification.
+    pub role: Role,
+    /// Lexed views of the source.
+    pub scan: Scanned,
+    /// 0-based inclusive line spans of `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+    /// Spans of functions whose doc comment has a `# Panics` section.
+    pub panics_fn_spans: Vec<(usize, usize)>,
+    /// Lines containing the `unsafe` keyword.
+    pub unsafe_lines: Vec<usize>,
+    /// Lines containing `.unwrap()` or `.expect(` calls.
+    pub unwrap_lines: Vec<(usize, &'static str)>,
+    /// Numeric `as` casts.
+    pub casts: Vec<CastSite>,
+    /// Top-level `pub fn`s.
+    pub pub_fns: Vec<PubFn>,
+}
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+impl SourceFile {
+    /// Lex and analyze `source` under the given path and role.
+    pub fn new(rel_path: &str, crate_name: Option<&str>, role: Role, source: &str) -> Self {
+        let scan = scan(source);
+        let mut file = SourceFile {
+            rel_path: rel_path.to_owned(),
+            crate_name: crate_name.map(str::to_owned),
+            role,
+            scan,
+            test_spans: Vec::new(),
+            panics_fn_spans: Vec::new(),
+            unsafe_lines: Vec::new(),
+            unwrap_lines: Vec::new(),
+            casts: Vec::new(),
+            pub_fns: Vec::new(),
+        };
+        file.analyze();
+        file
+    }
+
+    /// Does an allow marker for `pass` cover 0-based line `line`?
+    ///
+    /// Markers are comments of the form
+    /// `// audit: allow(<pass>) — <reason>` on the same line or the line
+    /// directly above. The reason text is mandatory.
+    pub fn allow_marker(&self, pass: &str, line: usize) -> bool {
+        let hit = |l: usize| marker_allows(&self.scan.comment_lines[l], pass);
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+
+    /// Is 0-based `line` inside a `#[cfg(test)]` item?
+    pub fn in_test_span(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Is 0-based `line` inside a function documented with `# Panics`?
+    pub fn in_panics_fn(&self, line: usize) -> bool {
+        self.panics_fn_spans.iter().any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// Does the file open with module-level `//!` docs (before any item)?
+    pub fn has_module_docs(&self) -> bool {
+        for raw in &self.scan.raw_lines {
+            let t = raw.trim_start();
+            if t.is_empty() || t.starts_with("#!") {
+                continue;
+            }
+            return t.starts_with("//!");
+        }
+        false
+    }
+
+    /// One sequential pass over the scrubbed code computing spans and
+    /// token sites. Brace depth is tracked exactly (literals are already
+    /// blanked); item starts are recognized from keyword tokens.
+    fn analyze(&mut self) {
+        // Pending state fed by raw/comment lines.
+        let mut pending_cfg_test = false;
+        let mut pending_doc_panics = false;
+        let mut in_doc_block = false;
+
+        // Brace tracking.
+        let mut depth: i64 = 0;
+        // Functions awaiting their opening brace: Some(docs_have_panics).
+        let mut awaiting_fn: Option<(bool, usize)> = None;
+        // Item awaiting its brace while a cfg(test) attr is pending.
+        let mut awaiting_cfg_item = false;
+        // Stack entries: (depth_after_open, start_line, kind).
+        enum Open {
+            PanicsFn,
+            CfgTest,
+            Other,
+        }
+        let mut stack: Vec<(i64, usize, Open)> = Vec::new();
+
+        let code_lines = self.scan.code_lines.clone();
+        for (lineno, code) in code_lines.iter().enumerate() {
+            // Doc-comment bookkeeping from the raw view.
+            let raw_trim = self.scan.raw_lines[lineno].trim_start();
+            if let Some(doc) = raw_trim.strip_prefix("///") {
+                if !in_doc_block {
+                    in_doc_block = true;
+                    pending_doc_panics = false;
+                }
+                if doc.trim().starts_with("# Panics") {
+                    pending_doc_panics = true;
+                }
+            } else if !raw_trim.is_empty() {
+                in_doc_block = false;
+            }
+            if raw_trim.starts_with("#[cfg(test)]") {
+                pending_cfg_test = true;
+            }
+
+            // Substring sites on scrubbed code.
+            for (pat, label) in [(".unwrap(", "unwrap"), (".expect(", "expect")] {
+                let mut from = 0;
+                while let Some(p) = code[from..].find(pat) {
+                    self.unwrap_lines.push((lineno, label));
+                    from += p + pat.len();
+                }
+            }
+
+            // Token walk for keywords, casts, braces.
+            let mut tokens = Tokenizer::new(code);
+            let mut prev_ident: Option<String> = None;
+            let mut saw_as = false;
+            let mut saw_pub_fn = false;
+            while let Some(tok) = tokens.next_token() {
+                match tok {
+                    Token::Ident(w) => {
+                        if saw_as {
+                            if NUMERIC_TYPES.contains(&w.as_str()) {
+                                self.casts.push(CastSite { line: lineno, target: w.clone() });
+                            }
+                            saw_as = false;
+                        }
+                        match w.as_str() {
+                            "unsafe" => self.unsafe_lines.push(lineno),
+                            "as" => saw_as = true,
+                            "fn" => {
+                                saw_pub_fn = prev_ident.as_deref() == Some("pub");
+                                awaiting_fn = Some((pending_doc_panics, lineno));
+                                pending_doc_panics = false;
+                                in_doc_block = false;
+                                if pending_cfg_test {
+                                    awaiting_cfg_item = true;
+                                    pending_cfg_test = false;
+                                }
+                            }
+                            "mod" | "struct" | "enum" | "impl" | "trait" | "union" => {
+                                pending_doc_panics = false;
+                                in_doc_block = false;
+                                if pending_cfg_test {
+                                    awaiting_cfg_item = true;
+                                    pending_cfg_test = false;
+                                }
+                            }
+                            _ => {
+                                if saw_pub_fn && prev_ident.as_deref() == Some("fn") {
+                                    if depth == 0 {
+                                        self.pub_fns.push(PubFn { line: lineno, name: w.clone() });
+                                    }
+                                    saw_pub_fn = false;
+                                }
+                            }
+                        }
+                        prev_ident = Some(w);
+                    }
+                    Token::Open => {
+                        depth += 1;
+                        let kind = if awaiting_cfg_item {
+                            awaiting_cfg_item = false;
+                            awaiting_fn = None;
+                            Open::CfgTest
+                        } else if let Some((panics, _)) = awaiting_fn.take() {
+                            if panics {
+                                Open::PanicsFn
+                            } else {
+                                Open::Other
+                            }
+                        } else {
+                            Open::Other
+                        };
+                        stack.push((depth, lineno, kind));
+                    }
+                    Token::Close => {
+                        if stack.last().is_some_and(|&(d, _, _)| d == depth) {
+                            if let Some((_, start, kind)) = stack.pop() {
+                                match kind {
+                                    Open::CfgTest => self.test_spans.push((start, lineno)),
+                                    Open::PanicsFn => {
+                                        self.panics_fn_spans.push((start, lineno));
+                                    }
+                                    Open::Other => {}
+                                }
+                            }
+                        }
+                        depth -= 1;
+                    }
+                    Token::Semi => {
+                        // `fn f();` in a trait: no body to track.
+                        awaiting_fn = None;
+                        awaiting_cfg_item = false;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Does this comment line carry a valid `audit: allow(<pass>)` marker?
+///
+/// A marker without a reason is treated as absent (the violation still
+/// fires), which is what forces every escape hatch to be justified.
+fn marker_allows(comment: &str, pass: &str) -> bool {
+    let needle = format!("audit: allow({pass})");
+    let Some(p) = comment.find(&needle) else {
+        return false;
+    };
+    let rest = comment[p + needle.len()..].trim_start();
+    let reason = rest
+        .strip_prefix('\u{2014}')
+        .or_else(|| rest.strip_prefix('-'))
+        .or_else(|| rest.strip_prefix(':'))
+        .map_or("", str::trim);
+    !reason.is_empty()
+}
+
+/// Events from the per-line token walk.
+enum Token {
+    Ident(String),
+    Open,
+    Close,
+    Semi,
+}
+
+struct Tokenizer<'a> {
+    chars: std::str::Chars<'a>,
+    peeked: Option<char>,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(line: &'a str) -> Self {
+        Tokenizer { chars: line.chars(), peeked: None }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        self.peeked.take().or_else(|| self.chars.next())
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        loop {
+            let c = self.bump()?;
+            match c {
+                '{' => return Some(Token::Open),
+                '}' => return Some(Token::Close),
+                ';' => return Some(Token::Semi),
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut w = String::new();
+                    w.push(c);
+                    while let Some(n) = self.peek() {
+                        if n.is_alphanumeric() || n == '_' {
+                            w.push(n);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    return Some(Token::Ident(w));
+                }
+                c if c.is_ascii_digit() => {
+                    // Consume the number (so `1f32` is not an ident `f32`).
+                    while let Some(n) = self.peek() {
+                        if n.is_alphanumeric() || n == '_' || n == '.' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/a.rs", Some("x"), Role::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_span_covers_mod() {
+        let f =
+            lib("fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n");
+        assert_eq!(f.test_spans.len(), 1);
+        assert!(f.in_test_span(3));
+        assert!(!f.in_test_span(0));
+        assert!(!f.in_test_span(5));
+    }
+
+    #[test]
+    fn panics_doc_span_covers_fn_body() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When sad.\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g(y: Option<u8>) {\n    y.unwrap();\n}\n";
+        let f = lib(src);
+        assert_eq!(f.panics_fn_spans.len(), 1);
+        assert!(f.in_panics_fn(5));
+        assert!(!f.in_panics_fn(8));
+    }
+
+    #[test]
+    fn unwrap_and_expect_sites_found_not_in_strings() {
+        let f = lib("fn a(x: Option<u8>) {\n    x.unwrap();\n    let _ = \"don't .unwrap() me\";\n    Some(1).expect(\"x.unwrap() failed\");\n}\n");
+        assert_eq!(f.unwrap_lines.len(), 2);
+        assert_eq!(f.unwrap_lines[0].0, 1);
+        assert_eq!(f.unwrap_lines[1], (3, "expect"));
+    }
+
+    #[test]
+    fn unwrap_or_variants_not_flagged() {
+        let f = lib("fn a(x: Option<u8>) {\n    x.unwrap_or(3);\n    x.unwrap_or_else(|| 4);\n    x.unwrap_or_default();\n}\n");
+        assert!(f.unwrap_lines.is_empty());
+    }
+
+    #[test]
+    fn numeric_casts_found_with_targets() {
+        let f = lib("fn a(n: usize) -> f32 {\n    let b = n as f32;\n    let c = b as f64 as usize;\n    use std::fmt as xfmt;\n    b\n}\n");
+        let targets: Vec<&str> = f.casts.iter().map(|c| c.target.as_str()).collect();
+        assert_eq!(targets, vec!["f32", "f64", "usize"]);
+    }
+
+    #[test]
+    fn pub_fns_only_top_level() {
+        let f = lib("pub fn top() {}\nimpl Foo {\n    pub fn method(&self) {}\n}\npub(crate) fn scoped() {}\nfn private() {}\n");
+        let names: Vec<&str> = f.pub_fns.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["top"]);
+    }
+
+    #[test]
+    fn allow_marker_requires_reason() {
+        let with = lib("fn a(x: Option<u8>) {\n    // audit: allow(unwrap) — checked above\n    x.unwrap();\n}\n");
+        assert!(with.allow_marker("unwrap", 2));
+        let without =
+            lib("fn a(x: Option<u8>) {\n    // audit: allow(unwrap)\n    x.unwrap();\n}\n");
+        assert!(!without.allow_marker("unwrap", 2));
+        let wrong_pass =
+            lib("fn a(x: Option<u8>) {\n    // audit: allow(cast) — nope\n    x.unwrap();\n}\n");
+        assert!(!wrong_pass.allow_marker("unwrap", 2));
+    }
+
+    #[test]
+    fn module_docs_detection() {
+        assert!(lib("//! Docs.\nfn a() {}\n").has_module_docs());
+        assert!(lib("\n#![allow(dead_code)]\n//! Docs.\n").has_module_docs());
+        assert!(!lib("// plain comment\nfn a() {}\n").has_module_docs());
+        assert!(!lib("fn a() {}\n").has_module_docs());
+    }
+
+    #[test]
+    fn unsafe_keyword_found_outside_strings() {
+        let f =
+            lib("fn a() {\n    let s = \"unsafe\"; // unsafe in comment\n}\nunsafe fn b() {}\n");
+        assert_eq!(f.unsafe_lines, vec![3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! The audit tool's acceptance gate: the shipped tree must be clean, and
+//! a seeded violation must be caught.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn shipped_tree_is_clean() {
+    let violations = fcma_audit::audit(&workspace_root()).expect("audit must run");
+    assert!(
+        violations.is_empty(),
+        "shipped tree has {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
+
+#[test]
+fn seeded_violations_are_caught() {
+    use fcma_audit::passes;
+    use fcma_audit::source::{Role, SourceFile};
+
+    // One file per pass, each violating exactly one rule.
+    let seeded = [
+        SourceFile::new(
+            "crates/fcma-linalg/src/bad.rs",
+            Some("fcma-linalg"),
+            Role::Lib,
+            "//! Seeded.\npub fn naughty(n: usize, o: Option<u8>) -> f32 {\n    o.unwrap();\n    unsafe { std::hint::unreachable_unchecked() }\n    n as f32\n}\n",
+        ),
+        SourceFile::new("crates/fcma-core/src/nodoc.rs", Some("fcma-core"), Role::Lib, "fn f() {}\n"),
+    ];
+    let violations = passes::run_all(&seeded);
+    let passes_hit: std::collections::BTreeSet<&str> = violations.iter().map(|v| v.pass).collect();
+    for expected in ["unsafe", "unwrap", "cast", "proptest", "moddoc"] {
+        assert!(passes_hit.contains(expected), "pass `{expected}` did not fire: {violations:?}");
+    }
+}
+
+#[test]
+fn missing_root_is_an_error_not_a_pass() {
+    let err = fcma_audit::audit(Path::new("/nonexistent/fcma-root"));
+    assert!(err.is_err());
+}

@@ -30,11 +30,8 @@ fn epochs() -> (Vec<Mat>, Vec<Mat>) {
 
 fn bench_stage1(c: &mut Criterion) {
     let (assigned, brain) = epochs();
-    let pairs: Vec<EpochPair> = assigned
-        .iter()
-        .zip(&brain)
-        .map(|(a, b)| EpochPair { assigned: a, brain: b })
-        .collect();
+    let pairs: Vec<EpochPair> =
+        assigned.iter().zip(&brain).map(|(a, b)| EpochPair { assigned: a, brain: b }).collect();
     let mut out = vec![0.0f32; V * M * N];
 
     let mut g = c.benchmark_group("stage1_corr");
@@ -89,11 +86,8 @@ fn bench_stage1(c: &mut Criterion) {
 
 fn bench_strip_width(c: &mut Criterion) {
     let (assigned, brain) = epochs();
-    let pairs: Vec<EpochPair> = assigned
-        .iter()
-        .zip(&brain)
-        .map(|(a, b)| EpochPair { assigned: a, brain: b })
-        .collect();
+    let pairs: Vec<EpochPair> =
+        assigned.iter().zip(&brain).map(|(a, b)| EpochPair { assigned: a, brain: b }).collect();
     let mut out = vec![0.0f32; V * M * N];
 
     let mut g = c.benchmark_group("stage1_strip_width_ablation");

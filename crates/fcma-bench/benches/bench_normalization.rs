@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fcma_core::{
-    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline,
-    normalize_separated, TaskContext, VoxelTask,
+    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline, normalize_separated,
+    TaskContext, VoxelTask,
 };
 use fcma_fmri::presets;
 use fcma_linalg::tall_skinny::TallSkinnyOpts;

@@ -21,12 +21,8 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig9_full_task_pipeline");
     g.sample_size(10);
-    g.bench_function("baseline_executor", |b| {
-        b.iter(|| black_box(baseline.process(&ctx, task)))
-    });
-    g.bench_function("optimized_executor", |b| {
-        b.iter(|| black_box(optimized.process(&ctx, task)))
-    });
+    g.bench_function("baseline_executor", |b| b.iter(|| black_box(baseline.process(&ctx, task))));
+    g.bench_function("optimized_executor", |b| b.iter(|| black_box(optimized.process(&ctx, task))));
     g.finish();
 }
 

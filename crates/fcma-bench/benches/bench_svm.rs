@@ -6,9 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fcma_core::{corr_normalized_merged, TaskContext, VoxelTask};
 use fcma_fmri::presets;
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
-use fcma_svm::{
-    loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode,
-};
+use fcma_svm::{loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode};
 use std::hint::black_box;
 
 /// One voxel's kernel matrix at the full face-scene epoch structure
@@ -19,8 +17,7 @@ fn fixture() -> (KernelMatrix, Vec<f32>, Vec<usize>) {
     let ctx = TaskContext::full(&dataset);
     let task = VoxelTask { start: 0, count: 1 };
     let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
-    let kernel =
-        KernelMatrix::precompute_raw(ctx.n_epochs(), ctx.n_voxels(), corr.voxel_matrix(0));
+    let kernel = KernelMatrix::precompute_raw(ctx.n_epochs(), ctx.n_voxels(), corr.voxel_matrix(0));
     (kernel, ctx.y.as_ref().clone(), ctx.subjects.as_ref().clone())
 }
 

@@ -27,8 +27,8 @@ use fcma_core::{
 };
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_sim::analytic::{
-    corr_mkl, corr_optimized as corr_opt_model, norm_baseline, norm_merged, norm_separated,
-    svm_cv, syrk_mkl, syrk_optimized, SvmImpl,
+    corr_mkl, corr_optimized as corr_opt_model, norm_baseline, norm_merged, norm_separated, svm_cv,
+    syrk_mkl, syrk_optimized, SvmImpl,
 };
 use fcma_sim::{phi_5110p, xeon_e5_2670, KernelCounters, TimeModel};
 use fcma_svm::{loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode};
@@ -72,11 +72,8 @@ impl Measured {
                 self.opts.scaled_voxels,
                 self.opts.sample_voxels
             );
-            *slot = Some(measure_svm_solvers(
-                kind,
-                self.opts.scaled_voxels,
-                self.opts.sample_voxels,
-            ));
+            *slot =
+                Some(measure_svm_solvers(kind, self.opts.scaled_voxels, self.opts.sample_voxels));
         }
         slot.unwrap()
     }
@@ -99,11 +96,11 @@ fn main() {
         match a.as_str() {
             "--scaled-voxels" => {
                 opts.scaled_voxels =
-                    it.next().and_then(|v| v.parse().ok()).expect("--scaled-voxels N")
+                    it.next().and_then(|v| v.parse().ok()).expect("--scaled-voxels N");
             }
             "--sample-voxels" => {
                 opts.sample_voxels =
-                    it.next().and_then(|v| v.parse().ok()).expect("--sample-voxels N")
+                    it.next().and_then(|v| v.parse().ok()).expect("--sample-voxels N");
             }
             "--reps" => opts.reps = it.next().and_then(|v| v.parse().ok()).expect("--reps N"),
             "--help" | "-h" => {
@@ -169,9 +166,23 @@ fn run(cmd: &str, opts: &Opts, measured: &mut Measured) {
         "ablate-panel" => ablate_panel(opts),
         "all" => {
             for c in [
-                "table2", "table1", "table5", "table6", "table7", "table8", "fig9", "fig10",
-                "fig11", "table3", "table4", "fig8", "e2e", "ablate-block", "ablate-wss",
-                "ablate-kernel", "ablate-panel",
+                "table2",
+                "table1",
+                "table5",
+                "table6",
+                "table7",
+                "table8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "table3",
+                "table4",
+                "fig8",
+                "e2e",
+                "ablate-block",
+                "ablate-wss",
+                "ablate-kernel",
+                "ablate-panel",
             ] {
                 run(c, opts, measured);
             }
@@ -261,7 +272,17 @@ fn table1(measured: &mut Measured) {
     ];
     print_table(
         "Table 1: baseline instrumentation, face-scene 120-voxel task on Phi 5110P",
-        &["stage", "time", "(paper)", "#mem refs", "(paper)", "L2 miss", "(paper)", "VI", "(paper)"],
+        &[
+            "stage",
+            "time",
+            "(paper)",
+            "#mem refs",
+            "(paper)",
+            "L2 miss",
+            "(paper)",
+            "VI",
+            "(paper)",
+        ],
         &rows,
     );
     println!("(LibSVM iterations measured from the real replica: {iters} per voxel)");
@@ -625,10 +646,7 @@ fn e2e(opts: &Opts) {
         cfg.coupling = 1.5;
         let (dataset, truth) = cfg.generate();
         let exec = OptimizedExecutor::default();
-        let acfg = AnalysisConfig {
-            task_size: 64,
-            top_k: truth.informative.len(),
-        };
+        let acfg = AnalysisConfig { task_size: 64, top_k: truth.informative.len() };
         let t0 = std::time::Instant::now();
         let r = offline_analysis(&dataset, &exec, &acfg);
         let rec = recovery_rate(&r.stable, &truth.informative);
@@ -664,9 +682,7 @@ fn ablate_block(opts: &Opts) {
     let best = times.iter().map(|&(_, ms)| ms).fold(f64::INFINITY, f64::min);
     let rows: Vec<Vec<String>> = times
         .iter()
-        .map(|&(tile, ms)| {
-            vec![tile.to_string(), fmt_ms(ms), format!("{:.2}x", ms / best)]
-        })
+        .map(|&(tile, ms)| vec![tile.to_string(), fmt_ms(ms), format!("{:.2}x", ms / best)])
         .collect();
     print_table(
         &format!(
@@ -754,8 +770,7 @@ fn ablate_kernel(opts: &Opts) {
     let ctx = TaskContext::full(&dataset);
     let task = VoxelTask { start: 0, count: 2 };
     let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
-    let kernel =
-        KernelMatrix::precompute_raw(ctx.n_epochs(), ctx.n_voxels(), corr.voxel_matrix(0));
+    let kernel = KernelMatrix::precompute_raw(ctx.n_epochs(), ctx.n_voxels(), corr.voxel_matrix(0));
     let mut rows = Vec::new();
     for cache_rows in [2usize, 8, 64, 512] {
         let params = LibSvmParams { cache_rows, ..Default::default() };

@@ -14,13 +14,11 @@
 
 use crate::workloads::DatasetKind;
 use fcma_core::{
-    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline,
-    normalize_separated, TaskContext, VoxelTask,
+    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline, normalize_separated,
+    TaskContext, VoxelTask,
 };
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
-use fcma_svm::{
-    loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode,
-};
+use fcma_svm::{loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode};
 use std::time::Instant;
 
 /// Measured behaviour of one SVM solver on the CV workload.
@@ -55,14 +53,11 @@ pub fn measure_svm_solvers(
 
     let solvers = [
         SolverKind::LibSvm(LibSvmParams::default()),
-        SolverKind::OptimizedLibSvm(SmoParams {
-            wss: WssMode::SecondOrder,
-            ..Default::default()
-        }),
+        SolverKind::OptimizedLibSvm(SmoParams { wss: WssMode::SecondOrder, ..Default::default() }),
         SolverKind::PhiSvm(SmoParams::default()),
     ];
-    let mut out = [SvmMeasurement { iters_per_voxel: 0.0, host_ms_per_voxel: 0.0, accuracy: 0.0 };
-        3];
+    let mut out =
+        [SvmMeasurement { iters_per_voxel: 0.0, host_ms_per_voxel: 0.0, accuracy: 0.0 }; 3];
     for (si, solver) in solvers.iter().enumerate() {
         let t0 = Instant::now();
         let mut iters = 0usize;

@@ -4,8 +4,7 @@
 
 use crate::workloads::{DatasetKind, OPT_TASK_VOXELS};
 use fcma_sim::analytic::{
-    corr_mkl, corr_optimized, norm_baseline, norm_merged, svm_cv, syrk_mkl, syrk_optimized,
-    SvmImpl,
+    corr_mkl, corr_optimized, norm_baseline, norm_merged, svm_cv, syrk_mkl, syrk_optimized, SvmImpl,
 };
 use fcma_sim::{MachineConfig, TimeModel};
 
@@ -106,11 +105,7 @@ pub fn offline_task_list(
 
 /// Per-task seconds for the online analysis (Table 4): one sweep over the
 /// brain with single-session shapes.
-pub fn online_task_list(
-    kind: DatasetKind,
-    machine: &MachineConfig,
-    phisvm_iters: u64,
-) -> Vec<f64> {
+pub fn online_task_list(kind: DatasetKind, machine: &MachineConfig, phisvm_iters: u64) -> Vec<f64> {
     let tm = TimeModel::default();
     let v = OPT_TASK_VOXELS;
     let (corr_s, syrk_s, folds) = kind.online_shapes(v);
@@ -175,10 +170,7 @@ mod tests {
         let m = phi_5110p();
         let tasks = offline_task_list(DatasetKind::FaceScene, &m, PHI_ITERS);
         let total: f64 = tasks.iter().sum();
-        assert!(
-            (1_000.0..20_000.0).contains(&total),
-            "face-scene 1-node offline {total} s"
-        );
+        assert!((1_000.0..20_000.0).contains(&total), "face-scene 1-node offline {total} s");
     }
 
     /// Table 4 regime: single-node online selection takes ~10 s.
@@ -195,9 +187,7 @@ mod tests {
         let m = phi_5110p();
         let t = optimized_task(DatasetKind::FaceScene, &m, PHI_ITERS);
         assert!(t.corr_ms > 0.0 && t.syrk_ms > 0.0 && t.svm_ms > 0.0);
-        assert!(
-            (t.total_ms() - (t.corr_ms + t.norm_ms + t.syrk_ms + t.svm_ms)).abs() < 1e-9
-        );
+        assert!((t.total_ms() - (t.corr_ms + t.norm_ms + t.syrk_ms + t.svm_ms)).abs() < 1e-9);
         assert!(t.per_voxel_ms() > 0.0);
     }
 }

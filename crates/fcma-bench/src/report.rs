@@ -18,7 +18,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", s.trim_end());
     };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(&headers.iter().map(std::string::ToString::to_string).collect::<Vec<_>>());
     let total: usize = widths.iter().sum::<usize>() + 2 * ncols;
     println!("{}", "-".repeat(total.min(100)));
     for row in rows {
@@ -35,11 +35,11 @@ pub fn fmt(v: f64) -> String {
     } else if v.abs() >= 1e6 {
         format!("{:.1}M", v / 1e6)
     } else if v.abs() >= 1e4 {
-        format!("{:.0}", v)
+        format!("{v:.0}")
     } else if v.abs() >= 10.0 {
-        format!("{:.1}", v)
+        format!("{v:.1}")
     } else {
-        format!("{:.2}", v)
+        format!("{v:.2}")
     }
 }
 
@@ -48,7 +48,7 @@ pub fn fmt_ms(v: f64) -> String {
     if v >= 10_000.0 {
         format!("{:.1} s", v / 1e3)
     } else {
-        format!("{:.0} ms", v)
+        format!("{v:.0} ms")
     }
 }
 

@@ -93,11 +93,7 @@ impl DatasetKind {
     pub fn online_shapes(&self, v: u64) -> (CorrShape, SyrkShape, u64) {
         let (n, subjects, m, k) = self.table2();
         let per_subject = m / subjects;
-        (
-            CorrShape { v, n, m: per_subject, k },
-            SyrkShape { m: per_subject, n, voxels: v },
-            4,
-        )
+        (CorrShape { v, n, m: per_subject, k }, SyrkShape { m: per_subject, n, voxels: v }, 4)
     }
 
     /// A synthetic config with this dataset's full epoch structure and a

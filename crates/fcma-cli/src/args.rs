@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 /// Parsed command line: a subcommand plus `--key value` / `--flag` pairs.
 #[derive(Debug, Clone)]
-pub struct Args {
+pub(crate) struct Args {
     /// The subcommand (first positional argument).
     pub command: String,
     /// `--key value` options.
@@ -15,7 +15,7 @@ pub struct Args {
 
 /// Parsing errors with user-facing messages.
 #[derive(Debug, PartialEq, Eq)]
-pub enum ArgError {
+pub(crate) enum ArgError {
     /// No subcommand given.
     NoCommand,
     /// An option that expected a value got none.
@@ -48,7 +48,7 @@ const SWITCHES: &[&str] = &["verbose", "help"];
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
+    pub(crate) fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Args, ArgError> {
         let mut it = args.into_iter().peekable();
         let command = it.next().ok_or(ArgError::NoCommand)?;
         if command.starts_with("--") {
@@ -72,17 +72,17 @@ impl Args {
     }
 
     /// Raw string option.
-    pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).map(|s| s.as_str())
+    pub(crate) fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(std::string::String::as_str)
     }
 
     /// String option with default.
-    pub fn get_or(&self, key: &str, default: &str) -> String {
+    pub(crate) fn get_or(&self, key: &str, default: &str) -> String {
         self.get(key).unwrap_or(default).to_string()
     }
 
     /// Parsed numeric/typed option with default.
-    pub fn get_parsed<T: std::str::FromStr>(
+    pub(crate) fn get_parsed<T: std::str::FromStr>(
         &self,
         key: &str,
         default: T,
@@ -90,16 +90,14 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
-                key: key.into(),
-                value: v.into(),
-                want,
-            }),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError::BadValue { key: key.into(), value: v.into(), want })
+            }
         }
     }
 
     /// Whether a bare switch was given.
-    pub fn has_flag(&self, flag: &str) -> bool {
+    pub(crate) fn has_flag(&self, flag: &str) -> bool {
         self.flags.iter().any(|f| f == flag)
     }
 }
@@ -125,14 +123,8 @@ mod tests {
     #[test]
     fn errors_are_specific() {
         assert_eq!(parse(&[]).unwrap_err(), ArgError::NoCommand);
-        assert_eq!(
-            parse(&["run", "--out"]).unwrap_err(),
-            ArgError::MissingValue("out".into())
-        );
-        assert!(matches!(
-            parse(&["run", "stray"]).unwrap_err(),
-            ArgError::UnexpectedPositional(_)
-        ));
+        assert_eq!(parse(&["run", "--out"]).unwrap_err(), ArgError::MissingValue("out".into()));
+        assert!(matches!(parse(&["run", "stray"]).unwrap_err(), ArgError::UnexpectedPositional(_)));
         let a = parse(&["run", "--voxels", "abc"]).unwrap();
         assert!(matches!(
             a.get_parsed("voxels", 0usize, "integer").unwrap_err(),

@@ -15,7 +15,7 @@ use std::path::{Path, PathBuf};
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
 
 /// Print the command reference.
-pub fn print_help() {
+pub(crate) fn print_help() {
     println!(
         "fcma — full correlation matrix analysis\n\n\
          commands:\n\
@@ -38,7 +38,7 @@ fn stem(args: &Args, key: &str) -> Result<PathBuf> {
 }
 
 /// `fcma generate`
-pub fn generate(args: &Args) -> Result<()> {
+pub(crate) fn generate(args: &Args) -> Result<()> {
     let preset = args.get_or("preset", "tiny");
     let mut cfg = match preset.as_str() {
         "tiny" => presets::tiny(),
@@ -84,7 +84,7 @@ pub fn generate(args: &Args) -> Result<()> {
 }
 
 /// `fcma info`
-pub fn info(args: &Args) -> Result<()> {
+pub(crate) fn info(args: &Args) -> Result<()> {
     let data = stem(args, "data")?;
     let dataset = fio::load_dataset(&data)?;
     println!("dataset    {}", data.display());
@@ -92,18 +92,10 @@ pub fn info(args: &Args) -> Result<()> {
     println!("timepoints {}", dataset.n_timepoints());
     println!("subjects   {}", dataset.n_subjects());
     println!("epochs     {}", dataset.n_epochs());
-    let a = dataset
-        .epochs()
-        .iter()
-        .filter(|e| e.label == fcma_fmri::Condition::A)
-        .count();
+    let a = dataset.epochs().iter().filter(|e| e.label == fcma_fmri::Condition::A).count();
     println!("labels     {a} A / {} B", dataset.n_epochs() - a);
     let lens: Vec<usize> = dataset.epochs().iter().map(|e| e.len).collect();
-    println!(
-        "epoch len  {}..{}",
-        lens.iter().min().unwrap(),
-        lens.iter().max().unwrap()
-    );
+    println!("epoch len  {}..{}", lens.iter().min().unwrap(), lens.iter().max().unwrap());
     Ok(())
 }
 
@@ -116,7 +108,7 @@ fn executor_of(args: &Args) -> Result<Box<dyn TaskExecutor>> {
 }
 
 /// `fcma analyze`
-pub fn analyze(args: &Args) -> Result<()> {
+pub(crate) fn analyze(args: &Args) -> Result<()> {
     let data = stem(args, "data")?;
     let dataset = fio::load_dataset(&data)?;
     let exec = executor_of(args)?;
@@ -151,7 +143,7 @@ pub fn analyze(args: &Args) -> Result<()> {
 }
 
 /// `fcma offline`
-pub fn offline(args: &Args) -> Result<()> {
+pub(crate) fn offline(args: &Args) -> Result<()> {
     let data = stem(args, "data")?;
     let dataset = fio::load_dataset(&data)?;
     let exec = executor_of(args)?;
@@ -172,7 +164,7 @@ pub fn offline(args: &Args) -> Result<()> {
 }
 
 /// `fcma clusters`
-pub fn clusters(args: &Args) -> Result<()> {
+pub(crate) fn clusters(args: &Args) -> Result<()> {
     let scores_path = stem(args, "scores")?;
     let scores = read_scores(&scores_path)?;
     let top_k = args.get_parsed("top-k", 16usize, "integer")?;
@@ -181,7 +173,7 @@ pub fn clusters(args: &Args) -> Result<()> {
         None => Grid3::cube_for(scores.len()),
         Some(spec) => {
             let dims: Vec<usize> =
-                spec.split(',').map(|d| d.parse()).collect::<std::result::Result<_, _>>()?;
+                spec.split(',').map(str::parse).collect::<std::result::Result<_, _>>()?;
             if dims.len() != 3 {
                 return Err("--grid expects X,Y,Z".into());
             }
@@ -198,7 +190,7 @@ pub fn clusters(args: &Args) -> Result<()> {
 }
 
 /// `fcma mask`
-pub fn mask(args: &Args) -> Result<()> {
+pub(crate) fn mask(args: &Args) -> Result<()> {
     let data = stem(args, "data")?;
     let out = stem(args, "out")?;
     let threshold: f32 = args.get_parsed("threshold", 0.0f32, "number")?;
@@ -243,14 +235,10 @@ fn read_scores(path: &Path) -> Result<Vec<VoxelScore>> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let voxel: usize = parts
-            .next()
-            .ok_or(format!("line {}: missing voxel", ln + 1))?
-            .parse()?;
-        let accuracy: f64 = parts
-            .next()
-            .ok_or(format!("line {}: missing accuracy", ln + 1))?
-            .parse()?;
+        let voxel: usize =
+            parts.next().ok_or(format!("line {}: missing voxel", ln + 1))?.parse()?;
+        let accuracy: f64 =
+            parts.next().ok_or(format!("line {}: missing accuracy", ln + 1))?.parse()?;
         out.push(VoxelScore { voxel, accuracy });
     }
     Ok(out)

@@ -73,15 +73,14 @@ pub fn run_cluster(
                         ToWorker::Task(task) => {
                             // Contain executor panics: report the failure
                             // so the master can requeue, then die.
-                            let result = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     exec.process_grouped(
                                         &ctx,
                                         task,
                                         groups.as_deref().map(|g| &g[..]),
                                     )
-                                }),
-                            );
+                                }));
                             match result {
                                 Ok(scores) => {
                                     to_master
@@ -89,8 +88,8 @@ pub fn run_cluster(
                                         .expect("master hung up");
                                 }
                                 Err(_) => {
-                                    let _ = to_master
-                                        .send(FromWorker::Failed { worker: wid, task });
+                                    let _ =
+                                        to_master.send(FromWorker::Failed { worker: wid, task });
                                     return;
                                 }
                             }
@@ -107,11 +106,8 @@ pub fn run_cluster(
         let mut outstanding = 0usize;
         let mut alive = vec![true; n_workers];
         let mut idle_shutdown = vec![false; n_workers];
-        loop {
-            let msg = match to_master_rx.recv() {
-                Ok(m) => m,
-                Err(_) => break, // all workers gone
-            };
+        // Runs until all workers are gone and the channel disconnects.
+        while let Ok(msg) = to_master_rx.recv() {
             let wid = msg.worker();
             match msg {
                 FromWorker::Ready { .. } => {}
@@ -266,9 +262,7 @@ mod tests {
             task: VoxelTask,
             groups: Option<&[usize]>,
         ) -> Vec<VoxelScore> {
-            if task.start == self.poison_start
-                && !self.tripped.swap(true, Ordering::SeqCst)
-            {
+            if task.start == self.poison_start && !self.tripped.swap(true, Ordering::SeqCst) {
                 panic!("injected worker failure");
             }
             self.inner.process_grouped(ctx, task, groups)

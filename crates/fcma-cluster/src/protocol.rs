@@ -60,13 +60,10 @@ mod tests {
     #[test]
     fn message_kinds_carry_worker_ids() {
         assert_eq!(FromWorker::Ready { worker: 3 }.worker(), 3);
-        let done = FromWorker::Done {
-            worker: 1,
-            scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }],
-        };
+        let done =
+            FromWorker::Done { worker: 1, scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }] };
         assert_eq!(done.worker(), 1);
-        let failed =
-            FromWorker::Failed { worker: 2, task: VoxelTask { start: 0, count: 4 } };
+        let failed = FromWorker::Failed { worker: 2, task: VoxelTask { start: 0, count: 4 } };
         assert_eq!(failed.worker(), 2);
     }
 

@@ -83,10 +83,7 @@ impl ClusterModel {
     /// Panics if `speeds` is empty or contains a non-positive factor.
     pub fn simulate_heterogeneous(&self, task_secs: &[f64], speeds: &[f64]) -> f64 {
         assert!(!speeds.is_empty(), "simulate_heterogeneous: no nodes");
-        assert!(
-            speeds.iter().all(|&s| s > 0.0),
-            "simulate_heterogeneous: speeds must be positive"
-        );
+        assert!(speeds.iter().all(|&s| s > 0.0), "simulate_heterogeneous: speeds must be positive");
         let per_node_xfer = self.data_bytes / self.link_bytes_per_sec;
         let mut node_free: Vec<f64> =
             (0..speeds.len()).map(|i| (i + 1) as f64 * per_node_xfer).collect();
@@ -100,9 +97,7 @@ impl ClusterModel {
                     let start = master_free.max(free) + self.dispatch_sec;
                     (i, start, t / speeds[i])
                 })
-                .min_by(|a, b| {
-                    (a.1 + a.2).partial_cmp(&(b.1 + b.2)).expect("no NaN times")
-                })
+                .min_by(|a, b| (a.1 + a.2).partial_cmp(&(b.1 + b.2)).expect("no NaN times"))
                 .expect("speeds non-empty");
             master_free = start;
             node_free[idx] = start + dur;
@@ -112,19 +107,13 @@ impl ClusterModel {
 
     /// Elapsed times for a sweep of node counts.
     pub fn sweep(&self, task_secs: &[f64], node_counts: &[usize]) -> Vec<(usize, f64)> {
-        node_counts
-            .iter()
-            .map(|&n| (n, self.simulate(task_secs, n)))
-            .collect()
+        node_counts.iter().map(|&n| (n, self.simulate(task_secs, n))).collect()
     }
 
     /// Speedups relative to one node (Fig. 8's y-axis).
     pub fn speedups(&self, task_secs: &[f64], node_counts: &[usize]) -> Vec<(usize, f64)> {
         let t1 = self.simulate(task_secs, 1);
-        node_counts
-            .iter()
-            .map(|&n| (n, t1 / self.simulate(task_secs, n)))
-            .collect()
+        node_counts.iter().map(|&n| (n, t1 / self.simulate(task_secs, n))).collect()
     }
 }
 

@@ -8,7 +8,7 @@ use crate::stage2::corr_normalized_merged;
 use crate::task::{partition, VoxelScore, VoxelTask};
 use fcma_fmri::Dataset;
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
-use fcma_linalg::Mat;
+use fcma_linalg::{f64_from_usize, Mat};
 use fcma_svm::{train_phisvm, KernelMatrix, SmoParams};
 
 /// Parameters shared by the offline and online analyses.
@@ -78,9 +78,8 @@ pub fn offline_analysis(
     let full_ctx = TaskContext::full(dataset);
     let mut folds = Vec::with_capacity(n_subjects);
     for held in 0..n_subjects {
-        let keep: Vec<usize> = (0..dataset.n_epochs())
-            .filter(|&e| dataset.epochs()[e].subject != held)
-            .collect();
+        let keep: Vec<usize> =
+            (0..dataset.n_epochs()).filter(|&e| dataset.epochs()[e].subject != held).collect();
         let train_ctx = TaskContext::subset(dataset, &keep);
         let scores = score_all_voxels(&train_ctx, exec, cfg.task_size, None);
         let selected = select_top_k(&scores, cfg.top_k);
@@ -88,7 +87,7 @@ pub fn offline_analysis(
         folds.push(FoldOutcome { held_out: held, selected, test_accuracy });
     }
     let mean_test_accuracy =
-        folds.iter().map(|f| f.test_accuracy).sum::<f64>() / folds.len() as f64;
+        folds.iter().map(|f| f.test_accuracy).sum::<f64>() / f64_from_usize(folds.len());
     let stable = stable_voxels(
         &folds.iter().map(|f| f.selected.clone()).collect::<Vec<_>>(),
         folds.len().div_ceil(2),
@@ -120,10 +119,8 @@ fn final_classifier_accuracy(
         }
     }
     let kernel = KernelMatrix::precompute(&samples);
-    let train_idx: Vec<usize> =
-        (0..m).filter(|&e| dataset.epochs()[e].subject != held).collect();
-    let test_idx: Vec<usize> =
-        (0..m).filter(|&e| dataset.epochs()[e].subject == held).collect();
+    let train_idx: Vec<usize> = (0..m).filter(|&e| dataset.epochs()[e].subject != held).collect();
+    let test_idx: Vec<usize> = (0..m).filter(|&e| dataset.epochs()[e].subject == held).collect();
     let train_y: Vec<f32> = train_idx.iter().map(|&e| full_ctx.y[e]).collect();
     let test_y: Vec<f32> = test_idx.iter().map(|&e| full_ctx.y[e]).collect();
     let model = train_phisvm(&kernel, &train_idx, &train_y, &SmoParams::default());
@@ -187,12 +184,8 @@ mod tests {
         let y = vec![1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0];
         let g = stratified_folds(&y, 2);
         for fold in 0..2 {
-            let labels: Vec<f32> = y
-                .iter()
-                .zip(&g)
-                .filter(|(_, &gg)| gg == fold)
-                .map(|(&l, _)| l)
-                .collect();
+            let labels: Vec<f32> =
+                y.iter().zip(&g).filter(|(_, &gg)| gg == fold).map(|(&l, _)| l).collect();
             assert!(labels.contains(&1.0) && labels.contains(&-1.0));
         }
     }

@@ -120,9 +120,7 @@ mod tests {
     fn subset_renumbers_subjects() {
         let (d, _) = presets::tiny().generate();
         // Drop subject 1's epochs entirely.
-        let keep: Vec<usize> = (0..d.n_epochs())
-            .filter(|&e| d.epochs()[e].subject != 1)
-            .collect();
+        let keep: Vec<usize> = (0..d.n_epochs()).filter(|&e| d.epochs()[e].subject != 1).collect();
         let ctx = TaskContext::subset(&d, &keep);
         assert_eq!(ctx.n_subjects(), 3);
         assert_eq!(ctx.n_epochs(), keep.len());

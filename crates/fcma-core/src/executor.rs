@@ -31,13 +31,11 @@ pub trait TaskExecutor: Send + Sync {
 
 /// The paper's §3.2 baseline: per-epoch generic blocked GEMM, three-pass
 /// normalization, generic SYRK, and the LibSVM-replica solver.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BaselineExecutor {
     /// LibSVM parameters for stage 3.
     pub svm: LibSvmParams,
 }
-
 
 impl TaskExecutor for BaselineExecutor {
     fn name(&self) -> &'static str {
@@ -66,15 +64,13 @@ impl TaskExecutor for BaselineExecutor {
 
 /// The paper's §4 optimized pipeline: merged stage 1+2 with tall-skinny
 /// blocking, panel SYRK, and PhiSVM.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct OptimizedExecutor {
     /// Strip width of the tall-skinny kernel.
     pub opts: TallSkinnyOpts,
     /// PhiSVM parameters for stage 3.
     pub svm: SmoParams,
 }
-
 
 impl TaskExecutor for OptimizedExecutor {
     fn name(&self) -> &'static str {
@@ -132,12 +128,9 @@ mod tests {
         }
 
         // And their per-voxel accuracies must track each other.
-        let mean_gap: f64 = base
-            .iter()
-            .zip(&opt)
-            .map(|(a, b)| (a.accuracy - b.accuracy).abs())
-            .sum::<f64>()
-            / base.len() as f64;
+        let mean_gap: f64 =
+            base.iter().zip(&opt).map(|(a, b)| (a.accuracy - b.accuracy).abs()).sum::<f64>()
+                / base.len() as f64;
         assert!(mean_gap < 0.1, "executor agreement gap {mean_gap}");
     }
 
@@ -148,8 +141,7 @@ mod tests {
         let task = VoxelTask { start: 0, count: 4 };
         // 4 groups by epoch index — the online-analysis style grouping.
         let groups: Vec<usize> = (0..ctx.n_epochs()).map(|e| e % 4).collect();
-        let scores =
-            OptimizedExecutor::default().process_grouped(&ctx, task, Some(&groups));
+        let scores = OptimizedExecutor::default().process_grouped(&ctx, task, Some(&groups));
         assert_eq!(scores.len(), 4);
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(&s.accuracy)));
     }

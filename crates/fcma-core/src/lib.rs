@@ -23,9 +23,9 @@ pub mod executor;
 pub mod realtime;
 pub mod selection;
 pub mod stage1;
-pub mod stats;
 pub mod stage2;
 pub mod stage3;
+pub mod stats;
 pub mod task;
 
 pub use analysis::{
@@ -33,8 +33,8 @@ pub use analysis::{
     OfflineResult, OnlineResult,
 };
 pub use context::TaskContext;
-pub use realtime::{FeedbackModel, OnlineSession, SessionConfig, SessionError};
 pub use executor::{BaselineExecutor, OptimizedExecutor, TaskExecutor};
+pub use realtime::{FeedbackModel, OnlineSession, SessionConfig, SessionError};
 pub use selection::{recovery_rate, select_top_k, stable_voxels};
 pub use stage1::{corr_baseline, corr_optimized, CorrData};
 pub use stage2::{corr_normalized_merged, normalize_baseline, normalize_separated};

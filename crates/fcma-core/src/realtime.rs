@@ -127,10 +127,7 @@ impl OnlineSession {
     /// Ingest one acquired brain volume (all voxels at one time point).
     pub fn push_volume(&mut self, volume: &[f32]) -> Result<(), SessionError> {
         if volume.len() != self.cfg.n_voxels {
-            return Err(SessionError::BadVolume {
-                got: volume.len(),
-                want: self.cfg.n_voxels,
-            });
+            return Err(SessionError::BadVolume { got: volume.len(), want: self.cfg.n_voxels });
         }
         self.volumes.push(volume.to_vec());
         Ok(())
@@ -181,10 +178,7 @@ impl OnlineSession {
         let dataset = self.dataset()?;
         let ctx = TaskContext::full(&dataset);
         let groups = stratified_folds(&ctx.y, self.cfg.n_folds.min(ctx.n_epochs()));
-        let exec = crate::executor::OptimizedExecutor {
-            svm: self.cfg.svm,
-            ..Default::default()
-        };
+        let exec = crate::executor::OptimizedExecutor { svm: self.cfg.svm, ..Default::default() };
         let scores =
             crate::analysis::score_all_voxels(&ctx, &exec, self.cfg.task_size, Some(&groups));
         let selected = select_top_k(&scores, self.cfg.top_k.min(scores.len()));
@@ -217,11 +211,7 @@ impl OnlineSession {
 
     /// Build the kernel over every epoch's selected-voxel correlation
     /// patterns.
-    fn selected_kernel(
-        &self,
-        ctx: &TaskContext,
-        selected: &[usize],
-    ) -> (KernelMatrix, usize) {
+    fn selected_kernel(&self, ctx: &TaskContext, selected: &[usize]) -> (KernelMatrix, usize) {
         let m = ctx.n_epochs();
         let n = ctx.n_voxels();
         let mut samples = Mat::zeros(m, selected.len() * n);
@@ -333,7 +323,10 @@ mod tests {
     #[test]
     fn scoring_unknown_epoch_errors() {
         let (d, _, scfg) = single_subject();
-        let s = stream(&d, scfg, 6);
+        // 11 of 20 epochs: with 10 per condition, any prefix of 11 is
+        // guaranteed to contain both classes whatever the shuffle order,
+        // so training cannot fail on an unlucky label arrangement.
+        let s = stream(&d, scfg, 11);
         let fb = s.train_feedback().unwrap();
         assert!(s.score_epoch(&fb, 99).is_err());
     }

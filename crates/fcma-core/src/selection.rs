@@ -11,12 +11,7 @@ use crate::task::VoxelScore;
 /// determinism) and return the top `k` voxel indices.
 pub fn select_top_k(scores: &[VoxelScore], k: usize) -> Vec<usize> {
     let mut ranked: Vec<&VoxelScore> = scores.iter().collect();
-    ranked.sort_by(|a, b| {
-        b.accuracy
-            .partial_cmp(&a.accuracy)
-            .expect("accuracy must not be NaN")
-            .then(a.voxel.cmp(&b.voxel))
-    });
+    ranked.sort_by(|a, b| b.accuracy.total_cmp(&a.accuracy).then(a.voxel.cmp(&b.voxel)));
     ranked.iter().take(k).map(|s| s.voxel).collect()
 }
 
@@ -30,11 +25,8 @@ pub fn stable_voxels(fold_selections: &[Vec<usize>], min_folds: usize) -> Vec<us
             *counts.entry(v).or_insert(0) += 1;
         }
     }
-    let mut out: Vec<usize> = counts
-        .into_iter()
-        .filter(|&(_, c)| c >= min_folds)
-        .map(|(v, _)| v)
-        .collect();
+    let mut out: Vec<usize> =
+        counts.into_iter().filter(|&(_, c)| c >= min_folds).map(|(v, _)| v).collect();
     out.sort_unstable();
     out
 }
@@ -47,7 +39,7 @@ pub fn recovery_rate(selected: &[usize], truth: &[usize]) -> f64 {
         return 1.0;
     }
     let hits = selected.iter().filter(|v| truth.contains(v)).count();
-    hits as f64 / truth.len() as f64
+    fcma_linalg::f64_from_usize(hits) / fcma_linalg::f64_from_usize(truth.len())
 }
 
 #[cfg(test)]

@@ -68,18 +68,9 @@ pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
         let a = &assigned[e];
         let b = ctx.norm.brain(e);
         let k = a.cols();
-        gemm_blocked(
-            v,
-            n,
-            k,
-            a.as_slice(),
-            k.max(1),
-            b.as_slice(),
-            n,
-            &mut buf[e * n..],
-            m * n,
-        );
+        gemm_blocked(v, n, k, a.as_slice(), k.max(1), b.as_slice(), n, &mut buf[e * n..], m * n);
     }
+    fcma_linalg::debug_assert_finite!(&buf, "stage1 baseline correlation output");
     CorrData { buf, layout }
 }
 
@@ -91,13 +82,14 @@ pub fn corr_optimized(ctx: &TaskContext, task: VoxelTask, opts: TallSkinnyOpts) 
     let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
     let mut buf = vec![0.0f32; layout.out_len()];
     let assigned = assigned_blocks(ctx, task);
-    let pairs: Vec<EpochPair> = assigned
+    let pairs: Vec<EpochPair<'_>> = assigned
         .iter()
         .enumerate()
         .map(|(e, a)| EpochPair { assigned: a, brain: ctx.norm.brain(e) })
         .collect();
     let got = corr_tall_skinny(&pairs, &mut buf, opts);
     debug_assert_eq!(got, layout);
+    fcma_linalg::debug_assert_finite!(&buf, "stage1 optimized correlation output");
     CorrData { buf, layout }
 }
 

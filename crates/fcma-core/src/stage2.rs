@@ -28,7 +28,7 @@ use crate::context::TaskContext;
 use crate::stage1::CorrData;
 use crate::task::VoxelTask;
 use fcma_linalg::tall_skinny::{corr_tile_block, EpochPair, TallSkinnyOpts};
-use fcma_linalg::{fisher_z_slice, CorrLayout};
+use fcma_linalg::{f32_from_usize, fisher_z_slice, CorrLayout};
 
 /// Baseline schedule: Fisher pass, then stats pass, then apply pass.
 pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
@@ -50,7 +50,7 @@ pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
             for e in sr.clone() {
                 accumulate(corr.row(vi, e), &mut sum, &mut sumsq);
             }
-            finish_stats(&sum, &sumsq, sr.len() as f32, &mut mean, &mut inv_std);
+            finish_stats(&sum, &sumsq, f32_from_usize(sr.len()), &mut mean, &mut inv_std);
             for e in sr.clone() {
                 let row = corr.row_mut(vi, e);
                 for (j, x) in row.iter_mut().enumerate() {
@@ -59,6 +59,7 @@ pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
             }
         }
     }
+    fcma_linalg::debug_assert_finite!(&corr.buf, "stage2 normalization output");
 }
 
 /// Separated-optimized schedule: fused Fisher+stats pass, then apply.
@@ -79,7 +80,7 @@ pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
                 fisher_z_slice(row);
                 accumulate(row, &mut sum, &mut sumsq);
             }
-            finish_stats(&sum, &sumsq, sr.len() as f32, &mut mean, &mut inv_std);
+            finish_stats(&sum, &sumsq, f32_from_usize(sr.len()), &mut mean, &mut inv_std);
             for e in sr.clone() {
                 let row = corr.row_mut(vi, e);
                 for (j, x) in row.iter_mut().enumerate() {
@@ -88,6 +89,7 @@ pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
             }
         }
     }
+    fcma_linalg::debug_assert_finite!(&corr.buf, "stage2 normalization output");
 }
 
 /// Merged schedule: stage 1 and stage 2 fused at tile granularity.
@@ -108,7 +110,7 @@ pub fn corr_normalized_merged(
     let mut buf = vec![0.0f32; layout.out_len()];
 
     let assigned = crate::stage1::assigned_blocks(ctx, task);
-    let pairs: Vec<EpochPair> = assigned
+    let pairs: Vec<EpochPair<'_>> = assigned
         .iter()
         .enumerate()
         .map(|(e, a)| EpochPair { assigned: a, brain: ctx.norm.brain(e) })
@@ -141,7 +143,7 @@ pub fn corr_normalized_merged(
                 finish_stats(
                     &sum[..w],
                     &sumsq[..w],
-                    e_cnt as f32,
+                    f32_from_usize(e_cnt),
                     &mut mean[..w],
                     &mut inv_std[..w],
                 );
@@ -159,11 +161,12 @@ pub fn corr_normalized_merged(
         }
         j0 += w;
     }
+    fcma_linalg::debug_assert_finite!(&buf, "stage2 merged pipeline output");
     CorrData { buf, layout }
 }
 
 fn max_subject_epochs(ctx: &TaskContext) -> usize {
-    ctx.subject_ranges.iter().map(|r| r.len()).max().unwrap_or(0)
+    ctx.subject_ranges.iter().map(std::iter::ExactSizeIterator::len).max().unwrap_or(0)
 }
 
 /// Column-wise accumulation of sums and sums of squares (vectorizes: all
@@ -200,11 +203,7 @@ mod tests {
     }
 
     fn max_diff(a: &CorrData, b: &CorrData) -> f32 {
-        a.buf
-            .iter()
-            .zip(&b.buf)
-            .map(|(x, y)| (x - y).abs())
-            .fold(0.0f32, f32::max)
+        a.buf.iter().zip(&b.buf).map(|(x, y)| (x - y).abs()).fold(0.0f32, f32::max)
     }
 
     #[test]
@@ -250,14 +249,10 @@ mod tests {
                     let vals: Vec<f32> = sr.clone().map(|e| c.row(vi, e)[j]).collect();
                     let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
                     assert!(mean.abs() < 1e-4, "v{vi} j{j}: mean {mean}");
-                    let var: f32 =
-                        vals.iter().map(|z| (z - mean) * (z - mean)).sum::<f32>()
-                            / vals.len() as f32;
+                    let var: f32 = vals.iter().map(|z| (z - mean) * (z - mean)).sum::<f32>()
+                        / vals.len() as f32;
                     // Variance is 1 unless the column was constant.
-                    assert!(
-                        (var - 1.0).abs() < 1e-2 || var.abs() < 1e-6,
-                        "v{vi} j{j}: var {var}"
-                    );
+                    assert!((var - 1.0).abs() < 1e-2 || var.abs() < 1e-6, "v{vi} j{j}: var {var}");
                 }
             }
         }

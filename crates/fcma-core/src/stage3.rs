@@ -99,16 +99,10 @@ mod tests {
     #[test]
     fn informative_voxels_score_higher() {
         let (scores, informative, _) = scored(1.6);
-        let mean_inf: f64 = informative
-            .iter()
-            .map(|&v| scores[v].accuracy)
-            .sum::<f64>()
-            / informative.len() as f64;
-        let outsiders: Vec<f64> = scores
-            .iter()
-            .filter(|s| !informative.contains(&s.voxel))
-            .map(|s| s.accuracy)
-            .collect();
+        let mean_inf: f64 =
+            informative.iter().map(|&v| scores[v].accuracy).sum::<f64>() / informative.len() as f64;
+        let outsiders: Vec<f64> =
+            scores.iter().filter(|s| !informative.contains(&s.voxel)).map(|s| s.accuracy).collect();
         let mean_out: f64 = outsiders.iter().sum::<f64>() / outsiders.len() as f64;
         assert!(
             mean_inf > mean_out + 0.15,
@@ -127,7 +121,8 @@ mod tests {
         let task = VoxelTask { start: 0, count: 16 };
         let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
         let solver = SolverKind::PhiSvm(SmoParams::default());
-        let a = score_task(&corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized);
+        let a =
+            score_task(&corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized);
         let b = score_task(&corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Baseline);
         for (x, y) in a.iter().zip(&b) {
             assert!(
@@ -165,12 +160,9 @@ mod tests {
             &SolverKind::LibSvm(LibSvmParams::default()),
             KernelPrecompute::Optimized,
         );
-        let mean_gap: f64 = a
-            .iter()
-            .zip(&b)
-            .map(|(x, y)| (x.accuracy - y.accuracy).abs())
-            .sum::<f64>()
-            / a.len() as f64;
+        let mean_gap: f64 =
+            a.iter().zip(&b).map(|(x, y)| (x.accuracy - y.accuracy).abs()).sum::<f64>()
+                / a.len() as f64;
         assert!(mean_gap < 0.12, "solver score gap {mean_gap}");
     }
 

@@ -9,6 +9,7 @@
 //! Benjamini–Hochberg FDR selection over the whole brain.
 
 use crate::stage1::CorrData;
+use fcma_linalg::f64_from_usize;
 use fcma_svm::{loso_cross_validate, KernelMatrix, SolverKind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -59,7 +60,7 @@ pub fn null_accuracies(
 /// `(1 + #{null ≥ observed}) / (1 + n_perms)`.
 pub fn permutation_p_value(observed: f64, null: &[f64]) -> f64 {
     let ge = null.iter().filter(|&&v| v >= observed - 1e-12).count();
-    (1 + ge) as f64 / (1 + null.len()) as f64
+    f64_from_usize(1 + ge) / f64_from_usize(1 + null.len())
 }
 
 /// Full permutation test for one voxel of a task's correlation data.
@@ -89,10 +90,7 @@ pub fn voxel_permutation_test(
 /// Panics if `q` is outside `(0, 1)` or any p-value is outside `[0, 1]`.
 pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<usize> {
     assert!((0.0..1.0).contains(&q) && q > 0.0, "BH: q must be in (0,1)");
-    assert!(
-        p_values.iter().all(|p| (0.0..=1.0).contains(p)),
-        "BH: p-values must be in [0,1]"
-    );
+    assert!(p_values.iter().all(|p| (0.0..=1.0).contains(p)), "BH: p-values must be in [0,1]");
     let m = p_values.len();
     if m == 0 {
         return Vec::new();
@@ -103,7 +101,7 @@ pub fn benjamini_hochberg(p_values: &[f64], q: f64) -> Vec<usize> {
     let mut cutoff = None;
     for (rank0, &i) in order.iter().enumerate() {
         let k = rank0 + 1;
-        if p_values[i] <= k as f64 / m as f64 * q {
+        if p_values[i] <= f64_from_usize(k) / f64_from_usize(m) * q {
             cutoff = Some(rank0);
         }
     }

@@ -3,8 +3,8 @@
 //! dataset configurations.
 
 use fcma_core::{
-    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline,
-    normalize_separated, score_task, KernelPrecompute, TaskContext, VoxelTask,
+    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline, normalize_separated,
+    score_task, KernelPrecompute, TaskContext, VoxelTask,
 };
 use fcma_fmri::noise::{Ar1, Drift};
 use fcma_fmri::synth::{Placement, SynthConfig};
@@ -13,22 +13,20 @@ use fcma_svm::{SmoParams, SolverKind};
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = SynthConfig> {
-    (12usize..48, 2usize..4, 2usize..4, any::<u64>()).prop_map(
-        |(nv, ns, eh, seed)| SynthConfig {
-            n_voxels: nv,
-            n_subjects: ns,
-            epochs_per_subject: eh * 2,
-            epoch_len: 8,
-            gap: 2,
-            n_informative: (nv / 4).max(2) & !1,
-            coupling: 1.2,
-            noise: Ar1 { phi: 0.3, sigma: 1.0 },
-            drift: Drift { linear: 0.5, sin_amp: 0.2, sin_cycles: 1.0 },
-            seed,
-            placement: Placement::Random,
-            hrf: None,
-        },
-    )
+    (12usize..48, 2usize..4, 2usize..4, any::<u64>()).prop_map(|(nv, ns, eh, seed)| SynthConfig {
+        n_voxels: nv,
+        n_subjects: ns,
+        epochs_per_subject: eh * 2,
+        epoch_len: 8,
+        gap: 2,
+        n_informative: (nv / 4).max(2) & !1,
+        coupling: 1.2,
+        noise: Ar1 { phi: 0.3, sigma: 1.0 },
+        drift: Drift { linear: 0.5, sin_amp: 0.2, sin_cycles: 1.0 },
+        seed,
+        placement: Placement::Random,
+        hrf: None,
+    })
 }
 
 proptest! {

@@ -197,8 +197,7 @@ impl Dataset {
     /// Indices into [`Self::epochs`] belonging to `subject`.
     pub fn epoch_range_of_subject(&self, subject: usize) -> std::ops::Range<usize> {
         let start = self.epochs.iter().position(|e| e.subject == subject).unwrap_or(0);
-        let end = start
-            + self.epochs[start..].iter().take_while(|e| e.subject == subject).count();
+        let end = start + self.epochs[start..].iter().take_while(|e| e.subject == subject).count();
         start..end
     }
 
@@ -257,8 +256,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_epoch() {
-        let err = tiny(2, 10, vec![ep(0, Condition::A, 5, 10), ep(0, Condition::B, 0, 5)])
-            .unwrap_err();
+        let err =
+            tiny(2, 10, vec![ep(0, Condition::A, 5, 10), ep(0, Condition::B, 0, 5)]).unwrap_err();
         assert!(matches!(err, DatasetError::EpochOutOfRange { epoch: 0, .. }));
     }
 
@@ -287,8 +286,12 @@ mod tests {
 
     #[test]
     fn rejects_skipped_subject_id() {
-        let err = tiny(2, 40, vec![ep(0, Condition::A, 0, 5), ep(0, Condition::B, 5, 5), ep(2, Condition::A, 10, 5)])
-            .unwrap_err();
+        let err = tiny(
+            2,
+            40,
+            vec![ep(0, Condition::A, 0, 5), ep(0, Condition::B, 5, 5), ep(2, Condition::A, 10, 5)],
+        )
+        .unwrap_err();
         assert!(matches!(err, DatasetError::BadSubjectOrder { epoch: 2 }));
     }
 
@@ -313,11 +316,7 @@ mod tests {
         let err = tiny(
             2,
             40,
-            vec![
-                ep(0, Condition::A, 0, 5),
-                ep(0, Condition::B, 5, 5),
-                ep(1, Condition::B, 15, 5),
-            ],
+            vec![ep(0, Condition::A, 0, 5), ep(0, Condition::B, 5, 5), ep(1, Condition::B, 15, 5)],
         )
         .unwrap_err();
         assert!(matches!(err, DatasetError::SingleClassSubject { subject: 1 }));
@@ -326,11 +325,8 @@ mod tests {
     #[test]
     fn epoch_series_windows_the_row() {
         let data = Mat::from_fn(2, 12, |r, c| (r * 100 + c) as f32);
-        let d = Dataset::new(
-            data,
-            vec![ep(0, Condition::A, 2, 3), ep(0, Condition::B, 6, 3)],
-        )
-        .unwrap();
+        let d =
+            Dataset::new(data, vec![ep(0, Condition::A, 2, 3), ep(0, Condition::B, 6, 3)]).unwrap();
         assert_eq!(d.epoch_series(1, 0), &[102.0, 103.0, 104.0]);
         assert_eq!(d.epoch_series(0, 1), &[6.0, 7.0, 8.0]);
     }

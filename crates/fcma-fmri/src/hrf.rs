@@ -72,8 +72,7 @@ fn gamma_shape(t: f64, delay: f64, dispersion: f64) -> f64 {
     }
     let k = delay / dispersion;
     // Work in log space to avoid overflow for large k.
-    let log_v =
-        (k - 1.0) * t.ln() - t / dispersion - ln_gamma(k) - k * dispersion.ln();
+    let log_v = (k - 1.0) * t.ln() - t / dispersion - ln_gamma(k) - k * dispersion.ln();
     log_v.exp()
 }
 
@@ -95,7 +94,7 @@ impl Hrf {
                         * gamma_shape(t, self.undershoot_delay_s, self.dispersion_s)
             })
             .collect();
-        let peak = k.iter().cloned().fold(0.0f64, f64::max);
+        let peak = k.iter().copied().fold(0.0f64, f64::max);
         assert!(peak > 0.0, "Hrf: degenerate kernel");
         for v in &mut k {
             *v /= peak;
@@ -127,17 +126,9 @@ mod tests {
     fn kernel_peaks_near_six_seconds() {
         let h = Hrf::default();
         let k = h.kernel();
-        let peak_idx = k
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak_idx = k.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         let peak_time = peak_idx as f64 * h.tr_s;
-        assert!(
-            (4.0..7.5).contains(&peak_time),
-            "HRF peak at {peak_time} s (idx {peak_idx})"
-        );
+        assert!((4.0..7.5).contains(&peak_time), "HRF peak at {peak_time} s (idx {peak_idx})");
         assert!((k[peak_idx] - 1.0).abs() < 1e-6, "peak not normalized");
     }
 

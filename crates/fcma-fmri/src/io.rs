@@ -65,8 +65,7 @@ pub fn write_activity<W: Write>(w: &mut W, data: &Mat) -> Result<(), IoError> {
 pub fn read_activity<R: Read>(r: &mut R) -> Result<Mat, IoError> {
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
-        .map_err(|_| IoError::Corrupt("file shorter than header".into()))?;
+    r.read_exact(&mut magic).map_err(|_| IoError::Corrupt("file shorter than header".into()))?;
     if &magic != MAGIC {
         return Err(IoError::Corrupt(format!("bad magic {magic:?}")));
     }
@@ -75,20 +74,16 @@ pub fn read_activity<R: Read>(r: &mut R) -> Result<Mat, IoError> {
     let rows = u64::from_le_bytes(b8) as usize;
     r.read_exact(&mut b8)?;
     let cols = u64::from_le_bytes(b8) as usize;
-    let total = rows
-        .checked_mul(cols)
-        .ok_or_else(|| IoError::Corrupt("dimension overflow".into()))?;
+    let total =
+        rows.checked_mul(cols).ok_or_else(|| IoError::Corrupt("dimension overflow".into()))?;
     // Guard against absurd headers before allocating.
     if total > (1usize << 34) {
         return Err(IoError::Corrupt(format!("implausible size {rows}x{cols}")));
     }
     let mut buf = vec![0u8; total * 4];
-    r.read_exact(&mut buf)
-        .map_err(|_| IoError::Corrupt("truncated data section".into()))?;
-    let data: Vec<f32> = buf
-        .chunks_exact(4)
-        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-        .collect();
+    r.read_exact(&mut buf).map_err(|_| IoError::Corrupt("truncated data section".into()))?;
+    let data: Vec<f32> =
+        buf.chunks_exact(4).map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
     Ok(Mat::from_vec(rows, cols, data))
 }
 
@@ -120,20 +115,17 @@ pub fn read_epoch_table<R: Read>(r: &mut R) -> Result<Vec<EpochSpec>, IoError> {
                 msg: format!("expected 4 fields, got {}", toks.len()),
             });
         }
-        let subject = toks[0].parse::<usize>().map_err(|e| IoError::Parse {
-            line: lineno + 1,
-            msg: format!("bad subject: {e}"),
-        })?;
-        let label = Condition::parse(toks[1])
-            .map_err(|msg| IoError::Parse { line: lineno + 1, msg })?;
-        let start = toks[2].parse::<usize>().map_err(|e| IoError::Parse {
-            line: lineno + 1,
-            msg: format!("bad start: {e}"),
-        })?;
-        let len = toks[3].parse::<usize>().map_err(|e| IoError::Parse {
-            line: lineno + 1,
-            msg: format!("bad len: {e}"),
-        })?;
+        let subject = toks[0]
+            .parse::<usize>()
+            .map_err(|e| IoError::Parse { line: lineno + 1, msg: format!("bad subject: {e}") })?;
+        let label =
+            Condition::parse(toks[1]).map_err(|msg| IoError::Parse { line: lineno + 1, msg })?;
+        let start = toks[2]
+            .parse::<usize>()
+            .map_err(|e| IoError::Parse { line: lineno + 1, msg: format!("bad start: {e}") })?;
+        let len = toks[3]
+            .parse::<usize>()
+            .map_err(|e| IoError::Parse { line: lineno + 1, msg: format!("bad len: {e}") })?;
         epochs.push(EpochSpec { subject, label, start, len });
     }
     Ok(epochs)
@@ -176,10 +168,7 @@ mod tests {
         let mut buf = Vec::new();
         write_activity(&mut buf, &Mat::zeros(1, 1)).unwrap();
         buf[0] = b'X';
-        assert!(matches!(
-            read_activity(&mut Cursor::new(buf)),
-            Err(IoError::Corrupt(_))
-        ));
+        assert!(matches!(read_activity(&mut Cursor::new(buf)), Err(IoError::Corrupt(_))));
     }
 
     #[test]
@@ -187,10 +176,7 @@ mod tests {
         let mut buf = Vec::new();
         write_activity(&mut buf, &Mat::zeros(4, 4)).unwrap();
         buf.truncate(buf.len() - 5);
-        assert!(matches!(
-            read_activity(&mut Cursor::new(buf)),
-            Err(IoError::Corrupt(_))
-        ));
+        assert!(matches!(read_activity(&mut Cursor::new(buf)), Err(IoError::Corrupt(_))));
     }
 
     #[test]

@@ -15,9 +15,9 @@
 //!   *attention* datasets (Table 2) at full and laptop scales.
 
 pub mod dataset;
+pub mod epoch;
 pub mod geometry;
 pub mod hrf;
-pub mod epoch;
 pub mod io;
 pub mod mask;
 pub mod noise;

@@ -49,8 +49,7 @@ impl VoxelMask {
         VoxelMask {
             keep: (0..dataset.n_voxels())
                 .map(|v| {
-                    let mean_abs =
-                        dataset.data().row(v).iter().map(|x| x.abs()).sum::<f32>() / nt;
+                    let mean_abs = dataset.data().row(v).iter().map(|x| x.abs()).sum::<f32>() / nt;
                     mean_abs > threshold
                 })
                 .collect(),
@@ -61,9 +60,7 @@ impl VoxelMask {
     /// voxels within `radius` of the grid center.
     pub fn sphere(grid: &Grid3, radius: f64) -> Self {
         let center = grid.index(grid.nx / 2, grid.ny / 2, grid.nz / 2);
-        VoxelMask {
-            keep: (0..grid.len()).map(|v| grid.distance(center, v) <= radius).collect(),
-        }
+        VoxelMask { keep: (0..grid.len()).map(|v| grid.distance(center, v) <= radius).collect() }
     }
 
     /// Total voxels the mask is defined over.
@@ -88,11 +85,7 @@ impl VoxelMask {
 
     /// Kept voxel indices, ascending.
     pub fn indices(&self) -> Vec<usize> {
-        self.keep
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &k)| if k { Some(i) } else { None })
-            .collect()
+        self.keep.iter().enumerate().filter_map(|(i, &k)| if k { Some(i) } else { None }).collect()
     }
 
     /// Intersect with another mask of the same length.
@@ -101,9 +94,7 @@ impl VoxelMask {
     /// Panics on length mismatch.
     pub fn and(&self, other: &VoxelMask) -> VoxelMask {
         assert_eq!(self.len(), other.len(), "VoxelMask::and: length mismatch");
-        VoxelMask {
-            keep: self.keep.iter().zip(&other.keep).map(|(&a, &b)| a && b).collect(),
-        }
+        VoxelMask { keep: self.keep.iter().zip(&other.keep).map(|(&a, &b)| a && b).collect() }
     }
 
     /// Apply to a dataset: returns the compacted dataset (kept voxels
@@ -210,8 +201,7 @@ mod tests {
         let cfg = presets::tiny();
         let (d, gt) = cfg.generate();
         // Keep planted voxels + every second voxel.
-        let mut keep: Vec<usize> =
-            (0..d.n_voxels()).filter(|v| v % 2 == 0).collect();
+        let mut keep: Vec<usize> = (0..d.n_voxels()).filter(|v| v % 2 == 0).collect();
         keep.extend(&gt.informative);
         keep.sort_unstable();
         keep.dedup();

@@ -59,8 +59,7 @@ impl Drift {
         }
         let frac = t as f32 / (n - 1) as f32;
         self.linear * frac
-            + self.sin_amp
-                * (2.0 * std::f32::consts::PI * (self.sin_cycles * frac + phase)).sin()
+            + self.sin_amp * (2.0 * std::f32::consts::PI * (self.sin_cycles * frac + phase)).sin()
     }
 }
 
@@ -104,10 +103,7 @@ mod tests {
         let xs = Ar1 { phi, sigma: 1.0 }.generate(&mut r, 50_000);
         let mean = xs.iter().sum::<f32>() / xs.len() as f32;
         let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
-        let lag1: f32 = xs
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum::<f32>()
+        let lag1: f32 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f32>()
             / (xs.len() - 1) as f32;
         let rho = lag1 / var;
         assert!((rho - phi).abs() < 0.05, "lag-1 autocorr {rho}, expected ~{phi}");
@@ -119,10 +115,7 @@ mod tests {
         let xs = Ar1 { phi: 0.0, sigma: 2.0 }.generate(&mut r, 30_000);
         let mean = xs.iter().sum::<f32>() / xs.len() as f32;
         let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
-        let lag1: f32 = xs
-            .windows(2)
-            .map(|w| (w[0] - mean) * (w[1] - mean))
-            .sum::<f32>()
+        let lag1: f32 = xs.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum::<f32>()
             / (xs.len() - 1) as f32;
         assert!((lag1 / var).abs() < 0.03);
         assert!((var - 4.0).abs() < 0.15, "var {var}");

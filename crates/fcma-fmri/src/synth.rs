@@ -164,19 +164,16 @@ impl SynthConfig {
                 // (deterministic, maximally separated).
                 let c2 = (0..self.n_voxels)
                     .max_by(|&a, &b| {
-                        grid.distance(c1, a)
-                            .partial_cmp(&grid.distance(c1, b))
-                            .expect("distances are finite")
-                            .then(a.cmp(&b))
+                        grid.distance(c1, a).total_cmp(&grid.distance(c1, b)).then(a.cmp(&b))
                     })
+                    // audit: allow(unwrap) — range is non-empty: random_range above panics first on n_voxels == 0
                     .expect("n_voxels > 0");
                 let blob = |center: usize, exclude: &[usize]| -> Vec<usize> {
                     let mut all: Vec<usize> =
                         (0..self.n_voxels).filter(|v| !exclude.contains(v)).collect();
                     all.sort_by(|&a, &b| {
                         grid.distance(center, a)
-                            .partial_cmp(&grid.distance(center, b))
-                            .expect("distances are finite")
+                            .total_cmp(&grid.distance(center, b))
                             .then(a.cmp(&b))
                     });
                     let mut v: Vec<usize> = all.into_iter().take(half).collect();
@@ -270,6 +267,7 @@ impl SynthConfig {
             }
         }
 
+        // audit: allow(unwrap) — epochs were generated within the bounds of the data just built
         let dataset = Dataset::new(data, epochs).expect("synthetic dataset must validate");
         (dataset, GroundTruth { informative })
     }

@@ -10,12 +10,12 @@ use std::io::Cursor;
 
 fn config_strategy() -> impl Strategy<Value = SynthConfig> {
     (
-        8usize..80,          // n_voxels
-        1usize..4,           // n_subjects
-        1usize..5,           // epochs_per_subject halves
-        3usize..16,          // epoch_len
-        0usize..5,           // gap
-        any::<u64>(),        // seed
+        8usize..80,   // n_voxels
+        1usize..4,    // n_subjects
+        1usize..5,    // epochs_per_subject halves
+        3usize..16,   // epoch_len
+        0usize..5,    // gap
+        any::<u64>(), // seed
         prop_oneof![Just(Placement::Random), Just(Placement::SphericalBlobs)],
     )
         .prop_map(|(nv, ns, eh, el, gap, seed, placement)| SynthConfig {

@@ -1,0 +1,51 @@
+//! Numeric-invariant instrumentation.
+//!
+//! [`debug_assert_finite!`] guards the hand-off points between pipeline
+//! stages: stage-1 correlation output, stage-2 normalization output, and
+//! the stage-3 SYRK kernel precompute. A NaN or infinity born in one
+//! kernel otherwise travels silently through the SVM and surfaces as a
+//! wrong voxel ranking with no trail; with the guard, debug and test
+//! builds fail at the stage that produced it. Release builds compile the
+//! check away entirely.
+
+/// In debug builds, assert every element of a float slice is finite.
+///
+/// `$what` names the buffer for the panic message (e.g. a stage name).
+/// Expands to nothing in release builds, so it can wrap hot-kernel
+/// outputs without a performance tax.
+#[macro_export]
+macro_rules! debug_assert_finite {
+    ($slice:expr, $what:expr) => {
+        if cfg!(debug_assertions) {
+            let slice: &[_] = $slice;
+            for (i, v) in slice.iter().enumerate() {
+                assert!(v.is_finite(), "non-finite value {v} at index {i} in {}", $what,);
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn passes_on_finite_data() {
+        let x = [1.0f32, -2.5, 0.0];
+        debug_assert_finite!(&x, "test buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite value")]
+    #[cfg(debug_assertions)]
+    fn fires_on_nan() {
+        let x = [1.0f32, f32::NAN];
+        debug_assert_finite!(&x, "nan buffer");
+    }
+
+    #[test]
+    #[should_panic(expected = "stage1 correlation")]
+    #[cfg(debug_assertions)]
+    fn message_names_the_stage() {
+        let x = [f64::INFINITY];
+        debug_assert_finite!(&x, "stage1 correlation");
+    }
+}

@@ -20,8 +20,10 @@
 //! Every optimized kernel is property-tested against the reference
 //! implementations.
 
+pub mod cast;
 pub mod gemm_blocked;
 pub mod gemm_ref;
+pub mod invariant;
 pub mod mat;
 pub mod microkernel;
 pub mod norms;
@@ -29,13 +31,15 @@ pub mod ops;
 pub mod syrk;
 pub mod tall_skinny;
 
+pub use cast::{f32_from_f64, f32_from_usize, f64_from_usize};
 pub use gemm_blocked::{gemm_blocked, gemm_blocked_with, BlockSizes};
 pub use gemm_ref::{gemm_ref, syrk_ref};
 pub use mat::Mat;
 pub use norms::{
-    dot, fast_ln, fisher_z, fisher_z_slice, mean_var_onepass, normalize_epoch, zscore,
-    zscore_with,
+    dot, fast_ln, fisher_z, fisher_z_slice, mean_var_onepass, normalize_epoch, zscore, zscore_with,
 };
 pub use ops::{add_scaled, col_means, gemv, gemv_t, row_means, scale};
 pub use syrk::{syrk_dot, syrk_panel, syrk_panel_parallel, syrk_panel_with, PANEL_K};
-pub use tall_skinny::{corr_reference, corr_tall_skinny, corr_tile_block, CorrLayout, EpochPair, TallSkinnyOpts};
+pub use tall_skinny::{
+    corr_reference, corr_tall_skinny, corr_tile_block, CorrLayout, EpochPair, TallSkinnyOpts,
+};

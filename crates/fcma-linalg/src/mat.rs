@@ -20,20 +20,31 @@ pub struct Mat {
     data: Vec<f32>,
 }
 
+/// `rows * cols`, or a clear panic when the product overflows `usize`
+/// (an unchecked multiply would wrap and silently build a matrix with
+/// far too small a buffer).
+fn checked_len(rows: usize, cols: usize) -> usize {
+    rows.checked_mul(cols).unwrap_or_else(|| panic!("Mat: {rows} x {cols} overflows usize"))
+}
+
 impl Mat {
     /// Create a `rows × cols` matrix filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat { rows, cols, data: vec![0.0; checked_len(rows, cols)] }
     }
 
     /// Create a matrix from a row-major data vector.
     ///
     /// # Panics
-    /// Panics if `data.len() != rows * cols`.
+    /// Panics if `data.len() != rows * cols` or the product overflows
+    /// `usize`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
         assert_eq!(
             data.len(),
-            rows * cols,
+            checked_len(rows, cols),
             "Mat::from_vec: data length {} != {}x{}",
             data.len(),
             rows,
@@ -43,8 +54,11 @@ impl Mat {
     }
 
     /// Create a matrix by evaluating `f(row, col)` at every position.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = Vec::with_capacity(checked_len(rows, cols));
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -161,11 +175,7 @@ impl Mat {
     pub fn max_abs_diff(&self, other: &Mat) -> f32 {
         assert_eq!(self.rows, other.rows, "max_abs_diff: row mismatch");
         assert_eq!(self.cols, other.cols, "max_abs_diff: col mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max)
     }
 
     /// Frobenius norm.
@@ -283,5 +293,28 @@ mod tests {
         let b = Mat::from_vec(1, 3, vec![1.0, 0.0, 2.0]);
         assert_eq!(a.max_abs_diff(&b), 2.0);
         assert_eq!(a.frobenius_norm(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn zeros_rejects_overflowing_shape() {
+        // usize::MAX x 2 wraps to usize::MAX - 1 if multiplied unchecked;
+        // the constructor must panic with a clear message instead.
+        let _ = Mat::zeros(usize::MAX, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn from_vec_rejects_overflowing_shape() {
+        // Unchecked, (MAX/2 + 1) * 2 wraps to exactly 0 and an empty data
+        // vector would pass the length check, fabricating a matrix whose
+        // indexing math is garbage.
+        let _ = Mat::from_vec(usize::MAX / 2 + 1, 2, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows usize")]
+    fn from_fn_rejects_overflowing_shape() {
+        let _ = Mat::from_fn(usize::MAX, 3, |_, _| 0.0);
     }
 }

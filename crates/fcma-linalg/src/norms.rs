@@ -60,14 +60,14 @@ pub fn mean_var_onepass(x: &[f32]) -> (f32, f32) {
     let mut s = 0.0f64;
     let mut s2 = 0.0f64;
     for &v in x {
-        let v = v as f64;
+        let v = f64::from(v);
         s += v;
         s2 += v * v;
     }
-    let n = x.len() as f64;
+    let n = crate::cast::f64_from_usize(x.len());
     let mean = s / n;
     let var = (s2 / n - mean * mean).max(0.0);
-    (mean as f32, var as f32)
+    (crate::cast::f32_from_f64(mean), crate::cast::f32_from_f64(var))
 }
 
 /// Fast `ln` for strictly positive finite `f32`, accurate to ~2 ulp of
@@ -89,10 +89,13 @@ pub fn fast_ln(x: f32) -> f32 {
     // mantissa's top bit pattern puts m >= 4/3, halve it and bump e.
     // Branch-free (a data-dependent branch here would block
     // autovectorization of the Fisher pass).
+    // audit: allow(cast) — masked to 8 bits, always fits i32 exactly
     let e_raw = ((bits >> 23) & 0xff) as i32 - 127;
     let m_raw = f32::from_bits((bits & 0x007f_ffff) | 0x3f80_0000); // [1, 2)
-    let big = (m_raw >= 4.0 / 3.0) as i32;
+    let big = i32::from(m_raw >= 4.0 / 3.0);
+    // audit: allow(cast) — big is 0 or 1, exact in f32
     let m = m_raw * (1.0 - 0.5 * big as f32);
+    // audit: allow(cast) — e_raw+big is in [-127, 129], exact in f32
     let e = (e_raw + big) as f32;
     // ln(m) = 2·atanh(t) with t = (m−1)/(m+1), |t| ≤ 0.2.
     let t = (m - 1.0) / (m + 1.0);
@@ -157,7 +160,7 @@ pub fn zscore(x: &mut [f32]) {
 #[inline]
 pub fn normalize_epoch(x: &mut [f32]) {
     let (mean, var) = mean_var_onepass(x);
-    let n = x.len() as f32;
+    let n = crate::cast::f32_from_usize(x.len());
     // √(Σx² − n·x̄²) = √(n·var): root sum of squares of the centered vector.
     let rss = (n * var).sqrt();
     if rss <= f32::MIN_POSITIVE {
@@ -309,8 +312,7 @@ mod tests {
         let (mx, vx) = mean_var_onepass(&xv);
         let (my, vy) = mean_var_onepass(&yv);
         let n = xv.len() as f32;
-        let cov: f32 =
-            xv.iter().zip(&yv).map(|(a, b)| (a - mx) * (b - my)).sum::<f32>() / n;
+        let cov: f32 = xv.iter().zip(&yv).map(|(a, b)| (a - mx) * (b - my)).sum::<f32>() / n;
         let pearson = cov / (vx.sqrt() * vy.sqrt());
         assert_close(got, pearson, 1e-5);
     }

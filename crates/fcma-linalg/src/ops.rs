@@ -34,7 +34,7 @@ pub fn gemv_t(a: &Mat, x: &[f32], y: &mut [f32]) {
 
 /// Per-row means of a matrix.
 pub fn row_means(a: &Mat) -> Vec<f32> {
-    let n = a.cols().max(1) as f32;
+    let n = crate::cast::f32_from_usize(a.cols().max(1));
     (0..a.rows()).map(|r| a.row(r).iter().sum::<f32>() / n).collect()
 }
 
@@ -44,7 +44,7 @@ pub fn col_means(a: &Mat) -> Vec<f32> {
     for r in 0..a.rows() {
         crate::norms::axpy(1.0, a.row(r), &mut out);
     }
-    let m = a.rows().max(1) as f32;
+    let m = crate::cast::f32_from_usize(a.rows().max(1));
     for v in &mut out {
         *v /= m;
     }
@@ -58,12 +58,7 @@ pub fn col_means(a: &Mat) -> Vec<f32> {
 pub fn add_scaled(a: &Mat, beta: f32, b: &Mat) -> Mat {
     assert_eq!(a.rows(), b.rows(), "add_scaled: row mismatch");
     assert_eq!(a.cols(), b.cols(), "add_scaled: col mismatch");
-    let data: Vec<f32> = a
-        .as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .map(|(x, y)| x + beta * y)
-        .collect();
+    let data: Vec<f32> = a.as_slice().iter().zip(b.as_slice()).map(|(x, y)| x + beta * y).collect();
     Mat::from_vec(a.rows(), a.cols(), data)
 }
 

@@ -96,14 +96,7 @@ pub fn syrk_panel_with(
 ///
 /// `grain` panels are processed per task; the default entry point uses one
 /// task per [`PANEL_K`]-deep panel group of 8.
-pub fn syrk_panel_parallel(
-    m: usize,
-    n: usize,
-    a: &[f32],
-    lda: usize,
-    c: &mut [f32],
-    ldc: usize,
-) {
+pub fn syrk_panel_parallel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
     validate(m, n, a.len(), lda, c.len(), ldc);
     if m == 0 {
         return;

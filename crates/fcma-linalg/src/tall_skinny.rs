@@ -134,7 +134,7 @@ pub fn corr_tall_skinny(
         out.len(),
         layout.out_len()
     );
-    let k_max = epochs.iter().map(|e| e.k()).max().unwrap_or(0);
+    let k_max = epochs.iter().map(EpochPair::k).max().unwrap_or(0);
     let tile = opts.tile_cols.max(NR);
     let mut b_pack = vec![0.0f32; k_max * tile.div_ceil(NR) * NR];
     let mut a_pack = vec![0.0f32; k_max * MR];
@@ -148,8 +148,7 @@ pub fn corr_tall_skinny(
             let k = ep.k();
             if k == 0 {
                 for vi in 0..v {
-                    out[(layout.row(vi, e)) * n + j0..(layout.row(vi, e)) * n + j0 + tw]
-                        .fill(0.0);
+                    out[(layout.row(vi, e)) * n + j0..(layout.row(vi, e)) * n + j0 + tw].fill(0.0);
                 }
                 continue;
             }
@@ -157,7 +156,13 @@ pub fn corr_tall_skinny(
             for t in 0..n_tiles {
                 let jt = j0 + t * NR;
                 let nr = NR.min(n - jt);
-                pack_b_panel::<NR>(&ep.brain.as_slice()[jt..], n, k, nr, &mut b_pack[t * k_max * NR..]);
+                pack_b_panel::<NR>(
+                    &ep.brain.as_slice()[jt..],
+                    n,
+                    k,
+                    nr,
+                    &mut b_pack[t * k_max * NR..],
+                );
             }
             for v0 in (0..v).step_by(MR) {
                 let mr = MR.min(v - v0);
@@ -220,7 +225,7 @@ pub fn corr_tile_block(
     let w = col_range.len();
     assert!(buf.len() >= v * e_count * w, "corr_tile_block: buffer too short");
 
-    let k_max = epochs[epoch_range.clone()].iter().map(|e| e.k()).max().unwrap_or(0);
+    let k_max = epochs[epoch_range.clone()].iter().map(EpochPair::k).max().unwrap_or(0);
     let mut b_pack = vec![0.0f32; k_max.max(1) * w.div_ceil(NR) * NR];
     let mut a_pack = vec![0.0f32; k_max.max(1) * MR];
     let n_tiles = w.div_ceil(NR);
@@ -249,7 +254,14 @@ pub fn corr_tile_block(
                 let b_panel = &b_pack[t * k_max * NR..t * k_max * NR + k * NR];
                 let c_off = (v0 * e_count + ei) * w + jt;
                 if mr == MR && nr == NR {
-                    microkernel::<MR, NR>(k, &a_pack, b_panel, &mut buf[c_off..], e_count * w, false);
+                    microkernel::<MR, NR>(
+                        k,
+                        &a_pack,
+                        b_panel,
+                        &mut buf[c_off..],
+                        e_count * w,
+                        false,
+                    );
                 } else {
                     microkernel_edge::<MR, NR>(
                         k,
@@ -317,11 +329,7 @@ mod tests {
     }
 
     fn pairs<'a>(assigned: &'a [Mat], brain: &'a [Mat]) -> Vec<EpochPair<'a>> {
-        assigned
-            .iter()
-            .zip(brain)
-            .map(|(a, b)| EpochPair { assigned: a, brain: b })
-            .collect()
+        assigned.iter().zip(brain).map(|(a, b)| EpochPair { assigned: a, brain: b }).collect()
     }
 
     fn compare(v: usize, n: usize, ks: &[usize], opts: TallSkinnyOpts) {

@@ -196,11 +196,8 @@ pub fn corr_mkl(s: &CorrShape, mach: &MachineConfig) -> KernelCounters {
     // exceeds the per-core cache (it does on the Phi; on the Xeon the
     // 12×n slab of a *scaled* problem may fit).
     let b_bytes_per_epoch = s.k * s.n * ELEM;
-    let pack_factor = if b_bytes_per_epoch > mach.l2_per_core.size_bytes as u64 {
-        MKL_PACK_FACTOR
-    } else {
-        1.0
-    };
+    let pack_factor =
+        if b_bytes_per_epoch > mach.l2_per_core.size_bytes as u64 { MKL_PACK_FACTOR } else { 1.0 };
     let b_stream_lines =
         (s.m as f64 * b_bytes_per_epoch.div_ceil(LINE) as f64 * pack_factor) as u64;
     let c_write_lines = (s.out_elems() * ELEM).div_ceil(LINE);
@@ -525,11 +522,7 @@ mod tests {
         let m = phi_5110p();
         let c = norm_baseline(&face_scene_task::norm(), &m);
         assert!((4e9..9e9).contains(&(c.mem_refs as f64)), "refs {:e}", c.mem_refs as f64);
-        assert!(
-            (1.2e8..2.5e8).contains(&(c.l2_misses as f64)),
-            "misses {:e}",
-            c.l2_misses as f64
-        );
+        assert!((1.2e8..2.5e8).contains(&(c.l2_misses as f64)), "misses {:e}", c.l2_misses as f64);
         assert!((c.vector_intensity() - 8.5).abs() < 1.0);
     }
 

@@ -97,11 +97,7 @@ mod tests {
 
     #[test]
     fn vector_intensity_basic() {
-        let c = KernelCounters {
-            vpu_instructions: 10,
-            vector_elements: 160,
-            ..Default::default()
-        };
+        let c = KernelCounters { vpu_instructions: 10, vector_elements: 160, ..Default::default() };
         assert_eq!(c.vector_intensity(), 16.0);
         assert_eq!(KernelCounters::default().vector_intensity(), 0.0);
     }

@@ -87,11 +87,7 @@ pub fn xeon_e5_2670() -> MachineConfig {
         clock_ghz: 2.6,
         vpu_lanes: 8,
         // Per-core LLC share: 20 MB / 8 cores = 2.5 MB, 20-way like SNB LLC.
-        l2_per_core: CacheConfig {
-            size_bytes: 2560 * 1024,
-            line_bytes: 64,
-            associativity: 20,
-        },
+        l2_per_core: CacheConfig { size_bytes: 2560 * 1024, line_bytes: 64, associativity: 20 },
         l2_miss_latency_ns: 85.0,
         peak_sp_gflops: 332.8,
         ipc_per_thread: 1.5,

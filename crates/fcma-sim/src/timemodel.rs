@@ -49,11 +49,10 @@ impl TimeModel {
     /// hardware threads have work (≥ total threads means fully parallel).
     pub fn limited_ms(&self, c: &KernelCounters, m: &MachineConfig, active_threads: usize) -> f64 {
         assert!(active_threads > 0, "limited_ms: no active threads");
-        let util =
-            (active_threads.min(m.total_threads()) as f64) / m.total_threads() as f64;
+        let util = (active_threads.min(m.total_threads()) as f64) / m.total_threads() as f64;
         let t_issue_s = self.cpi * c.vpu_instructions as f64 / m.issue_rate() / util;
-        let t_mem_s = c.l2_misses as f64 * m.l2_miss_latency_ns * 1e-9
-            / (m.total_threads() as f64 * util);
+        let t_mem_s =
+            c.l2_misses as f64 * m.l2_miss_latency_ns * 1e-9 / (m.total_threads() as f64 * util);
         (t_issue_s + t_mem_s) * 1e3
     }
 
@@ -67,8 +66,7 @@ impl TimeModel {
     /// thread owns one voxel's problem (§4.4). The thread runs at the
     /// machine's single-thread IPC and eats its misses un-overlapped.
     pub fn per_thread_ms(&self, c: &KernelCounters, m: &MachineConfig) -> f64 {
-        let t_issue_s =
-            c.vpu_instructions as f64 / (m.clock_ghz * 1e9 * m.ipc_per_thread);
+        let t_issue_s = c.vpu_instructions as f64 / (m.clock_ghz * 1e9 * m.ipc_per_thread);
         let t_mem_s = c.l2_misses as f64 * m.l2_miss_latency_ns * 1e-9;
         (t_issue_s + t_mem_s) * 1e3
     }

@@ -90,10 +90,7 @@ pub fn trace_corr_optimized(
                 let vg = mr.min(s.v - v0);
                 for e in e0..e0 + ecnt {
                     // Read the A block for this voxel group and epoch.
-                    cache.access_range(
-                        space.a[e as usize] + v0 * s.k * ELEM,
-                        vg * s.k * ELEM,
-                    );
+                    cache.access_range(space.a[e as usize] + v0 * s.k * ELEM, vg * s.k * ELEM);
                     // Microkernel consumes the packed strip again.
                     cache.access_range(space.pack, s.k * w * ELEM);
                     // Write the C tile rows (interleaved layout).
@@ -203,10 +200,7 @@ pub fn trace_syrk_optimized(s: &SyrkShape, cfg: CacheConfig, panel_k: u64) -> Ca
                     }
                     cache.access_range(pack_base + i0 * kp * ELEM, mr.min(s.m - i0) * kp * ELEM);
                     for i in i0..(i0 + mr).min(s.m) {
-                        cache.access_range(
-                            c_base + (i * s.m + j0) * ELEM,
-                            nr.min(s.m - j0) * ELEM,
-                        );
+                        cache.access_range(c_base + (i * s.m + j0) * ELEM, nr.min(s.m - j0) * ELEM);
                     }
                     j0 += nr;
                 }
@@ -268,9 +262,8 @@ mod tests {
         let s = corr_shape();
         let stats = trace_corr_optimized(&s, tiny_l2(), 128, 4);
         // Compulsory: B once per epoch + C once + A once (+ pack buffer).
-        let compulsory = (s.m * s.k * s.n * ELEM + s.v * s.m * s.n * ELEM
-            + s.m * s.v * s.k * ELEM)
-            / 64;
+        let compulsory =
+            (s.m * s.k * s.n * ELEM + s.v * s.m * s.n * ELEM + s.m * s.v * s.k * ELEM) / 64;
         let misses = stats.misses;
         assert!(
             misses as f64 <= compulsory as f64 * 1.6,

@@ -106,11 +106,7 @@ pub fn loso_cross_validate(
         total += test_idx.len();
     }
 
-    CvResult {
-        accuracy: correct as f64 / total as f64,
-        fold_accuracies,
-        total_iterations,
-    }
+    CvResult { accuracy: correct as f64 / total as f64, fold_accuracies, total_iterations }
 }
 
 #[cfg(test)]
@@ -157,13 +153,9 @@ mod tests {
     #[test]
     fn solvers_agree_per_fold() {
         let (k, y, subjects) = separable_problem();
-        let a = loso_cross_validate(&k, &y, &subjects, &SolverKind::LibSvm(LibSvmParams::default()));
-        let b = loso_cross_validate(
-            &k,
-            &y,
-            &subjects,
-            &SolverKind::PhiSvm(SmoParams::default()),
-        );
+        let a =
+            loso_cross_validate(&k, &y, &subjects, &SolverKind::LibSvm(LibSvmParams::default()));
+        let b = loso_cross_validate(&k, &y, &subjects, &SolverKind::PhiSvm(SmoParams::default()));
         for (fa, fb) in a.fold_accuracies.iter().zip(&b.fold_accuracies) {
             assert!((fa - fb).abs() < 0.2, "fold accuracy divergence: {fa} vs {fb}");
         }

@@ -37,6 +37,7 @@ impl KernelMatrix {
     pub fn precompute_raw(m: usize, n: usize, data: &[f32]) -> Self {
         let mut k = Mat::zeros(m, m);
         syrk_panel(m, n, data, n, k.as_mut_slice(), m);
+        fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 SYRK kernel precompute");
         KernelMatrix { k }
     }
 
@@ -44,6 +45,7 @@ impl KernelMatrix {
     pub fn precompute_baseline_raw(m: usize, n: usize, data: &[f32]) -> Self {
         let mut k = Mat::zeros(m, m);
         syrk_dot(m, n, data, n, k.as_mut_slice(), m);
+        fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 baseline kernel precompute");
         KernelMatrix { k }
     }
 

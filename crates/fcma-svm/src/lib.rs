@@ -33,8 +33,8 @@ pub mod smo;
 pub use cv::{loso_cross_validate, CvResult, SolverKind};
 pub use kernel::KernelMatrix;
 pub use model::{SvmModel, WssStats};
-pub use phisvm::{train_optimized_libsvm, train_phisvm};
 pub use persist::{load_model, save_model, PersistError};
+pub use phisvm::{train_optimized_libsvm, train_phisvm};
 pub use probability::PlattScaling;
 pub use reference::{LibSvmParams, LibSvmResult};
 pub use smo::{SmoParams, WssMode};

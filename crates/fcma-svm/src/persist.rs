@@ -58,8 +58,7 @@ pub fn save_model<W: Write>(w: &mut W, model: &SvmModel) -> Result<(), PersistEr
 /// Deserialize a model from a reader.
 pub fn load_model<R: Read>(r: &mut R) -> Result<SvmModel, PersistError> {
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
-        .map_err(|_| PersistError::Corrupt("shorter than header".into()))?;
+    r.read_exact(&mut magic).map_err(|_| PersistError::Corrupt("shorter than header".into()))?;
     if &magic != MAGIC {
         return Err(PersistError::Corrupt(format!("bad magic {magic:?}")));
     }
@@ -155,10 +154,7 @@ mod tests {
         let mut buf = Vec::new();
         save_model(&mut buf, &m).unwrap();
         buf[0] ^= 0xFF;
-        assert!(matches!(
-            load_model(&mut Cursor::new(buf)),
-            Err(PersistError::Corrupt(_))
-        ));
+        assert!(matches!(load_model(&mut Cursor::new(buf)), Err(PersistError::Corrupt(_))));
     }
 
     #[test]
@@ -168,10 +164,7 @@ mod tests {
         save_model(&mut buf, &m).unwrap();
         for cut in [4usize, 9, 20, buf.len() - 3] {
             let truncated = buf[..cut].to_vec();
-            assert!(
-                load_model(&mut Cursor::new(truncated)).is_err(),
-                "cut at {cut} accepted"
-            );
+            assert!(load_model(&mut Cursor::new(truncated)).is_err(), "cut at {cut} accepted");
         }
     }
 
@@ -181,10 +174,7 @@ mod tests {
         m.rho = f32::NAN;
         let mut buf = Vec::new();
         save_model(&mut buf, &m).unwrap();
-        assert!(matches!(
-            load_model(&mut Cursor::new(buf)),
-            Err(PersistError::Corrupt(_))
-        ));
+        assert!(matches!(load_model(&mut Cursor::new(buf)), Err(PersistError::Corrupt(_))));
     }
 
     #[test]
@@ -192,9 +182,6 @@ mod tests {
         let mut buf = Vec::new();
         buf.extend_from_slice(MAGIC);
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
-        assert!(matches!(
-            load_model(&mut Cursor::new(buf)),
-            Err(PersistError::Corrupt(_))
-        ));
+        assert!(matches!(load_model(&mut Cursor::new(buf)), Err(PersistError::Corrupt(_))));
     }
 }

@@ -35,8 +35,7 @@ impl PlattScaling {
         // Soft targets with the Bayesian +1/+2 correction (Platt 1999).
         let hi = (prior1 + 1.0) / (prior1 + 2.0);
         let lo = 1.0 / (prior0 + 2.0);
-        let t: Vec<f64> =
-            y.iter().map(|&v| if v > 0.0 { hi } else { lo }).collect();
+        let t: Vec<f64> = y.iter().map(|&v| if v > 0.0 { hi } else { lo }).collect();
 
         // Newton's method with backtracking on the regularized NLL.
         let mut a = 0.0f64;
@@ -133,10 +132,8 @@ mod tests {
     use super::*;
 
     fn well_separated() -> (Vec<f64>, Vec<f32>) {
-        let decisions: Vec<f64> =
-            vec![-2.5, -1.8, -1.2, -0.7, -0.2, 0.3, 0.8, 1.4, 1.9, 2.6];
-        let y: Vec<f32> =
-            vec![-1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let decisions: Vec<f64> = vec![-2.5, -1.8, -1.2, -0.7, -0.2, 0.3, 0.8, 1.4, 1.9, 2.6];
+        let y: Vec<f32> = vec![-1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         (decisions, y)
     }
 

@@ -89,6 +89,7 @@ impl RowCache {
             }
             self.entries.push((i, make()));
         }
+        // audit: allow(unwrap) — an entry was pushed on both branches above
         &self.entries.last().expect("just pushed").1
     }
 }
@@ -112,10 +113,7 @@ pub fn train_precomputed(
     assert_eq!(y.len(), l, "libsvm: idx/targets length mismatch");
     assert!(l >= 2, "libsvm: need at least two samples");
     assert!(y.iter().all(|&v| v == 1.0 || v == -1.0), "libsvm: targets must be ±1");
-    assert!(
-        y.contains(&1.0) && y.iter().any(|&v| v == -1.0),
-        "libsvm: need both classes"
-    );
+    assert!(y.contains(&1.0) && y.iter().any(|&v| v == -1.0), "libsvm: need both classes");
 
     // Build the node arrays: each training sample is the (sparse-encoded)
     // row of kernel values against all training samples — LibSVM's
@@ -219,8 +217,7 @@ pub fn train_precomputed(
         }
         iter += 1;
         if iter.is_multiple_of(STALL_WINDOW) {
-            let obj: f64 =
-                alpha.iter().zip(&g).map(|(&a, &gt)| a * (gt - 1.0)).sum::<f64>() * 0.5;
+            let obj: f64 = alpha.iter().zip(&g).map(|(&a, &gt)| a * (gt - 1.0)).sum::<f64>() * 0.5;
             let decrease = stall_obj - obj;
             if iter > STALL_WINDOW && decrease <= 1e-12 + 1e-10 * obj.abs() {
                 break;
@@ -230,8 +227,7 @@ pub fn train_precomputed(
     }
 
     let rho = calculate_rho(&y64, &alpha, &g, c);
-    let objective: f64 =
-        alpha.iter().zip(&g).map(|(&a, &gt)| a * (gt - 1.0)).sum::<f64>() * 0.5;
+    let objective: f64 = alpha.iter().zip(&g).map(|(&a, &gt)| a * (gt - 1.0)).sum::<f64>() * 0.5;
     LibSvmResult { alpha, rho, objective, iterations: iter, cache_misses: cache.misses }
 }
 
@@ -316,9 +312,7 @@ mod tests {
 
     fn kernel_from_points(xs: &[(f32, f32)]) -> KernelMatrix {
         let l = xs.len();
-        KernelMatrix::from_mat(Mat::from_fn(l, l, |r, c| {
-            xs[r].0 * xs[c].0 + xs[r].1 * xs[c].1
-        }))
+        KernelMatrix::from_mat(Mat::from_fn(l, l, |r, c| xs[r].0 * xs[c].0 + xs[r].1 * xs[c].1))
     }
 
     #[test]
@@ -381,12 +375,8 @@ mod tests {
         let idx: Vec<usize> = (0..12).collect();
         // Tiny cache forces recomputation; big cache should miss at most
         // once per distinct row.
-        let small = train_precomputed(
-            &k,
-            &idx,
-            &y,
-            &LibSvmParams { cache_rows: 2, ..Default::default() },
-        );
+        let small =
+            train_precomputed(&k, &idx, &y, &LibSvmParams { cache_rows: 2, ..Default::default() });
         let big = train_precomputed(
             &k,
             &idx,
@@ -403,9 +393,8 @@ mod tests {
 
     #[test]
     fn equality_constraint_and_box() {
-        let xs: Vec<(f32, f32)> = (0..14)
-            .map(|i| ((i as f32 - 7.0) * 0.5, (i as f32 * 0.77).sin()))
-            .collect();
+        let xs: Vec<(f32, f32)> =
+            (0..14).map(|i| ((i as f32 - 7.0) * 0.5, (i as f32 * 0.77).sin())).collect();
         let y: Vec<f32> = xs.iter().map(|p| if p.0 >= 0.0 { 1.0 } else { -1.0 }).collect();
         let k = kernel_from_points(&xs);
         let idx: Vec<usize> = (0..14).collect();

@@ -126,8 +126,7 @@ pub fn solve(k: &Mat, y: &[f32], params: &SmoParams) -> SolveResult {
 
     while iter < params.max_iter {
         let use_second = adaptive.use_second_order();
-        let Some((i, j, gmax, gmin)) =
-            select_working_set(k, y, &alpha, &g, c, use_second, &banned)
+        let Some((i, j, gmax, gmin)) = select_working_set(k, y, &alpha, &g, c, use_second, &banned)
         else {
             break; // optimal (or every violator is pinned at f32 resolution)
         };
@@ -210,12 +209,7 @@ pub fn solve(k: &Mat, y: &[f32], params: &SmoParams) -> SolveResult {
 
 /// Dual objective `½αᵀQα − eᵀα = ½ Σ α_t (G_t − 1)`.
 fn objective(alpha: &[f32], g: &[f32]) -> f64 {
-    alpha
-        .iter()
-        .zip(g)
-        .map(|(&a, &gt)| a as f64 * (gt as f64 - 1.0))
-        .sum::<f64>()
-        * 0.5
+    alpha.iter().zip(g).map(|(&a, &gt)| a as f64 * (gt as f64 - 1.0)).sum::<f64>() * 0.5
 }
 
 /// Membership tests for the violating-pair index sets.
@@ -350,13 +344,7 @@ struct AdaptiveState {
 
 impl AdaptiveState {
     fn new(mode: WssMode) -> Self {
-        AdaptiveState {
-            mode,
-            phase: 0,
-            rate_first: 0.0,
-            rate_second: 0.0,
-            committed_second: true,
-        }
+        AdaptiveState { mode, phase: 0, rate_first: 0.0, rate_second: 0.0, committed_second: true }
     }
 
     fn is_adaptive(&self) -> bool {

@@ -29,9 +29,7 @@ fn problem_strategy() -> impl Strategy<Value = (Vec<(f32, f32)>, Vec<f32>)> {
 }
 
 fn kernel_of(pts: &[(f32, f32)]) -> Mat {
-    Mat::from_fn(pts.len(), pts.len(), |r, c| {
-        pts[r].0 * pts[c].0 + pts[r].1 * pts[c].1 + 1.0
-    })
+    Mat::from_fn(pts.len(), pts.len(), |r, c| pts[r].0 * pts[c].0 + pts[r].1 * pts[c].1 + 1.0)
 }
 
 proptest! {

@@ -54,10 +54,7 @@ fn main() {
     let tasks: Vec<f64> = vec![task_secs; n_tasks * 18];
     let data_bytes = full_brain * dataset.n_timepoints() as f64 * 4.0;
     let model = ClusterModel { data_bytes, ..Default::default() };
-    println!(
-        "projected full-brain task time: {:.2}s x {} tasks x 18 folds",
-        task_secs, n_tasks
-    );
+    println!("projected full-brain task time: {:.2}s x {} tasks x 18 folds", task_secs, n_tasks);
 
     println!("nodes  elapsed(s)  speedup  efficiency");
     let t1 = model.simulate(&tasks, 1);

@@ -32,11 +32,7 @@ fn main() {
 
     let t0 = std::time::Instant::now();
     let result = offline_analysis(&dataset, &exec, &cfg);
-    println!(
-        "Nested LOSO over {} folds finished in {:.2?}\n",
-        result.folds.len(),
-        t0.elapsed()
-    );
+    println!("Nested LOSO over {} folds finished in {:.2?}\n", result.folds.len(), t0.elapsed());
 
     println!("fold  held-out  test-accuracy  planted-in-selection");
     for f in &result.folds {

@@ -44,10 +44,7 @@ fn main() {
         let marker = if truth.informative.contains(&v) { "  <- planted" } else { "" };
         println!("  voxel {:3}  accuracy {:.3}{}", s.voxel, s.accuracy, marker);
     }
-    println!(
-        "\nRecovered {:.0}% of the planted informative network.",
-        recovered * 100.0
-    );
+    println!("\nRecovered {:.0}% of the planted informative network.", recovered * 100.0);
     assert!(recovered > 0.5, "FCMA failed to recover the planted network");
     println!("OK");
 }

@@ -60,10 +60,7 @@ fn main() {
         );
     }
     let big: Vec<_> = clusters.iter().filter(|c| c.len() >= 3).collect();
-    println!(
-        "\n{} clusters of size >= 3 (the planted network forms 2 blobs)",
-        big.len()
-    );
+    println!("\n{} clusters of size >= 3 (the planted network forms 2 blobs)", big.len());
 
     // Permutation-test the peak voxel of the largest cluster.
     let peak = clusters[0]
@@ -72,7 +69,8 @@ fn main() {
         .copied()
         .max_by(|&a, &b| scores[a].accuracy.partial_cmp(&scores[b].accuracy).unwrap())
         .unwrap();
-    let corr = corr_normalized_merged(&ctx, VoxelTask { start: peak, count: 1 }, Default::default());
+    let corr =
+        corr_normalized_merged(&ctx, VoxelTask { start: peak, count: 1 }, Default::default());
     let (acc, p) = voxel_permutation_test(
         &corr,
         0,

@@ -51,9 +51,9 @@ pub use fcma_svm as svm;
 pub mod prelude {
     pub use fcma_cluster::{run_cluster, ClusterModel, ClusterRun};
     pub use fcma_core::{
-        offline_analysis, online_voxel_selection, recovery_rate, score_all_voxels,
-        select_top_k, AnalysisConfig, BaselineExecutor, OptimizedExecutor, TaskContext,
-        TaskExecutor, VoxelScore, VoxelTask,
+        offline_analysis, online_voxel_selection, recovery_rate, score_all_voxels, select_top_k,
+        AnalysisConfig, BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelScore,
+        VoxelTask,
     };
     pub use fcma_fmri::{Condition, Dataset, EpochSpec, GroundTruth, SynthConfig};
     pub use fcma_linalg::Mat;

@@ -51,13 +51,7 @@ fn cluster_run_equals_sequential_run() {
     let (dataset, _) = planted(1.4, 80);
     let ctx = TaskContext::full(&dataset);
     let sequential = score_all_voxels(&ctx, &OptimizedExecutor::default(), 20, None);
-    let cluster = run_cluster(
-        &ctx,
-        Arc::new(OptimizedExecutor::default()),
-        3,
-        20,
-        None,
-    );
+    let cluster = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 3, 20, None);
     assert_eq!(cluster.scores.len(), sequential.len());
     for (a, b) in cluster.scores.iter().zip(&sequential) {
         assert_eq!(a.voxel, b.voxel);
@@ -94,16 +88,9 @@ fn shuffled_labels_destroy_the_signal() {
     let dataset = Dataset::new(data, rotated).unwrap();
     let ctx = TaskContext::full(&dataset);
     let scores = score_all_voxels(&ctx, &OptimizedExecutor::default(), 32, None);
-    let mean_inf: f64 = truth
-        .informative
-        .iter()
-        .map(|&v| scores[v].accuracy)
-        .sum::<f64>()
+    let mean_inf: f64 = truth.informative.iter().map(|&v| scores[v].accuracy).sum::<f64>()
         / truth.informative.len() as f64;
-    assert!(
-        mean_inf < 0.72,
-        "label-scrambled informative voxels still score {mean_inf:.3}"
-    );
+    assert!(mean_inf < 0.72, "label-scrambled informative voxels still score {mean_inf:.3}");
 }
 
 #[test]

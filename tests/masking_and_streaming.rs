@@ -61,8 +61,7 @@ fn streaming_session_matches_batch_and_persists() {
     for ep in d.epochs() {
         session.begin_epoch(ep.label).unwrap();
         for t in ep.start..ep.start + ep.len {
-            let vol: Vec<f32> =
-                (0..d.n_voxels()).map(|v| d.data().get(v, t)).collect();
+            let vol: Vec<f32> = (0..d.n_voxels()).map(|v| d.data().get(v, t)).collect();
             session.push_volume(&vol).unwrap();
         }
         session.end_epoch().unwrap();
@@ -103,10 +102,8 @@ fn roi_workflow_end_to_end() {
         big.len(),
         clusters.iter().map(|c| c.len()).collect::<Vec<_>>()
     );
-    let planted_in_big: usize = big
-        .iter()
-        .map(|c| c.voxels.iter().filter(|v| gt.informative.contains(v)).count())
-        .sum();
+    let planted_in_big: usize =
+        big.iter().map(|c| c.voxels.iter().filter(|v| gt.informative.contains(v)).count()).sum();
     assert!(
         planted_in_big * 3 >= gt.informative.len() * 2,
         "large clusters hold only {planted_in_big}/{} planted voxels",
@@ -140,8 +137,7 @@ fn fdr_behaves_on_signal_and_noise() {
         scores
             .iter()
             .map(|s| {
-                let better =
-                    scores.iter().filter(|o| o.accuracy >= s.accuracy).count();
+                let better = scores.iter().filter(|o| o.accuracy >= s.accuracy).count();
                 better as f64 / scores.len() as f64
             })
             .collect()

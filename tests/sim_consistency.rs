@@ -35,11 +35,7 @@ fn analytic_syrk_model_validated_by_trace_across_shapes() {
         let t = trace::trace_syrk_optimized(&s, small_l2(), 96);
         let model = analytic::syrk_optimized(&s, &phi).l2_misses;
         let ratio = t.misses as f64 / model as f64;
-        assert!(
-            (0.4..2.5).contains(&ratio),
-            "syrk {m}x{n}: trace {} vs model {model}",
-            t.misses
-        );
+        assert!((0.4..2.5).contains(&ratio), "syrk {m}x{n}: trace {} vs model {model}", t.misses);
     }
 }
 
@@ -70,8 +66,7 @@ fn every_paper_ordering_holds_in_the_model() {
     // Table 8 ordering, per-voxel serial model with equal iterations.
     let s = fcma::sim::SvmShape { l: 192, folds: 17, voxels: 1, iters: 5000 };
     let t_lib = tm.per_thread_ms(&analytic::svm_cv(SvmImpl::LibSvm, &s, &phi), &phi);
-    let t_opt =
-        tm.per_thread_ms(&analytic::svm_cv(SvmImpl::OptimizedLibSvm, &s, &phi), &phi);
+    let t_opt = tm.per_thread_ms(&analytic::svm_cv(SvmImpl::OptimizedLibSvm, &s, &phi), &phi);
     let t_phi = tm.per_thread_ms(&analytic::svm_cv(SvmImpl::PhiSvm, &s, &phi), &phi);
     assert!(t_lib > t_opt && t_opt > t_phi, "{t_lib} / {t_opt} / {t_phi}");
     // Paper: LibSVM ~9x slower than PhiSVM; ours within a broad band.

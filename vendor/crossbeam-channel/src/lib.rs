@@ -1,0 +1,101 @@
+//! Offline stand-in for `crossbeam-channel`, implemented over
+//! `std::sync::mpsc`. Covers the master–worker driver's needs: unbounded
+//! channels, cloneable senders, and blocking/timeout receives. The
+//! receiver is additionally `Sync`-shareable via an internal mutex so
+//! crossbeam's multi-consumer `recv` keeps working if callers adopt it.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+}
+
+/// The sending half of a channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender { inner: self.inner.clone() }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Send `value`, failing only if all receivers have been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// The receiving half of a channel (cloneable; receivers compete).
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: Arc<Mutex<mpsc::Receiver<T>>>,
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).recv()
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).try_recv()
+    }
+
+    /// Block until a message arrives, the deadline passes, or the channel
+    /// disconnects.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).recv_timeout(timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_roundtrip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).expect("open");
+        tx.send(2).expect("open");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_when_senders_dropped() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn cloned_senders_feed_one_receiver() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || tx.send(10).expect("open"));
+            s.spawn(move || tx2.send(20).expect("open"));
+            let a = rx.recv().expect("first");
+            let b = rx.recv().expect("second");
+            assert_eq!(a + b, 30);
+        });
+    }
+}

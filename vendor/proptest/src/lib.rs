@@ -1,0 +1,89 @@
+//! Offline stand-in for `proptest`, covering the API surface this
+//! workspace uses: the [`proptest!`] macro, range/tuple/`Just`/mapped
+//! strategies, [`collection::vec`], `any::<T>()`, `prop_oneof!`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics: each test runs `ProptestConfig::cases` deterministic cases
+//! (seeded from the test name, so failures reproduce run-to-run). There
+//! is **no shrinking** — a failing case reports its case index and RNG
+//! seed instead. That trades debuggability for zero dependencies; the
+//! strategies themselves are uniform samplers.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($p:pat in $s:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::test_runner::run(stringify!($name), &config, |__proptest_rng| {
+                $(let $p = $crate::strategy::Strategy::sample(&($s), __proptest_rng);)+
+                $body
+            });
+        }
+    )*};
+}
+
+/// Assert a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert two values differ for the current case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Choose uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}

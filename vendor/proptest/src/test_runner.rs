@@ -1,0 +1,120 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Configuration for one `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// SplitMix64: a small, fast, well-distributed generator. Each test case
+/// gets an independent stream derived from the test name and case index,
+/// so runs are reproducible without any persisted state.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `config.cases` deterministic cases of `case`. On panic, report the
+/// case index and seed (there is no shrinking), then re-panic so the test
+/// harness records the failure.
+pub fn run(name: &str, config: &ProptestConfig, mut case: impl FnMut(&mut TestRng)) {
+    let base = name_seed(name);
+    for i in 0..config.cases {
+        let seed = base ^ u64::from(i).wrapping_mul(0xA24B_AED4_963E_E407);
+        let mut rng = TestRng::new(seed);
+        let result = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        if let Err(payload) = result {
+            eprintln!(
+                "proptest '{name}': case {i}/{} failed (rng seed {seed:#018x}); \
+                 no shrinking in the vendored runner",
+                config.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_runs_exact_case_count() {
+        let mut count = 0;
+        run("counter", &ProptestConfig::with_cases(13), |_| count += 1);
+        assert_eq!(count, 13);
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run("boom", &ProptestConfig::with_cases(3), |_| panic!("bad case"));
+        }));
+        assert!(r.is_err());
+    }
+}

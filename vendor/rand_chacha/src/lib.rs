@@ -1,0 +1,155 @@
+//! Offline stand-in for `rand_chacha`: a real ChaCha stream cipher core
+//! (8/12/20-round variants) exposed as seedable generators.
+//!
+//! Unlike the rest of the vendored shims this is a faithful ChaCha
+//! implementation — the workspace's synthetic-data generators depend on
+//! its statistical quality, and its determinism-under-fixed-seed is what
+//! the repo's reproducibility tests exercise. No bit-compatibility with
+//! upstream `rand_chacha` streams is claimed.
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even; writes 16 output words.
+fn chacha_block(input: &[u32; 16], rounds: u32, out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..rounds / 2 {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, (xi, si)) in out.iter_mut().zip(x.iter().zip(input.iter())) {
+        *o = xi.wrapping_add(*si);
+    }
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            /// Cipher input block: constants, 8 key words, counter, nonce.
+            state: [u32; 16],
+            /// Current keystream block.
+            buffer: [u32; 16],
+            /// Next unread word in `buffer`; 16 means exhausted.
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                chacha_block(&self.state, $rounds, &mut self.buffer);
+                // 64-bit block counter in words 12..14.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] =
+                        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                // Counter and nonce start at zero.
+                $name { state, buffer: [0; 16], index: 16 }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, 8, "ChaCha with 8 rounds: the fast statistical generator.");
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds: the conservative variant.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(123);
+        let mut b = ChaCha8Rng::seed_from_u64(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams should be uncorrelated, {same}/64 equal");
+    }
+
+    #[test]
+    fn rfc7539_chacha20_block_core() {
+        // RFC 7539 §2.3.2 test vector (key 00..1f, counter 1, nonce
+        // 000000090000004a00000000), checked against the raw block
+        // function with the reference input layout.
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, w) in input[4..12].iter_mut().enumerate() {
+            let b = (i * 4) as u32;
+            *w = u32::from_le_bytes([b as u8, b as u8 + 1, b as u8 + 2, b as u8 + 3]);
+        }
+        input[12] = 1;
+        input[13] = 0x0900_0000;
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        chacha_block(&input, 20, &mut out);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn mean_of_unit_samples_is_centered() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let n = 10_000;
+        let sum: f64 = (0..n).map(|_| f64::from(rng.random::<f32>())).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

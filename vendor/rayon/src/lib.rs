@@ -1,0 +1,169 @@
+//! Offline stand-in for `rayon`, covering the workspace's usage: turning
+//! a `Range<usize>` into a parallel iterator and running `for_each` /
+//! `map().collect()` over it.
+//!
+//! Real threads are used (`std::thread::scope`), with one contiguous
+//! chunk of the range per available core — appropriate for the
+//! workspace's workloads, which are uniform-cost loops over voxel blocks
+//! and SYRK panel groups. There is no work stealing; a task that takes
+//! much longer than its peers will straggle, which the paper's own
+//! static-chunking baseline also accepts.
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+pub mod prelude {
+    //! Single-import surface, mirroring `rayon::prelude`.
+    pub use crate::IntoParallelIterator;
+}
+
+/// How many worker threads a parallel loop may use.
+fn thread_budget() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (implemented for `Range<usize>`).
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item;
+    /// The concrete parallel iterator.
+    type Iter;
+
+    /// Convert `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// A parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+/// Split `range` into at most `parts` non-empty contiguous chunks.
+fn chunks_of(range: &Range<usize>, parts: usize) -> Vec<Range<usize>> {
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let extra = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = range.start;
+    for i in 0..parts {
+        let size = base + usize::from(i < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+impl ParRange {
+    /// Run `f` on every index, distributed over the thread budget.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let chunks = chunks_of(&self.range, thread_budget());
+        match chunks.len() {
+            0 => {}
+            1 => self.range.for_each(f),
+            _ => std::thread::scope(|scope| {
+                for chunk in chunks {
+                    let f = &f;
+                    scope.spawn(move || chunk.for_each(f));
+                }
+            }),
+        }
+    }
+
+    /// Lazily map every index through `f`.
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        ParMap { range: self.range, f }
+    }
+}
+
+/// A mapped parallel iterator; consume it with [`ParMap::collect`].
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Evaluate the map in parallel, preserving index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+        C: From<Vec<T>>,
+    {
+        let chunks = chunks_of(&self.range, thread_budget());
+        let items: Vec<T> = match chunks.len() {
+            0 => Vec::new(),
+            1 => self.range.map(self.f).collect(),
+            _ => {
+                let f = &self.f;
+                let mut parts: Vec<Vec<T>> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| scope.spawn(move || chunk.map(f).collect::<Vec<T>>()))
+                        .collect();
+                    parts = handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(v) => v,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect();
+                });
+                let mut items = Vec::with_capacity(self.range.len());
+                for part in parts {
+                    items.extend(part);
+                }
+                items
+            }
+        };
+        C::from(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn for_each_visits_every_index_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        (0..1000).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..257).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        (3..3).into_par_iter().for_each(|_| panic!("must not run"));
+    }
+}
