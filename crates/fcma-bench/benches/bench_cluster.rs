@@ -1,8 +1,13 @@
 //! Tables 3/4 and Fig. 8 machinery on real hardware: the threaded
-//! master–worker framework and the discrete-event scaling simulator.
+//! master–worker framework, its fault-recovery paths under a seeded
+//! chaos plan, and the discrete-event scaling simulator (healthy and
+//! degraded).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fcma_cluster::{run_cluster, ClusterModel};
+use fcma_cluster::{
+    run_cluster, run_cluster_with, ChaosExecutor, ClusterConfig, ClusterModel, FaultPlan,
+    NodeFailure,
+};
 use fcma_core::{OptimizedExecutor, TaskContext};
 use fcma_fmri::presets;
 use std::hint::black_box;
@@ -19,7 +24,45 @@ fn bench_threaded_cluster(c: &mut Criterion) {
     g.sample_size(10);
     for workers in [1usize, 2, 4] {
         g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| black_box(run_cluster(&ctx, Arc::clone(&exec), w, 16, None)))
+            b.iter(|| {
+                black_box(
+                    run_cluster(&ctx, Arc::clone(&exec), w, 16, None)
+                        .expect("healthy bench run must succeed"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The same threaded sweep with a seeded fault plan injected: measures
+/// the cost of panic requeue + re-dispatch relative to the healthy runs
+/// above (same workload, same worker counts).
+fn bench_chaos_cluster(c: &mut Criterion) {
+    let mut cfg = presets::tiny();
+    cfg.n_voxels = 96;
+    let (dataset, _) = cfg.generate();
+    let ctx = TaskContext::full(&dataset);
+
+    let mut g = c.benchmark_group("threaded_master_worker_chaos");
+    g.sample_size(10);
+    for workers in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| {
+                let plan = FaultPlan::seeded(42, 96, 16, 250, 0, 0);
+                let exec: Arc<dyn fcma_core::TaskExecutor> =
+                    Arc::new(ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan));
+                let run_cfg = ClusterConfig {
+                    n_workers: w,
+                    task_size: 16,
+                    retry_budget: 4,
+                    ..Default::default()
+                };
+                black_box(
+                    run_cluster_with(&ctx, exec, &run_cfg)
+                        .expect("chaos bench run must recover within its retry budget"),
+                )
+            })
         });
     }
     g.finish();
@@ -35,7 +78,19 @@ fn bench_scaling_simulator(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Degraded mode: a quarter of the nodes die mid-run and their
+    // in-flight tasks requeue onto the survivors.
+    let mut g = c.benchmark_group("discrete_event_simulator_degraded");
+    for nodes in [8usize, 96] {
+        let failures: Vec<NodeFailure> =
+            (0..nodes / 4).map(|i| NodeFailure { node: i, at_sec: 30.0 }).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(model.simulate_degraded(&tasks, n, &failures)))
+        });
+    }
+    g.finish();
 }
 
-criterion_group!(benches, bench_threaded_cluster, bench_scaling_simulator);
+criterion_group!(benches, bench_threaded_cluster, bench_chaos_cluster, bench_scaling_simulator);
 criterion_main!(benches);

@@ -18,7 +18,7 @@ pub mod workloads;
 
 pub use measure::{measure_stage12, measure_svm_solvers, SvmMeasurement};
 pub use model::{
-    baseline_task, offline_task_list, online_task_list, optimized_task, per_voxel_speedup,
-    StageTimes,
+    baseline_task, degraded_offline_table, offline_task_list, online_task_list, optimized_task,
+    per_voxel_speedup, StageTimes,
 };
 pub use workloads::{DatasetKind, OPT_TASK_VOXELS};

@@ -133,6 +133,24 @@ pub fn online_task_list(kind: DatasetKind, machine: &MachineConfig, phisvm_iters
     vec![total_ms * 1e-3; n_tasks]
 }
 
+/// Degraded-mode scaling workload: the Table 3 offline sweep with a
+/// fraction of the cluster dying mid-run. Returns
+/// `(nodes, healthy_sec, degraded_sec)` rows — the cost of the threaded
+/// driver's requeue-and-redispatch recovery at cluster scale, with
+/// `failed_fraction` of each node count lost at `fail_at_sec`.
+pub fn degraded_offline_table(
+    kind: DatasetKind,
+    machine: &MachineConfig,
+    phisvm_iters: u64,
+    node_counts: &[usize],
+    failed_fraction: f64,
+    fail_at_sec: f64,
+) -> Vec<(usize, f64, f64)> {
+    let tasks = offline_task_list(kind, machine, phisvm_iters);
+    let model = fcma_cluster::ClusterModel { data_bytes: kind.data_bytes(), ..Default::default() };
+    model.degraded_sweep(&tasks, node_counts, failed_fraction, fail_at_sec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +198,21 @@ mod tests {
         let tasks = online_task_list(DatasetKind::FaceScene, &m, PHI_ITERS);
         let total: f64 = tasks.iter().sum();
         assert!((2.0..80.0).contains(&total), "online 1-node {total} s");
+    }
+
+    /// Degraded-mode scaling: losing a quarter of the nodes mid-run
+    /// costs elapsed time but never correctness of the model's books —
+    /// every row stays finite and no faster than healthy.
+    #[test]
+    fn degraded_offline_table_is_consistent() {
+        let m = phi_5110p();
+        let rows =
+            degraded_offline_table(DatasetKind::FaceScene, &m, PHI_ITERS, &[8, 48, 96], 0.25, 30.0);
+        assert_eq!(rows.len(), 3);
+        for (n, healthy, degraded) in rows {
+            assert!(healthy > 0.0, "n={n}");
+            assert!(degraded.is_finite() && degraded >= healthy, "n={n}: {degraded} vs {healthy}");
+        }
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are switches (take no value).
-const SWITCHES: &[&str] = &["verbose", "help"];
+const SWITCHES: &[&str] = &["verbose", "help", "resume"];
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).

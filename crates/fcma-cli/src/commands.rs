@@ -1,6 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Args;
+use fcma_cluster::{run_cluster_with, ClusterConfig};
 use fcma_core::{
     offline_analysis, recovery_rate, score_all_voxels, select_top_k, AnalysisConfig,
     BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelScore,
@@ -11,6 +12,7 @@ use fcma_fmri::{io as fio, presets, Placement};
 use std::error::Error;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 type Result<T> = std::result::Result<T, Box<dyn Error>>;
 
@@ -26,6 +28,10 @@ pub(crate) fn print_help() {
          \u{20} analyze   score every voxel         --data STEM --executor optimized|baseline\n\
          \u{20}                                     --task-size N --top-k K [--out scores.tsv]\n\
          \u{20}                                     [--truth STEM.truth]\n\
+         \u{20}                                     [--workers N] run on the fault-tolerant\n\
+         \u{20}                                     threaded cluster driver, with\n\
+         \u{20}                                     [--retries N] [--task-deadline-ms MS]\n\
+         \u{20}                                     [--checkpoint FILE] [--resume]\n\
          \u{20} offline   nested LOSO analysis      --data STEM --top-k K [--task-size N]\n\
          \u{20} clusters  ROI cluster extraction    --scores scores.tsv --top-k K [--grid X,Y,Z]\n\
          \u{20} mask      threshold-mask a dataset  --data STEM --threshold T --out STEM2\n\
@@ -99,12 +105,38 @@ pub(crate) fn info(args: &Args) -> Result<()> {
     Ok(())
 }
 
-fn executor_of(args: &Args) -> Result<Box<dyn TaskExecutor>> {
+fn executor_of(args: &Args) -> Result<Arc<dyn TaskExecutor>> {
     match args.get_or("executor", "optimized").as_str() {
-        "optimized" => Ok(Box::new(OptimizedExecutor::default())),
-        "baseline" => Ok(Box::new(BaselineExecutor::default())),
+        "optimized" => Ok(Arc::new(OptimizedExecutor::default())),
+        "baseline" => Ok(Arc::new(BaselineExecutor::default())),
         other => Err(format!("unknown executor {other:?}").into()),
     }
+}
+
+/// Build the cluster driver config from the analyze flags.
+fn cluster_config_of(args: &Args, task_size: usize) -> Result<ClusterConfig> {
+    let checkpoint = args.get("checkpoint").map(PathBuf::from);
+    let resume_from = if args.has_flag("resume") {
+        Some(
+            checkpoint
+                .clone()
+                .ok_or("--resume needs --checkpoint FILE to know what to resume from")?,
+        )
+    } else {
+        None
+    };
+    Ok(ClusterConfig {
+        n_workers: args.get_parsed("workers", 0usize, "integer")?,
+        task_size,
+        retry_budget: args.get_parsed("retries", 2usize, "integer")?,
+        task_deadline: {
+            let ms = args.get_parsed("task-deadline-ms", 0u64, "integer")?;
+            (ms > 0).then(|| std::time::Duration::from_millis(ms))
+        },
+        checkpoint,
+        resume_from,
+        ..Default::default()
+    })
 }
 
 /// `fcma analyze`
@@ -114,10 +146,25 @@ pub(crate) fn analyze(args: &Args) -> Result<()> {
     let exec = executor_of(args)?;
     let task_size = args.get_parsed("task-size", 64usize, "integer")?;
     let top_k = args.get_parsed("top-k", 16usize, "integer")?;
+    let cluster_cfg = cluster_config_of(args, task_size)?;
 
     let ctx = TaskContext::full(&dataset);
     let t0 = std::time::Instant::now();
-    let scores = score_all_voxels(&ctx, exec.as_ref(), task_size, None);
+    let scores = if cluster_cfg.n_workers > 0 {
+        let run = run_cluster_with(&ctx, Arc::clone(&exec), &cluster_cfg)?;
+        eprintln!(
+            "cluster run: {} workers, tasks/worker {:?}, {} requeued, {} worker(s) lost, \
+             {} voxels resumed from checkpoint",
+            cluster_cfg.n_workers,
+            run.tasks_per_worker,
+            run.requeued_tasks,
+            run.failed_workers.len() + run.hung_workers.len(),
+            run.resumed_voxels
+        );
+        run.scores
+    } else {
+        score_all_voxels(&ctx, exec.as_ref(), task_size, None)
+    };
     eprintln!(
         "scored {} voxels with the {} executor in {:.2?}",
         scores.len(),
@@ -307,6 +354,72 @@ mod tests {
         let parsed = read_scores(&scores).unwrap();
         assert_eq!(parsed.len(), 64);
         assert!(parsed.iter().all(|s| (0.0..=1.0).contains(&s.accuracy)));
+    }
+
+    #[test]
+    fn analyze_on_cluster_driver_with_checkpoint_and_resume() {
+        let ds = tmp("cli_cluster_ds");
+        let ckpt = tmp("cli_cluster.ckpt");
+        let scores = tmp("cli_cluster_scores.out.tsv");
+        let _ = std::fs::remove_file(&ckpt);
+        generate(&args(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--voxels",
+            "48",
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        analyze(&args(&[
+            "analyze",
+            "--data",
+            ds.to_str().unwrap(),
+            "--task-size",
+            "16",
+            "--workers",
+            "3",
+            "--retries",
+            "1",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--out",
+            scores.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(ckpt.exists(), "cluster analyze must write its checkpoint");
+        // Resuming from the finished checkpoint recomputes nothing and
+        // reproduces the same scores.
+        let scores2 = tmp("cli_cluster_scores2.out.tsv");
+        analyze(&args(&[
+            "analyze",
+            "--data",
+            ds.to_str().unwrap(),
+            "--task-size",
+            "16",
+            "--workers",
+            "3",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--resume",
+            "--out",
+            scores2.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let a = read_scores(&scores).unwrap();
+        let b = read_scores(&scores2).unwrap();
+        assert_eq!(a.len(), 48);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.voxel, y.voxel);
+            assert_eq!(x.accuracy.to_bits(), y.accuracy.to_bits());
+        }
+    }
+
+    #[test]
+    fn resume_without_checkpoint_is_an_error() {
+        let a = args(&["analyze", "--data", "whatever", "--workers", "2", "--resume"]);
+        assert!(cluster_config_of(&a, 16).is_err());
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! fcma generate --preset face-scene --voxels 512 --out ds
 //! fcma info     --data ds
 //! fcma analyze  --data ds --executor optimized --top-k 16 --out scores.tsv
+//! fcma analyze  --data ds --workers 4 --retries 3 --checkpoint sweep.ckpt
+//! fcma analyze  --data ds --workers 4 --checkpoint sweep.ckpt --resume
 //! fcma offline  --data ds --top-k 16
 //! fcma clusters --scores scores.tsv --top-k 16
 //! fcma mask     --data ds --threshold 0.05 --out ds_masked

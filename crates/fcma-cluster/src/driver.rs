@@ -1,173 +1,625 @@
-//! Threaded master–worker driver — the MPI stand-in.
+//! Threaded master–worker scheduler — the MPI stand-in, grown into a
+//! fault-tolerant subsystem.
 //!
 //! Workers are OS threads; channels replace MPI point-to-point messages.
-//! The protocol and load-balancing policy are exactly the paper's
-//! (§3.1.1): the master keeps a queue of voxel-block tasks, every worker
-//! processes one task at a time, and a finishing worker immediately
-//! receives the next task — dynamic load balancing, no static
-//! assignment.
+//! The protocol and load-balancing policy are the paper's (§3.1.1): the
+//! master keeps a queue of voxel-block tasks, every worker processes one
+//! task at a time, and a finishing worker immediately receives the next
+//! task — dynamic load balancing, no static assignment.
 //!
-//! **Fault tolerance** (beyond the paper): a worker that panics while
-//! processing a task reports [`FromWorker::Failed`] and terminates; the
-//! master requeues the task on the remaining workers, so a run completes
-//! as long as one worker survives.
+//! **Fault tolerance** (beyond the paper):
+//!
+//! * a worker that panics reports [`FromWorker::Failed`] and dies; its
+//!   task is requeued and re-dispatched to any still-idle worker —
+//!   workers are never shut down while work is outstanding, so a late
+//!   failure cannot strand a task;
+//! * per-task **retry budgets** bound how often a task may be
+//!   re-executed before the run aborts with a typed error;
+//! * optional per-task **deadlines** detect *hung* (not just panicked)
+//!   workers: an overdue worker is condemned (its [`fcma_core::CancelToken`]
+//!   fires, its late results are discarded) and the task re-dispatched;
+//! * optional **speculative re-execution** launches a duplicate copy of
+//!   a straggling task on an idle worker — first valid result wins;
+//! * optional **checkpointing** appends every completed task to a
+//!   [`crate::checkpoint`] file, and a sweep can resume from one,
+//!   producing byte-identical scores.
+//!
+//! Every failure path returns a [`ClusterError`]; the scheduler never
+//! panics on worker misbehavior.
 
+use crate::checkpoint::{Checkpoint, CheckpointWriter};
+use crate::error::ClusterError;
 use crate::protocol::{FromWorker, ToWorker};
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use fcma_core::{partition, TaskContext, TaskExecutor, VoxelScore};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fcma_core::{
+    partition, CancelToken, TaskContext, TaskControls, TaskExecutor, VoxelScore, VoxelTask,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scheduling policy and fault-tolerance knobs for one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Worker threads (the paper's coprocessors).
+    pub n_workers: usize,
+    /// Voxels per task.
+    pub task_size: usize,
+    /// Re-dispatches allowed per task after its first attempt. Failing
+    /// past the budget aborts the run with
+    /// [`ClusterError::RetryBudgetExhausted`].
+    pub retry_budget: usize,
+    /// Declare a dispatch hung once it has run this long: the worker is
+    /// condemned and the task re-dispatched. `None` disables hang
+    /// detection (a truly wedged worker then blocks the run).
+    pub task_deadline: Option<Duration>,
+    /// Launch a speculative duplicate of a task still running after this
+    /// long, if an idle worker is available. First valid result wins;
+    /// the loser's result is discarded. `None` disables speculation.
+    pub speculate_after: Option<Duration>,
+    /// Master wake-up granularity when no timer is pending.
+    pub heartbeat: Duration,
+    /// Append every completed task to this checkpoint file.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from this checkpoint: its tasks are trusted and not
+    /// re-executed. May equal `checkpoint` to continue the same file.
+    pub resume_from: Option<PathBuf>,
+    /// Optional cross-validation grouping override (see
+    /// [`fcma_core::TaskExecutor::process_grouped`]).
+    pub groups: Option<Arc<Vec<usize>>>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n_workers: 4,
+            task_size: 64,
+            retry_budget: 2,
+            task_deadline: None,
+            speculate_after: None,
+            heartbeat: Duration::from_millis(10),
+            checkpoint: None,
+            resume_from: None,
+            groups: None,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with the given worker count and task size and default
+    /// fault-tolerance policy.
+    pub fn new(n_workers: usize, task_size: usize) -> Self {
+        ClusterConfig { n_workers, task_size, ..Default::default() }
+    }
+}
 
 /// Statistics of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
     /// All voxel scores, sorted by voxel index.
     pub scores: Vec<VoxelScore>,
-    /// Tasks processed per worker (load-balance visibility).
+    /// Tasks processed per worker (load-balance visibility). Resumed
+    /// tasks are not attributed to any worker.
     pub tasks_per_worker: Vec<usize>,
-    /// Tasks that had to be requeued after a worker failure.
+    /// Tasks that had to be requeued after a failure or hang.
     pub requeued_tasks: usize,
-    /// Workers that died during the run.
+    /// Workers that died by panicking during the run.
     pub failed_workers: Vec<usize>,
+    /// Workers condemned as hung by deadline detection.
+    pub hung_workers: Vec<usize>,
+    /// Speculative duplicate dispatches launched for stragglers.
+    pub speculative_launches: usize,
+    /// Results discarded as duplicates or as late answers from
+    /// condemned workers.
+    pub duplicate_results: usize,
+    /// Voxels whose scores came from the resume checkpoint.
+    pub resumed_voxels: usize,
 }
 
-/// Run a full voxel sweep on `n_workers` worker threads.
+/// Run a full voxel sweep on `n_workers` worker threads with the
+/// default fault-tolerance policy. See [`run_cluster_with`].
 ///
-/// `groups` optionally overrides the cross-validation grouping (see
-/// [`fcma_core::TaskExecutor::process_grouped`]).
-///
-/// # Panics
-/// Panics if `n_workers` is zero or every worker dies with tasks still
-/// outstanding.
+/// # Errors
+/// Returns a [`ClusterError`] if the sweep cannot complete — zero
+/// workers, every worker lost, or a task exhausting its retry budget.
 pub fn run_cluster(
     ctx: &TaskContext,
     exec: Arc<dyn TaskExecutor>,
     n_workers: usize,
     task_size: usize,
     groups: Option<Arc<Vec<usize>>>,
-) -> ClusterRun {
-    assert!(n_workers > 0, "run_cluster: need at least one worker");
-    let tasks = partition(ctx.n_voxels(), task_size);
-    let mut task_queue: std::collections::VecDeque<_> = tasks.into_iter().collect();
+) -> Result<ClusterRun, ClusterError> {
+    let cfg = ClusterConfig { n_workers, task_size, groups, ..Default::default() };
+    run_cluster_with(ctx, exec, &cfg)
+}
 
-    let (to_master_tx, to_master_rx): (Sender<FromWorker>, Receiver<FromWorker>) = unbounded();
-    let mut to_worker_txs: Vec<Sender<ToWorker>> = Vec::with_capacity(n_workers);
+/// Run a full voxel sweep under an explicit [`ClusterConfig`].
+///
+/// Worker threads are detached: a condemned hung worker is abandoned to
+/// its fate (its cancellation token is set, its results are ignored)
+/// rather than joined, mirroring how a real cluster fences a dead node.
+///
+/// # Errors
+/// Returns a [`ClusterError`] on any unrecoverable failure: no workers,
+/// a zero task size, an unreadable or mismatched checkpoint, every
+/// worker lost with work outstanding, or a task failing past its retry
+/// budget. Recoverable failures (individual panics, hangs, stragglers)
+/// are absorbed and reported in the returned [`ClusterRun`] statistics.
+pub fn run_cluster_with(
+    ctx: &TaskContext,
+    exec: Arc<dyn TaskExecutor>,
+    cfg: &ClusterConfig,
+) -> Result<ClusterRun, ClusterError> {
+    if cfg.n_workers == 0 {
+        return Err(ClusterError::NoWorkers);
+    }
+    if cfg.task_size == 0 {
+        return Err(ClusterError::ZeroTaskSize);
+    }
+    let all_tasks = partition(ctx.n_voxels(), cfg.task_size);
+    let total_tasks = all_tasks.len();
 
+    // Seed completed work from the resume checkpoint, if any.
+    let mut completed: HashSet<usize> = HashSet::new();
     let mut scores: Vec<VoxelScore> = Vec::with_capacity(ctx.n_voxels());
-    let mut tasks_per_worker = vec![0usize; n_workers];
-    let mut requeued_tasks = 0usize;
-    let mut failed_workers = Vec::new();
-
-    std::thread::scope(|scope| {
-        for wid in 0..n_workers {
-            let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
-            to_worker_txs.push(tx);
-            let to_master = to_master_tx.clone();
-            let exec = Arc::clone(&exec);
-            let ctx = ctx.clone();
-            let groups = groups.clone();
-            scope.spawn(move || {
-                // Handshake: announce readiness, then serve tasks.
-                to_master.send(FromWorker::Ready { worker: wid }).expect("master hung up");
-                while let Ok(msg) = rx.recv() {
-                    match msg {
-                        ToWorker::Task(task) => {
-                            // Contain executor panics: report the failure
-                            // so the master can requeue, then die.
-                            let result =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    exec.process_grouped(
-                                        &ctx,
-                                        task,
-                                        groups.as_deref().map(|g| &g[..]),
-                                    )
-                                }));
-                            match result {
-                                Ok(scores) => {
-                                    to_master
-                                        .send(FromWorker::Done { worker: wid, scores })
-                                        .expect("master hung up");
-                                }
-                                Err(_) => {
-                                    let _ =
-                                        to_master.send(FromWorker::Failed { worker: wid, task });
-                                    return;
-                                }
-                            }
-                        }
-                        ToWorker::Shutdown => break,
-                    }
-                }
+    let mut resumed_records = Vec::new();
+    let mut resumed_voxels = 0usize;
+    if let Some(path) = &cfg.resume_from {
+        let ck = Checkpoint::load(path)?;
+        if (ck.n_voxels, ck.task_size) != (ctx.n_voxels(), cfg.task_size) {
+            return Err(ClusterError::CheckpointMismatch {
+                found: (ck.n_voxels, ck.task_size),
+                expected: (ctx.n_voxels(), cfg.task_size),
             });
         }
-        drop(to_master_tx);
-
-        // Master loop: feed tasks to whichever worker reports in; requeue
-        // on failure.
-        let mut outstanding = 0usize;
-        let mut alive = vec![true; n_workers];
-        let mut idle_shutdown = vec![false; n_workers];
-        // Runs until all workers are gone and the channel disconnects.
-        while let Ok(msg) = to_master_rx.recv() {
-            let wid = msg.worker();
-            match msg {
-                FromWorker::Ready { .. } => {}
-                FromWorker::Done { scores: s, .. } => {
-                    outstanding -= 1;
-                    tasks_per_worker[wid] += 1;
-                    scores.extend(s);
+        for rec in ck.tasks {
+            completed.insert(rec.task.start);
+            resumed_voxels += rec.scores.len();
+            scores.extend(rec.scores.iter().copied());
+            resumed_records.push(rec);
+        }
+    }
+    let mut writer = match &cfg.checkpoint {
+        Some(path) => {
+            if cfg.resume_from.as_deref() == Some(path.as_path()) {
+                Some(CheckpointWriter::append(path)?)
+            } else {
+                // Fresh file: replay resumed records so any checkpoint is
+                // self-contained.
+                let mut w = CheckpointWriter::create(path, ctx.n_voxels(), cfg.task_size)?;
+                for rec in &resumed_records {
+                    w.record(rec.task, &rec.scores)?;
                 }
-                FromWorker::Failed { task, .. } => {
-                    outstanding -= 1;
-                    alive[wid] = false;
-                    failed_workers.push(wid);
-                    requeued_tasks += 1;
-                    task_queue.push_back(task);
-                    assert!(
-                        alive.iter().any(|&a| a),
-                        "run_cluster: every worker died with tasks outstanding"
-                    );
-                    // Kick an idle healthy worker back into action if one
-                    // was already shut down... none are (shutdown only
-                    // happens when the queue is empty and nothing is
-                    // outstanding), so the requeued task will be handed to
-                    // the next finisher.
-                    continue;
+                Some(w)
+            }
+        }
+        None => None,
+    };
+    drop(resumed_records);
+
+    let queue: VecDeque<VoxelTask> =
+        all_tasks.into_iter().filter(|t| !completed.contains(&t.start)).collect();
+
+    // Spawn detached workers.
+    let (to_master_tx, to_master_rx): (Sender<FromWorker>, Receiver<FromWorker>) = unbounded();
+    let mut workers = Vec::with_capacity(cfg.n_workers);
+    for wid in 0..cfg.n_workers {
+        let (tx, rx): (Sender<ToWorker>, Receiver<ToWorker>) = unbounded();
+        let cancel = CancelToken::new();
+        let controls = TaskControls { cancel: cancel.clone(), deadline: cfg.task_deadline };
+        spawn_worker(
+            wid,
+            ctx.clone(),
+            Arc::clone(&exec),
+            cfg.groups.clone(),
+            rx,
+            to_master_tx.clone(),
+            controls,
+        );
+        workers.push(WorkerState { tx, cancel, alive: true, idle: true, condemned: false });
+    }
+    drop(to_master_tx);
+
+    let mut master = Master {
+        workers,
+        queue,
+        completed,
+        scores,
+        writer: writer.take(),
+        attempts: HashMap::new(),
+        in_flight: HashMap::new(),
+        retry_budget: cfg.retry_budget,
+        task_deadline: cfg.task_deadline,
+        speculate_after: cfg.speculate_after,
+        heartbeat: cfg.heartbeat.max(Duration::from_millis(1)),
+        tasks_per_worker: vec![0; cfg.n_workers],
+        requeued_tasks: 0,
+        failed_workers: Vec::new(),
+        hung_workers: Vec::new(),
+        speculative_launches: 0,
+        duplicate_results: 0,
+    };
+    let outcome = master.run(&to_master_rx, total_tasks);
+    master.shutdown_workers();
+    outcome?;
+
+    let mut scores = master.scores;
+    scores.sort_by_key(|s| s.voxel);
+    let complete =
+        scores.len() == ctx.n_voxels() && scores.iter().enumerate().all(|(i, s)| s.voxel == i);
+    if !complete {
+        return Err(ClusterError::IncompleteSweep {
+            scored: scores.len(),
+            expected: ctx.n_voxels(),
+        });
+    }
+    Ok(ClusterRun {
+        scores,
+        tasks_per_worker: master.tasks_per_worker,
+        requeued_tasks: master.requeued_tasks,
+        failed_workers: master.failed_workers,
+        hung_workers: master.hung_workers,
+        speculative_launches: master.speculative_launches,
+        duplicate_results: master.duplicate_results,
+        resumed_voxels,
+    })
+}
+
+/// Master-side view of one worker.
+struct WorkerState {
+    tx: Sender<ToWorker>,
+    cancel: CancelToken,
+    /// Believed healthy (not panicked, not condemned).
+    alive: bool,
+    /// Ready for a task.
+    idle: bool,
+    /// Declared hung; its results are discarded.
+    condemned: bool,
+}
+
+/// One copy of a task currently executing on some worker.
+struct FlightCopy {
+    worker: usize,
+    started: Instant,
+}
+
+/// A task with at least one copy in flight.
+struct Flight {
+    task: VoxelTask,
+    copies: Vec<FlightCopy>,
+    first_started: Instant,
+    speculated: bool,
+}
+
+/// All mutable master-loop state, so the event handlers can share it.
+struct Master {
+    workers: Vec<WorkerState>,
+    queue: VecDeque<VoxelTask>,
+    completed: HashSet<usize>,
+    scores: Vec<VoxelScore>,
+    writer: Option<CheckpointWriter>,
+    /// Non-speculative dispatches per task start.
+    attempts: HashMap<usize, usize>,
+    in_flight: HashMap<usize, Flight>,
+    retry_budget: usize,
+    task_deadline: Option<Duration>,
+    speculate_after: Option<Duration>,
+    heartbeat: Duration,
+    tasks_per_worker: Vec<usize>,
+    requeued_tasks: usize,
+    failed_workers: Vec<usize>,
+    hung_workers: Vec<usize>,
+    speculative_launches: usize,
+    duplicate_results: usize,
+}
+
+impl Master {
+    /// The event loop: dispatch, receive, recover, until every task is
+    /// complete or the run is unrecoverable.
+    fn run(&mut self, rx: &Receiver<FromWorker>, total_tasks: usize) -> Result<(), ClusterError> {
+        loop {
+            self.dispatch_to_idle();
+            if self.completed.len() == total_tasks {
+                return Ok(());
+            }
+            if !self.workers.iter().any(|w| w.alive) {
+                return Err(ClusterError::AllWorkersFailed {
+                    unfinished_tasks: total_tasks - self.completed.len(),
+                });
+            }
+            match rx.recv_timeout(self.next_timeout()) {
+                Ok(msg) => self.handle(msg)?,
+                Err(RecvTimeoutError::Timeout) => self.check_deadlines()?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::AllWorkersFailed {
+                        unfinished_tasks: total_tasks - self.completed.len(),
+                    });
                 }
             }
-            if let Some(task) = task_queue.pop_front() {
-                to_worker_txs[wid].send(ToWorker::Task(task)).expect("worker hung up");
-                outstanding += 1;
-            } else {
-                to_worker_txs[wid].send(ToWorker::Shutdown).expect("worker hung up");
-                idle_shutdown[wid] = true;
-                let all_settled = (0..n_workers).all(|w| !alive[w] || idle_shutdown[w]);
-                if outstanding == 0 && task_queue.is_empty() && all_settled {
-                    break;
+        }
+    }
+
+    /// Hand queued tasks to every idle healthy worker. This runs after
+    /// every event, so a task requeued by a late failure goes straight
+    /// to a waiting worker — the fix for the old driver's stranding bug
+    /// (workers are no longer shut down while work is outstanding).
+    fn dispatch_to_idle(&mut self) {
+        while !self.queue.is_empty() {
+            let Some(wid) = self.workers.iter().position(|w| w.alive && w.idle) else {
+                return;
+            };
+            let Some(task) = self.queue.pop_front() else {
+                return;
+            };
+            if !self.dispatch(task, wid, false) {
+                // The worker was found dead at send time; put the task
+                // back and try the next candidate.
+                self.queue.push_front(task);
+            }
+        }
+    }
+
+    /// Send `task` to `wid`; returns `false` if the worker is gone.
+    fn dispatch(&mut self, task: VoxelTask, wid: usize, speculative: bool) -> bool {
+        if self.workers[wid].tx.send(ToWorker::Task(task)).is_err() {
+            self.workers[wid].alive = false;
+            self.workers[wid].idle = false;
+            return false;
+        }
+        self.workers[wid].idle = false;
+        let now = Instant::now();
+        if speculative {
+            self.speculative_launches += 1;
+        } else {
+            *self.attempts.entry(task.start).or_insert(0) += 1;
+        }
+        let flight = self.in_flight.entry(task.start).or_insert_with(|| Flight {
+            task,
+            copies: Vec::new(),
+            first_started: now,
+            speculated: false,
+        });
+        if speculative {
+            flight.speculated = true;
+        }
+        flight.copies.push(FlightCopy { worker: wid, started: now });
+        true
+    }
+
+    fn handle(&mut self, msg: FromWorker) -> Result<(), ClusterError> {
+        match msg {
+            FromWorker::Ready { .. } => Ok(()), // workers start idle; informational
+            FromWorker::Done { worker, task, scores } => self.on_done(worker, task, scores),
+            FromWorker::Failed { worker, task } => self.on_failed(worker, task),
+        }
+    }
+
+    fn on_done(
+        &mut self,
+        worker: usize,
+        task: VoxelTask,
+        task_scores: Vec<VoxelScore>,
+    ) -> Result<(), ClusterError> {
+        if self.workers[worker].condemned {
+            // A late answer from a worker we already declared hung: the
+            // task was re-dispatched elsewhere, so this result (possibly
+            // truncated by cancellation) is discarded.
+            self.duplicate_results += 1;
+            return Ok(());
+        }
+        self.workers[worker].idle = true;
+        if let Some(flight) = self.in_flight.get_mut(&task.start) {
+            flight.copies.retain(|c| c.worker != worker);
+        }
+        let fresh = !self.completed.contains(&task.start);
+        if fresh && task_scores.len() == task.count {
+            self.completed.insert(task.start);
+            self.tasks_per_worker[worker] += 1;
+            if let Some(w) = self.writer.as_mut() {
+                w.record(task, &task_scores)?;
+            }
+            self.scores.extend(task_scores);
+            self.in_flight.remove(&task.start);
+            Ok(())
+        } else {
+            // Either a speculative duplicate of an already-completed
+            // task, or a truncated result — discard, and requeue if the
+            // task is somehow left with no running copy.
+            self.duplicate_results += 1;
+            self.requeue_if_abandoned(task)
+        }
+    }
+
+    fn on_failed(&mut self, worker: usize, task: VoxelTask) -> Result<(), ClusterError> {
+        let state = &mut self.workers[worker];
+        let was_condemned = state.condemned;
+        state.alive = false;
+        state.idle = false;
+        if !was_condemned {
+            self.failed_workers.push(worker);
+        }
+        if let Some(flight) = self.in_flight.get_mut(&task.start) {
+            flight.copies.retain(|c| c.worker != worker);
+        }
+        self.requeue_if_abandoned(task)
+    }
+
+    /// Requeue `task` unless it is completed, still running somewhere,
+    /// or already queued. Enforces the retry budget.
+    fn requeue_if_abandoned(&mut self, task: VoxelTask) -> Result<(), ClusterError> {
+        if self.completed.contains(&task.start) {
+            return Ok(());
+        }
+        if self.in_flight.get(&task.start).is_some_and(|f| !f.copies.is_empty()) {
+            return Ok(());
+        }
+        if self.queue.iter().any(|t| t.start == task.start) {
+            return Ok(());
+        }
+        self.in_flight.remove(&task.start);
+        let attempts = self.attempts.get(&task.start).copied().unwrap_or(0);
+        if attempts > self.retry_budget {
+            return Err(ClusterError::RetryBudgetExhausted { task, attempts });
+        }
+        self.requeued_tasks += 1;
+        self.queue.push_back(task);
+        Ok(())
+    }
+
+    /// Wake-up interval: the earliest pending hang/speculation timer, or
+    /// the heartbeat when none is armed.
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        let mut earliest: Option<Instant> = None;
+        let mut consider = |t: Instant| {
+            earliest = Some(earliest.map_or(t, |e| e.min(t)));
+        };
+        if let Some(deadline) = self.task_deadline {
+            for flight in self.in_flight.values() {
+                for copy in &flight.copies {
+                    consider(copy.started + deadline);
                 }
+            }
+        }
+        if let Some(spec) = self.speculate_after {
+            for flight in self.in_flight.values() {
+                if !flight.speculated && !flight.copies.is_empty() {
+                    consider(flight.first_started + spec);
+                }
+            }
+        }
+        match earliest {
+            Some(t) => t.saturating_duration_since(now).max(Duration::from_millis(1)),
+            None => self.heartbeat,
+        }
+    }
+
+    /// Fire expired hang deadlines and due speculation timers.
+    fn check_deadlines(&mut self) -> Result<(), ClusterError> {
+        let now = Instant::now();
+        if let Some(deadline) = self.task_deadline {
+            // Collect expirations first; condemning touches worker state.
+            let mut expirations: Vec<(VoxelTask, Vec<usize>)> = Vec::new();
+            for flight in self.in_flight.values_mut() {
+                let mut overdue = Vec::new();
+                flight.copies.retain(|c| {
+                    if now.duration_since(c.started) >= deadline {
+                        overdue.push(c.worker);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if !overdue.is_empty() {
+                    expirations.push((flight.task, overdue));
+                }
+            }
+            for (task, overdue) in expirations {
+                for wid in overdue {
+                    let state = &mut self.workers[wid];
+                    state.cancel.cancel();
+                    state.alive = false;
+                    state.idle = false;
+                    if !state.condemned {
+                        state.condemned = true;
+                        self.hung_workers.push(wid);
+                    }
+                }
+                self.requeue_if_abandoned(task)?;
+            }
+        }
+        if let Some(spec) = self.speculate_after {
+            let due: Vec<VoxelTask> = self
+                .in_flight
+                .values()
+                .filter(|f| {
+                    !f.speculated
+                        && !f.copies.is_empty()
+                        && now.duration_since(f.first_started) >= spec
+                })
+                .map(|f| f.task)
+                .collect();
+            for task in due {
+                let Some(wid) = self.workers.iter().position(|w| w.alive && w.idle) else {
+                    break;
+                };
+                let _ = self.dispatch(task, wid, true);
+            }
+        }
+        Ok(())
+    }
+
+    /// Tell every worker to stop: cancellation for the condemned and
+    /// in-flight, `Shutdown` for the idle. Workers are detached, so this
+    /// does not block on stragglers.
+    fn shutdown_workers(&mut self) {
+        for w in &self.workers {
+            w.cancel.cancel();
+            let _ = w.tx.send(ToWorker::Shutdown);
+        }
+    }
+}
+
+/// Spawn one detached worker thread serving tasks until shutdown,
+/// disconnect, or its own death.
+fn spawn_worker(
+    wid: usize,
+    ctx: TaskContext,
+    exec: Arc<dyn TaskExecutor>,
+    groups: Option<Arc<Vec<usize>>>,
+    rx: Receiver<ToWorker>,
+    to_master: Sender<FromWorker>,
+    controls: TaskControls,
+) {
+    std::thread::spawn(move || {
+        if to_master.send(FromWorker::Ready { worker: wid }).is_err() {
+            return;
+        }
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                ToWorker::Task(task) => {
+                    if controls.cancel.is_cancelled() {
+                        return;
+                    }
+                    // Contain executor panics: report the failure so the
+                    // master can requeue, then die (a crashed node does
+                    // not come back).
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        exec.process_with_controls(
+                            &ctx,
+                            task,
+                            groups.as_deref().map(|g| &g[..]),
+                            &controls,
+                        )
+                    }));
+                    match result {
+                        Ok(scores) => {
+                            if to_master
+                                .send(FromWorker::Done { worker: wid, task, scores })
+                                .is_err()
+                            {
+                                return;
+                            }
+                        }
+                        Err(_) => {
+                            let _ = to_master.send(FromWorker::Failed { worker: wid, task });
+                            return;
+                        }
+                    }
+                }
+                ToWorker::Shutdown => return,
             }
         }
     });
-
-    // A failure after every peer already shut down would strand the
-    // requeued task; surface that as an error rather than a silent gap.
-    assert_eq!(
-        scores.len(),
-        ctx.n_voxels(),
-        "run_cluster: incomplete run ({} of {} voxels scored) — a task was \
-         stranded by worker failures",
-        scores.len(),
-        ctx.n_voxels()
-    );
-    scores.sort_by_key(|s| s.voxel);
-    ClusterRun { scores, tasks_per_worker, requeued_tasks, failed_workers }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fcma_core::{score_all_voxels, OptimizedExecutor, VoxelTask};
+    use crate::fault::{ChaosExecutor, FaultKind, FaultPlan};
+    use fcma_core::{score_all_voxels, OptimizedExecutor};
     use fcma_fmri::presets;
-    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn ctx() -> TaskContext {
         let mut cfg = presets::tiny();
@@ -177,12 +629,18 @@ mod tests {
         TaskContext::full(&d)
     }
 
+    fn assert_full_coverage(run: &ClusterRun, n_voxels: usize) {
+        let voxels: Vec<usize> = run.scores.iter().map(|s| s.voxel).collect();
+        let expect: Vec<usize> = (0..n_voxels).collect();
+        assert_eq!(voxels, expect);
+    }
+
     #[test]
     fn cluster_matches_sequential_execution() {
         let ctx = ctx();
         let exec = OptimizedExecutor::default();
         let sequential = score_all_voxels(&ctx, &exec, 16, None);
-        let run = run_cluster(&ctx, Arc::new(exec), 3, 16, None);
+        let run = run_cluster(&ctx, Arc::new(exec), 3, 16, None).expect("healthy run");
         assert_eq!(run.scores.len(), sequential.len());
         assert!(run.failed_workers.is_empty());
         for (a, b) in run.scores.iter().zip(&sequential) {
@@ -200,16 +658,16 @@ mod tests {
     #[test]
     fn every_voxel_scored_exactly_once() {
         let ctx = ctx();
-        let run = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 4, 10, None);
-        let voxels: Vec<usize> = run.scores.iter().map(|s| s.voxel).collect();
-        let expect: Vec<usize> = (0..ctx.n_voxels()).collect();
-        assert_eq!(voxels, expect);
+        let run =
+            run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 4, 10, None).expect("run");
+        assert_full_coverage(&run, ctx.n_voxels());
     }
 
     #[test]
     fn all_tasks_accounted_for() {
         let ctx = ctx();
-        let run = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 3, 10, None);
+        let run =
+            run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 3, 10, None).expect("run");
         let total: usize = run.tasks_per_worker.iter().sum();
         assert_eq!(total, ctx.n_voxels().div_ceil(10));
     }
@@ -217,7 +675,8 @@ mod tests {
     #[test]
     fn single_worker_cluster_works() {
         let ctx = ctx();
-        let run = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 1, 16, None);
+        let run =
+            run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 1, 16, None).expect("run");
         assert_eq!(run.scores.len(), ctx.n_voxels());
         assert_eq!(run.tasks_per_worker, vec![4]);
     }
@@ -225,7 +684,8 @@ mod tests {
     #[test]
     fn more_workers_than_tasks_is_fine() {
         let ctx = ctx();
-        let run = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 8, 32, None);
+        let run =
+            run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 8, 32, None).expect("run");
         assert_eq!(run.scores.len(), ctx.n_voxels());
         assert!(run.tasks_per_worker.iter().filter(|&&t| t > 0).count() <= 2);
     }
@@ -240,65 +700,110 @@ mod tests {
             2,
             16,
             Some(Arc::new(groups)),
-        );
+        )
+        .expect("run");
         assert_eq!(run.scores.len(), ctx.n_voxels());
     }
 
-    /// An executor that panics exactly once, on the first task that
-    /// starts at `poison_start` — simulating a node crash mid-task.
-    struct FaultyExecutor {
-        inner: OptimizedExecutor,
-        poison_start: usize,
-        tripped: AtomicBool,
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        let ctx = ctx();
+        let r = run_cluster(&ctx, Arc::new(OptimizedExecutor::default()), 0, 16, None);
+        assert!(matches!(r, Err(ClusterError::NoWorkers)));
     }
 
-    impl TaskExecutor for FaultyExecutor {
-        fn name(&self) -> &'static str {
-            "faulty"
-        }
-        fn process_grouped(
-            &self,
-            ctx: &TaskContext,
-            task: VoxelTask,
-            groups: Option<&[usize]>,
-        ) -> Vec<VoxelScore> {
-            if task.start == self.poison_start && !self.tripped.swap(true, Ordering::SeqCst) {
-                panic!("injected worker failure");
-            }
-            self.inner.process_grouped(ctx, task, groups)
-        }
+    #[test]
+    fn zero_task_size_is_a_typed_error() {
+        let ctx = ctx();
+        let cfg = ClusterConfig { n_workers: 2, task_size: 0, ..Default::default() };
+        let r = run_cluster_with(&ctx, Arc::new(OptimizedExecutor::default()), &cfg);
+        assert!(matches!(r, Err(ClusterError::ZeroTaskSize)));
     }
 
     #[test]
     fn failed_task_is_requeued_and_run_completes() {
         let ctx = ctx();
-        let exec = Arc::new(FaultyExecutor {
-            inner: OptimizedExecutor::default(),
-            poison_start: 16,
-            tripped: AtomicBool::new(false),
-        });
-        let run = run_cluster(&ctx, exec, 3, 16, None);
+        let exec = ChaosExecutor::panic_once(Arc::new(OptimizedExecutor::default()), 16);
+        let run = run_cluster(&ctx, Arc::new(exec), 3, 16, None).expect("recovers");
         assert_eq!(run.requeued_tasks, 1);
         assert_eq!(run.failed_workers.len(), 1);
-        // Every voxel still scored exactly once.
-        let voxels: Vec<usize> = run.scores.iter().map(|s| s.voxel).collect();
-        let expect: Vec<usize> = (0..ctx.n_voxels()).collect();
-        assert_eq!(voxels, expect);
+        assert_full_coverage(&run, ctx.n_voxels());
     }
 
     #[test]
-    fn survives_multiple_failures_with_one_healthy_worker() {
+    fn survives_failure_with_one_healthy_worker_left() {
         let ctx = ctx();
-        // Two poison executors can each kill at most one worker; with 3
-        // workers at least one survives. Use two distinct poison tasks by
-        // wrapping twice... simpler: poison one task; kill happens once.
-        let exec = Arc::new(FaultyExecutor {
-            inner: OptimizedExecutor::default(),
-            poison_start: 0,
-            tripped: AtomicBool::new(false),
-        });
-        let run = run_cluster(&ctx, exec, 2, 32, None);
+        let exec = ChaosExecutor::panic_once(Arc::new(OptimizedExecutor::default()), 0);
+        let run = run_cluster(&ctx, Arc::new(exec), 2, 32, None).expect("recovers");
         assert_eq!(run.scores.len(), ctx.n_voxels());
         assert_eq!(run.requeued_tasks, 1);
+    }
+
+    #[test]
+    fn losing_every_worker_is_a_typed_error() {
+        let ctx = ctx();
+        let exec = ChaosExecutor::panic_once(Arc::new(OptimizedExecutor::default()), 0);
+        let r = run_cluster(&ctx, Arc::new(exec), 1, 32, None);
+        assert!(matches!(r, Err(ClusterError::AllWorkersFailed { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_typed_error() {
+        let ctx = ctx();
+        // Task 0 panics on every allowed attempt (budget 2 → 3 tries).
+        let plan = FaultPlan::none()
+            .with_fault(0, 0, FaultKind::panic_now())
+            .with_fault(0, 1, FaultKind::panic_now())
+            .with_fault(0, 2, FaultKind::panic_now());
+        let exec = ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan);
+        let cfg = ClusterConfig { n_workers: 5, task_size: 16, ..Default::default() };
+        let r = run_cluster_with(&ctx, Arc::new(exec), &cfg);
+        match r {
+            Err(ClusterError::RetryBudgetExhausted { task, attempts }) => {
+                assert_eq!(task.start, 0);
+                assert_eq!(attempts, 3);
+            }
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hung_worker_is_condemned_and_task_redispatched() {
+        let ctx = ctx();
+        let plan = FaultPlan::none().with_fault(0, 0, FaultKind::Stall);
+        let exec = ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan);
+        // The deadline must dominate a legitimate task's debug-build wall
+        // time (or the healthy worker gets condemned too) while staying
+        // far below the stall cap.
+        let cfg = ClusterConfig {
+            n_workers: 2,
+            task_size: 32,
+            task_deadline: Some(Duration::from_millis(500)),
+            heartbeat: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let run = run_cluster_with(&ctx, Arc::new(exec), &cfg).expect("recovers from hang");
+        assert_eq!(run.hung_workers.len(), 1);
+        assert!(run.failed_workers.is_empty());
+        assert_eq!(run.requeued_tasks, 1);
+        assert_full_coverage(&run, ctx.n_voxels());
+    }
+
+    #[test]
+    fn straggler_triggers_speculative_copy() {
+        let ctx = ctx();
+        let plan = FaultPlan::none().with_fault(0, 0, FaultKind::Delay(Duration::from_millis(400)));
+        let exec = ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan);
+        let cfg = ClusterConfig {
+            n_workers: 2,
+            task_size: 32,
+            speculate_after: Some(Duration::from_millis(40)),
+            heartbeat: Duration::from_millis(5),
+            ..Default::default()
+        };
+        let run = run_cluster_with(&ctx, Arc::new(exec), &cfg).expect("speculation covers");
+        assert!(run.speculative_launches >= 1, "no speculation launched");
+        assert!(run.failed_workers.is_empty() && run.hung_workers.is_empty());
+        assert_full_coverage(&run, ctx.n_voxels());
     }
 }

@@ -25,10 +25,14 @@ pub enum FromWorker {
         /// Sender's worker id.
         worker: usize,
     },
-    /// A completed task's scores.
+    /// A completed task's scores. Carries the task identity so the
+    /// master can discard duplicate results (speculative copies, late
+    /// answers from workers already declared hung).
     Done {
         /// Sender's worker id.
         worker: usize,
+        /// The task these scores cover.
+        task: VoxelTask,
         /// Scores for the completed task.
         scores: Vec<VoxelScore>,
     },
@@ -60,8 +64,11 @@ mod tests {
     #[test]
     fn message_kinds_carry_worker_ids() {
         assert_eq!(FromWorker::Ready { worker: 3 }.worker(), 3);
-        let done =
-            FromWorker::Done { worker: 1, scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }] };
+        let done = FromWorker::Done {
+            worker: 1,
+            task: VoxelTask { start: 0, count: 1 },
+            scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }],
+        };
         assert_eq!(done.worker(), 1);
         let failed = FromWorker::Failed { worker: 2, task: VoxelTask { start: 0, count: 4 } };
         assert_eq!(failed.worker(), 2);

@@ -18,6 +18,17 @@
 //! makespan is driven by `ceil(T/n)` waves, which is what bends the
 //! speedup curve at high node counts (Fig. 8's 59.8×/73.5× at 96).
 
+/// A node loss event for degraded-mode simulation: `node` stops
+/// accepting work at `at_sec` and any task it is running at that moment
+/// is lost and must be re-executed elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeFailure {
+    /// Index of the failing node.
+    pub node: usize,
+    /// Simulation time of the failure, seconds.
+    pub at_sec: f64,
+}
+
 /// Cost parameters of the cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterModel {
@@ -103,6 +114,91 @@ impl ClusterModel {
             node_free[idx] = start + dur;
         }
         node_free.into_iter().fold(0.0, f64::max) + self.serial_sec
+    }
+
+    /// Degraded-mode simulation: like [`Self::simulate`], but nodes
+    /// listed in `failures` die at their failure times. A task caught
+    /// mid-execution on a dying node is requeued and re-dispatched (the
+    /// threaded driver's recovery protocol), so failures cost both the
+    /// lost node and the wasted partial work. Returns
+    /// [`f64::INFINITY`] if every node dies with tasks still pending.
+    ///
+    /// # Panics
+    /// Panics if `n_nodes` is zero or a failure names a node `>=
+    /// n_nodes`.
+    pub fn simulate_degraded(
+        &self,
+        task_secs: &[f64],
+        n_nodes: usize,
+        failures: &[NodeFailure],
+    ) -> f64 {
+        assert!(n_nodes > 0, "simulate_degraded: need at least one node");
+        assert!(
+            failures.iter().all(|f| f.node < n_nodes),
+            "simulate_degraded: failure names a nonexistent node"
+        );
+        let fail_at = |node: usize| -> f64 {
+            failures
+                .iter()
+                .filter(|f| f.node == node)
+                .map(|f| f.at_sec)
+                .fold(f64::INFINITY, f64::min)
+        };
+        let per_node_xfer = self.data_bytes / self.link_bytes_per_sec;
+        let mut node_free: Vec<f64> =
+            (0..n_nodes).map(|i| (i + 1) as f64 * per_node_xfer).collect();
+        let mut dead = vec![false; n_nodes];
+        let mut master_free = 0.0f64;
+        let mut pending: std::collections::VecDeque<f64> = task_secs.iter().copied().collect();
+        while let Some(t) = pending.pop_front() {
+            // Next live node to become available.
+            let Some((idx, &free)) = node_free
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| !dead[i])
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN times"))
+            else {
+                return f64::INFINITY; // every node died with work pending
+            };
+            let dispatch_done = master_free.max(free) + self.dispatch_sec;
+            master_free = dispatch_done;
+            let would_finish = dispatch_done + t;
+            let dies_at = fail_at(idx);
+            if would_finish >= dies_at {
+                // The node dies mid-task (or before starting it): the
+                // partial work is lost, the task goes back in the queue,
+                // and the master notices at the failure time.
+                dead[idx] = true;
+                node_free[idx] = dies_at.max(free);
+                pending.push_back(t);
+            } else {
+                node_free[idx] = would_finish;
+            }
+        }
+        // Dead nodes contribute their death time (when the master
+        // noticed the loss); live nodes their last completion.
+        node_free.into_iter().fold(0.0, f64::max) + self.serial_sec
+    }
+
+    /// Elapsed healthy-vs-degraded times for a sweep of node counts:
+    /// `(nodes, healthy_sec, degraded_sec)` where the degraded column
+    /// loses the first `failed_fraction` of nodes at `fail_at_sec`.
+    pub fn degraded_sweep(
+        &self,
+        task_secs: &[f64],
+        node_counts: &[usize],
+        failed_fraction: f64,
+        fail_at_sec: f64,
+    ) -> Vec<(usize, f64, f64)> {
+        node_counts
+            .iter()
+            .map(|&n| {
+                let failed = ((n as f64 * failed_fraction) as usize).min(n.saturating_sub(1));
+                let failures: Vec<NodeFailure> =
+                    (0..failed).map(|node| NodeFailure { node, at_sec: fail_at_sec }).collect();
+                (n, self.simulate(task_secs, n), self.simulate_degraded(task_secs, n, &failures))
+            })
+            .collect()
     }
 
     /// Elapsed times for a sweep of node counts.
@@ -233,5 +329,62 @@ mod tests {
     #[should_panic(expected = "speeds must be positive")]
     fn rejects_nonpositive_speed() {
         let _ = ClusterModel::default().simulate_heterogeneous(&[1.0], &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn no_failures_matches_healthy_simulation() {
+        let m = ClusterModel { data_bytes: 1e8, ..Default::default() };
+        let tasks = uniform(50, 1.0);
+        let a = m.simulate(&tasks, 4);
+        let b = m.simulate_degraded(&tasks, 4, &[]);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn losing_nodes_mid_run_slows_the_sweep() {
+        let m = ClusterModel::default();
+        let tasks = uniform(64, 1.0);
+        let healthy = m.simulate(&tasks, 8);
+        // Half the cluster dies a quarter of the way through.
+        let failures: Vec<NodeFailure> =
+            (0..4).map(|node| NodeFailure { node, at_sec: healthy / 4.0 }).collect();
+        let degraded = m.simulate_degraded(&tasks, 8, &failures);
+        assert!(degraded > healthy, "degraded {degraded} vs healthy {healthy}");
+        assert!(degraded.is_finite());
+        // Surviving half should still finish in bounded time: worse than
+        // healthy, far better than serial.
+        let serial = m.simulate(&tasks, 1);
+        assert!(degraded < serial, "degraded {degraded} vs serial {serial}");
+    }
+
+    #[test]
+    fn total_loss_is_infinite() {
+        let m = ClusterModel::default();
+        let tasks = uniform(8, 1.0);
+        let failures: Vec<NodeFailure> =
+            (0..2).map(|node| NodeFailure { node, at_sec: 0.0 }).collect();
+        assert!(m.simulate_degraded(&tasks, 2, &failures).is_infinite());
+    }
+
+    #[test]
+    fn degraded_sweep_pairs_healthy_and_degraded() {
+        let m = ClusterModel::default();
+        let tasks = uniform(96, 1.0);
+        let rows = m.degraded_sweep(&tasks, &[4, 8, 16], 0.25, 2.0);
+        assert_eq!(rows.len(), 3);
+        for (n, healthy, degraded) in rows {
+            assert!(healthy > 0.0 && degraded.is_finite(), "n={n}");
+            assert!(degraded >= healthy - 1e-9, "n={n}: {degraded} < {healthy}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonexistent node")]
+    fn rejects_failure_on_missing_node() {
+        let _ = ClusterModel::default().simulate_degraded(
+            &[1.0],
+            2,
+            &[NodeFailure { node: 5, at_sec: 0.0 }],
+        );
     }
 }

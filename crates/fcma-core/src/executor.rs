@@ -2,6 +2,7 @@
 //! implementations of the three-stage pipeline.
 
 use crate::context::TaskContext;
+use crate::control::TaskControls;
 use crate::stage1::corr_baseline;
 use crate::stage2::{corr_normalized_merged, normalize_baseline};
 use crate::stage3::{score_task, KernelPrecompute};
@@ -26,6 +27,25 @@ pub trait TaskExecutor: Send + Sync {
     /// Run the pipeline with subject-wise (LOSO) cross validation.
     fn process(&self, ctx: &TaskContext, task: VoxelTask) -> Vec<VoxelScore> {
         self.process_grouped(ctx, task, None)
+    }
+
+    /// Like [`Self::process_grouped`], but with cooperative cancellation
+    /// and deadline controls (see [`TaskControls`]). The default
+    /// implementation ignores the controls — the three-stage pipeline is
+    /// short per task, so the cluster scheduler's own deadline clock is
+    /// the enforcement point. Executors that can block for long periods
+    /// (fault injectors, remote backends) should poll
+    /// `controls.cancel` and return early when it fires; the scheduler
+    /// discards results from cancelled dispatches.
+    fn process_with_controls(
+        &self,
+        ctx: &TaskContext,
+        task: VoxelTask,
+        groups: Option<&[usize]>,
+        controls: &TaskControls,
+    ) -> Vec<VoxelScore> {
+        let _ = controls;
+        self.process_grouped(ctx, task, groups)
     }
 }
 

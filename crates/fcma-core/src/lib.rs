@@ -19,6 +19,7 @@
 
 pub mod analysis;
 pub mod context;
+pub mod control;
 pub mod executor;
 pub mod realtime;
 pub mod selection;
@@ -33,6 +34,7 @@ pub use analysis::{
     OfflineResult, OnlineResult,
 };
 pub use context::TaskContext;
+pub use control::{CancelToken, TaskControls};
 pub use executor::{BaselineExecutor, OptimizedExecutor, TaskExecutor};
 pub use realtime::{FeedbackModel, OnlineSession, SessionConfig, SessionError};
 pub use selection::{recovery_rate, select_top_k, stable_voxels};

@@ -28,7 +28,8 @@ fn main() {
     let exec: Arc<dyn TaskExecutor> = Arc::new(OptimizedExecutor::default());
     for workers in [1usize, 2, 4] {
         let t0 = Instant::now();
-        let run = run_cluster(&ctx, Arc::clone(&exec), workers, task_size, None);
+        let run = run_cluster(&ctx, Arc::clone(&exec), workers, task_size, None)
+            .expect("healthy cluster run");
         println!(
             "{} workers: {:>8.2?}  tasks/worker {:?}",
             workers,
@@ -37,6 +38,26 @@ fn main() {
         );
         assert_eq!(run.scores.len(), ctx.n_voxels());
     }
+
+    // Same sweep under injected faults: two workers crash mid-task (the
+    // second twice in a row) and the master requeues and re-dispatches
+    // their work to the survivors.
+    println!("\n== fault-injected run (chaos plan) ==");
+    let plan = FaultPlan::none()
+        .with_fault(0, 0, FaultKind::panic_now())
+        .with_fault(64, 0, FaultKind::panic_now())
+        .with_fault(64, 1, FaultKind::panic_now());
+    let chaos: Arc<dyn TaskExecutor> =
+        Arc::new(ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan));
+    let cfg = ClusterConfig { n_workers: 4, task_size, retry_budget: 4, ..Default::default() };
+    let run = run_cluster_with(&ctx, chaos, &cfg).expect("chaos run recovers");
+    println!(
+        "4 workers under chaos: requeued {} task(s), lost {} worker(s), all {} voxels scored",
+        run.requeued_tasks,
+        run.failed_workers.len(),
+        run.scores.len()
+    );
+    assert_eq!(run.scores.len(), ctx.n_voxels());
 
     // ---- Part 2: discrete-event projection to cluster scale ----
     println!("\n== discrete-event scaling model (Fig. 8 shape) ==");

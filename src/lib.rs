@@ -49,7 +49,10 @@ pub use fcma_svm as svm;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
-    pub use fcma_cluster::{run_cluster, ClusterModel, ClusterRun};
+    pub use fcma_cluster::{
+        run_cluster, run_cluster_with, ChaosExecutor, Checkpoint, ClusterConfig, ClusterError,
+        ClusterModel, ClusterRun, FaultKind, FaultPlan, FaultSpec, NodeFailure,
+    };
     pub use fcma_core::{
         offline_analysis, online_voxel_selection, recovery_rate, score_all_voxels, select_top_k,
         AnalysisConfig, BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelScore,
