@@ -5,7 +5,9 @@
 //! cannot express: no `unsafe` anywhere, no panicking `.unwrap()` /
 //! `.expect()` in library code, no lossy `as` casts in the numeric
 //! kernel crates, property-test coverage of every public linalg kernel,
-//! and module-level documentation on every source file.
+//! module-level documentation on every source file, and trace-probe
+//! names that match the span/counter taxonomy documented in
+//! DESIGN.md §Observability.
 //!
 //! Run it with `cargo run -p fcma-audit -- check`. Exit code 0 means
 //! clean, 1 means violations were printed, 2 means the tool itself
@@ -24,14 +26,20 @@ pub mod workspace;
 use std::io;
 use std::path::Path;
 
-pub use passes::Violation;
+pub use passes::{Taxonomy, Violation};
 
 /// Analyze the workspace at `root` and return all violations.
+///
+/// The trace-name taxonomy is parsed from `<root>/DESIGN.md`; if the
+/// file or its §Observability section is absent, the `tracename` pass
+/// still checks name shape but skips the membership check.
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading sources.
 pub fn audit(root: &Path) -> io::Result<Vec<Violation>> {
     let files = workspace::discover(root)?;
-    Ok(passes::run_all(&files))
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let taxonomy = design.as_deref().and_then(Taxonomy::from_design_md);
+    Ok(passes::run_all(&files, taxonomy.as_ref()))
 }

@@ -74,13 +74,16 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage: fcma-audit check [--root DIR]
 
 passes:
-  unsafe    no `unsafe` blocks anywhere (no escape hatch)
-  unwrap    no .unwrap()/.expect() in library code
-  cast      no `as` numeric casts in kernel crates (fcma-linalg, fcma-core)
-  proptest  every pub fn kernel in fcma-linalg has a property test
-  moddoc    every src/*.rs has module-level //! docs
+  unsafe     no `unsafe` blocks anywhere (no escape hatch)
+  unwrap     no .unwrap()/.expect() in library code
+  cast       no `as` numeric casts in kernel crates (fcma-linalg, fcma-core)
+  proptest   every pub fn kernel in fcma-linalg has a property test
+  moddoc     every src/*.rs has module-level //! docs
+  tracename  every span!/event!/counter!/histogram! name is snake.dotted
+             and documented in DESIGN.md §Observability
 
 escape markers (same line or the line above):
   // audit: allow(unwrap) — <reason>
   // audit: allow(cast) — <reason>
-  // audit: allow(proptest) — <reason>";
+  // audit: allow(proptest) — <reason>
+  // audit: allow(tracename) — <reason>";

@@ -1,13 +1,14 @@
-//! The five audit passes. Each takes the analyzed workspace and returns
+//! The six audit passes. Each takes the analyzed workspace and returns
 //! violations; the driver prints them as `file:line: pass: message`.
 //!
-//! | pass       | scope                               | escape hatch |
-//! |------------|-------------------------------------|--------------|
-//! | `unsafe`   | every source file                   | none |
-//! | `unwrap`   | library code outside `#[cfg(test)]` | `# Panics` docs or allow marker |
-//! | `cast`     | kernel-crate library code           | allow marker |
-//! | `proptest` | top-level `pub fn`s of fcma-linalg  | allow marker |
-//! | `moddoc`   | every `src/*.rs` file               | none |
+//! | pass        | scope                               | escape hatch |
+//! |-------------|-------------------------------------|--------------|
+//! | `unsafe`    | every source file                   | none |
+//! | `unwrap`    | library code outside `#[cfg(test)]` | `# Panics` docs or allow marker |
+//! | `cast`      | kernel-crate library code           | allow marker |
+//! | `proptest`  | top-level `pub fn`s of fcma-linalg  | allow marker |
+//! | `moddoc`    | every `src/*.rs` file               | none |
+//! | `tracename` | span!/event!/counter!/histogram! sites outside fcma-trace | allow marker |
 //!
 //! Allow markers are comments of the form
 //! `// audit: allow(<pass>) — <reason>` on the offending line or the line
@@ -20,6 +21,14 @@ const KERNEL_CRATES: &[&str] = &["fcma-linalg", "fcma-core"];
 
 /// The crate whose public kernels must be exercised by property tests.
 const PROPTEST_CRATE: &str = "fcma-linalg";
+
+/// The tracing substrate itself — exempt from the `tracename` pass (it
+/// defines the probes; instrumentation lives in the other crates).
+const TRACE_CRATE: &str = "fcma-trace";
+
+/// Call-site prefixes whose first string literal is a trace name.
+const TRACE_SITES: &[&str] =
+    &["span!(", "event!(", "counter!(", "histogram!(", "record_span_since("];
 
 /// One diagnostic. Lines are 1-based for display.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,14 +49,17 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Run every pass over the analyzed workspace.
-pub fn run_all(files: &[SourceFile]) -> Vec<Violation> {
+/// Run every pass over the analyzed workspace. `taxonomy` is the span/
+/// counter name contract parsed from DESIGN.md §Observability (`None`
+/// skips the membership half of the `tracename` pass).
+pub fn run_all(files: &[SourceFile], taxonomy: Option<&Taxonomy>) -> Vec<Violation> {
     let mut v = Vec::new();
     v.extend(check_unsafe(files));
     v.extend(check_unwrap(files));
     v.extend(check_casts(files));
     v.extend(check_proptest_coverage(files));
     v.extend(check_module_docs(files));
+    v.extend(check_trace_names(files, taxonomy));
     v.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
     v
 }
@@ -180,6 +192,189 @@ pub fn check_module_docs(files: &[SourceFile]) -> Vec<Violation> {
         }
     }
     out
+}
+
+/// The documented span/counter taxonomy: every backticked `snake.dotted`
+/// token under the DESIGN.md "Observability" heading.
+#[derive(Debug, Clone)]
+pub struct Taxonomy {
+    names: std::collections::BTreeSet<String>,
+}
+
+impl Taxonomy {
+    /// Parse the taxonomy out of DESIGN.md: all backticked tokens of
+    /// `snake.dotted` shape between a heading containing "Observability"
+    /// and the next heading. Returns `None` if no such section (or no
+    /// names) exists.
+    pub fn from_design_md(text: &str) -> Option<Taxonomy> {
+        let mut names = std::collections::BTreeSet::new();
+        let mut in_section = false;
+        for line in text.lines() {
+            if line.starts_with('#') {
+                if in_section {
+                    break;
+                }
+                in_section = line.contains("Observability");
+                continue;
+            }
+            if in_section {
+                let mut parts = line.split('`');
+                // Odd-indexed split segments are inside backticks.
+                while let (Some(_), Some(tok)) = (parts.next(), parts.next()) {
+                    if is_snake_dotted(tok) {
+                        names.insert(tok.to_owned());
+                    }
+                }
+            }
+        }
+        if names.is_empty() {
+            None
+        } else {
+            Some(Taxonomy { names })
+        }
+    }
+
+    /// Is `name` part of the documented contract?
+    pub fn contains(&self, name: &str) -> bool {
+        self.names.contains(name)
+    }
+
+    /// Number of documented names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the taxonomy is empty (never true for a parsed one).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// Pass 6: every trace-probe name literal is well-formed and documented.
+///
+/// Span, event, counter, and histogram names are a stable contract —
+/// dashboards, the `fcma report --check` invariants, and the CI trace
+/// validation all parse them — so each call site's name must (a) be an
+/// inline string literal, (b) match the `snake.dotted` shape, and (c)
+/// with a taxonomy present, appear verbatim in DESIGN.md §Observability.
+/// The fcma-trace crate itself (which defines the probes) and test code
+/// are exempt.
+pub fn check_trace_names(files: &[SourceFile], taxonomy: Option<&Taxonomy>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for f in files.iter().filter(|f| {
+        matches!(f.role, Role::Lib | Role::Bin) && f.crate_name.as_deref() != Some(TRACE_CRATE)
+    }) {
+        for (lno, code) in f.scan.code_lines.iter().enumerate() {
+            for pat in TRACE_SITES {
+                for col in site_starts(code, pat) {
+                    if f.in_test_span(lno) || f.allow_marker("tracename", lno) {
+                        continue;
+                    }
+                    let site = &pat[..pat.len() - 1];
+                    match extract_name(&f.scan.raw_lines, lno, col + pat.len()) {
+                        None => out.push(Violation {
+                            file: f.rel_path.clone(),
+                            line: lno + 1,
+                            pass: "tracename",
+                            message: format!(
+                                "`{site}` call: trace name must be an inline string literal"
+                            ),
+                        }),
+                        Some((name_line, name)) => {
+                            if !is_snake_dotted(&name) {
+                                out.push(Violation {
+                                    file: f.rel_path.clone(),
+                                    line: name_line + 1,
+                                    pass: "tracename",
+                                    message: format!(
+                                        "trace name `{name}` is not `snake.dotted` (two or \
+                                         more dot-separated [a-z][a-z0-9_]* segments)"
+                                    ),
+                                });
+                            } else if let Some(tax) = taxonomy {
+                                if !tax.contains(&name) {
+                                    out.push(Violation {
+                                        file: f.rel_path.clone(),
+                                        line: name_line + 1,
+                                        pass: "tracename",
+                                        message: format!(
+                                            "trace name `{name}` is not documented in \
+                                             DESIGN.md §Observability; add it to the taxonomy \
+                                             or `// audit: allow(tracename) — <reason>`"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `snake.dotted`: two or more dot-separated segments, each
+/// `[a-z][a-z0-9_]*`.
+fn is_snake_dotted(name: &str) -> bool {
+    let mut segments = 0usize;
+    for seg in name.split('.') {
+        let mut ch = seg.chars();
+        if !matches!(ch.next(), Some(c) if c.is_ascii_lowercase()) {
+            return false;
+        }
+        if !ch.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_') {
+            return false;
+        }
+        segments += 1;
+    }
+    segments >= 2
+}
+
+/// Char positions where `pat` occurs in `line` with a non-identifier
+/// character (or line start) on its left.
+fn site_starts(line: &str, pat: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let pat_chars: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    if chars.len() < pat_chars.len() {
+        return out;
+    }
+    for start in 0..=(chars.len() - pat_chars.len()) {
+        if chars[start..start + pat_chars.len()] == pat_chars[..] {
+            let left_ok = start == 0 || {
+                let p = chars[start - 1];
+                !(p.is_ascii_alphanumeric() || p == '_')
+            };
+            if left_ok {
+                out.push(start);
+            }
+        }
+    }
+    out
+}
+
+/// First `"…"` literal at or after char `from` on line `lno`, searching
+/// up to two continuation lines (rustfmt may wrap the name onto the line
+/// after the macro's opening paren). Returns (0-based line, contents).
+fn extract_name(raw_lines: &[String], lno: usize, from: usize) -> Option<(usize, String)> {
+    for (idx, raw) in raw_lines.iter().enumerate().skip(lno).take(3) {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = if idx == lno { from } else { 0 };
+        while i < chars.len() && chars[i] != '"' {
+            i += 1;
+        }
+        if i < chars.len() {
+            let mut name = String::new();
+            i += 1;
+            while i < chars.len() && chars[i] != '"' {
+                name.push(chars[i]);
+                i += 1;
+            }
+            return Some((idx, name));
+        }
+    }
+    None
 }
 
 /// Word-boundary containment: `name` in `line` not flanked by ident chars.
@@ -351,12 +546,99 @@ mod tests {
     #[test]
     fn run_all_sorts_and_aggregates() {
         let f = lib_file("fcma-linalg", "fn f(o: Option<u8>) {\n    o.unwrap();\n}\n");
-        let v = run_all(&[f]);
+        let v = run_all(&[f], None);
         let passes: Vec<&str> = v.iter().map(|x| x.pass).collect();
         assert!(passes.contains(&"unwrap"));
         assert!(passes.contains(&"moddoc"));
         let mut sorted = v.clone();
         sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
         assert_eq!(v, sorted);
+    }
+
+    const DESIGN_FIXTURE: &str = "# Doc\n\n## 10. Other\n`not.this`\n\n\
+        ## 11. Observability\nSpans: `stage1.corr`, `cluster.run`.\n\
+        Counters: `svm.smo.solves`.\n\n## 12. After\n`not.that`\n";
+
+    #[test]
+    fn taxonomy_parses_only_the_observability_section() {
+        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains("stage1.corr"));
+        assert!(t.contains("cluster.run"));
+        assert!(t.contains("svm.smo.solves"));
+        assert!(!t.contains("not.this"));
+        assert!(!t.contains("not.that"));
+        assert!(Taxonomy::from_design_md("# Doc\nno section\n").is_none());
+    }
+
+    #[test]
+    fn tracename_accepts_documented_names_and_flags_undocumented() {
+        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
+        let ok = lib_file(
+            "fcma-core",
+            "//! m\nfn f() {\n    let _s = span!(\"stage1.corr\", v = 1);\n}\n",
+        );
+        assert!(check_trace_names(&[ok], Some(&t)).is_empty());
+        let bad =
+            lib_file("fcma-core", "//! m\nfn f() {\n    counter!(\"stage9.rogue\", 1_u64);\n}\n");
+        let v = check_trace_names(&[bad], Some(&t));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("stage9.rogue"), "{}", v[0].message);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn tracename_enforces_snake_dotted_shape() {
+        assert!(is_snake_dotted("cluster.tasks.total"));
+        assert!(is_snake_dotted("a.b_2"));
+        assert!(!is_snake_dotted("single"));
+        assert!(!is_snake_dotted("Bad.Case"));
+        assert!(!is_snake_dotted("has.empty."));
+        assert!(!is_snake_dotted("1.leading_digit"));
+        assert!(!is_snake_dotted("spa ced.name"));
+        // Shape is checked even without a taxonomy.
+        let f = lib_file("fcma-core", "//! m\nfn f() {\n    event!(\"NotSnake\");\n}\n");
+        assert_eq!(check_trace_names(&[f], None).len(), 1);
+    }
+
+    #[test]
+    fn tracename_finds_wrapped_multiline_names() {
+        let f = lib_file(
+            "fcma-cluster",
+            "//! m\nfn f() {\n    let _s = span!(\n        \"cluster.run\",\n        w = 1\n    );\n}\n",
+        );
+        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
+        assert!(check_trace_names(&[f], Some(&t)).is_empty());
+        let miss = lib_file(
+            "fcma-cluster",
+            "//! m\nfn f() {\n    let _s = span!(\n        \"cluster.rogue\",\n    );\n}\n",
+        );
+        let v = check_trace_names(&[miss], Some(&t));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4, "violation anchors to the literal's line");
+    }
+
+    #[test]
+    fn tracename_skips_tests_trace_crate_and_markers() {
+        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
+        let in_tests = lib_file(
+            "fcma-core",
+            "//! m\n#[cfg(test)]\nmod tests {\n    fn f() { event!(\"rogue.name\"); }\n}\n",
+        );
+        let trace_crate =
+            lib_file("fcma-trace", "//! m\nfn f() {\n    span!(\"internal.probe\");\n}\n");
+        let marked = lib_file(
+            "fcma-core",
+            "//! m\nfn f() {\n    // audit: allow(tracename) — experimental probe\n    event!(\"rogue.name\");\n}\n",
+        );
+        assert!(check_trace_names(&[in_tests, trace_crate, marked], Some(&t)).is_empty());
+    }
+
+    #[test]
+    fn tracename_requires_inline_literal() {
+        let f = lib_file("fcma-core", "//! m\nfn f(n: u64) {\n    counter!(NAME, n);\n}\n");
+        let v = check_trace_names(&[f], None);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("inline string literal"));
     }
 }

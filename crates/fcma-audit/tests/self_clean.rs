@@ -32,11 +32,37 @@ fn seeded_violations_are_caught() {
             "//! Seeded.\npub fn naughty(n: usize, o: Option<u8>) -> f32 {\n    o.unwrap();\n    unsafe { std::hint::unreachable_unchecked() }\n    n as f32\n}\n",
         ),
         SourceFile::new("crates/fcma-core/src/nodoc.rs", Some("fcma-core"), Role::Lib, "fn f() {}\n"),
+        SourceFile::new(
+            "crates/fcma-core/src/rogue.rs",
+            Some("fcma-core"),
+            Role::Lib,
+            "//! Seeded.\nfn f() {\n    let _s = span!(\"totally.undocumented\");\n}\n",
+        ),
     ];
-    let violations = passes::run_all(&seeded);
+    let taxonomy = passes::Taxonomy::from_design_md("## Observability\n`stage1.corr`\n")
+        .expect("fixture taxonomy parses");
+    let violations = passes::run_all(&seeded, Some(&taxonomy));
     let passes_hit: std::collections::BTreeSet<&str> = violations.iter().map(|v| v.pass).collect();
-    for expected in ["unsafe", "unwrap", "cast", "proptest", "moddoc"] {
+    for expected in ["unsafe", "unwrap", "cast", "proptest", "moddoc", "tracename"] {
         assert!(passes_hit.contains(expected), "pass `{expected}` did not fire: {violations:?}");
+    }
+}
+
+#[test]
+fn shipped_design_md_taxonomy_parses() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md"))
+        .expect("DESIGN.md must be readable");
+    let taxonomy = fcma_audit::passes::Taxonomy::from_design_md(&design)
+        .expect("DESIGN.md must contain the §Observability taxonomy");
+    // Spot-check contract names the report/CI checkers depend on.
+    for name in [
+        "cluster.dispatch",
+        "cluster.tasks.dispatched",
+        "cluster.condemn",
+        "svm.smo.iterations_per_solve",
+        "stage1.corr",
+    ] {
+        assert!(taxonomy.contains(name), "DESIGN.md taxonomy is missing `{name}`");
     }
 }
 

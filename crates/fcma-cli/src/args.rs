@@ -11,6 +11,8 @@ pub(crate) struct Args {
     options: HashMap<String, String>,
     /// Bare `--flag` switches.
     flags: Vec<String>,
+    /// Extra positional arguments (only for commands in [`POSITIONAL_COMMANDS`]).
+    positionals: Vec<String>,
 }
 
 /// Parsing errors with user-facing messages.
@@ -44,7 +46,10 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Keys that are switches (take no value).
-const SWITCHES: &[&str] = &["verbose", "help", "resume"];
+const SWITCHES: &[&str] = &["verbose", "help", "resume", "check"];
+
+/// Commands that accept bare positional arguments after the command name.
+const POSITIONAL_COMMANDS: &[&str] = &["report"];
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).
@@ -56,6 +61,7 @@ impl Args {
         }
         let mut options = HashMap::new();
         let mut flags = Vec::new();
+        let mut positionals = Vec::new();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
                 if SWITCHES.contains(&key) {
@@ -64,11 +70,18 @@ impl Args {
                     let v = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
                     options.insert(key.to_string(), v);
                 }
+            } else if POSITIONAL_COMMANDS.contains(&command.as_str()) {
+                positionals.push(a);
             } else {
                 return Err(ArgError::UnexpectedPositional(a));
             }
         }
-        Ok(Args { command, options, flags })
+        Ok(Args { command, options, flags, positionals })
+    }
+
+    /// Positional argument `i` (after the command name).
+    pub(crate) fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(std::string::String::as_str)
     }
 
     /// Raw string option.
@@ -118,6 +131,19 @@ mod tests {
         assert_eq!(a.get_or("preset", "tiny"), "tiny");
         assert!(a.has_flag("verbose"));
         assert_eq!(a.get_parsed("voxels", 0usize, "integer").unwrap(), 512);
+    }
+
+    #[test]
+    fn report_accepts_positionals() {
+        let a = parse(&["report", "trace.json", "--check"]).unwrap();
+        assert_eq!(a.positional(0), Some("trace.json"));
+        assert_eq!(a.positional(1), None);
+        assert!(a.has_flag("check"));
+        // Other commands still reject stray positionals.
+        assert!(matches!(
+            parse(&["analyze", "trace.json"]).unwrap_err(),
+            ArgError::UnexpectedPositional(_)
+        ));
     }
 
     #[test]

@@ -9,6 +9,8 @@ use fcma_core::{
 use fcma_fmri::geometry::{extract_clusters, Grid3};
 use fcma_fmri::mask::VoxelMask;
 use fcma_fmri::{io as fio, presets, Placement};
+use fcma_trace::export::{from_chrome_json, to_chrome_json, to_prometheus_text};
+use fcma_trace::{event, Collector};
 use std::error::Error;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
@@ -32,6 +34,9 @@ pub(crate) fn print_help() {
          \u{20}                                     threaded cluster driver, with\n\
          \u{20}                                     [--retries N] [--task-deadline-ms MS]\n\
          \u{20}                                     [--checkpoint FILE] [--resume]\n\
+         \u{20}                                     [--trace-out trace.json] Chrome trace\n\
+         \u{20}                                     [--metrics-out metrics.prom] Prometheus text\n\
+         \u{20} report    summarize a trace file    fcma report trace.json [--check]\n\
          \u{20} offline   nested LOSO analysis      --data STEM --top-k K [--task-size N]\n\
          \u{20} clusters  ROI cluster extraction    --scores scores.tsv --top-k K [--grid X,Y,Z]\n\
          \u{20} mask      threshold-mask a dataset  --data STEM --threshold T --out STEM2\n\
@@ -117,11 +122,19 @@ fn executor_of(args: &Args) -> Result<Arc<dyn TaskExecutor>> {
 fn cluster_config_of(args: &Args, task_size: usize) -> Result<ClusterConfig> {
     let checkpoint = args.get("checkpoint").map(PathBuf::from);
     let resume_from = if args.has_flag("resume") {
-        Some(
-            checkpoint
-                .clone()
-                .ok_or("--resume needs --checkpoint FILE to know what to resume from")?,
-        )
+        let path = checkpoint
+            .clone()
+            .ok_or("--resume needs --checkpoint FILE to know what to resume from")?;
+        if path.exists() {
+            Some(path)
+        } else {
+            eprintln!(
+                "warning: --resume requested but checkpoint {} does not exist; starting fresh",
+                path.display()
+            );
+            event!("cluster.resume_missing", path = path.display().to_string());
+            None
+        }
     } else {
         None
     };
@@ -146,6 +159,13 @@ pub(crate) fn analyze(args: &Args) -> Result<()> {
     let exec = executor_of(args)?;
     let task_size = args.get_parsed("task-size", 64usize, "integer")?;
     let top_k = args.get_parsed("top-k", 16usize, "integer")?;
+    let trace_out = args.get("trace-out").map(PathBuf::from);
+    let metrics_out = args.get("metrics-out").map(PathBuf::from);
+    // Install the collector before the config is built so the
+    // `cluster.resume_missing` event (emitted while resolving --resume)
+    // lands in the trace.
+    let collector = (trace_out.is_some() || metrics_out.is_some()).then(Collector::new);
+    let scoped = collector.as_ref().map(Collector::install_scoped);
     let cluster_cfg = cluster_config_of(args, task_size)?;
 
     let ctx = TaskContext::full(&dataset);
@@ -172,6 +192,18 @@ pub(crate) fn analyze(args: &Args) -> Result<()> {
         t0.elapsed()
     );
 
+    if let Some(scoped) = &scoped {
+        let report = scoped.drain();
+        if let Some(path) = &trace_out {
+            std::fs::write(path, to_chrome_json(&report))?;
+            eprintln!("wrote trace {}", path.display());
+        }
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, to_prometheus_text(&report))?;
+            eprintln!("wrote metrics {}", path.display());
+        }
+    }
+
     if let Some(out) = args.get("out") {
         write_scores(Path::new(out), &scores)?;
         eprintln!("wrote {out}");
@@ -185,6 +217,31 @@ pub(crate) fn analyze(args: &Args) -> Result<()> {
         let truth = read_index_list(Path::new(truth_path))?;
         let rec = recovery_rate(&selected, &truth);
         eprintln!("recovery of planted network: {:.0}%", rec * 100.0);
+    }
+    Ok(())
+}
+
+/// `fcma report` — summarize a Chrome trace written by `analyze --trace-out`.
+pub(crate) fn report(args: &Args) -> Result<()> {
+    let path = args
+        .positional(0)
+        .or_else(|| args.get("trace"))
+        .ok_or("report needs a trace file: `fcma report trace.json`")?;
+    let text = std::fs::read_to_string(path)?;
+    let report = from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", report.summary_table());
+    let violations = report.check_consistency();
+    if violations.is_empty() {
+        if args.has_flag("check") {
+            eprintln!("consistency: ok");
+        }
+    } else {
+        for v in &violations {
+            eprintln!("consistency violation: {v}");
+        }
+        if args.has_flag("check") {
+            return Err(format!("{} consistency violation(s)", violations.len()).into());
+        }
     }
     Ok(())
 }
@@ -420,6 +477,73 @@ mod tests {
     fn resume_without_checkpoint_is_an_error() {
         let a = args(&["analyze", "--data", "whatever", "--workers", "2", "--resume"]);
         assert!(cluster_config_of(&a, 16).is_err());
+    }
+
+    #[test]
+    fn resume_with_missing_checkpoint_warns_and_starts_fresh() {
+        let ckpt = tmp("cli_missing.ckpt");
+        let _ = std::fs::remove_file(&ckpt);
+        let a = args(&[
+            "analyze",
+            "--data",
+            "whatever",
+            "--workers",
+            "2",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--resume",
+        ]);
+        let cfg = cluster_config_of(&a, 16).unwrap();
+        assert_eq!(cfg.resume_from, None, "missing checkpoint must not be resumed from");
+        assert_eq!(cfg.checkpoint.as_deref(), Some(ckpt.as_path()));
+    }
+
+    #[test]
+    fn traced_analyze_writes_parseable_trace_and_metrics() {
+        let ds = tmp("cli_trace_ds");
+        let trace = tmp("cli_trace.json");
+        let metrics = tmp("cli_trace.prom");
+        generate(&args(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--voxels",
+            "48",
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        analyze(&args(&[
+            "analyze",
+            "--data",
+            ds.to_str().unwrap(),
+            "--task-size",
+            "16",
+            "--workers",
+            "2",
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let parsed = from_chrome_json(&std::fs::read_to_string(&trace).unwrap()).unwrap();
+        assert_eq!(parsed.span_count("cluster.run"), 1);
+        assert_eq!(parsed.counter("cluster.tasks.total"), 3);
+        assert_eq!(parsed.counter("cluster.tasks.completed"), 3);
+        assert!(parsed.check_consistency().is_empty(), "{:?}", parsed.check_consistency());
+        let prom = std::fs::read_to_string(&metrics).unwrap();
+        assert!(prom.contains("fcma_cluster_tasks_completed 3"), "{prom}");
+        // `fcma report --check` accepts the file it just wrote.
+        report(&args(&["report", trace.to_str().unwrap(), "--check"])).unwrap();
+    }
+
+    #[test]
+    fn report_rejects_garbage_input() {
+        let bad = tmp("cli_bad_trace.json");
+        std::fs::write(&bad, "not json").unwrap();
+        assert!(report(&args(&["report", bad.to_str().unwrap()])).is_err());
+        assert!(report(&args(&["report"])).is_err());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fcma_core::{
     partition, CancelToken, TaskContext, TaskControls, TaskExecutor, VoxelScore, VoxelTask,
 };
+use fcma_trace::{counter, event, histogram, span, AttrValue};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -94,11 +95,33 @@ impl ClusterConfig {
     }
 }
 
+/// Per-task outcome of one cluster run: how many executions the task
+/// cost and how long it was outstanding. Exposed so the trace layer and
+/// tests can assert on scheduler behavior without reaching into driver
+/// internals.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskStat {
+    /// The task.
+    pub task: VoxelTask,
+    /// Non-speculative dispatches this task needed (1 = first try
+    /// succeeded; 0 for resumed tasks).
+    pub attempts: usize,
+    /// Wall time from first dispatch to accepted completion
+    /// ([`Duration::ZERO`] for resumed tasks).
+    pub wall: Duration,
+    /// Worker whose result was accepted (`None` for resumed tasks).
+    pub worker: Option<usize>,
+    /// Whether the scores came from the resume checkpoint.
+    pub resumed: bool,
+}
+
 /// Statistics of one cluster run.
 #[derive(Debug, Clone)]
 pub struct ClusterRun {
     /// All voxel scores, sorted by voxel index.
     pub scores: Vec<VoxelScore>,
+    /// Per-task attempt counts and wall times, sorted by task start.
+    pub task_stats: Vec<TaskStat>,
     /// Tasks processed per worker (load-balance visibility). Resumed
     /// tasks are not attributed to any worker.
     pub tasks_per_worker: Vec<usize>,
@@ -159,6 +182,13 @@ pub fn run_cluster_with(
     }
     let all_tasks = partition(ctx.n_voxels(), cfg.task_size);
     let total_tasks = all_tasks.len();
+    let run_span = span!(
+        "cluster.run",
+        workers = cfg.n_workers,
+        tasks = total_tasks,
+        task_size = cfg.task_size
+    );
+    counter!("cluster.tasks.total", total_tasks);
 
     // Seed completed work from the resume checkpoint, if any.
     let mut completed: HashSet<usize> = HashSet::new();
@@ -179,6 +209,7 @@ pub fn run_cluster_with(
             scores.extend(rec.scores.iter().copied());
             resumed_records.push(rec);
         }
+        counter!("cluster.tasks.resumed", resumed_records.len());
     }
     let mut writer = match &cfg.checkpoint {
         Some(path) => {
@@ -190,6 +221,7 @@ pub fn run_cluster_with(
                 let mut w = CheckpointWriter::create(path, ctx.n_voxels(), cfg.task_size)?;
                 for rec in &resumed_records {
                     w.record(rec.task, &rec.scores)?;
+                    counter!("cluster.checkpoint.records", 1_u64);
                 }
                 Some(w)
             }
@@ -198,8 +230,9 @@ pub fn run_cluster_with(
     };
     drop(resumed_records);
 
+    let resumed_starts: HashSet<usize> = completed.iter().copied().collect();
     let queue: VecDeque<VoxelTask> =
-        all_tasks.into_iter().filter(|t| !completed.contains(&t.start)).collect();
+        all_tasks.iter().copied().filter(|t| !completed.contains(&t.start)).collect();
 
     // Spawn detached workers.
     let (to_master_tx, to_master_rx): (Sender<FromWorker>, Receiver<FromWorker>) = unbounded();
@@ -229,6 +262,9 @@ pub fn run_cluster_with(
         writer: writer.take(),
         attempts: HashMap::new(),
         in_flight: HashMap::new(),
+        current: vec![None; cfg.n_workers],
+        first_dispatched: HashMap::new(),
+        finished_stats: HashMap::new(),
         retry_budget: cfg.retry_budget,
         task_deadline: cfg.task_deadline,
         speculate_after: cfg.speculate_after,
@@ -242,7 +278,25 @@ pub fn run_cluster_with(
     };
     let outcome = master.run(&to_master_rx, total_tasks);
     master.shutdown_workers();
+    drop(run_span);
     outcome?;
+
+    let task_stats: Vec<TaskStat> = all_tasks
+        .iter()
+        .map(|&task| {
+            if resumed_starts.contains(&task.start) {
+                TaskStat { task, attempts: 0, wall: Duration::ZERO, worker: None, resumed: true }
+            } else {
+                master.finished_stats.remove(&task.start).unwrap_or(TaskStat {
+                    task,
+                    attempts: master.attempts.get(&task.start).copied().unwrap_or(0),
+                    wall: Duration::ZERO,
+                    worker: None,
+                    resumed: false,
+                })
+            }
+        })
+        .collect();
 
     let mut scores = master.scores;
     scores.sort_by_key(|s| s.voxel);
@@ -256,6 +310,7 @@ pub fn run_cluster_with(
     }
     Ok(ClusterRun {
         scores,
+        task_stats,
         tasks_per_worker: master.tasks_per_worker,
         requeued_tasks: master.requeued_tasks,
         failed_workers: master.failed_workers,
@@ -284,6 +339,56 @@ struct FlightCopy {
     started: Instant,
 }
 
+/// The dispatch a worker is currently executing, from the master's point
+/// of view. Every dispatch is resolved exactly once — completed,
+/// discarded, failed, condemned, or cancelled at shutdown — which is
+/// what makes the `cluster.tasks.*` trace counters balance.
+#[derive(Clone, Copy)]
+struct DispatchInfo {
+    task: VoxelTask,
+    started: Instant,
+    attempt: usize,
+    speculative: bool,
+}
+
+/// How one dispatch ended (the `outcome` attribute of its
+/// `cluster.dispatch` span).
+#[derive(Clone, Copy)]
+enum DispatchOutcome {
+    /// Fresh, accepted result.
+    Completed,
+    /// Valid result discarded (speculative loser or truncated).
+    Discarded,
+    /// The worker panicked.
+    Failed,
+    /// The worker was condemned as hung.
+    Condemned,
+    /// Still outstanding when the run ended.
+    Cancelled,
+}
+
+impl DispatchOutcome {
+    fn counter_name(self) -> &'static str {
+        match self {
+            DispatchOutcome::Completed => "cluster.tasks.completed",
+            DispatchOutcome::Discarded => "cluster.tasks.discarded",
+            DispatchOutcome::Failed => "cluster.tasks.failed",
+            DispatchOutcome::Condemned => "cluster.tasks.condemned",
+            DispatchOutcome::Cancelled => "cluster.tasks.cancelled",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            DispatchOutcome::Completed => "completed",
+            DispatchOutcome::Discarded => "discarded",
+            DispatchOutcome::Failed => "failed",
+            DispatchOutcome::Condemned => "condemned",
+            DispatchOutcome::Cancelled => "cancelled",
+        }
+    }
+}
+
 /// A task with at least one copy in flight.
 struct Flight {
     task: VoxelTask,
@@ -302,6 +407,13 @@ struct Master {
     /// Non-speculative dispatches per task start.
     attempts: HashMap<usize, usize>,
     in_flight: HashMap<usize, Flight>,
+    /// The dispatch each worker is currently executing (trace + stats
+    /// accounting; resolved exactly once per dispatch).
+    current: Vec<Option<DispatchInfo>>,
+    /// First dispatch time per task start (per-task wall-time stats).
+    first_dispatched: HashMap<usize, Instant>,
+    /// Per-task outcome stats, filled at accepted completion.
+    finished_stats: HashMap<usize, TaskStat>,
     retry_budget: usize,
     task_deadline: Option<Duration>,
     speculate_after: Option<Duration>,
@@ -371,9 +483,15 @@ impl Master {
         let now = Instant::now();
         if speculative {
             self.speculative_launches += 1;
+            counter!("cluster.tasks.speculative", 1_u64);
+            event!("cluster.speculate", task = task.start, worker = wid);
         } else {
             *self.attempts.entry(task.start).or_insert(0) += 1;
         }
+        counter!("cluster.tasks.dispatched", 1_u64);
+        let attempt = self.attempts.get(&task.start).copied().unwrap_or(0);
+        self.current[wid] = Some(DispatchInfo { task, started: now, attempt, speculative });
+        self.first_dispatched.entry(task.start).or_insert(now);
         let flight = self.in_flight.entry(task.start).or_insert_with(|| Flight {
             task,
             copies: Vec::new(),
@@ -385,6 +503,29 @@ impl Master {
         }
         flight.copies.push(FlightCopy { worker: wid, started: now });
         true
+    }
+
+    /// Resolve worker `wid`'s outstanding dispatch with `outcome`:
+    /// record its `cluster.dispatch` span, wall-time histogram sample,
+    /// and outcome counter. Every dispatch reaches this exactly once.
+    fn resolve_dispatch(&mut self, wid: usize, outcome: DispatchOutcome) -> Option<DispatchInfo> {
+        let info = self.current[wid].take()?;
+        if fcma_trace::is_enabled() {
+            fcma_trace::add_counter(outcome.counter_name(), 1_u64);
+            histogram!("cluster.dispatch.wall_ms", info.started.elapsed().as_secs_f64() * 1e3);
+            fcma_trace::record_span_since(
+                "cluster.dispatch",
+                vec![
+                    ("task", AttrValue::from(info.task.start)),
+                    ("worker", AttrValue::from(wid)),
+                    ("attempt", AttrValue::from(info.attempt)),
+                    ("speculative", AttrValue::from(info.speculative)),
+                    ("outcome", AttrValue::from(outcome.label())),
+                ],
+                info.started,
+            );
+        }
+        Some(info)
     }
 
     fn handle(&mut self, msg: FromWorker) -> Result<(), ClusterError> {
@@ -404,7 +545,9 @@ impl Master {
         if self.workers[worker].condemned {
             // A late answer from a worker we already declared hung: the
             // task was re-dispatched elsewhere, so this result (possibly
-            // truncated by cancellation) is discarded.
+            // truncated by cancellation) is discarded. Its dispatch was
+            // already resolved as condemned — only fence it off.
+            event!("cluster.fence", worker = worker, task = task.start);
             self.duplicate_results += 1;
             return Ok(());
         }
@@ -413,11 +556,30 @@ impl Master {
             flight.copies.retain(|c| c.worker != worker);
         }
         let fresh = !self.completed.contains(&task.start);
-        if fresh && task_scores.len() == task.count {
+        let accepted = fresh && task_scores.len() == task.count;
+        let outcome =
+            if accepted { DispatchOutcome::Completed } else { DispatchOutcome::Discarded };
+        let _ = self.resolve_dispatch(worker, outcome);
+        if accepted {
             self.completed.insert(task.start);
             self.tasks_per_worker[worker] += 1;
+            self.finished_stats.insert(
+                task.start,
+                TaskStat {
+                    task,
+                    attempts: self.attempts.get(&task.start).copied().unwrap_or(0),
+                    wall: self
+                        .first_dispatched
+                        .get(&task.start)
+                        .map_or(Duration::ZERO, Instant::elapsed),
+                    worker: Some(worker),
+                    resumed: false,
+                },
+            );
             if let Some(w) = self.writer.as_mut() {
                 w.record(task, &task_scores)?;
+                counter!("cluster.checkpoint.records", 1_u64);
+                event!("cluster.checkpoint", task = task.start, scores = task_scores.len());
             }
             self.scores.extend(task_scores);
             self.in_flight.remove(&task.start);
@@ -436,8 +598,12 @@ impl Master {
         let was_condemned = state.condemned;
         state.alive = false;
         state.idle = false;
-        if !was_condemned {
+        if was_condemned {
+            // Already resolved as condemned when the deadline fired.
+            event!("cluster.fence", worker = worker, task = task.start);
+        } else {
             self.failed_workers.push(worker);
+            let _ = self.resolve_dispatch(worker, DispatchOutcome::Failed);
         }
         if let Some(flight) = self.in_flight.get_mut(&task.start) {
             flight.copies.retain(|c| c.worker != worker);
@@ -463,6 +629,7 @@ impl Master {
             return Err(ClusterError::RetryBudgetExhausted { task, attempts });
         }
         self.requeued_tasks += 1;
+        counter!("cluster.tasks.requeued", 1_u64);
         self.queue.push_back(task);
         Ok(())
     }
@@ -521,9 +688,12 @@ impl Master {
                     state.cancel.cancel();
                     state.alive = false;
                     state.idle = false;
-                    if !state.condemned {
+                    let newly_condemned = !state.condemned;
+                    if newly_condemned {
                         state.condemned = true;
                         self.hung_workers.push(wid);
+                        event!("cluster.condemn", worker = wid, task = task.start);
+                        let _ = self.resolve_dispatch(wid, DispatchOutcome::Condemned);
                     }
                 }
                 self.requeue_if_abandoned(task)?;
@@ -552,8 +722,13 @@ impl Master {
 
     /// Tell every worker to stop: cancellation for the condemned and
     /// in-flight, `Shutdown` for the idle. Workers are detached, so this
-    /// does not block on stragglers.
+    /// does not block on stragglers. Dispatches still outstanding (e.g.
+    /// a speculative loser that never reported) resolve as cancelled so
+    /// the dispatch accounting balances.
     fn shutdown_workers(&mut self) {
+        for wid in 0..self.workers.len() {
+            let _ = self.resolve_dispatch(wid, DispatchOutcome::Cancelled);
+        }
         for w in &self.workers {
             w.cancel.cancel();
             let _ = w.tx.send(ToWorker::Shutdown);

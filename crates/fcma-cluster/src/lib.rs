@@ -29,7 +29,7 @@ pub mod protocol;
 pub mod scaling;
 
 pub use checkpoint::{Checkpoint, CheckpointWriter, TaskRecord};
-pub use driver::{run_cluster, run_cluster_with, ClusterConfig, ClusterRun};
+pub use driver::{run_cluster, run_cluster_with, ClusterConfig, ClusterRun, TaskStat};
 pub use error::{CheckpointError, ClusterError};
 pub use fault::{ChaosExecutor, FaultKind, FaultPlan, FaultSpec};
 pub use protocol::{FromWorker, ToWorker};

@@ -10,6 +10,7 @@ use fcma_fmri::Dataset;
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_linalg::{f64_from_usize, Mat};
 use fcma_svm::{train_phisvm, KernelMatrix, SmoParams};
+use fcma_trace::span;
 
 /// Parameters shared by the offline and online analyses.
 #[derive(Debug, Clone)]
@@ -33,6 +34,12 @@ pub fn score_all_voxels(
     task_size: usize,
     groups: Option<&[usize]>,
 ) -> Vec<VoxelScore> {
+    let _span = span!(
+        "analysis.sweep",
+        voxels = ctx.n_voxels(),
+        task_size = task_size,
+        executor = exec.name()
+    );
     let mut scores = Vec::with_capacity(ctx.n_voxels());
     for task in partition(ctx.n_voxels(), task_size) {
         scores.extend(exec.process_grouped(ctx, task, groups));

@@ -9,6 +9,7 @@ use crate::stage3::{score_task, KernelPrecompute};
 use crate::task::{VoxelScore, VoxelTask};
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_svm::{LibSvmParams, SmoParams, SolverKind};
+use fcma_trace::span;
 
 /// A single-node implementation of the three-stage FCMA pipeline.
 pub trait TaskExecutor: Send + Sync {
@@ -68,6 +69,8 @@ impl TaskExecutor for BaselineExecutor {
         task: VoxelTask,
         groups: Option<&[usize]>,
     ) -> Vec<VoxelScore> {
+        let _span =
+            span!("task.process", start = task.start, count = task.count, executor = "baseline");
         let mut corr = corr_baseline(ctx, task);
         normalize_baseline(&mut corr, ctx);
         let groups = groups.unwrap_or(&ctx.subjects);
@@ -103,6 +106,8 @@ impl TaskExecutor for OptimizedExecutor {
         task: VoxelTask,
         groups: Option<&[usize]>,
     ) -> Vec<VoxelScore> {
+        let _span =
+            span!("task.process", start = task.start, count = task.count, executor = "optimized");
         let corr = corr_normalized_merged(ctx, task, self.opts);
         let groups = groups.unwrap_or(&ctx.subjects);
         score_task(

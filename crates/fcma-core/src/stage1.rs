@@ -14,6 +14,38 @@ use crate::context::TaskContext;
 use crate::task::VoxelTask;
 use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
 use fcma_linalg::{corr_tall_skinny, gemm_blocked, CorrLayout, Mat};
+use fcma_sim::analytic::CorrShape;
+use fcma_trace::{counter, span};
+
+/// Widen a shape dimension for the analytic counter models.
+fn dim(x: usize) -> u64 {
+    u64::try_from(x).unwrap_or(u64::MAX)
+}
+
+/// Bridge the analytic [`fcma_sim::counters::KernelCounters`] model for
+/// this task's shape into the trace counters, so a traced run can put
+/// the model's FLOP / memory-reference tallies next to measured wall
+/// time in one report. `model` picks the analytic variant (MKL-like
+/// baseline vs the tall-skinny kernel).
+fn bridge_stage1_counters(
+    assigned: &[Mat],
+    v: usize,
+    n: usize,
+    model: fn(&CorrShape, &fcma_sim::machine::MachineConfig) -> fcma_sim::counters::KernelCounters,
+) {
+    let mach = fcma_sim::machine::phi_5110p();
+    let mut flops = 0u64;
+    let mut mem_refs = 0u64;
+    for a in assigned {
+        // Epoch lengths may differ, so model one epoch at a time.
+        let shape = CorrShape { v: dim(v), n: dim(n), m: 1, k: dim(a.cols()) };
+        let c = model(&shape, &mach);
+        flops = flops.saturating_add(c.flops);
+        mem_refs = mem_refs.saturating_add(c.mem_refs);
+    }
+    counter!("stage1.flops", flops);
+    counter!("stage1.mem_refs", mem_refs);
+}
 
 /// The interleaved correlation buffer for one task: `V·M` rows of `N`
 /// floats, row `v·M + e` holding voxel `v`'s correlation vector for
@@ -64,6 +96,10 @@ pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
     let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
     let mut buf = vec![0.0f32; layout.out_len()];
     let assigned = assigned_blocks(ctx, task);
+    let _span = span!("stage1.corr", voxels = v, brain = n, epochs = m, kernel = "baseline");
+    if fcma_trace::is_enabled() {
+        bridge_stage1_counters(&assigned, v, n, fcma_sim::analytic::corr_mkl);
+    }
     for e in 0..m {
         let a = &assigned[e];
         let b = ctx.norm.brain(e);
@@ -82,6 +118,10 @@ pub fn corr_optimized(ctx: &TaskContext, task: VoxelTask, opts: TallSkinnyOpts) 
     let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
     let mut buf = vec![0.0f32; layout.out_len()];
     let assigned = assigned_blocks(ctx, task);
+    let _span = span!("stage1.corr", voxels = v, brain = n, epochs = m, kernel = "tall_skinny");
+    if fcma_trace::is_enabled() {
+        bridge_stage1_counters(&assigned, v, n, fcma_sim::analytic::corr_optimized);
+    }
     let pairs: Vec<EpochPair<'_>> = assigned
         .iter()
         .enumerate()

@@ -29,11 +29,13 @@ use crate::stage1::CorrData;
 use crate::task::VoxelTask;
 use fcma_linalg::tall_skinny::{corr_tile_block, EpochPair, TallSkinnyOpts};
 use fcma_linalg::{f32_from_usize, fisher_z_slice, CorrLayout};
+use fcma_trace::span;
 
 /// Baseline schedule: Fisher pass, then stats pass, then apply pass.
 pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
     let n = corr.layout.n_brain;
     let v = corr.layout.n_assigned;
+    let _span = span!("stage2.normalize", voxels = v, brain = n, schedule = "baseline");
     // Pass 1: Fisher-transform everything.
     for row in corr.buf.chunks_mut(n) {
         fisher_z_slice(row);
@@ -66,6 +68,7 @@ pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
 pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
     let n = corr.layout.n_brain;
     let v = corr.layout.n_assigned;
+    let _span = span!("stage2.normalize", voxels = v, brain = n, schedule = "separated");
     let mut sum = vec![0.0f32; n];
     let mut sumsq = vec![0.0f32; n];
     let mut mean = vec![0.0f32; n];
@@ -108,6 +111,7 @@ pub fn corr_normalized_merged(
     let m = ctx.n_epochs();
     let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
     let mut buf = vec![0.0f32; layout.out_len()];
+    let _span = span!("stage12.fused", voxels = v, brain = n, epochs = m);
 
     let assigned = crate::stage1::assigned_blocks(ctx, task);
     let pairs: Vec<EpochPair<'_>> = assigned

@@ -12,6 +12,7 @@
 use crate::stage1::CorrData;
 use crate::task::{VoxelScore, VoxelTask};
 use fcma_svm::{loso_cross_validate, KernelMatrix, SolverKind};
+use fcma_trace::{counter, span};
 use rayon::prelude::*;
 
 /// Which SYRK implementation precomputes the kernels.
@@ -60,6 +61,8 @@ pub fn score_task(
     precompute: KernelPrecompute,
 ) -> Vec<VoxelScore> {
     assert_eq!(corr.layout.n_assigned, task.count, "score_task: task/corr shape mismatch");
+    let _span = span!("stage3.score", voxels = task.count, epochs = corr.layout.n_epochs);
+    counter!("stage3.voxels", task.count);
     (0..task.count)
         .into_par_iter()
         .map(|vi| VoxelScore {

@@ -10,6 +10,7 @@ use crate::kernel::KernelMatrix;
 use crate::phisvm::{train_optimized_libsvm, train_phisvm};
 use crate::reference::{decision as ref_decision, train_precomputed, LibSvmParams};
 use crate::smo::SmoParams;
+use fcma_trace::{counter, span};
 
 /// Which solver runs the folds — the three rows of the paper's Table 8.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +58,8 @@ pub fn loso_cross_validate(
     assert_eq!(subjects.len(), m, "cv: subjects length != kernel size");
     let n_subjects = subjects.iter().copied().max().map_or(0, |s| s + 1);
     assert!(n_subjects >= 2, "cv: need at least two subjects for LOSO");
+    let _span = span!("svm.cv.loso", folds = n_subjects, samples = m);
+    counter!("svm.cv.folds", n_subjects);
 
     let mut fold_accuracies = Vec::with_capacity(n_subjects);
     let mut total_iterations = 0usize;

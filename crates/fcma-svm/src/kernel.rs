@@ -11,6 +11,7 @@
 //! at once (§4.4).
 
 use fcma_linalg::{syrk_dot, syrk_panel, Mat};
+use fcma_trace::span;
 
 /// A precomputed symmetric positive semidefinite Gram matrix over `M`
 /// samples.
@@ -35,6 +36,7 @@ impl KernelMatrix {
     /// copy when the data lives inside a larger buffer, as FCMA's
     /// per-voxel correlation matrices do).
     pub fn precompute_raw(m: usize, n: usize, data: &[f32]) -> Self {
+        let _span = span!("svm.kernel.precompute", samples = m, features = n, kernel = "panel");
         let mut k = Mat::zeros(m, m);
         syrk_panel(m, n, data, n, k.as_mut_slice(), m);
         fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 SYRK kernel precompute");
@@ -43,6 +45,7 @@ impl KernelMatrix {
 
     /// [`Self::precompute_baseline`] over a raw row-major slice.
     pub fn precompute_baseline_raw(m: usize, n: usize, data: &[f32]) -> Self {
+        let _span = span!("svm.kernel.precompute", samples = m, features = n, kernel = "dot");
         let mut k = Mat::zeros(m, m);
         syrk_dot(m, n, data, n, k.as_mut_slice(), m);
         fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 baseline kernel precompute");

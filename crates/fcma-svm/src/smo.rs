@@ -23,6 +23,7 @@
 
 use crate::model::WssStats;
 use fcma_linalg::Mat;
+use fcma_trace::{counter, histogram, span};
 
 /// Guard against zero curvature in the two-variable subproblem.
 const TAU: f32 = 1e-12;
@@ -89,6 +90,7 @@ const SECOND_ORDER_COST: f64 = 1.25;
 /// class is present.
 pub fn solve(k: &Mat, y: &[f32], params: &SmoParams) -> SolveResult {
     let l = y.len();
+    let _span = span!("svm.smo.solve", samples = l);
     assert_eq!(k.rows(), l, "smo: kernel rows != targets");
     assert_eq!(k.cols(), l, "smo: kernel not square");
     assert!(l >= 2, "smo: need at least two samples");
@@ -204,7 +206,19 @@ pub fn solve(k: &Mat, y: &[f32], params: &SmoParams) -> SolveResult {
 
     let rho = calculate_rho(y, &alpha, &g, c);
     let objective = objective(&alpha, &g);
+    counter!("svm.smo.solves", 1_u64);
+    counter!("svm.smo.iterations", iter);
+    if fcma_trace::is_enabled() {
+        histogram!("svm.smo.iterations_per_solve", f64_from_iter(iter));
+    }
     SolveResult { alpha, rho, objective, iterations: iter, wss: stats }
+}
+
+/// Widen an iteration count for histogram recording (f64 mantissa is
+/// ample for any reachable `max_iter`).
+fn f64_from_iter(iter: usize) -> f64 {
+    // audit: allow(cast) — tally → f64, far below 2^53
+    iter as f64
 }
 
 /// Dual objective `½αᵀQα − eᵀα = ½ Σ α_t (G_t − 1)`.

@@ -1,0 +1,371 @@
+//! The runtime collector: a process-global sink for spans, instant
+//! events, counters, and histograms.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Near-no-op when disabled.** Every entry point first reads one
+//!    relaxed [`AtomicBool`]; the instrumentation macros additionally
+//!    gate attribute construction behind [`is_enabled`], so an
+//!    uninstrumented run pays one atomic load per call site and
+//!    allocates nothing.
+//! 2. **No cross-thread contention on the hot path.** Span records are
+//!    buffered per thread ([`ThreadBuf`], found through a thread-local
+//!    cache) and merged only at [`Collector::drain`]. The per-thread
+//!    buffer is behind a `Mutex`, but it is only ever contended by the
+//!    drain itself.
+//! 3. **Deterministic structure.** Spans carry an id, their parent's id
+//!    (the innermost open span on the same thread), and a start
+//!    timestamp relative to the collector's epoch, so exporters can
+//!    reconstruct the hierarchy without global ordering guarantees.
+//!
+//! Threads created after installation register lazily on first use; a
+//! generation counter invalidates thread-local caches when a different
+//! collector is installed.
+
+use crate::report::{AttrValue, Histogram, SpanRecord, TraceReport};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Fast global gate: is any collector installed?
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bumped on every install/uninstall to invalidate thread-local caches.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Process-wide span id allocator (0 is reserved for "no parent").
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+/// Process-wide trace-thread-id allocator.
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(0);
+/// The installed collector, if any.
+static GLOBAL: Mutex<Option<Arc<Inner>>> = Mutex::new(None);
+/// Serializes scoped installs so concurrent tests cannot interleave
+/// their collectors.
+static SCOPE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared state of one collector.
+struct Inner {
+    /// Time base for every timestamp recorded under this collector.
+    epoch: Instant,
+    /// Every thread buffer ever registered under this collector.
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    /// Monotonic named counters.
+    counters: Mutex<HashMap<&'static str, u64>>,
+    /// Named value distributions.
+    histograms: Mutex<HashMap<&'static str, Histogram>>,
+}
+
+/// One thread's span buffer. Records are pushed on span *completion*
+/// (and immediately for instant events), so a drain never observes a
+/// half-written record.
+struct ThreadBuf {
+    tid: u64,
+    epoch: Instant,
+    events: Mutex<Vec<SpanRecord>>,
+}
+
+/// Thread-local registration cache plus the open-span stack.
+struct Tls {
+    generation: u64,
+    inner: Option<Arc<Inner>>,
+    buf: Option<Arc<ThreadBuf>>,
+    stack: Vec<u64>,
+}
+
+thread_local! {
+    static TLS: RefCell<Tls> =
+        const { RefCell::new(Tls { generation: u64::MAX, inner: None, buf: None, stack: Vec::new() }) };
+}
+
+/// Whether a collector is installed. The instrumentation macros check
+/// this before evaluating any attribute expressions.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Run `f` with the calling thread's registration under the current
+/// collector, registering first if needed. The closure receives the
+/// collector, this thread's buffer, and this thread's open-span stack.
+/// Returns `None` if no collector is installed.
+fn with_tls<R>(f: impl FnOnce(&Arc<Inner>, &Arc<ThreadBuf>, &mut Vec<u64>) -> R) -> Option<R> {
+    if !is_enabled() {
+        return None;
+    }
+    TLS.with(|cell| {
+        let mut tls = cell.borrow_mut();
+        let generation = GENERATION.load(Ordering::Acquire);
+        if tls.generation != generation || tls.buf.is_none() {
+            let inner = lock(&GLOBAL).clone()?;
+            let buf = Arc::new(ThreadBuf {
+                tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: inner.epoch,
+                events: Mutex::new(Vec::new()),
+            });
+            lock(&inner.threads).push(Arc::clone(&buf));
+            tls.generation = generation;
+            tls.inner = Some(inner);
+            tls.buf = Some(buf);
+            tls.stack.clear();
+        }
+        let tls = &mut *tls;
+        match (&tls.inner, &tls.buf) {
+            (Some(inner), Some(buf)) => Some(f(inner, buf, &mut tls.stack)),
+            _ => None,
+        }
+    })
+}
+
+fn ns_since(epoch: Instant, t: Instant) -> u64 {
+    u64::try_from(t.saturating_duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// An open span; completing (dropping) it records the span. Produced by
+/// [`crate::span!`] / [`start_span`].
+#[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
+pub struct SpanGuard(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    attrs: Vec<(&'static str, AttrValue)>,
+    buf: Arc<ThreadBuf>,
+    started: Instant,
+}
+
+impl SpanGuard {
+    /// The guard produced when no collector is installed: does nothing.
+    pub fn disabled() -> Self {
+        SpanGuard(None)
+    }
+
+    /// This span's id, for correlating external records (`None` when
+    /// disabled).
+    pub fn id(&self) -> Option<u64> {
+        self.0.as_ref().map(|s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.0.take() else {
+            return;
+        };
+        let dur = span.started.elapsed();
+        // Pop this span from the open-span stack of the *current* thread.
+        // Guards are normally dropped on their opening thread in LIFO
+        // order; a guard moved across threads simply won't find itself
+        // and leaves the foreign stack untouched.
+        TLS.with(|cell| {
+            let mut tls = cell.borrow_mut();
+            if let Some(pos) = tls.stack.iter().rposition(|&id| id == span.id) {
+                tls.stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            name: span.name.to_owned(),
+            tid: span.buf.tid,
+            id: span.id,
+            parent: span.parent,
+            start_ns: ns_since(span.buf.epoch, span.started),
+            dur_ns: Some(u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX)),
+            attrs: span.attrs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        };
+        lock(&span.buf.events).push(record);
+    }
+}
+
+/// Open a span. Prefer the [`crate::span!`] macro, which skips attribute
+/// construction entirely when no collector is installed.
+pub fn start_span(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> SpanGuard {
+    let active = with_tls(|_, buf, stack| {
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = stack.last().copied();
+        stack.push(id);
+        ActiveSpan { name, id, parent, attrs, buf: Arc::clone(buf), started: Instant::now() }
+    });
+    SpanGuard(active)
+}
+
+/// Record an instant event (zero duration, `ph:"i"` in Chrome traces).
+/// Prefer the [`crate::event!`] macro.
+pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
+    with_tls(|_, buf, stack| {
+        let record = SpanRecord {
+            name: name.to_owned(),
+            tid: buf.tid,
+            id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+            parent: stack.last().copied(),
+            start_ns: ns_since(buf.epoch, Instant::now()),
+            dur_ns: None,
+            attrs: attrs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        };
+        lock(&buf.events).push(record);
+    });
+}
+
+/// Record a span whose start time was captured externally (the cluster
+/// master tracks dispatch flights this way: the span begins at dispatch
+/// and is recorded when the master resolves the flight). The duration is
+/// `started.elapsed()` at the time of this call.
+pub fn record_span_since(
+    name: &'static str,
+    attrs: Vec<(&'static str, AttrValue)>,
+    started: Instant,
+) {
+    with_tls(|_, buf, stack| {
+        let record = SpanRecord {
+            name: name.to_owned(),
+            tid: buf.tid,
+            id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+            parent: stack.last().copied(),
+            start_ns: ns_since(buf.epoch, started),
+            dur_ns: Some(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+            attrs: attrs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        };
+        lock(&buf.events).push(record);
+    });
+}
+
+/// Trait bound for [`add_counter`] deltas, so call sites can pass the
+/// `usize` quantities the pipeline naturally produces without lossy
+/// casts in kernel crates.
+pub trait IntoCount {
+    /// Convert to the counter delta.
+    fn into_count(self) -> u64;
+}
+impl IntoCount for u64 {
+    fn into_count(self) -> u64 {
+        self
+    }
+}
+impl IntoCount for u32 {
+    fn into_count(self) -> u64 {
+        u64::from(self)
+    }
+}
+impl IntoCount for usize {
+    fn into_count(self) -> u64 {
+        u64::try_from(self).unwrap_or(u64::MAX)
+    }
+}
+
+/// Add `delta` to the named monotonic counter. Prefer the
+/// [`crate::counter!`] macro.
+pub fn add_counter(name: &'static str, delta: impl IntoCount) {
+    let delta = delta.into_count();
+    with_tls(|inner, _, _| {
+        let mut counters = lock(&inner.counters);
+        let slot = counters.entry(name).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    });
+}
+
+/// Record `value` into the named histogram. Prefer the
+/// [`crate::histogram!`] macro.
+pub fn record_value(name: &'static str, value: f64) {
+    with_tls(|inner, _, _| {
+        lock(&inner.histograms).entry(name).or_default().record(value);
+    });
+}
+
+/// A trace collector. Install it ([`Collector::install`] or the
+/// test-friendly [`Collector::install_scoped`]) to start recording;
+/// [`Collector::drain`] merges everything recorded so far into a
+/// [`TraceReport`].
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Collector {
+    /// A fresh collector; its epoch (timestamp zero) is now.
+    pub fn new() -> Self {
+        Collector {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                threads: Mutex::new(Vec::new()),
+                counters: Mutex::new(HashMap::new()),
+                histograms: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+
+    /// Install this collector as the process-global sink, replacing any
+    /// previous one.
+    pub fn install(&self) {
+        let mut global = lock(&GLOBAL);
+        *global = Some(Arc::clone(&self.inner));
+        GENERATION.fetch_add(1, Ordering::Release);
+        ENABLED.store(true, Ordering::Release);
+    }
+
+    /// Uninstall this collector if it is the installed one. Returns
+    /// whether it was.
+    pub fn uninstall(&self) -> bool {
+        let mut global = lock(&GLOBAL);
+        let installed = global.as_ref().is_some_and(|g| Arc::ptr_eq(g, &self.inner));
+        if installed {
+            *global = None;
+            ENABLED.store(false, Ordering::Release);
+            GENERATION.fetch_add(1, Ordering::Release);
+        }
+        installed
+    }
+
+    /// Install under a process-wide scope lock and return a guard that
+    /// uninstalls on drop. Serializes concurrent scoped users (e.g.
+    /// parallel tests), so traces never interleave across collectors.
+    pub fn install_scoped(&self) -> ScopedCollector<'_> {
+        let scope = lock(&SCOPE_LOCK);
+        self.install();
+        ScopedCollector { collector: self, _scope: scope }
+    }
+
+    /// Merge and clear everything recorded so far. Spans are sorted by
+    /// start time (ties by id), giving a deterministic drain order.
+    ///
+    /// Call this after the instrumented work has finished; a span still
+    /// open at drain time is simply absent from the report (it records
+    /// on completion).
+    pub fn drain(&self) -> TraceReport {
+        let mut spans = Vec::new();
+        for buf in lock(&self.inner.threads).iter() {
+            spans.append(&mut lock(&buf.events));
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        let counters = lock(&self.inner.counters).drain().map(|(k, v)| (k.to_owned(), v)).collect();
+        let histograms =
+            lock(&self.inner.histograms).drain().map(|(k, v)| (k.to_owned(), v)).collect();
+        TraceReport { spans, counters, histograms }
+    }
+}
+
+/// RAII guard from [`Collector::install_scoped`].
+pub struct ScopedCollector<'a> {
+    collector: &'a Collector,
+    _scope: MutexGuard<'static, ()>,
+}
+
+impl ScopedCollector<'_> {
+    /// Drain the underlying collector (see [`Collector::drain`]).
+    pub fn drain(&self) -> TraceReport {
+        self.collector.drain()
+    }
+}
+
+impl Drop for ScopedCollector<'_> {
+    fn drop(&mut self) {
+        self.collector.uninstall();
+    }
+}

@@ -1,0 +1,375 @@
+//! Exporters: Chrome `chrome://tracing` JSON, Prometheus-style text,
+//! and the inverse parse ([`from_chrome_json`]) used by `fcma report`.
+//!
+//! The Chrome export uses the trace-event *object* format: spans become
+//! complete (`"ph":"X"`) events, instant events `"ph":"i"`, with
+//! microsecond timestamps as the format requires. Counters and
+//! histograms ride along in the extra top-level keys `fcmaCounters` /
+//! `fcmaHistograms` (the object format explicitly allows unknown
+//! top-level members), so one `trace.json` is self-contained: it opens
+//! in `chrome://tracing` / Perfetto *and* round-trips back into a
+//! [`TraceReport`] for `fcma report --check`.
+//!
+//! The Prometheus export is the text exposition format, `.` mapped to
+//! `_` in metric names (Prometheus forbids dots) and span aggregates
+//! emitted as `fcma_span_{count,duration_seconds_total}` with a
+//! `span` label.
+
+use crate::json::{self, Value};
+use crate::report::{AttrValue, Histogram, SpanRecord, TraceReport, HISTOGRAM_BUCKETS};
+use std::fmt::Write as _;
+
+fn push_attr_value(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        AttrValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        AttrValue::F64(x) => {
+            if x.is_finite() {
+                let _ = write!(out, "{x}");
+            } else {
+                json::escape_into(out, &x.to_string());
+            }
+        }
+        AttrValue::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        AttrValue::Str(s) => json::escape_into(out, s),
+    }
+}
+
+/// Serialize a report as Chrome trace JSON (object format).
+pub fn to_chrome_json(report: &TraceReport) -> String {
+    let mut out = String::with_capacity(4096 + report.spans.len() * 160);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in report.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::escape_into(&mut out, &s.name);
+        let _ = write!(out, ",\"cat\":\"fcma\",\"pid\":1,\"tid\":{},\"id\":{}", s.tid, s.id);
+        // Chrome wants microseconds; keep sub-µs precision as a decimal.
+        let _ = write!(out, ",\"ts\":{}.{:03}", s.start_ns / 1_000, s.start_ns % 1_000);
+        match s.dur_ns {
+            Some(d) => {
+                let _ = write!(out, ",\"ph\":\"X\",\"dur\":{}.{:03}", d / 1_000, d % 1_000);
+            }
+            None => {
+                out.push_str(",\"ph\":\"i\",\"s\":\"t\"");
+            }
+        }
+        out.push_str(",\"args\":{");
+        let mut first = true;
+        if let Some(parent) = s.parent {
+            let _ = write!(out, "\"parent\":{parent}");
+            first = false;
+        }
+        for (k, v) in &s.attrs {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::escape_into(&mut out, k);
+            out.push(':');
+            push_attr_value(&mut out, v);
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"fcmaCounters\":{");
+    for (i, (name, value)) in report.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"fcmaHistograms\":{");
+    for (i, (name, h)) in report.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::escape_into(&mut out, name);
+        let (min, max) = if h.count == 0 { (0.0, 0.0) } else { (h.min, h.max) };
+        let _ =
+            write!(out, ":{{\"count\":{},\"sum\":{},\"min\":{min},\"max\":{max}", h.count, h.sum);
+        out.push_str(",\"buckets\":[");
+        // Trailing zero buckets are elided; the parser re-pads.
+        let last = h.buckets.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+        for (j, b) in h.buckets[..last].iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+fn attr_from_value(v: &Value) -> AttrValue {
+    match v {
+        Value::Bool(b) => AttrValue::Bool(*b),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && *n >= 0.0 {
+                AttrValue::U64(v.as_u64().unwrap_or(0))
+            } else if n.fract() == 0.0 && *n >= -9_007_199_254_740_992.0 {
+                // audit: allow(cast) — guarded: integral f64 within i64 range
+                AttrValue::I64(*n as i64)
+            } else {
+                AttrValue::F64(*n)
+            }
+        }
+        Value::String(s) => AttrValue::Str(s.clone()),
+        other => AttrValue::Str(format!("{other:?}")),
+    }
+}
+
+fn ns_of(v: Option<&Value>) -> u64 {
+    // Timestamps are decimal microseconds; convert back to integer ns.
+    let us = v.and_then(Value::as_f64).unwrap_or(0.0);
+    // audit: allow(cast) — guarded below by max(0) semantics
+    let ns = (us * 1_000.0).round();
+    if ns <= 0.0 {
+        0
+    } else {
+        // audit: allow(cast) — non-negative after the guard above
+        ns as u64
+    }
+}
+
+/// Parse a Chrome trace JSON produced by [`to_chrome_json`] back into a
+/// [`TraceReport`].
+///
+/// # Errors
+/// Returns a description of the first structural problem: invalid JSON,
+/// missing `traceEvents`, or malformed event members.
+pub fn from_chrome_json(input: &str) -> Result<TraceReport, String> {
+    let doc = json::parse(input)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_owned())?;
+    let mut report = TraceReport::default();
+    for (i, ev) in events.iter().enumerate() {
+        let obj = ev.as_object().ok_or_else(|| format!("traceEvents[{i}] is not an object"))?;
+        let name = obj
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("traceEvents[{i}] has no name"))?
+            .to_owned();
+        let ph = obj.get("ph").and_then(Value::as_str).unwrap_or("X");
+        let dur_ns = match ph {
+            "X" => Some(ns_of(obj.get("dur"))),
+            "i" | "I" => None,
+            other => return Err(format!("traceEvents[{i}]: unsupported phase {other:?}")),
+        };
+        let mut parent = None;
+        let mut attrs = Vec::new();
+        if let Some(args) = obj.get("args").and_then(Value::as_object) {
+            for (k, v) in args {
+                if k == "parent" {
+                    parent = v.as_u64();
+                } else {
+                    attrs.push((k.clone(), attr_from_value(v)));
+                }
+            }
+        }
+        report.spans.push(SpanRecord {
+            name,
+            tid: obj.get("tid").and_then(Value::as_u64).unwrap_or(0),
+            id: obj.get("id").and_then(Value::as_u64).unwrap_or(0),
+            parent,
+            start_ns: ns_of(obj.get("ts")),
+            dur_ns,
+            attrs,
+        });
+    }
+    report.spans.sort_by_key(|s| (s.start_ns, s.id));
+    if let Some(counters) = doc.get("fcmaCounters").and_then(Value::as_object) {
+        for (name, value) in counters {
+            let v = value
+                .as_u64()
+                .ok_or_else(|| format!("counter {name} is not a non-negative integer"))?;
+            report.counters.insert(name.clone(), v);
+        }
+    }
+    if let Some(histograms) = doc.get("fcmaHistograms").and_then(Value::as_object) {
+        for (name, value) in histograms {
+            let mut h = Histogram {
+                count: value.get("count").and_then(Value::as_u64).unwrap_or(0),
+                sum: value.get("sum").and_then(Value::as_f64).unwrap_or(0.0),
+                min: value.get("min").and_then(Value::as_f64).unwrap_or(0.0),
+                max: value.get("max").and_then(Value::as_f64).unwrap_or(0.0),
+                buckets: [0; HISTOGRAM_BUCKETS],
+            };
+            if h.count == 0 {
+                h.min = f64::INFINITY;
+                h.max = f64::NEG_INFINITY;
+            }
+            if let Some(buckets) = value.get("buckets").and_then(Value::as_array) {
+                for (j, b) in buckets.iter().take(HISTOGRAM_BUCKETS).enumerate() {
+                    h.buckets[j] = b.as_u64().unwrap_or(0);
+                }
+            }
+            report.histograms.insert(name.clone(), h);
+        }
+    }
+    Ok(report)
+}
+
+/// Map a dotted taxonomy name to a Prometheus metric name.
+fn prom_name(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+/// Serialize a report in the Prometheus text exposition format.
+pub fn to_prometheus_text(report: &TraceReport) -> String {
+    let mut out = String::new();
+    for (name, value) in &report.counters {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# TYPE fcma_{metric} counter");
+        let _ = writeln!(out, "fcma_{metric} {value}");
+    }
+    let aggregates = report.aggregates();
+    if !aggregates.is_empty() {
+        let _ = writeln!(out, "# TYPE fcma_span_count counter");
+        for row in &aggregates {
+            let _ = writeln!(out, "fcma_span_count{{span=\"{}\"}} {}", row.name, row.count);
+        }
+        let _ = writeln!(out, "# TYPE fcma_span_duration_seconds_total counter");
+        for row in &aggregates {
+            // audit: allow(cast) — ns tally to seconds for display
+            let secs = row.total_ns as f64 / 1e9;
+            let _ =
+                writeln!(out, "fcma_span_duration_seconds_total{{span=\"{}\"}} {secs}", row.name);
+        }
+    }
+    for (name, h) in &report.histograms {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# TYPE fcma_{metric} summary");
+        let _ = writeln!(out, "fcma_{metric}_count {}", h.count);
+        let _ = writeln!(out, "fcma_{metric}_sum {}", h.sum);
+        if h.count > 0 {
+            let _ = writeln!(out, "fcma_{metric}_min {}", h.min);
+            let _ = writeln!(out, "fcma_{metric}_max {}", h.max);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_report() -> TraceReport {
+        let mut counters = BTreeMap::new();
+        counters.insert("cluster.tasks.dispatched".to_owned(), 7);
+        counters.insert("stage1.flops".to_owned(), 123_456);
+        let mut histograms = BTreeMap::new();
+        let mut h = Histogram::default();
+        h.record(3.0);
+        h.record(17.0);
+        histograms.insert("svm.smo.iterations_per_solve".to_owned(), h);
+        TraceReport {
+            spans: vec![
+                SpanRecord {
+                    name: "stage1.corr".to_owned(),
+                    tid: 0,
+                    id: 1,
+                    parent: None,
+                    start_ns: 1_500,
+                    dur_ns: Some(2_000_250),
+                    attrs: vec![
+                        ("voxels".to_owned(), AttrValue::U64(64)),
+                        ("kernel".to_owned(), AttrValue::Str("tall_skinny".to_owned())),
+                    ],
+                },
+                SpanRecord {
+                    name: "cluster.condemn".to_owned(),
+                    tid: 1,
+                    id: 2,
+                    parent: Some(1),
+                    start_ns: 9_000,
+                    dur_ns: None,
+                    attrs: vec![("worker".to_owned(), AttrValue::U64(3))],
+                },
+            ],
+            counters,
+            histograms,
+        }
+    }
+
+    /// Golden-file check: the Chrome export is byte-stable for a fixed
+    /// report (determinism matters for CI diffs).
+    #[test]
+    fn chrome_json_matches_golden() {
+        let got = to_chrome_json(&sample_report());
+        let want = concat!(
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+            "{\"name\":\"stage1.corr\",\"cat\":\"fcma\",\"pid\":1,\"tid\":0,\"id\":1,",
+            "\"ts\":1.500,\"ph\":\"X\",\"dur\":2000.250,",
+            "\"args\":{\"voxels\":64,\"kernel\":\"tall_skinny\"}},",
+            "{\"name\":\"cluster.condemn\",\"cat\":\"fcma\",\"pid\":1,\"tid\":1,\"id\":2,",
+            "\"ts\":9.000,\"ph\":\"i\",\"s\":\"t\",",
+            "\"args\":{\"parent\":1,\"worker\":3}}",
+            "],\"fcmaCounters\":{",
+            "\"cluster.tasks.dispatched\":7,\"stage1.flops\":123456",
+            "},\"fcmaHistograms\":{",
+            "\"svm.smo.iterations_per_solve\":",
+            "{\"count\":2,\"sum\":20,\"min\":3,\"max\":17,\"buckets\":[0,1,0,0,1]}",
+            "}}"
+        );
+        assert_eq!(got, want);
+    }
+
+    /// Golden-file check for the Prometheus text exposition.
+    #[test]
+    fn prometheus_text_matches_golden() {
+        let got = to_prometheus_text(&sample_report());
+        let want = "\
+# TYPE fcma_cluster_tasks_dispatched counter
+fcma_cluster_tasks_dispatched 7
+# TYPE fcma_stage1_flops counter
+fcma_stage1_flops 123456
+# TYPE fcma_span_count counter
+fcma_span_count{span=\"stage1.corr\"} 1
+# TYPE fcma_span_duration_seconds_total counter
+fcma_span_duration_seconds_total{span=\"stage1.corr\"} 0.00200025
+# TYPE fcma_svm_smo_iterations_per_solve summary
+fcma_svm_smo_iterations_per_solve_count 2
+fcma_svm_smo_iterations_per_solve_sum 20
+fcma_svm_smo_iterations_per_solve_min 3
+fcma_svm_smo_iterations_per_solve_max 17
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn chrome_json_round_trips() {
+        let mut report = sample_report();
+        let mut parsed = from_chrome_json(&to_chrome_json(&report)).unwrap();
+        // JSON objects are unordered; normalize attr order before comparing.
+        for s in report.spans.iter_mut().chain(parsed.spans.iter_mut()) {
+            s.attrs.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        assert_eq!(parsed.spans, report.spans);
+        assert_eq!(parsed.counters, report.counters);
+        assert_eq!(parsed.histograms, report.histograms);
+    }
+
+    #[test]
+    fn from_chrome_json_rejects_malformed_input() {
+        assert!(from_chrome_json("not json").is_err());
+        assert!(from_chrome_json("{\"noTraceEvents\": []}").is_err());
+        assert!(
+            from_chrome_json("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err(),
+            "event without a name must be rejected"
+        );
+    }
+}

@@ -39,6 +39,7 @@
 //! | [`core`] | the three-stage pipeline, executors, analyses |
 //! | [`cluster`] | threaded master–worker + discrete-event scaling model |
 //! | [`sim`] | Phi/Xeon machine models, cache simulator, counter models |
+//! | [`trace`] | runtime spans/counters/histograms + Chrome-trace export |
 
 pub use fcma_cluster as cluster;
 pub use fcma_core as core;
@@ -46,6 +47,7 @@ pub use fcma_fmri as fmri;
 pub use fcma_linalg as linalg;
 pub use fcma_sim as sim;
 pub use fcma_svm as svm;
+pub use fcma_trace as trace;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {

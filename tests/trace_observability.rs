@@ -1,0 +1,202 @@
+//! Observability integration tests: chaos-seeded cluster sweeps run
+//! under an installed trace collector must account for every dispatch
+//! outcome exactly — the trace counters are cross-checked against the
+//! injected `FaultPlan`, the per-task `TaskStat`s, and the exported
+//! Chrome-trace JSON round trip.
+
+use fcma::prelude::*;
+use fcma::trace::export::{from_chrome_json, to_chrome_json};
+use fcma::trace::Collector;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn planted(n_voxels: usize) -> TaskContext {
+    let mut cfg = fcma::fmri::presets::tiny();
+    cfg.n_voxels = n_voxels;
+    cfg.n_informative = (n_voxels / 8).max(4) & !1;
+    let (dataset, _) = cfg.generate();
+    TaskContext::full(&dataset)
+}
+
+fn chaos_exec(plan: FaultPlan) -> Arc<dyn TaskExecutor> {
+    Arc::new(ChaosExecutor::new(Arc::new(OptimizedExecutor::default()), plan))
+}
+
+/// One panic and one stall: the trace must show exactly one failed and
+/// one condemned dispatch, every other outcome zero, and the per-task
+/// stats must attribute exactly two attempts to each faulted task.
+#[test]
+fn chaos_counters_match_an_explicit_fault_plan() {
+    let ctx = planted(96); // 6 tasks of 16 voxels
+    let plan = FaultPlan::none().with_fault(0, 0, FaultKind::panic_now()).with_fault(
+        48,
+        0,
+        FaultKind::Stall,
+    );
+    let cfg = ClusterConfig {
+        n_workers: 3,
+        task_size: 16,
+        task_deadline: Some(Duration::from_millis(500)),
+        ..Default::default()
+    };
+
+    let collector = Collector::new();
+    let scoped = collector.install_scoped();
+    let run = run_cluster_with(&ctx, chaos_exec(plan), &cfg).expect("chaos run must recover");
+    let report = scoped.drain();
+    drop(scoped);
+
+    // Exact dispatch arithmetic: tasks 0 and 48 cost two dispatches
+    // (panic + retry, condemn + retry), the other four cost one.
+    assert_eq!(report.counter("cluster.tasks.total"), 6);
+    assert_eq!(report.counter("cluster.tasks.dispatched"), 8);
+    assert_eq!(report.counter("cluster.tasks.completed"), 6);
+    assert_eq!(report.counter("cluster.tasks.failed"), 1);
+    assert_eq!(report.counter("cluster.tasks.condemned"), 1);
+    assert_eq!(report.counter("cluster.tasks.requeued"), 2);
+    assert_eq!(report.counter("cluster.tasks.speculative"), 0);
+    assert_eq!(report.counter("cluster.tasks.resumed"), 0);
+    assert_eq!(report.event_count("cluster.condemn"), 1);
+    assert_eq!(report.event_count("cluster.speculate"), 0);
+    assert_eq!(report.span_count("cluster.run"), 1);
+    assert_eq!(report.span_count("cluster.dispatch"), 8);
+    assert!(
+        report.check_consistency().is_empty(),
+        "invariants must hold: {:?}",
+        report.check_consistency()
+    );
+
+    // Pipeline spans made it out of the worker threads too (the
+    // optimized executor runs the merged stage-1+2 path).
+    assert!(report.span_count("task.process") >= 6);
+    assert!(report.span_count("stage12.fused") >= 6);
+    assert!(report.counter("svm.smo.solves") > 0);
+
+    // Satellite: ClusterRun exposes per-task attempt counts and walls.
+    assert_eq!(run.task_stats.len(), 6);
+    for stat in &run.task_stats {
+        assert!(!stat.resumed);
+        assert!(stat.worker.is_some(), "task {} has no accepted worker", stat.task.start);
+        let want_attempts = if stat.task.start == 0 || stat.task.start == 48 { 2 } else { 1 };
+        assert_eq!(stat.attempts, want_attempts, "task {}", stat.task.start);
+        assert!(stat.wall > Duration::ZERO);
+    }
+    // The condemned task was outstanding at least one full deadline.
+    let stalled = run.task_stats.iter().find(|s| s.task.start == 48).unwrap();
+    assert!(stalled.wall >= Duration::from_millis(500), "stalled wall {:?}", stalled.wall);
+
+    // The exported Chrome JSON carries the same accounting.
+    let json = to_chrome_json(&report);
+    let parsed = from_chrome_json(&json).expect("exported trace must parse back");
+    assert_eq!(parsed.counters, report.counters);
+    assert_eq!(parsed.spans.len(), report.spans.len());
+    assert!(parsed.check_consistency().is_empty());
+}
+
+/// A seeded plan: derive the expected dispatch/panic tallies from the
+/// plan itself (a panic at attempt `n` fires only if attempts `0..n`
+/// all panicked) and require the traced counters to match exactly.
+#[test]
+fn chaos_counters_match_a_seeded_fault_plan() {
+    let (n_voxels, task_size) = (96usize, 16usize);
+    let plan = FaultPlan::seeded(0xFC4A, n_voxels, task_size, 350, 500, 300);
+    assert!(!plan.is_empty(), "seed must inject at least one fault");
+
+    let mut expected_panics = 0u64;
+    let mut expected_dispatches = 0u64;
+    for start in (0..n_voxels).step_by(task_size) {
+        let mut attempt = 0usize;
+        loop {
+            expected_dispatches += 1;
+            match plan.fault_for(start, attempt) {
+                Some(FaultKind::Panic { .. }) => {
+                    expected_panics += 1;
+                    attempt += 1;
+                }
+                // Delays complete (slowly); no fault completes cleanly.
+                _ => break,
+            }
+        }
+    }
+    assert!(expected_panics > 0, "seed must inject at least one panic");
+
+    // Every panic permanently kills one worker; keep two spares.
+    // audit: allow(cast) — expected_panics is a handful of tasks
+    let n_workers = expected_panics as usize + 2;
+    let cfg = ClusterConfig { n_workers, task_size, retry_budget: 3, ..Default::default() };
+
+    let ctx = planted(n_voxels);
+    let collector = Collector::new();
+    let scoped = collector.install_scoped();
+    let run = run_cluster_with(&ctx, chaos_exec(plan), &cfg).expect("seeded chaos must recover");
+    let report = scoped.drain();
+    drop(scoped);
+
+    assert_eq!(report.counter("cluster.tasks.total"), 6);
+    assert_eq!(report.counter("cluster.tasks.completed"), 6);
+    assert_eq!(report.counter("cluster.tasks.failed"), expected_panics);
+    assert_eq!(report.counter("cluster.tasks.dispatched"), expected_dispatches);
+    assert_eq!(report.counter("cluster.tasks.condemned"), 0);
+    assert_eq!(report.counter("cluster.tasks.speculative"), 0);
+    assert_eq!(report.span_count("cluster.dispatch"), expected_dispatches);
+    assert_eq!(run.failed_workers.len() as u64, expected_panics);
+    assert!(report.check_consistency().is_empty(), "{:?}", report.check_consistency());
+}
+
+/// Speculation: a delayed straggler gets a traced duplicate; exactly one
+/// of the two copies is accepted and the other is discarded (if its
+/// result arrives) or cancelled at shutdown (if it does not).
+#[test]
+fn speculative_duplicate_is_traced_and_accounted() {
+    let ctx = planted(64); // 4 tasks of 16 voxels
+    let plan = FaultPlan::none().with_fault(16, 0, FaultKind::Delay(Duration::from_millis(800)));
+    let cfg = ClusterConfig {
+        n_workers: 2,
+        task_size: 16,
+        speculate_after: Some(Duration::from_millis(80)),
+        ..Default::default()
+    };
+
+    let collector = Collector::new();
+    let scoped = collector.install_scoped();
+    let run = run_cluster_with(&ctx, chaos_exec(plan), &cfg).expect("speculative run");
+    let report = scoped.drain();
+    drop(scoped);
+
+    assert_eq!(run.speculative_launches, 1);
+    assert_eq!(report.counter("cluster.tasks.speculative"), 1);
+    assert_eq!(report.event_count("cluster.speculate"), 1);
+    assert_eq!(report.counter("cluster.tasks.dispatched"), 5);
+    assert_eq!(report.counter("cluster.tasks.completed"), 4);
+    // The losing copy either reported late (discarded) or was still
+    // sleeping at shutdown (cancelled) — never both, never neither.
+    let loser =
+        report.counter("cluster.tasks.discarded") + report.counter("cluster.tasks.cancelled");
+    assert_eq!(loser, 1);
+    assert!(report.check_consistency().is_empty(), "{:?}", report.check_consistency());
+
+    // The straggler's stat reflects one non-speculative attempt but a
+    // wall time at least as long as the speculation trigger.
+    let straggler = run.task_stats.iter().find(|s| s.task.start == 16).unwrap();
+    assert_eq!(straggler.attempts, 1);
+    assert!(straggler.wall >= Duration::from_millis(80), "wall {:?}", straggler.wall);
+}
+
+/// With no collector installed the same chaos run records nothing and
+/// still succeeds — instrumentation must never perturb scheduling.
+#[test]
+fn uninstrumented_chaos_run_records_nothing() {
+    let ctx = planted(48);
+    let plan = FaultPlan::none().with_fault(0, 0, FaultKind::panic_now());
+    let cfg = ClusterConfig { n_workers: 2, task_size: 16, ..Default::default() };
+    let run = run_cluster_with(&ctx, chaos_exec(plan), &cfg).expect("run");
+    assert_eq!(run.scores.len(), 48);
+    assert_eq!(run.task_stats.len(), 3, "task stats work without a collector");
+
+    // A collector installed only *after* the run sees an empty world.
+    let collector = Collector::new();
+    let scoped = collector.install_scoped();
+    let report = scoped.drain();
+    assert!(report.spans.is_empty());
+    assert!(report.counters.is_empty());
+}
