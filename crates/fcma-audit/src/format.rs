@@ -1,0 +1,129 @@
+//! Violation rendering: the human `file:line: pass: message` format and
+//! a line-delimited JSON format for CI and editor consumption. Both are
+//! golden-tested so the shapes stay stable.
+
+use crate::passes::Violation;
+
+/// Output format for `fcma-audit check`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `file:line: pass: message`, one per line.
+    Human,
+    /// One JSON object per line: `{"file":…,"line":…,"pass":…,"message":…}`.
+    Json,
+}
+
+impl Format {
+    /// Parse a `--format` argument value.
+    pub fn parse(s: &str) -> Option<Format> {
+        match s {
+            "human" => Some(Format::Human),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+/// Render violations in the given format, one per line, with a trailing
+/// newline when non-empty.
+pub fn render(violations: &[Violation], format: Format) -> String {
+    let mut out = String::new();
+    for v in violations {
+        match format {
+            Format::Human => {
+                out.push_str(&v.to_string());
+            }
+            Format::Json => {
+                out.push_str(&format!(
+                    "{{\"file\":{},\"line\":{},\"pass\":{},\"message\":{}}}",
+                    json_str(&v.file),
+                    v.line,
+                    json_str(v.pass),
+                    json_str(&v.message)
+                ));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Minimal JSON string escaping (std-only, like the fcma-trace exporter).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Violation> {
+        vec![
+            Violation {
+                file: "crates/fcma-linalg/src/mat.rs".to_owned(),
+                line: 27,
+                pass: "panicpath",
+                message: "pub fn `zeros` can panic (`panic!` at mat.rs:27)".to_owned(),
+            },
+            Violation {
+                file: "DESIGN.md".to_owned(),
+                line: 1,
+                pass: "protocol",
+                message: "table lists `FromWorker::Gone\u{2014}with \"quotes\"`".to_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn human_format_golden() {
+        let got = render(&sample(), Format::Human);
+        let want = "crates/fcma-linalg/src/mat.rs:27: panicpath: pub fn `zeros` can panic \
+                    (`panic!` at mat.rs:27)\n\
+                    DESIGN.md:1: protocol: table lists `FromWorker::Gone\u{2014}with \"quotes\"`\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn json_format_golden() {
+        let got = render(&sample(), Format::Json);
+        let want =
+            "{\"file\":\"crates/fcma-linalg/src/mat.rs\",\"line\":27,\"pass\":\"panicpath\",\
+                    \"message\":\"pub fn `zeros` can panic (`panic!` at mat.rs:27)\"}\n\
+                    {\"file\":\"DESIGN.md\",\"line\":1,\"pass\":\"protocol\",\
+                    \"message\":\"table lists `FromWorker::Gone\u{2014}with \\\"quotes\\\"`\"}\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_renders_empty() {
+        assert_eq!(render(&[], Format::Human), "");
+        assert_eq!(render(&[], Format::Json), "");
+    }
+
+    #[test]
+    fn json_escapes_control_chars() {
+        assert_eq!(json_str("a\nb\t\"c\"\\"), "\"a\\nb\\t\\\"c\\\"\\\\\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn format_parse() {
+        assert_eq!(Format::parse("human"), Some(Format::Human));
+        assert_eq!(Format::parse("json"), Some(Format::Json));
+        assert_eq!(Format::parse("yaml"), None);
+    }
+}

@@ -2,23 +2,31 @@
 //!
 //! A zero-dependency (std-only) lint tool that walks the workspace
 //! source tree and enforces project-specific invariants that `clippy`
-//! cannot express: no `unsafe` anywhere, no panicking `.unwrap()` /
-//! `.expect()` in library code, no lossy `as` casts in the numeric
-//! kernel crates, property-test coverage of every public linalg kernel,
-//! module-level documentation on every source file, and trace-probe
-//! names that match the span/counter taxonomy documented in
-//! DESIGN.md §Observability.
+//! cannot express: no `unsafe` anywhere, no lossy `as` casts in the
+//! numeric kernel crates, property-test coverage of every public linalg
+//! kernel, module-level documentation on every source file, trace-probe
+//! names that match the DESIGN.md §Observability taxonomy, the crate
+//! layering DAG of DESIGN.md §Architecture contracts, call-graph panic
+//! reachability of library `pub fn`s, master–worker protocol
+//! conformance, workspace-`pub` items nobody references, and stale
+//! allow markers.
 //!
-//! Run it with `cargo run -p fcma-audit -- check`. Exit code 0 means
-//! clean, 1 means violations were printed, 2 means the tool itself
-//! could not run (bad usage or I/O failure).
+//! Run it with `cargo run -p fcma-audit -- check [--format human|json]`.
+//! Exit code 0 means clean, 1 means violations were printed, 2 means
+//! the tool itself could not run (bad usage or I/O failure).
 //!
 //! The implementation deliberately avoids `syn`: a line-preserving
-//! scrubbing lexer ([`lexer`]) plus a brace-depth scope analyzer
-//! ([`source`]) are exact for the constructs these passes need, keep
-//! the tool dependency-free, and make diagnostics trivially clickable.
+//! scrubbing lexer ([`lexer`]) feeds a brace-depth scope analyzer
+//! ([`source`]) and a token-tree item parser ([`parser`]); [`graph`]
+//! assembles the crate-dependency graph from the manifests and the call
+//! graph from the parsed items. This stays exact for the constructs the
+//! passes need, keeps the tool dependency-free, and makes diagnostics
+//! trivially clickable.
 
+pub mod format;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod passes;
 pub mod source;
 pub mod workspace;
@@ -26,20 +34,36 @@ pub mod workspace;
 use std::io;
 use std::path::Path;
 
-pub use passes::{Taxonomy, Violation};
+pub use format::{render, Format};
+pub use passes::{Taxonomy, Violation, Workspace};
+
+use graph::{Contracts, CrateGraph};
 
 /// Analyze the workspace at `root` and return all violations.
 ///
-/// The trace-name taxonomy is parsed from `<root>/DESIGN.md`; if the
-/// file or its §Observability section is absent, the `tracename` pass
-/// still checks name shape but skips the membership check.
+/// The trace-name taxonomy is parsed from `<root>/DESIGN.md`
+/// §Observability and the layering/protocol contracts from
+/// §Architecture contracts; when a section is absent, the passes that
+/// depend on it skip their contract half (shape checks still run).
 ///
 /// # Errors
 ///
 /// Returns any I/O error encountered while walking or reading sources.
 pub fn audit(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(analyze(root)?.run_all())
+}
+
+/// Build the full workspace model (files, crate graph, contracts)
+/// without running the passes — for callers that want the model itself.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking or reading sources.
+pub fn analyze(root: &Path) -> io::Result<Workspace> {
     let files = workspace::discover(root)?;
+    let crates = CrateGraph::discover(root)?;
     let design = std::fs::read_to_string(root.join("DESIGN.md")).ok();
     let taxonomy = design.as_deref().and_then(Taxonomy::from_design_md);
-    Ok(passes::run_all(&files, taxonomy.as_ref()))
+    let contracts = design.as_deref().map(Contracts::from_design_md).unwrap_or_default();
+    Ok(Workspace::new(files, crates, contracts, taxonomy))
 }

@@ -1,6 +1,6 @@
 //! Command-line driver for the FCMA static-analysis audit.
 //!
-//! Usage: `fcma-audit check [--root DIR]`
+//! Usage: `fcma-audit check [--root DIR] [--format human|json]`
 //!
 //! With no `--root`, the workspace root is resolved from the location
 //! of this crate at compile time (two levels above its manifest), so
@@ -10,9 +10,12 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fcma_audit::Format;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
     let mut command: Option<String> = None;
 
     let mut it = args.iter();
@@ -22,6 +25,13 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("fcma-audit: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match it.next().and_then(|v| Format::parse(v)) {
+                Some(f) => format = f,
+                None => {
+                    eprintln!("fcma-audit: --format requires `human` or `json`");
                     return ExitCode::from(2);
                 }
             },
@@ -53,16 +63,21 @@ fn main() -> ExitCode {
         root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
 
     match fcma_audit::audit(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("fcma-audit: clean");
-            ExitCode::SUCCESS
-        }
         Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
+            print!("{}", fcma_audit::render(&violations, format));
+            if violations.is_empty() {
+                // JSON consumers get a silent empty stream; humans get
+                // a confirmation line.
+                if format == Format::Human {
+                    println!("fcma-audit: clean");
+                }
+                ExitCode::SUCCESS
+            } else {
+                if format == Format::Human {
+                    println!("fcma-audit: {} violation(s)", violations.len());
+                }
+                ExitCode::from(1)
             }
-            println!("fcma-audit: {} violation(s)", violations.len());
-            ExitCode::from(1)
         }
         Err(e) => {
             eprintln!("fcma-audit: error: {e}");
@@ -71,19 +86,32 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: fcma-audit check [--root DIR]
+const USAGE: &str = "usage: fcma-audit check [--root DIR] [--format human|json]
+
+output:
+  --format human  file:line: pass: message (default)
+  --format json   one JSON object per violation:
+                  {\"file\":…,\"line\":…,\"pass\":…,\"message\":…}
 
 passes:
-  unsafe     no `unsafe` blocks anywhere (no escape hatch)
-  unwrap     no .unwrap()/.expect() in library code
-  cast       no `as` numeric casts in kernel crates (fcma-linalg, fcma-core)
-  proptest   every pub fn kernel in fcma-linalg has a property test
-  moddoc     every src/*.rs has module-level //! docs
-  tracename  every span!/event!/counter!/histogram! name is snake.dotted
-             and documented in DESIGN.md §Observability
+  unsafe       no `unsafe` blocks anywhere (no escape hatch)
+  cast         no `as` numeric casts in kernel crates (fcma-linalg, fcma-core)
+  proptest     every pub fn kernel in fcma-linalg has a property test
+  moddoc       every src/*.rs has module-level //! docs
+  tracename    every span!/event!/counter!/histogram! name is snake.dotted
+               and documented in DESIGN.md §Observability
+  layering     Cargo.toml edges and fcma_*:: references obey the crate
+               DAG in DESIGN.md §Architecture contracts
+  panicpath    no library pub fn reaches panic!/unwrap/expect/[idx]
+               (call-graph transitive; `# Panics` docs excuse a fn)
+  protocol     ToWorker/FromWorker variants ↔ driver match arms ↔ the
+               DESIGN.md §Architecture contracts protocol table
+  deadpub      no workspace-pub item without cross-crate references
+  unusedallow  every allow marker must suppress something
 
-escape markers (same line or the line above):
-  // audit: allow(unwrap) — <reason>
+escape markers (same line or the line above; reason mandatory):
   // audit: allow(cast) — <reason>
   // audit: allow(proptest) — <reason>
-  // audit: allow(tracename) — <reason>";
+  // audit: allow(tracename) — <reason>
+  // audit: allow(panicpath) — <reason>
+  // audit: allow(deadpub) — <reason>";

@@ -1,20 +1,30 @@
-//! The six audit passes. Each takes the analyzed workspace and returns
+//! The audit passes. Each takes the analyzed workspace and returns
 //! violations; the driver prints them as `file:line: pass: message`.
 //!
-//! | pass        | scope                               | escape hatch |
-//! |-------------|-------------------------------------|--------------|
-//! | `unsafe`    | every source file                   | none |
-//! | `unwrap`    | library code outside `#[cfg(test)]` | `# Panics` docs or allow marker |
-//! | `cast`      | kernel-crate library code           | allow marker |
-//! | `proptest`  | top-level `pub fn`s of fcma-linalg  | allow marker |
-//! | `moddoc`    | every `src/*.rs` file               | none |
-//! | `tracename` | span!/event!/counter!/histogram! sites outside fcma-trace | allow marker |
+//! | pass          | scope                               | escape hatch |
+//! |---------------|-------------------------------------|--------------|
+//! | `unsafe`      | every source file                   | none |
+//! | `cast`        | kernel-crate library code           | allow marker |
+//! | `proptest`    | top-level `pub fn`s of fcma-linalg  | allow marker |
+//! | `moddoc`      | every `src/*.rs` file               | none |
+//! | `tracename`   | span!/event!/counter!/histogram! sites outside fcma-trace | allow marker |
+//! | `layering`    | Cargo.toml edges + cross-crate paths vs DESIGN.md §12 DAG | none |
+//! | `panicpath`   | call-graph panic reachability of sweep-crate `pub fn`s | `# Panics` docs or allow marker |
+//! | `protocol`    | ToWorker/FromWorker ↔ driver match arms ↔ DESIGN.md §12 table | none |
+//! | `deadpub`     | sweep-crate `pub` items with no cross-crate references | allow marker |
+//! | `unusedallow` | every allow marker must suppress something | none |
 //!
 //! Allow markers are comments of the form
 //! `// audit: allow(<pass>) — <reason>` on the offending line or the line
-//! directly above; the reason is mandatory.
+//! directly above; the reason is mandatory. The `unusedallow` pass runs
+//! last and flags any marker no other pass consumed.
 
-use crate::source::{Role, SourceFile};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::graph::{CallGraph, Contracts, CrateGraph};
+use crate::parser::{self, ParsedFile, TypeKind, Vis};
+use crate::source::{marker_allows, Role, SourceFile};
 
 /// Crates whose numeric code is held to the no-`as`-cast rule.
 const KERNEL_CRATES: &[&str] = &["fcma-linalg", "fcma-core"];
@@ -30,6 +40,39 @@ const TRACE_CRATE: &str = "fcma-trace";
 const TRACE_SITES: &[&str] =
     &["span!(", "event!(", "counter!(", "histogram!(", "record_span_since("];
 
+/// Where the cluster protocol enums live.
+const PROTOCOL_FILE: &str = "crates/fcma-cluster/src/protocol.rs";
+
+/// Where the master/worker loops match on protocol messages.
+const DRIVER_FILE: &str = "crates/fcma-cluster/src/driver.rs";
+
+/// Crates whose code never runs inside a sweep, exempt from the
+/// `panicpath` and `deadpub` passes: `fcma-audit` is this CI tool
+/// itself and `fcma-bench` is a measurement harness, so a panic or an
+/// unused `pub` item there cannot take down a worker. Every other
+/// library crate — including any future one — is in scope by default.
+const EXEMPT_CRATES: &[&str] = &["fcma-audit", "fcma-bench"];
+
+/// The package name of the workspace root crate.
+const ROOT_CRATE: &str = "fcma";
+
+/// Every pass name an allow marker may reference.
+const PASS_NAMES: &[&str] = &[
+    "unsafe",
+    "cast",
+    "proptest",
+    "moddoc",
+    "tracename",
+    "layering",
+    "panicpath",
+    "protocol",
+    "deadpub",
+    "unusedallow",
+];
+
+/// Passes that honor allow markers at all.
+const ESCAPABLE_PASSES: &[&str] = &["cast", "proptest", "tracename", "panicpath", "deadpub"];
+
 /// One diagnostic. Lines are 1-based for display.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
@@ -37,7 +80,7 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Pass name (`unsafe`, `unwrap`, `cast`, `proptest`, `moddoc`).
+    /// Pass name (see the module table).
     pub pass: &'static str,
     /// Human-readable explanation.
     pub message: String,
@@ -49,29 +92,89 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Run every pass over the analyzed workspace. `taxonomy` is the span/
-/// counter name contract parsed from DESIGN.md §Observability (`None`
-/// skips the membership half of the `tracename` pass).
-pub fn run_all(files: &[SourceFile], taxonomy: Option<&Taxonomy>) -> Vec<Violation> {
-    let mut v = Vec::new();
-    v.extend(check_unsafe(files));
-    v.extend(check_unwrap(files));
-    v.extend(check_casts(files));
-    v.extend(check_proptest_coverage(files));
-    v.extend(check_module_docs(files));
-    v.extend(check_trace_names(files, taxonomy));
-    v.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
-    v
+/// The fully analyzed workspace every pass runs over: lexed + parsed
+/// sources, the crate-dependency graph, the DESIGN.md contracts, and a
+/// shared record of which allow markers were actually consulted (fed to
+/// the `unusedallow` pass).
+pub struct Workspace {
+    /// Lexed and scope-analyzed files.
+    pub files: Vec<SourceFile>,
+    /// Item-parsed view of the same files (index-parallel).
+    pub parsed: Vec<ParsedFile>,
+    /// Crate-dependency graph from the manifests.
+    pub crates: CrateGraph,
+    /// Machine-readable DESIGN.md §12 contracts.
+    pub contracts: Contracts,
+    /// Trace-name taxonomy from DESIGN.md §Observability.
+    pub taxonomy: Option<Taxonomy>,
+    /// `(file index, marker line)` of every consumed allow marker.
+    used_markers: RefCell<BTreeSet<(usize, usize)>>,
 }
 
-/// Pass 1: no `unsafe` anywhere, no escape hatch.
+impl Workspace {
+    /// Parse `files` and assemble the workspace model.
+    pub fn new(
+        files: Vec<SourceFile>,
+        crates: CrateGraph,
+        contracts: Contracts,
+        taxonomy: Option<Taxonomy>,
+    ) -> Workspace {
+        let parsed = files.iter().map(|f| parser::parse(&f.scan)).collect();
+        Workspace {
+            files,
+            parsed,
+            crates,
+            contracts,
+            taxonomy,
+            used_markers: RefCell::new(BTreeSet::new()),
+        }
+    }
+
+    /// The crate key of a file (the root package's files key as `fcma`).
+    fn crate_key(&self, file: usize) -> &str {
+        self.files[file].crate_name.as_deref().unwrap_or(ROOT_CRATE)
+    }
+
+    /// Does an allow marker for `pass` cover 0-based `line` of `file`?
+    /// A hit is recorded as consumed for the `unusedallow` pass.
+    pub fn allowed(&self, file: usize, pass: &str, line: usize) -> bool {
+        let f = &self.files[file];
+        for l in [line, line.wrapping_sub(1)] {
+            if l < f.scan.comment_lines.len() && marker_allows(&f.scan.comment_lines[l], pass) {
+                self.used_markers.borrow_mut().insert((file, l));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Run every pass and return the sorted violations.
+    pub fn run_all(&self) -> Vec<Violation> {
+        let mut v = Vec::new();
+        v.extend(check_unsafe(self));
+        v.extend(check_casts(self));
+        v.extend(check_proptest_coverage(self));
+        v.extend(check_module_docs(self));
+        v.extend(check_trace_names(self));
+        v.extend(check_layering(self));
+        v.extend(check_panicpath(self));
+        v.extend(check_protocol(self));
+        v.extend(check_deadpub(self));
+        // Must run last: it inventories markers the passes above consumed.
+        v.extend(check_unused_allow(self));
+        v.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
+        v
+    }
+}
+
+/// Pass: no `unsafe` anywhere, no escape hatch.
 ///
 /// The whole point of the Rust port is memory safety under heavy
 /// threading; a single `unsafe` block reopens the class of bugs the
 /// rewrite closed, so this pass has no allow marker.
-pub fn check_unsafe(files: &[SourceFile]) -> Vec<Violation> {
+pub fn check_unsafe(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
-    for f in files {
+    for f in &ws.files {
         for &line in &f.unsafe_lines {
             out.push(Violation {
                 file: f.rel_path.clone(),
@@ -84,45 +187,22 @@ pub fn check_unsafe(files: &[SourceFile]) -> Vec<Violation> {
     out
 }
 
-/// Pass 2: no `.unwrap()` / `.expect()` in library code.
-///
-/// Exempt: test/bench/bin/example targets, `#[cfg(test)]` items,
-/// functions documented with a `# Panics` section, and explicitly
-/// justified allow markers.
-pub fn check_unwrap(files: &[SourceFile]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    for f in files.iter().filter(|f| f.role == Role::Lib) {
-        for &(line, which) in &f.unwrap_lines {
-            if f.in_test_span(line) || f.in_panics_fn(line) || f.allow_marker("unwrap", line) {
-                continue;
-            }
-            out.push(Violation {
-                file: f.rel_path.clone(),
-                line: line + 1,
-                pass: "unwrap",
-                message: format!(
-                    "`.{which}()` in library code: return a typed error, document \
-                     `# Panics`, or add `// audit: allow(unwrap) — <reason>`"
-                ),
-            });
-        }
-    }
-    out
-}
-
-/// Pass 3: no `as` numeric casts in kernel-crate library code.
+/// Pass: no `as` numeric casts in kernel-crate library code.
 ///
 /// `as` silently truncates and saturates; in the correlation kernels a
 /// lossy index or value cast corrupts results instead of failing. Use
 /// `From`/`TryFrom` (or the crate's cast helpers), or justify with
 /// `// audit: allow(cast) — <reason>`.
-pub fn check_casts(files: &[SourceFile]) -> Vec<Violation> {
+pub fn check_casts(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
-    for f in files.iter().filter(|f| {
-        f.role == Role::Lib && f.crate_name.as_deref().is_some_and(|c| KERNEL_CRATES.contains(&c))
-    }) {
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.role != Role::Lib
+            || !f.crate_name.as_deref().is_some_and(|c| KERNEL_CRATES.contains(&c))
+        {
+            continue;
+        }
         for cast in &f.casts {
-            if f.in_test_span(cast.line) || f.allow_marker("cast", cast.line) {
+            if f.in_test_span(cast.line) || ws.allowed(fi, "cast", cast.line) {
                 continue;
             }
             out.push(Violation {
@@ -140,23 +220,27 @@ pub fn check_casts(files: &[SourceFile]) -> Vec<Violation> {
     out
 }
 
-/// Pass 4: every top-level `pub fn` in the linalg crate is referenced
+/// Pass: every top-level `pub fn` in the linalg crate is referenced
 /// from at least one of its integration-test files (where the property
 /// tests live), or carries an allow marker.
-pub fn check_proptest_coverage(files: &[SourceFile]) -> Vec<Violation> {
-    let test_code: Vec<&String> = files
+pub fn check_proptest_coverage(ws: &Workspace) -> Vec<Violation> {
+    let test_code: Vec<&String> = ws
+        .files
         .iter()
         .filter(|f| f.crate_name.as_deref() == Some(PROPTEST_CRATE) && f.role == Role::Test)
         .flat_map(|f| f.scan.code_lines.iter())
         .collect();
 
     let mut out = Vec::new();
-    for f in files
-        .iter()
-        .filter(|f| f.crate_name.as_deref() == Some(PROPTEST_CRATE) && f.role == Role::Lib)
-    {
-        for pf in &f.pub_fns {
-            if f.allow_marker("proptest", pf.line) {
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.crate_name.as_deref() != Some(PROPTEST_CRATE) || f.role != Role::Lib {
+            continue;
+        }
+        for pf in &ws.parsed[fi].fns {
+            if pf.vis != Vis::Pub || !pf.top_level || f.in_test_span(pf.line) {
+                continue;
+            }
+            if ws.allowed(fi, "proptest", pf.line) {
                 continue;
             }
             let covered = test_code.iter().any(|line| contains_word(line, &pf.name));
@@ -178,10 +262,10 @@ pub fn check_proptest_coverage(files: &[SourceFile]) -> Vec<Violation> {
     out
 }
 
-/// Pass 5: every library/binary source file starts with `//!` docs.
-pub fn check_module_docs(files: &[SourceFile]) -> Vec<Violation> {
+/// Pass: every library/binary source file starts with `//!` docs.
+pub fn check_module_docs(ws: &Workspace) -> Vec<Violation> {
     let mut out = Vec::new();
-    for f in files.iter().filter(|f| matches!(f.role, Role::Lib | Role::Bin)) {
+    for f in ws.files.iter().filter(|f| matches!(f.role, Role::Lib | Role::Bin)) {
         if !f.has_module_docs() {
             out.push(Violation {
                 file: f.rel_path.clone(),
@@ -198,7 +282,7 @@ pub fn check_module_docs(files: &[SourceFile]) -> Vec<Violation> {
 /// token under the DESIGN.md "Observability" heading.
 #[derive(Debug, Clone)]
 pub struct Taxonomy {
-    names: std::collections::BTreeSet<String>,
+    names: BTreeSet<String>,
 }
 
 impl Taxonomy {
@@ -207,7 +291,7 @@ impl Taxonomy {
     /// and the next heading. Returns `None` if no such section (or no
     /// names) exists.
     pub fn from_design_md(text: &str) -> Option<Taxonomy> {
-        let mut names = std::collections::BTreeSet::new();
+        let mut names = BTreeSet::new();
         let mut in_section = false;
         for line in text.lines() {
             if line.starts_with('#') {
@@ -250,7 +334,7 @@ impl Taxonomy {
     }
 }
 
-/// Pass 6: every trace-probe name literal is well-formed and documented.
+/// Pass: every trace-probe name literal is well-formed and documented.
 ///
 /// Span, event, counter, and histogram names are a stable contract —
 /// dashboards, the `fcma report --check` invariants, and the CI trace
@@ -259,15 +343,18 @@ impl Taxonomy {
 /// with a taxonomy present, appear verbatim in DESIGN.md §Observability.
 /// The fcma-trace crate itself (which defines the probes) and test code
 /// are exempt.
-pub fn check_trace_names(files: &[SourceFile], taxonomy: Option<&Taxonomy>) -> Vec<Violation> {
+pub fn check_trace_names(ws: &Workspace) -> Vec<Violation> {
+    let taxonomy = ws.taxonomy.as_ref();
     let mut out = Vec::new();
-    for f in files.iter().filter(|f| {
-        matches!(f.role, Role::Lib | Role::Bin) && f.crate_name.as_deref() != Some(TRACE_CRATE)
-    }) {
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !matches!(f.role, Role::Lib | Role::Bin) || f.crate_name.as_deref() == Some(TRACE_CRATE)
+        {
+            continue;
+        }
         for (lno, code) in f.scan.code_lines.iter().enumerate() {
             for pat in TRACE_SITES {
                 for col in site_starts(code, pat) {
-                    if f.in_test_span(lno) || f.allow_marker("tracename", lno) {
+                    if f.in_test_span(lno) || ws.allowed(fi, "tracename", lno) {
                         continue;
                     }
                     let site = &pat[..pat.len() - 1];
@@ -308,6 +395,464 @@ pub fn check_trace_names(files: &[SourceFile], taxonomy: Option<&Taxonomy>) -> V
                         }
                     }
                 }
+            }
+        }
+    }
+    out
+}
+
+/// Pass: the crate-dependency DAG matches DESIGN.md §12.
+///
+/// Three checks, none escapable (edit the table, not the code): every
+/// manifest `[dependencies]` edge on a `fcma-*` crate must be allowed by
+/// the layering table; every `fcma_*::` path or `use` in library/binary
+/// source must stay within the declaring crate's allowed set; and the
+/// table itself must stay in sync with the set of workspace crates.
+pub fn check_layering(ws: &Workspace) -> Vec<Violation> {
+    let Some(table) = &ws.contracts.layering else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+
+    // Manifest edges.
+    for m in &ws.crates.crates {
+        let Some(allowed) = table.get(&m.name) else {
+            out.push(Violation {
+                file: m.rel_path.clone(),
+                line: 1,
+                pass: "layering",
+                message: format!(
+                    "crate `{}` is missing from the DESIGN.md §12 layering table",
+                    m.name
+                ),
+            });
+            continue;
+        };
+        for dep in &m.deps {
+            if !allowed.contains(&dep.name) {
+                out.push(Violation {
+                    file: m.rel_path.clone(),
+                    line: dep.line + 1,
+                    pass: "layering",
+                    message: format!(
+                        "dependency `{}` → `{}` violates the DESIGN.md §12 layering DAG",
+                        m.name, dep.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Table staleness: rows for crates that no longer exist.
+    for name in table.keys() {
+        if ws.crates.get(name).is_none() {
+            out.push(Violation {
+                file: "DESIGN.md".to_owned(),
+                line: 1,
+                pass: "layering",
+                message: format!(
+                    "layering table lists crate `{name}` which is not in the workspace"
+                ),
+            });
+        }
+    }
+
+    // Source-level cross-crate references.
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !matches!(f.role, Role::Lib | Role::Bin) {
+            continue;
+        }
+        let key = ws.crate_key(fi).to_owned();
+        let Some(allowed) = table.get(&key) else {
+            continue; // already reported at the manifest
+        };
+        for (crate_ref, line) in &ws.parsed[fi].crate_refs {
+            let dep = crate_ref.replace('_', "-");
+            if dep == key || f.in_test_span(*line) {
+                continue;
+            }
+            if !allowed.contains(&dep) {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: line + 1,
+                    pass: "layering",
+                    message: format!(
+                        "`{crate_ref}::` reference from `{key}` violates the DESIGN.md §12 \
+                         layering DAG (allowed deps: {})",
+                        if allowed.is_empty() {
+                            "none".to_owned()
+                        } else {
+                            allowed.iter().cloned().collect::<Vec<_>>().join(", ")
+                        }
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pass: no library `pub fn` reaches a panic, transitively.
+///
+/// Builds the workspace call graph over non-test library functions of
+/// the sweep crates (every library crate except [`EXEMPT_CRATES`]) and
+/// propagates panic reachability from every `panic!`-family macro,
+/// `.unwrap()`, `.expect()`, and `[idx]` indexing site. A function
+/// documented with `# Panics` (or carrying an allow marker on its
+/// declaration) is excused and absorbs propagation — its callers are
+/// trusted to have read the contract. A marker on a source line
+/// suppresses that one source.
+pub fn check_panicpath(ws: &Workspace) -> Vec<Violation> {
+    // Node inclusion: library-role files, fns outside `#[cfg(test)]`.
+    let files: Vec<(String, &ParsedFile)> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let key = if f.role == Role::Lib { ws.crate_key(fi).to_owned() } else { String::new() };
+            (key, &ws.parsed[fi])
+        })
+        .collect();
+    let include = |file: usize, idx: usize| {
+        let f = &ws.files[file];
+        f.role == Role::Lib
+            && !EXEMPT_CRATES.contains(&ws.crate_key(file))
+            && !f.in_test_span(ws.parsed[file].fns[idx].line)
+    };
+
+    let mut visible: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for m in &ws.crates.crates {
+        visible.insert(m.name.clone(), ws.crates.closure(&m.name));
+    }
+
+    let graph = CallGraph::build(&files, &include, &visible);
+
+    let direct: Vec<Option<String>> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let f = &ws.parsed[n.file].fns[n.idx];
+            // Eager over every source: a marker on a later source must be
+            // consulted (and consumed) even when an earlier one already
+            // condemns the function.
+            let unmarked: Vec<_> =
+                f.sources.iter().filter(|s| !ws.allowed(n.file, "panicpath", s.line)).collect();
+            unmarked.first().map(|s| {
+                format!("{} at {}:{}", s.kind.label(), ws.files[n.file].rel_path, s.line + 1)
+            })
+        })
+        .collect();
+
+    let absorbing: Vec<bool> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let f = &ws.parsed[n.file].fns[n.idx];
+            f.doc_panics || ws.allowed(n.file, "panicpath", f.line)
+        })
+        .collect();
+
+    let describe = |j: usize| {
+        let n = &graph.nodes[j];
+        let f = &ws.parsed[n.file].fns[n.idx];
+        format!("`{}` ({}:{})", f.name, ws.files[n.file].rel_path, f.line + 1)
+    };
+    let reach = graph.reach(&direct, &absorbing, &describe);
+
+    let mut out = Vec::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let f = &ws.parsed[n.file].fns[n.idx];
+        if f.vis != Vis::Pub || absorbing[i] {
+            continue;
+        }
+        if let Some(why) = &reach[i] {
+            out.push(Violation {
+                file: ws.files[n.file].rel_path.clone(),
+                line: f.line + 1,
+                pass: "panicpath",
+                message: format!(
+                    "pub fn `{}` can panic ({why}); return a typed error, document \
+                     `# Panics`, or add `// audit: allow(panicpath) — <reason>`",
+                    f.name
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Pass: the master–worker protocol state machine is total and matches
+/// the DESIGN.md §12 protocol table.
+///
+/// Four-way consistency between the `ToWorker`/`FromWorker` enums, the
+/// `match` arms in the driver, the send sites, and the table: every enum
+/// variant appears in the table and vice versa; every variant is handled
+/// by at least one driver match arm (so no send site can target an
+/// ignored variant); table-declared payload fields exist on the variant;
+/// and `FromWorker::Done` always carries task identity (`task`). No
+/// escape hatch — change the protocol and the table together.
+pub fn check_protocol(ws: &Workspace) -> Vec<Violation> {
+    let Some(table) = &ws.contracts.protocol else {
+        return Vec::new();
+    };
+    let Some(pfi) = ws.files.iter().position(|f| f.rel_path == PROTOCOL_FILE) else {
+        return Vec::new();
+    };
+    let proto_file = &ws.files[pfi];
+    let enums: Vec<_> = ws.parsed[pfi]
+        .types
+        .iter()
+        .filter(|t| t.kind == TypeKind::Enum && table.iter().any(|e| e.enum_name == t.name))
+        .collect();
+    let mut out = Vec::new();
+
+    // Table rows referencing unknown enums or variants.
+    for entry in table {
+        let Some(en) = enums.iter().find(|t| t.name == entry.enum_name) else {
+            out.push(Violation {
+                file: "DESIGN.md".to_owned(),
+                line: 1,
+                pass: "protocol",
+                message: format!(
+                    "protocol table references enum `{}` not found in {PROTOCOL_FILE}",
+                    entry.enum_name
+                ),
+            });
+            continue;
+        };
+        let Some(variant) = en.variants.iter().find(|v| v.name == entry.variant) else {
+            out.push(Violation {
+                file: "DESIGN.md".to_owned(),
+                line: 1,
+                pass: "protocol",
+                message: format!(
+                    "protocol table lists `{}::{}` but the enum has no such variant",
+                    entry.enum_name, entry.variant
+                ),
+            });
+            continue;
+        };
+        for field in &entry.fields {
+            if !variant.field_names.contains(field) && !variant.idents.contains(field) {
+                out.push(Violation {
+                    file: proto_file.rel_path.clone(),
+                    line: variant.line + 1,
+                    pass: "protocol",
+                    message: format!(
+                        "variant `{}::{}` must carry field `{field}` per the DESIGN.md §12 \
+                         protocol table",
+                        entry.enum_name, entry.variant
+                    ),
+                });
+            }
+        }
+    }
+
+    // Task identity is structural, not table-editable: `Done` without a
+    // `task` field breaks the scheduler's exactly-once accounting.
+    if let Some(done) = enums
+        .iter()
+        .find(|t| t.name == "FromWorker")
+        .and_then(|t| t.variants.iter().find(|v| v.name == "Done"))
+    {
+        if !done.field_names.iter().any(|f| f == "task") {
+            out.push(Violation {
+                file: proto_file.rel_path.clone(),
+                line: done.line + 1,
+                pass: "protocol",
+                message: "`FromWorker::Done` must carry task identity in a `task` field".to_owned(),
+            });
+        }
+    }
+
+    // Enum variants absent from the table.
+    for en in &enums {
+        for v in &en.variants {
+            if !table.iter().any(|e| e.enum_name == en.name && e.variant == v.name) {
+                out.push(Violation {
+                    file: proto_file.rel_path.clone(),
+                    line: v.line + 1,
+                    pass: "protocol",
+                    message: format!(
+                        "variant `{}::{}` is not documented in the DESIGN.md §12 protocol \
+                         table",
+                        en.name, v.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Driver totality: every variant must have a match arm; send sites
+    // for unhandled variants are reported with the evidence.
+    if let Some(dfi) = ws.files.iter().position(|f| f.rel_path == DRIVER_FILE) {
+        let driver = &ws.files[dfi];
+        for en in &enums {
+            for v in &en.variants {
+                let needle = format!("{}::{}", en.name, v.name);
+                let mut handled = 0usize;
+                let mut sends = 0usize;
+                for (lno, code) in driver.scan.code_lines.iter().enumerate() {
+                    if driver.in_test_span(lno) {
+                        continue;
+                    }
+                    let mut from = 0usize;
+                    while let Some(p) = code[from..].find(&needle) {
+                        let pos = from + p;
+                        let end = pos + needle.len();
+                        let boundary = code[end..]
+                            .chars()
+                            .next()
+                            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+                        if boundary {
+                            if code[end..].contains("=>") {
+                                handled += 1;
+                            } else if code[..pos].contains("send(") {
+                                sends += 1;
+                            }
+                        }
+                        from = end;
+                    }
+                }
+                if handled == 0 {
+                    let evidence = if sends > 0 {
+                        format!(" ({sends} send site(s) target it)")
+                    } else {
+                        String::new()
+                    };
+                    out.push(Violation {
+                        file: proto_file.rel_path.clone(),
+                        line: v.line + 1,
+                        pass: "protocol",
+                        message: format!(
+                            "variant `{}::{}` is not handled by any match arm in \
+                             {DRIVER_FILE}{evidence}",
+                            en.name, v.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pass: no workspace-`pub` item without cross-crate references.
+///
+/// A `pub` item in a library crate that nothing outside its own crate's
+/// library target references is API surface without a consumer: demote
+/// it to `pub(crate)`, delete it, or justify keeping it with
+/// `// audit: allow(deadpub) — <reason>`. References are counted from
+/// any file of a different crate and from the declaring crate's own
+/// tests/benches/binaries. Trait-impl and trait-declared methods are
+/// exempt (their visibility is the trait's business), as are `main`,
+/// the item's own declaration file, and the [`EXEMPT_CRATES`] tool
+/// crates.
+pub fn check_deadpub(ws: &Workspace) -> Vec<Violation> {
+    struct Item<'a> {
+        file: usize,
+        line: usize,
+        name: &'a str,
+        kind: &'static str,
+    }
+    let mut items = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.role != Role::Lib || EXEMPT_CRATES.contains(&ws.crate_key(fi)) {
+            continue;
+        }
+        for pf in &ws.parsed[fi].fns {
+            if pf.vis == Vis::Pub
+                && !pf.trait_impl
+                && !pf.in_trait
+                && pf.name != "main"
+                && !f.in_test_span(pf.line)
+            {
+                items.push(Item { file: fi, line: pf.line, name: &pf.name, kind: "fn" });
+            }
+        }
+        for t in &ws.parsed[fi].types {
+            if t.vis == Vis::Pub && !f.in_test_span(t.line) {
+                let kind = match t.kind {
+                    TypeKind::Struct => "struct",
+                    TypeKind::Enum => "enum",
+                    TypeKind::Trait => "trait",
+                };
+                items.push(Item { file: fi, line: t.line, name: &t.name, kind });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for item in items {
+        let my_crate = ws.crate_key(item.file).to_owned();
+        let referenced = ws.files.iter().enumerate().any(|(fi, f)| {
+            if fi == item.file {
+                return false;
+            }
+            let cross_crate = ws.crate_key(fi) != my_crate;
+            if !cross_crate && f.role == Role::Lib {
+                return false;
+            }
+            f.scan.code_lines.iter().any(|line| contains_word(line, item.name))
+        });
+        if referenced || ws.allowed(item.file, "deadpub", item.line) {
+            continue;
+        }
+        out.push(Violation {
+            file: ws.files[item.file].rel_path.clone(),
+            line: item.line + 1,
+            pass: "deadpub",
+            message: format!(
+                "pub {} `{}` has no cross-crate references; demote to pub(crate), remove \
+                 it, or add `// audit: allow(deadpub) — <reason>`",
+                item.kind, item.name
+            ),
+        });
+    }
+    out
+}
+
+/// Pass: every allow marker must have suppressed something this run.
+///
+/// Mirrors `#[warn(unused_allow)]`: a marker naming an unknown pass, a
+/// marker missing its mandatory reason, a marker for a pass with no
+/// escape hatch, and a well-formed marker no pass consumed are all
+/// violations. Must run after every other pass (consumption is recorded
+/// as they go).
+pub fn check_unused_allow(ws: &Workspace) -> Vec<Violation> {
+    let used = ws.used_markers.borrow();
+    let mut out = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        for m in f.markers() {
+            let violation = if !PASS_NAMES.contains(&m.pass.as_str()) {
+                Some(format!(
+                    "allow marker names unknown pass `{}` (known: {})",
+                    m.pass,
+                    PASS_NAMES.join(", ")
+                ))
+            } else if !ESCAPABLE_PASSES.contains(&m.pass.as_str()) {
+                Some(format!("pass `{}` has no escape hatch; remove the marker", m.pass))
+            } else if !m.has_reason {
+                Some(format!(
+                    "allow marker for `{}` is missing its mandatory reason \
+                     (`// audit: allow({}) — <reason>`)",
+                    m.pass, m.pass
+                ))
+            } else if !used.contains(&(fi, m.line)) {
+                Some(format!(
+                    "stale allow marker: `audit: allow({})` suppresses nothing; remove it",
+                    m.pass
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = violation {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: m.line + 1,
+                    pass: "unusedallow",
+                    message,
+                });
             }
         }
     }
@@ -398,6 +943,7 @@ fn contains_word(line: &str, name: &str) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::{CrateGraph, CrateManifest, ManifestDep};
     use crate::source::SourceFile;
 
     fn lib_file(crate_name: &str, src: &str) -> SourceFile {
@@ -413,77 +959,50 @@ mod tests {
         )
     }
 
+    fn ws_of(files: Vec<SourceFile>) -> Workspace {
+        Workspace::new(files, CrateGraph::default(), Contracts::default(), None)
+    }
+
+    fn ws_with(files: Vec<SourceFile>, crates: CrateGraph, contracts: Contracts) -> Workspace {
+        Workspace::new(files, crates, contracts, None)
+    }
+
+    fn manifest(name: &str, deps: &[&str]) -> CrateManifest {
+        CrateManifest {
+            name: name.to_owned(),
+            rel_path: format!("crates/{name}/Cargo.toml"),
+            deps: deps
+                .iter()
+                .enumerate()
+                .map(|(i, d)| ManifestDep { name: (*d).to_owned(), line: i + 3 })
+                .collect(),
+        }
+    }
+
     #[test]
     fn unsafe_fires_everywhere_no_escape() {
         let f = SourceFile::new(
             "crates/x/tests/t.rs",
             Some("x"),
             Role::Test,
-            "//! t\n// audit: allow(unsafe) — nice try\nunsafe fn f() {}\n",
+            "//! t\nunsafe fn f() {}\n",
         );
-        let v = check_unsafe(&[f]);
+        let v = check_unsafe(&ws_of(vec![f]));
         assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 3);
+        assert_eq!(v[0].line, 2);
     }
 
     #[test]
     fn unsafe_quiet_on_clean_file() {
         let f = lib_file("x", "//! m\nfn f() { let safety = \"unsafe\"; }\n");
-        assert!(check_unsafe(&[f]).is_empty());
-    }
-
-    #[test]
-    fn unwrap_fires_in_lib_code() {
-        let f = lib_file("x", "//! m\nfn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n");
-        let v = check_unwrap(&[f]);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 3);
-        assert_eq!(v[0].pass, "unwrap");
-    }
-
-    #[test]
-    fn unwrap_quiet_in_tests_bins_and_cfg_test() {
-        let t = test_file("x", "//! t\nfn f(o: Option<u8>) { o.unwrap(); }\n");
-        let b = SourceFile::new(
-            "crates/x/src/main.rs",
-            Some("x"),
-            Role::Bin,
-            "//! b\nfn main() { Some(1).unwrap(); }\n",
-        );
-        let l = lib_file(
-            "x",
-            "//! m\n#[cfg(test)]\nmod tests {\n    fn f(o: Option<u8>) { o.unwrap(); }\n}\n",
-        );
-        assert!(check_unwrap(&[t, b, l]).is_empty());
-    }
-
-    #[test]
-    fn unwrap_escaped_by_panics_docs_and_marker() {
-        let docs = lib_file(
-            "x",
-            "//! m\n/// # Panics\n/// If empty.\npub fn f(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n",
-        );
-        let marker = lib_file(
-            "x",
-            "//! m\nfn f(o: Option<u8>) -> u8 {\n    // audit: allow(unwrap) — invariant: set in new()\n    o.unwrap()\n}\n",
-        );
-        assert!(check_unwrap(&[docs, marker]).is_empty());
-    }
-
-    #[test]
-    fn unwrap_marker_without_reason_still_fires() {
-        let f = lib_file(
-            "x",
-            "//! m\nfn f(o: Option<u8>) -> u8 {\n    // audit: allow(unwrap)\n    o.unwrap()\n}\n",
-        );
-        assert_eq!(check_unwrap(&[f]).len(), 1);
+        assert!(check_unsafe(&ws_of(vec![f])).is_empty());
     }
 
     #[test]
     fn cast_fires_only_in_kernel_crates() {
         let kernel = lib_file("fcma-linalg", "//! m\nfn f(n: usize) -> f32 {\n    n as f32\n}\n");
         let other = lib_file("fcma-io", "//! m\nfn f(n: usize) -> f32 {\n    n as f32\n}\n");
-        let v = check_casts(&[kernel, other]);
+        let v = check_casts(&ws_of(vec![kernel, other]));
         assert_eq!(v.len(), 1);
         assert!(v[0].file.contains("fcma-linalg"));
         assert_eq!(v[0].line, 3);
@@ -499,14 +1018,23 @@ mod tests {
             "fcma-core",
             "//! m\n#[cfg(test)]\nmod tests {\n    fn f(n: usize) -> f32 { n as f32 }\n}\n",
         );
-        assert!(check_casts(&[marked, tested]).is_empty());
+        assert!(check_casts(&ws_of(vec![marked, tested])).is_empty());
+    }
+
+    #[test]
+    fn cast_marker_without_reason_still_fires() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(n: usize) -> f32 {\n    // audit: allow(cast)\n    n as f32\n}\n",
+        );
+        assert_eq!(check_casts(&ws_of(vec![f])).len(), 1);
     }
 
     #[test]
     fn proptest_pass_fires_on_unreferenced_pub_fn() {
         let l = lib_file("fcma-linalg", "//! m\npub fn lonely_kernel() {}\n");
         let t = test_file("fcma-linalg", "//! t\nfn probe() { other(); }\n");
-        let v = check_proptest_coverage(&[l, t]);
+        let v = check_proptest_coverage(&ws_of(vec![l, t]));
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("lonely_kernel"));
     }
@@ -518,20 +1046,27 @@ mod tests {
             "//! m\npub fn covered_kernel() {}\n// audit: allow(proptest) — trivial accessor\npub fn marked_kernel() {}\n",
         );
         let t = test_file("fcma-linalg", "//! t\nfn probe() { covered_kernel(); }\n");
-        assert!(check_proptest_coverage(&[l, t]).is_empty());
+        assert!(check_proptest_coverage(&ws_of(vec![l, t])).is_empty());
     }
 
     #[test]
     fn proptest_reference_needs_word_boundary() {
         let l = lib_file("fcma-linalg", "//! m\npub fn dot() {}\n");
         let t = test_file("fcma-linalg", "//! t\nfn probe() { syrk_dotty(); }\n");
-        assert_eq!(check_proptest_coverage(&[l, t]).len(), 1);
+        assert_eq!(check_proptest_coverage(&ws_of(vec![l, t])).len(), 1);
+    }
+
+    #[test]
+    fn proptest_skips_impl_methods() {
+        let l =
+            lib_file("fcma-linalg", "//! m\nstruct M;\nimpl M {\n    pub fn method(&self) {}\n}\n");
+        assert!(check_proptest_coverage(&ws_of(vec![l])).is_empty());
     }
 
     #[test]
     fn moddoc_fires_on_missing_banner() {
         let f = lib_file("x", "fn f() {}\n");
-        let v = check_module_docs(&[f]);
+        let v = check_module_docs(&ws_of(vec![f]));
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].pass, "moddoc");
     }
@@ -540,15 +1075,14 @@ mod tests {
     fn moddoc_quiet_with_banner_and_skips_tests() {
         let l = lib_file("x", "//! Documented.\nfn f() {}\n");
         let t = test_file("x", "fn f() {}\n");
-        assert!(check_module_docs(&[l, t]).is_empty());
+        assert!(check_module_docs(&ws_of(vec![l, t])).is_empty());
     }
 
     #[test]
     fn run_all_sorts_and_aggregates() {
-        let f = lib_file("fcma-linalg", "fn f(o: Option<u8>) {\n    o.unwrap();\n}\n");
-        let v = run_all(&[f], None);
+        let f = lib_file("fcma-linalg", "fn f() {\n    panic!(\"x\");\n}\n");
+        let v = ws_of(vec![f]).run_all();
         let passes: Vec<&str> = v.iter().map(|x| x.pass).collect();
-        assert!(passes.contains(&"unwrap"));
         assert!(passes.contains(&"moddoc"));
         let mut sorted = v.clone();
         sorted.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
@@ -558,6 +1092,15 @@ mod tests {
     const DESIGN_FIXTURE: &str = "# Doc\n\n## 10. Other\n`not.this`\n\n\
         ## 11. Observability\nSpans: `stage1.corr`, `cluster.run`.\n\
         Counters: `svm.smo.solves`.\n\n## 12. After\n`not.that`\n";
+
+    fn ws_tax(files: Vec<SourceFile>) -> Workspace {
+        Workspace::new(
+            files,
+            CrateGraph::default(),
+            Contracts::default(),
+            Taxonomy::from_design_md(DESIGN_FIXTURE),
+        )
+    }
 
     #[test]
     fn taxonomy_parses_only_the_observability_section() {
@@ -573,15 +1116,14 @@ mod tests {
 
     #[test]
     fn tracename_accepts_documented_names_and_flags_undocumented() {
-        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
         let ok = lib_file(
             "fcma-core",
             "//! m\nfn f() {\n    let _s = span!(\"stage1.corr\", v = 1);\n}\n",
         );
-        assert!(check_trace_names(&[ok], Some(&t)).is_empty());
+        assert!(check_trace_names(&ws_tax(vec![ok])).is_empty());
         let bad =
             lib_file("fcma-core", "//! m\nfn f() {\n    counter!(\"stage9.rogue\", 1_u64);\n}\n");
-        let v = check_trace_names(&[bad], Some(&t));
+        let v = check_trace_names(&ws_tax(vec![bad]));
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("stage9.rogue"), "{}", v[0].message);
         assert_eq!(v[0].line, 3);
@@ -598,7 +1140,7 @@ mod tests {
         assert!(!is_snake_dotted("spa ced.name"));
         // Shape is checked even without a taxonomy.
         let f = lib_file("fcma-core", "//! m\nfn f() {\n    event!(\"NotSnake\");\n}\n");
-        assert_eq!(check_trace_names(&[f], None).len(), 1);
+        assert_eq!(check_trace_names(&ws_of(vec![f])).len(), 1);
     }
 
     #[test]
@@ -607,20 +1149,18 @@ mod tests {
             "fcma-cluster",
             "//! m\nfn f() {\n    let _s = span!(\n        \"cluster.run\",\n        w = 1\n    );\n}\n",
         );
-        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
-        assert!(check_trace_names(&[f], Some(&t)).is_empty());
+        assert!(check_trace_names(&ws_tax(vec![f])).is_empty());
         let miss = lib_file(
             "fcma-cluster",
             "//! m\nfn f() {\n    let _s = span!(\n        \"cluster.rogue\",\n    );\n}\n",
         );
-        let v = check_trace_names(&[miss], Some(&t));
+        let v = check_trace_names(&ws_tax(vec![miss]));
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 4, "violation anchors to the literal's line");
     }
 
     #[test]
     fn tracename_skips_tests_trace_crate_and_markers() {
-        let t = Taxonomy::from_design_md(DESIGN_FIXTURE).unwrap();
         let in_tests = lib_file(
             "fcma-core",
             "//! m\n#[cfg(test)]\nmod tests {\n    fn f() { event!(\"rogue.name\"); }\n}\n",
@@ -631,14 +1171,326 @@ mod tests {
             "fcma-core",
             "//! m\nfn f() {\n    // audit: allow(tracename) — experimental probe\n    event!(\"rogue.name\");\n}\n",
         );
-        assert!(check_trace_names(&[in_tests, trace_crate, marked], Some(&t)).is_empty());
+        assert!(check_trace_names(&ws_tax(vec![in_tests, trace_crate, marked])).is_empty());
     }
 
     #[test]
     fn tracename_requires_inline_literal() {
         let f = lib_file("fcma-core", "//! m\nfn f(n: u64) {\n    counter!(NAME, n);\n}\n");
-        let v = check_trace_names(&[f], None);
+        let v = check_trace_names(&ws_of(vec![f]));
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("inline string literal"));
+    }
+
+    fn layer_contracts(rows: &[(&str, &[&str])]) -> Contracts {
+        let mut md = String::from("## 12. Architecture contracts\n\n| Crate | Deps |\n|--|--|\n");
+        for (c, deps) in rows {
+            let cell = if deps.is_empty() {
+                "(none)".to_owned()
+            } else {
+                deps.iter().map(|d| format!("`{d}`")).collect::<Vec<_>>().join(", ")
+            };
+            md.push_str(&format!("| `{c}` | {cell} |\n"));
+        }
+        Contracts::from_design_md(&md)
+    }
+
+    #[test]
+    fn layering_rejects_undeclared_manifest_edge() {
+        let crates = CrateGraph { crates: vec![manifest("fcma-linalg", &["fcma-cluster"])] };
+        let contracts =
+            layer_contracts(&[("fcma-linalg", &[]), ("fcma-cluster", &["fcma-linalg"])]);
+        let ws = ws_with(Vec::new(), crates, contracts);
+        let v = check_layering(&ws);
+        assert_eq!(v.len(), 2, "{v:?}"); // bad edge + stale table row for fcma-cluster
+        assert!(v.iter().any(|x| x.message.contains("`fcma-linalg` → `fcma-cluster`")));
+    }
+
+    #[test]
+    fn layering_rejects_cross_crate_path_reference() {
+        let crates = CrateGraph {
+            crates: vec![manifest("fcma-linalg", &[]), manifest("fcma-cluster", &[])],
+        };
+        let contracts =
+            layer_contracts(&[("fcma-linalg", &[]), ("fcma-cluster", &["fcma-linalg"])]);
+        let f = lib_file("fcma-linalg", "//! m\nfn f() {\n    fcma_cluster::run();\n}\n");
+        let ws = ws_with(vec![f], crates, contracts);
+        let v = check_layering(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("fcma_cluster"));
+    }
+
+    #[test]
+    fn layering_allows_declared_edges_and_flags_missing_crates() {
+        let crates = CrateGraph {
+            crates: vec![manifest("fcma-cluster", &["fcma-linalg"]), manifest("fcma-new", &[])],
+        };
+        let contracts =
+            layer_contracts(&[("fcma-linalg", &[]), ("fcma-cluster", &["fcma-linalg"])]);
+        let ws = ws_with(Vec::new(), crates, contracts);
+        let v = check_layering(&ws);
+        // fcma-new missing from table; fcma-linalg in table but not in
+        // the workspace manifest set.
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("`fcma-new` is missing")));
+        assert!(v.iter().any(|x| x.message.contains("not in the workspace")));
+    }
+
+    #[test]
+    fn layering_skips_without_table() {
+        let crates = CrateGraph { crates: vec![manifest("fcma-linalg", &["fcma-cluster"])] };
+        let ws = ws_with(Vec::new(), crates, Contracts::default());
+        assert!(check_layering(&ws).is_empty());
+    }
+
+    #[test]
+    fn panicpath_fires_transitively_on_pub_fn() {
+        let f = lib_file(
+            "fcma-linalg",
+            "//! m\npub fn entry(v: &[f32]) -> f32 {\n    helper(v)\n}\n\
+             fn helper(v: &[f32]) -> f32 {\n    v.first().copied().unwrap()\n}\n",
+        );
+        let v = check_panicpath(&ws_of(vec![f]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("`entry`"));
+        assert!(v[0].message.contains("helper"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn panicpath_excused_by_docs_marker_and_absorbed() {
+        let documented = lib_file(
+            "fcma-linalg",
+            "//! m\n/// # Panics\n/// On empty input.\npub fn entry(v: &[f32]) -> f32 {\n    v[0]\n}\n\
+             pub fn caller(v: &[f32]) -> f32 {\n    entry(v)\n}\n",
+        );
+        assert!(check_panicpath(&ws_of(vec![documented])).is_empty());
+        let marked = lib_file(
+            "fcma-linalg",
+            "//! m\n// audit: allow(panicpath) — index guarded by caller contract\npub fn entry(v: &[f32]) -> f32 {\n    v[0]\n}\n",
+        );
+        assert!(check_panicpath(&ws_of(vec![marked])).is_empty());
+    }
+
+    #[test]
+    fn panicpath_source_marker_suppresses_one_source() {
+        let f = lib_file(
+            "fcma-linalg",
+            "//! m\npub fn entry(o: Option<u8>) -> u8 {\n    // audit: allow(panicpath) — set on every path above\n    o.unwrap()\n}\n",
+        );
+        assert!(check_panicpath(&ws_of(vec![f])).is_empty());
+        let two = lib_file(
+            "fcma-linalg",
+            "//! m\npub fn entry(o: Option<u8>, v: &[u8]) -> u8 {\n    // audit: allow(panicpath) — set on every path above\n    let a = o.unwrap();\n    a + v[0]\n}\n",
+        );
+        assert_eq!(check_panicpath(&ws_of(vec![two])).len(), 1, "second source still fires");
+    }
+
+    #[test]
+    fn panicpath_skips_tests_bins_and_private_fns() {
+        let t = test_file("fcma-linalg", "//! t\npub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n");
+        let b = SourceFile::new(
+            "crates/x/src/main.rs",
+            Some("x"),
+            Role::Bin,
+            "//! b\npub fn helper(o: Option<u8>) -> u8 { o.unwrap() }\nfn main() {}\n",
+        );
+        let private =
+            lib_file("fcma-linalg", "//! m\nfn quiet(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n");
+        let cfg = lib_file(
+            "fcma-linalg",
+            "//! m\n#[cfg(test)]\nmod tests {\n    pub fn f(o: Option<u8>) -> u8 { o.unwrap() }\n}\n",
+        );
+        assert!(check_panicpath(&ws_of(vec![t, b, private, cfg])).is_empty());
+    }
+
+    const PROTO_DESIGN: &str = "## 12. Architecture contracts\n\n\
+        | Message | Fields |\n|--|--|\n\
+        | `ToWorker::Task` | `VoxelTask` |\n\
+        | `ToWorker::Shutdown` | (none) |\n\
+        | `FromWorker::Ready` | `worker` |\n\
+        | `FromWorker::Done` | `worker`, `task`, `scores` |\n\
+        | `FromWorker::Failed` | `worker`, `task` |\n";
+
+    const PROTO_SRC: &str = "//! p\n\
+        pub enum ToWorker {\n    Task(VoxelTask),\n    Shutdown,\n}\n\
+        pub enum FromWorker {\n    Ready { worker: usize },\n    Done { worker: usize, task: VoxelTask, scores: Vec<f64> },\n    Failed { worker: usize, task: VoxelTask },\n}\n";
+
+    const DRIVER_SRC: &str = "//! d\nfn master(m: FromWorker, w: ToWorker) {\n\
+        match m {\n        FromWorker::Ready { .. } => {}\n        FromWorker::Done { worker, task, scores } => {}\n        FromWorker::Failed { worker, task } => {}\n    }\n\
+        match w {\n        ToWorker::Task(t) => {}\n        ToWorker::Shutdown => {}\n    }\n}\n\
+        fn sends(tx: Sender<ToWorker>) {\n    tx.send(ToWorker::Task(t));\n    tx.send(ToWorker::Shutdown);\n}\n";
+
+    fn proto_files(proto: &str, driver: &str) -> Vec<SourceFile> {
+        vec![
+            SourceFile::new(PROTOCOL_FILE, Some("fcma-cluster"), Role::Lib, proto),
+            SourceFile::new(DRIVER_FILE, Some("fcma-cluster"), Role::Lib, driver),
+        ]
+    }
+
+    #[test]
+    fn protocol_clean_on_conforming_state_machine() {
+        let ws = ws_with(
+            proto_files(PROTO_SRC, DRIVER_SRC),
+            CrateGraph::default(),
+            Contracts::from_design_md(PROTO_DESIGN),
+        );
+        let v = check_protocol(&ws);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn protocol_flags_undocumented_variant_and_missing_arm() {
+        let proto = PROTO_SRC.replace("    Shutdown,\n", "    Shutdown,\n    Poison,\n");
+        let ws = ws_with(
+            proto_files(&proto, DRIVER_SRC),
+            CrateGraph::default(),
+            Contracts::from_design_md(PROTO_DESIGN),
+        );
+        let v = check_protocol(&ws);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("not documented")));
+        assert!(v.iter().any(|x| x.message.contains("not handled by any match arm")));
+    }
+
+    #[test]
+    fn protocol_flags_done_without_task_identity() {
+        let proto = PROTO_SRC.replace(
+            "    Done { worker: usize, task: VoxelTask, scores: Vec<f64> },\n",
+            "    Done { worker: usize, scores: Vec<f64> },\n",
+        );
+        let driver = DRIVER_SRC.replace(
+            "FromWorker::Done { worker, task, scores }",
+            "FromWorker::Done { worker, scores }",
+        );
+        let ws = ws_with(
+            proto_files(&proto, &driver),
+            CrateGraph::default(),
+            Contracts::from_design_md(PROTO_DESIGN),
+        );
+        let v = check_protocol(&ws);
+        assert!(v.iter().any(|x| x.message.contains("task identity")), "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("must carry field `task`")), "{v:?}");
+    }
+
+    #[test]
+    fn protocol_flags_stale_table_row() {
+        let design = format!("{PROTO_DESIGN}| `FromWorker::Retired` | (none) |\n");
+        let ws = ws_with(
+            proto_files(PROTO_SRC, DRIVER_SRC),
+            CrateGraph::default(),
+            Contracts::from_design_md(&design),
+        );
+        let v = check_protocol(&ws);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no such variant"));
+    }
+
+    #[test]
+    fn protocol_skips_without_table_or_file() {
+        let ws = ws_with(
+            proto_files(PROTO_SRC, DRIVER_SRC),
+            CrateGraph::default(),
+            Contracts::default(),
+        );
+        assert!(check_protocol(&ws).is_empty());
+        let ws2 =
+            ws_with(Vec::new(), CrateGraph::default(), Contracts::from_design_md(PROTO_DESIGN));
+        assert!(check_protocol(&ws2).is_empty());
+    }
+
+    #[test]
+    fn exempt_tool_crates_skip_panicpath_and_deadpub() {
+        let audit = lib_file(
+            "fcma-audit",
+            "//! m\npub fn tool_entry(o: Option<u8>) -> u8 {\n    o.unwrap()\n}\n",
+        );
+        let bench =
+            lib_file("fcma-bench", "//! m\npub fn harness_entry(v: &[u8]) -> u8 {\n    v[0]\n}\n");
+        let ws = ws_of(vec![audit, bench]);
+        assert!(check_panicpath(&ws).is_empty());
+        assert!(check_deadpub(&ws).is_empty());
+    }
+
+    #[test]
+    fn deadpub_flags_unreferenced_pub_item() {
+        let a =
+            lib_file("fcma-linalg", "//! m\npub fn orphan_kernel() {}\npub struct OrphanType;\n");
+        let b = lib_file("fcma-core", "//! m\nfn unrelated() {}\n");
+        let v = check_deadpub(&ws_of(vec![a, b]));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("orphan_kernel")));
+        assert!(v.iter().any(|x| x.message.contains("OrphanType")));
+    }
+
+    #[test]
+    fn deadpub_quiet_on_cross_crate_or_own_test_reference() {
+        let a = lib_file("fcma-linalg", "//! m\npub fn used_kernel() {}\npub fn test_only() {}\n");
+        let b = lib_file("fcma-core", "//! m\nfn f() {\n    used_kernel();\n}\n");
+        let t = test_file("fcma-linalg", "//! t\nfn probe() { test_only(); }\n");
+        assert!(check_deadpub(&ws_of(vec![a, b, t])).is_empty());
+    }
+
+    #[test]
+    fn deadpub_ignores_scoped_trait_impls_and_markers() {
+        let a = lib_file(
+            "fcma-linalg",
+            "//! m\npub(crate) fn scoped() {}\n\
+             pub trait Referenced {}\n\
+             impl std::fmt::Display for M {\n    pub fn fmt(&self) {}\n}\n\
+             // audit: allow(deadpub) — staged API for the next PR\npub fn staged() {}\n",
+        );
+        let b = lib_file("fcma-core", "//! m\nfn f(_: impl Referenced) {}\n");
+        let v = check_deadpub(&ws_of(vec![a, b]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unusedallow_flags_stale_unknown_and_reasonless() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\n// audit: allow(cast) — nothing below casts\nfn f() {}\n\
+             // audit: allow(frobnicate) — no such pass\nfn g() {}\n\
+             fn h(n: usize) -> f32 {\n    // audit: allow(cast)\n    n as f32\n}\n",
+        );
+        let ws = ws_of(vec![f]);
+        let _ = check_casts(&ws); // consume nothing: marker has no reason
+        let v = check_unused_allow(&ws);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("suppresses nothing")));
+        assert!(v.iter().any(|x| x.message.contains("unknown pass `frobnicate`")));
+        assert!(v.iter().any(|x| x.message.contains("missing its mandatory reason")));
+    }
+
+    #[test]
+    fn unusedallow_quiet_when_marker_consumed() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(n: usize) -> f32 {\n    // audit: allow(cast) — exact below 2^24\n    n as f32\n}\n",
+        );
+        let ws = ws_of(vec![f]);
+        assert!(check_casts(&ws).is_empty());
+        assert!(check_unused_allow(&ws).is_empty());
+    }
+
+    #[test]
+    fn unusedallow_flags_marker_for_unescapable_pass() {
+        let f = lib_file("fcma-core", "//! m\n// audit: allow(unsafe) — nice try\nfn f() {}\n");
+        let ws = ws_of(vec![f]);
+        let v = check_unused_allow(&ws);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no escape hatch"));
+    }
+
+    #[test]
+    fn run_all_consumes_markers_before_unusedallow() {
+        let f = lib_file(
+            "fcma-linalg",
+            "//! m\n// audit: allow(proptest) — internal helper surfaced for benches\npub fn bench_hook() {}\n",
+        );
+        let b = lib_file("fcma-core", "//! m\nfn f() {\n    bench_hook();\n}\n");
+        let v = ws_of(vec![f, b]).run_all();
+        assert!(v.is_empty(), "{v:?}");
     }
 }

@@ -1,6 +1,7 @@
 //! Per-file source model: role classification plus a single-pass
-//! structural analysis (test spans, documented-panic spans, token sites)
-//! that every lint pass consumes.
+//! structural analysis (test spans, token sites, allow markers) that the
+//! lexical lint passes consume. Item-level structure (functions, types,
+//! calls) lives in [`crate::parser`].
 
 use crate::lexer::{scan, Scanned};
 
@@ -29,13 +30,15 @@ pub struct CastSite {
     pub target: String,
 }
 
-/// A top-level `pub fn` declaration.
+/// One `// audit: allow(<pass>)` marker comment.
 #[derive(Debug, Clone)]
-pub struct PubFn {
-    /// 0-based line of the `fn` keyword.
+pub struct Marker {
+    /// 0-based line of the marker comment.
     pub line: usize,
-    /// Function name.
-    pub name: String,
+    /// The pass name inside the parentheses.
+    pub pass: String,
+    /// Whether the mandatory reason text is present.
+    pub has_reason: bool,
 }
 
 /// One analyzed source file.
@@ -51,16 +54,10 @@ pub struct SourceFile {
     pub scan: Scanned,
     /// 0-based inclusive line spans of `#[cfg(test)]` items.
     pub test_spans: Vec<(usize, usize)>,
-    /// Spans of functions whose doc comment has a `# Panics` section.
-    pub panics_fn_spans: Vec<(usize, usize)>,
     /// Lines containing the `unsafe` keyword.
     pub unsafe_lines: Vec<usize>,
-    /// Lines containing `.unwrap()` or `.expect(` calls.
-    pub unwrap_lines: Vec<(usize, &'static str)>,
     /// Numeric `as` casts.
     pub casts: Vec<CastSite>,
-    /// Top-level `pub fn`s.
-    pub pub_fns: Vec<PubFn>,
 }
 
 const NUMERIC_TYPES: &[&str] = &[
@@ -78,11 +75,8 @@ impl SourceFile {
             role,
             scan,
             test_spans: Vec::new(),
-            panics_fn_spans: Vec::new(),
             unsafe_lines: Vec::new(),
-            unwrap_lines: Vec::new(),
             casts: Vec::new(),
-            pub_fns: Vec::new(),
         };
         file.analyze();
         file
@@ -93,6 +87,9 @@ impl SourceFile {
     /// Markers are comments of the form
     /// `// audit: allow(<pass>) — <reason>` on the same line or the line
     /// directly above. The reason text is mandatory.
+    ///
+    /// Prefer [`crate::passes::Workspace::allowed`], which also records
+    /// the marker as consumed for the `unusedallow` pass.
     pub fn allow_marker(&self, pass: &str, line: usize) -> bool {
         let hit = |l: usize| marker_allows(&self.scan.comment_lines[l], pass);
         hit(line) || (line > 0 && hit(line - 1))
@@ -101,11 +98,6 @@ impl SourceFile {
     /// Is 0-based `line` inside a `#[cfg(test)]` item?
     pub fn in_test_span(&self, line: usize) -> bool {
         self.test_spans.iter().any(|&(a, b)| (a..=b).contains(&line))
-    }
-
-    /// Is 0-based `line` inside a function documented with `# Panics`?
-    pub fn in_panics_fn(&self, line: usize) -> bool {
-        self.panics_fn_spans.iter().any(|&(a, b)| (a..=b).contains(&line))
     }
 
     /// Does the file open with module-level `//!` docs (before any item)?
@@ -120,62 +112,50 @@ impl SourceFile {
         false
     }
 
+    /// Every `audit: allow(...)` marker comment in the file, in order.
+    pub fn markers(&self) -> Vec<Marker> {
+        let mut out = Vec::new();
+        for (line, comment) in self.scan.comment_lines.iter().enumerate() {
+            if is_doc_comment(comment) {
+                continue;
+            }
+            let Some(p) = comment.find(MARKER_PREFIX) else {
+                continue;
+            };
+            let rest = &comment[p + MARKER_PREFIX.len()..];
+            let Some(close) = rest.find(')') else {
+                continue;
+            };
+            let pass = rest[..close].trim().to_owned();
+            out.push(Marker { line, has_reason: marker_allows(comment, &pass), pass });
+        }
+        out
+    }
+
     /// One sequential pass over the scrubbed code computing spans and
     /// token sites. Brace depth is tracked exactly (literals are already
     /// blanked); item starts are recognized from keyword tokens.
     fn analyze(&mut self) {
-        // Pending state fed by raw/comment lines.
+        // Pending state fed by raw lines.
         let mut pending_cfg_test = false;
-        let mut pending_doc_panics = false;
-        let mut in_doc_block = false;
 
         // Brace tracking.
         let mut depth: i64 = 0;
-        // Functions awaiting their opening brace: Some(docs_have_panics).
-        let mut awaiting_fn: Option<(bool, usize)> = None;
         // Item awaiting its brace while a cfg(test) attr is pending.
         let mut awaiting_cfg_item = false;
-        // Stack entries: (depth_after_open, start_line, kind).
-        enum Open {
-            PanicsFn,
-            CfgTest,
-            Other,
-        }
-        let mut stack: Vec<(i64, usize, Open)> = Vec::new();
+        // Stack entries: (depth_after_open, start_line, is_cfg_test).
+        let mut stack: Vec<(i64, usize, bool)> = Vec::new();
 
         let code_lines = self.scan.code_lines.clone();
         for (lineno, code) in code_lines.iter().enumerate() {
-            // Doc-comment bookkeeping from the raw view.
             let raw_trim = self.scan.raw_lines[lineno].trim_start();
-            if let Some(doc) = raw_trim.strip_prefix("///") {
-                if !in_doc_block {
-                    in_doc_block = true;
-                    pending_doc_panics = false;
-                }
-                if doc.trim().starts_with("# Panics") {
-                    pending_doc_panics = true;
-                }
-            } else if !raw_trim.is_empty() {
-                in_doc_block = false;
-            }
             if raw_trim.starts_with("#[cfg(test)]") {
                 pending_cfg_test = true;
             }
 
-            // Substring sites on scrubbed code.
-            for (pat, label) in [(".unwrap(", "unwrap"), (".expect(", "expect")] {
-                let mut from = 0;
-                while let Some(p) = code[from..].find(pat) {
-                    self.unwrap_lines.push((lineno, label));
-                    from += p + pat.len();
-                }
-            }
-
             // Token walk for keywords, casts, braces.
             let mut tokens = Tokenizer::new(code);
-            let mut prev_ident: Option<String> = None;
             let mut saw_as = false;
-            let mut saw_pub_fn = false;
             while let Some(tok) = tokens.next_token() {
                 match tok {
                     Token::Ident(w) => {
@@ -188,69 +168,32 @@ impl SourceFile {
                         match w.as_str() {
                             "unsafe" => self.unsafe_lines.push(lineno),
                             "as" => saw_as = true,
-                            "fn" => {
-                                saw_pub_fn = prev_ident.as_deref() == Some("pub");
-                                awaiting_fn = Some((pending_doc_panics, lineno));
-                                pending_doc_panics = false;
-                                in_doc_block = false;
-                                if pending_cfg_test {
-                                    awaiting_cfg_item = true;
-                                    pending_cfg_test = false;
-                                }
+                            "fn" | "mod" | "struct" | "enum" | "impl" | "trait" | "union"
+                                if pending_cfg_test =>
+                            {
+                                awaiting_cfg_item = true;
+                                pending_cfg_test = false;
                             }
-                            "mod" | "struct" | "enum" | "impl" | "trait" | "union" => {
-                                pending_doc_panics = false;
-                                in_doc_block = false;
-                                if pending_cfg_test {
-                                    awaiting_cfg_item = true;
-                                    pending_cfg_test = false;
-                                }
-                            }
-                            _ => {
-                                if saw_pub_fn && prev_ident.as_deref() == Some("fn") {
-                                    if depth == 0 {
-                                        self.pub_fns.push(PubFn { line: lineno, name: w.clone() });
-                                    }
-                                    saw_pub_fn = false;
-                                }
-                            }
+                            _ => {}
                         }
-                        prev_ident = Some(w);
                     }
                     Token::Open => {
                         depth += 1;
-                        let kind = if awaiting_cfg_item {
-                            awaiting_cfg_item = false;
-                            awaiting_fn = None;
-                            Open::CfgTest
-                        } else if let Some((panics, _)) = awaiting_fn.take() {
-                            if panics {
-                                Open::PanicsFn
-                            } else {
-                                Open::Other
-                            }
-                        } else {
-                            Open::Other
-                        };
-                        stack.push((depth, lineno, kind));
+                        let is_cfg = awaiting_cfg_item;
+                        awaiting_cfg_item = false;
+                        stack.push((depth, lineno, is_cfg));
                     }
                     Token::Close => {
                         if stack.last().is_some_and(|&(d, _, _)| d == depth) {
-                            if let Some((_, start, kind)) = stack.pop() {
-                                match kind {
-                                    Open::CfgTest => self.test_spans.push((start, lineno)),
-                                    Open::PanicsFn => {
-                                        self.panics_fn_spans.push((start, lineno));
-                                    }
-                                    Open::Other => {}
+                            if let Some((_, start, is_cfg)) = stack.pop() {
+                                if is_cfg {
+                                    self.test_spans.push((start, lineno));
                                 }
                             }
                         }
                         depth -= 1;
                     }
                     Token::Semi => {
-                        // `fn f();` in a trait: no body to track.
-                        awaiting_fn = None;
                         awaiting_cfg_item = false;
                     }
                 }
@@ -259,12 +202,30 @@ impl SourceFile {
     }
 }
 
+/// The comment prefix that introduces an allow marker.
+const MARKER_PREFIX: &str = "audit: allow(";
+
+/// Is this collected comment a doc comment (`///`, `//!`, `/**`, `/*!`)?
+///
+/// Doc comments never carry allow markers: they *describe* code (the
+/// audit's own rustdoc spells out the marker syntax verbatim), so a
+/// mention there must neither suppress a violation nor register as a
+/// stale marker. Only plain `//` and `/* */` comments direct the tool.
+fn is_doc_comment(comment: &str) -> bool {
+    let t = comment.trim_start();
+    ["///", "//!", "/**", "/*!"].iter().any(|p| t.starts_with(p))
+}
+
 /// Does this comment line carry a valid `audit: allow(<pass>)` marker?
 ///
 /// A marker without a reason is treated as absent (the violation still
 /// fires), which is what forces every escape hatch to be justified.
-fn marker_allows(comment: &str, pass: &str) -> bool {
-    let needle = format!("audit: allow({pass})");
+/// Doc comments are ignored entirely (see [`is_doc_comment`]).
+pub fn marker_allows(comment: &str, pass: &str) -> bool {
+    if is_doc_comment(comment) {
+        return false;
+    }
+    let needle = format!("{MARKER_PREFIX}{pass})");
     let Some(p) = comment.find(&needle) else {
         return false;
     };
@@ -361,29 +322,6 @@ mod tests {
     }
 
     #[test]
-    fn panics_doc_span_covers_fn_body() {
-        let src = "/// Does things.\n///\n/// # Panics\n/// When sad.\npub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\nfn g(y: Option<u8>) {\n    y.unwrap();\n}\n";
-        let f = lib(src);
-        assert_eq!(f.panics_fn_spans.len(), 1);
-        assert!(f.in_panics_fn(5));
-        assert!(!f.in_panics_fn(8));
-    }
-
-    #[test]
-    fn unwrap_and_expect_sites_found_not_in_strings() {
-        let f = lib("fn a(x: Option<u8>) {\n    x.unwrap();\n    let _ = \"don't .unwrap() me\";\n    Some(1).expect(\"x.unwrap() failed\");\n}\n");
-        assert_eq!(f.unwrap_lines.len(), 2);
-        assert_eq!(f.unwrap_lines[0].0, 1);
-        assert_eq!(f.unwrap_lines[1], (3, "expect"));
-    }
-
-    #[test]
-    fn unwrap_or_variants_not_flagged() {
-        let f = lib("fn a(x: Option<u8>) {\n    x.unwrap_or(3);\n    x.unwrap_or_else(|| 4);\n    x.unwrap_or_default();\n}\n");
-        assert!(f.unwrap_lines.is_empty());
-    }
-
-    #[test]
     fn numeric_casts_found_with_targets() {
         let f = lib("fn a(n: usize) -> f32 {\n    let b = n as f32;\n    let c = b as f64 as usize;\n    use std::fmt as xfmt;\n    b\n}\n");
         let targets: Vec<&str> = f.casts.iter().map(|c| c.target.as_str()).collect();
@@ -391,22 +329,40 @@ mod tests {
     }
 
     #[test]
-    fn pub_fns_only_top_level() {
-        let f = lib("pub fn top() {}\nimpl Foo {\n    pub fn method(&self) {}\n}\npub(crate) fn scoped() {}\nfn private() {}\n");
-        let names: Vec<&str> = f.pub_fns.iter().map(|p| p.name.as_str()).collect();
-        assert_eq!(names, vec!["top"]);
+    fn allow_marker_requires_reason() {
+        let with = lib("fn a(x: Option<u8>) {\n    // audit: allow(panicpath) — checked above\n    x.unwrap();\n}\n");
+        assert!(with.allow_marker("panicpath", 2));
+        let without =
+            lib("fn a(x: Option<u8>) {\n    // audit: allow(panicpath)\n    x.unwrap();\n}\n");
+        assert!(!without.allow_marker("panicpath", 2));
+        let wrong_pass =
+            lib("fn a(x: Option<u8>) {\n    // audit: allow(cast) — nope\n    x.unwrap();\n}\n");
+        assert!(!wrong_pass.allow_marker("panicpath", 2));
     }
 
     #[test]
-    fn allow_marker_requires_reason() {
-        let with = lib("fn a(x: Option<u8>) {\n    // audit: allow(unwrap) — checked above\n    x.unwrap();\n}\n");
-        assert!(with.allow_marker("unwrap", 2));
-        let without =
-            lib("fn a(x: Option<u8>) {\n    // audit: allow(unwrap)\n    x.unwrap();\n}\n");
-        assert!(!without.allow_marker("unwrap", 2));
-        let wrong_pass =
-            lib("fn a(x: Option<u8>) {\n    // audit: allow(cast) — nope\n    x.unwrap();\n}\n");
-        assert!(!wrong_pass.allow_marker("unwrap", 2));
+    fn markers_inventory_reports_pass_and_reason() {
+        let f = lib("// audit: allow(cast) — exact below 2^24\nfn a() {}\n\
+             // audit: allow(deadpub)\nfn b() {}\n\
+             // audit: allow(bogus) — whatever\nfn c() {}\n\
+             fn d() { let s = \"audit: allow(cast) — in a string\"; }\n");
+        let ms = f.markers();
+        assert_eq!(ms.len(), 3, "{ms:?}");
+        assert_eq!((ms[0].line, ms[0].pass.as_str(), ms[0].has_reason), (0, "cast", true));
+        assert_eq!((ms[1].line, ms[1].pass.as_str(), ms[1].has_reason), (2, "deadpub", false));
+        assert_eq!((ms[2].line, ms[2].pass.as_str(), ms[2].has_reason), (4, "bogus", true));
+    }
+
+    #[test]
+    fn doc_comment_mentions_are_not_markers() {
+        let f = lib("/// Suppress with `// audit: allow(cast) — why`.\nfn a() {}\n\
+             //! `// audit: allow(panicpath) — why` is the marker form.\n\
+             // audit: allow(cast) — a real one\nfn b() {}\n");
+        let ms = f.markers();
+        assert_eq!(ms.len(), 1, "{ms:?}");
+        assert_eq!(ms[0].line, 3);
+        assert!(!f.allow_marker("cast", 0), "doc mention must not suppress");
+        assert!(f.allow_marker("cast", 4));
     }
 
     #[test]

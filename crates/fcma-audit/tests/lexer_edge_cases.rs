@@ -1,0 +1,85 @@
+//! Lexer/parser edge cases over on-disk fixtures: raw strings, nested
+//! block comments, and multi-line macro invocations. Each fixture is a
+//! real Rust-shaped file (kept as `.txt` so cargo never compiles it)
+//! pulled in with `include_str!`, so the bytes the lexer sees are
+//! exactly the bytes a contributor would write.
+
+use fcma_audit::lexer::scan;
+use fcma_audit::parser::parse;
+use fcma_audit::source::{Role, SourceFile};
+
+const RAW_STRINGS: &str = include_str!("fixtures/raw_strings.rs.txt");
+const NESTED_COMMENTS: &str = include_str!("fixtures/nested_comments.rs.txt");
+const MULTILINE_MACRO: &str = include_str!("fixtures/multiline_macro.rs.txt");
+
+/// Every fixture must scrub to the same line count it came in with —
+/// diagnostics point at lines, so the lexer may never add or drop one.
+#[test]
+fn scrubbing_preserves_line_counts() {
+    for (name, text) in [
+        ("raw_strings", RAW_STRINGS),
+        ("nested_comments", NESTED_COMMENTS),
+        ("multiline_macro", MULTILINE_MACRO),
+    ] {
+        let s = scan(text);
+        let raw_count = text.lines().count();
+        assert_eq!(s.raw_lines.len(), raw_count, "{name}: raw_lines");
+        assert_eq!(s.code_lines.len(), raw_count, "{name}: code_lines");
+        assert_eq!(s.comment_lines.len(), raw_count, "{name}: comment_lines");
+    }
+}
+
+#[test]
+fn raw_string_contents_never_reach_code_lines() {
+    let s = scan(RAW_STRINGS);
+    let code = s.code_lines.join("\n");
+    assert!(!code.contains("unwrap"), "raw-string `.unwrap()` leaked into code:\n{code}");
+    assert!(!code.contains("unsafe"), "raw-string `unsafe` leaked into code:\n{code}");
+    assert!(!code.contains("as f32"), "raw-string cast leaked into code:\n{code}");
+    assert!(!code.contains("expect"), "multi-line raw-string `.expect` leaked:\n{code}");
+    // The code around the literals survives.
+    assert!(code.contains("pub fn bait"), "code before raw strings lost:\n{code}");
+    assert!(code.contains("pub fn after"), "code after raw strings lost:\n{code}");
+}
+
+#[test]
+fn marker_inside_string_literal_is_not_a_marker() {
+    let f = SourceFile::new("crates/x/src/lib.rs", Some("x"), Role::Lib, RAW_STRINGS);
+    assert!(
+        f.markers().is_empty(),
+        "a marker spelled inside a string literal must not register: {:?}",
+        f.markers()
+    );
+}
+
+#[test]
+fn nested_block_comments_scrub_at_every_depth() {
+    let s = scan(NESTED_COMMENTS);
+    let code = s.code_lines.join("\n");
+    assert!(!code.contains("unwrap"), "depth-2 comment leaked into code:\n{code}");
+    assert!(!code.contains("unsafe"), "depth-3 comment leaked into code:\n{code}");
+    assert!(!code.contains("as f32"), "multi-line nested comment leaked:\n{code}");
+    assert!(code.contains("pub fn visible"), "code between comments lost:\n{code}");
+    // The comment text lands in comment_lines instead.
+    let comments = s.comment_lines.join("\n");
+    assert!(comments.contains("deepest unsafe"), "nested comment text not captured");
+}
+
+#[test]
+fn multiline_macros_do_not_confuse_the_item_parser() {
+    let p = parse(&scan(MULTILINE_MACRO));
+    let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+    assert!(names.contains(&"caller"), "fn before the macros not parsed: {names:?}");
+    assert!(names.contains(&"trailing"), "fn after the macros not parsed: {names:?}");
+    assert!(
+        !names.contains(&"decoy"),
+        "`fn decoy()` inside a macro string must not parse as an item: {names:?}"
+    );
+    // `trailing` indexes a slice, and the parser must still see that
+    // source through the macro noise above it.
+    let trailing = p.fns.iter().find(|f| f.name == "trailing").expect("trailing parsed");
+    assert!(
+        !trailing.sources.is_empty(),
+        "indexing panic source after multi-line macros not recorded"
+    );
+}

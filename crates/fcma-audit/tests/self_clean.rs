@@ -1,5 +1,6 @@
-//! The audit tool's acceptance gate: the shipped tree must be clean, and
-//! a seeded violation must be caught.
+//! The audit tool's acceptance gate: the shipped tree must be clean,
+//! seeded violations must be caught, and the DESIGN.md contracts the
+//! passes depend on must parse from the shipped document.
 
 use std::path::Path;
 
@@ -20,30 +21,42 @@ fn shipped_tree_is_clean() {
 
 #[test]
 fn seeded_violations_are_caught() {
-    use fcma_audit::passes;
+    use fcma_audit::graph::{Contracts, CrateGraph};
+    use fcma_audit::passes::{Taxonomy, Workspace};
     use fcma_audit::source::{Role, SourceFile};
 
-    // One file per pass, each violating exactly one rule.
-    let seeded = [
+    // In-memory seeds for the per-file passes; the on-disk fixture
+    // workspace test covers layering/protocol/deadpub separately.
+    let seeded = vec![
         SourceFile::new(
             "crates/fcma-linalg/src/bad.rs",
             Some("fcma-linalg"),
             Role::Lib,
-            "//! Seeded.\npub fn naughty(n: usize, o: Option<u8>) -> f32 {\n    o.unwrap();\n    unsafe { std::hint::unreachable_unchecked() }\n    n as f32\n}\n",
+            "//! Seeded.\npub fn naughty(n: usize, o: Option<u8>) -> f32 {\n    \
+             o.unwrap();\n    unsafe { std::hint::unreachable_unchecked() }\n    n as f32\n}\n",
         ),
-        SourceFile::new("crates/fcma-core/src/nodoc.rs", Some("fcma-core"), Role::Lib, "fn f() {}\n"),
+        SourceFile::new(
+            "crates/fcma-core/src/nodoc.rs",
+            Some("fcma-core"),
+            Role::Lib,
+            "fn f() {}\n",
+        ),
         SourceFile::new(
             "crates/fcma-core/src/rogue.rs",
             Some("fcma-core"),
             Role::Lib,
-            "//! Seeded.\nfn f() {\n    let _s = span!(\"totally.undocumented\");\n}\n",
+            "//! Seeded.\nfn f() {\n    let _s = span!(\"totally.undocumented\");\n}\n\
+             // audit: allow(cast) — never consulted, so stale\n",
         ),
     ];
-    let taxonomy = passes::Taxonomy::from_design_md("## Observability\n`stage1.corr`\n")
+    let taxonomy = Taxonomy::from_design_md("## Observability\n`stage1.corr`\n")
         .expect("fixture taxonomy parses");
-    let violations = passes::run_all(&seeded, Some(&taxonomy));
+    let ws = Workspace::new(seeded, CrateGraph::default(), Contracts::default(), Some(taxonomy));
+    let violations = ws.run_all();
     let passes_hit: std::collections::BTreeSet<&str> = violations.iter().map(|v| v.pass).collect();
-    for expected in ["unsafe", "unwrap", "cast", "proptest", "moddoc", "tracename"] {
+    for expected in
+        ["unsafe", "cast", "proptest", "moddoc", "tracename", "panicpath", "unusedallow"]
+    {
         assert!(passes_hit.contains(expected), "pass `{expected}` did not fire: {violations:?}");
     }
 }
@@ -64,6 +77,29 @@ fn shipped_design_md_taxonomy_parses() {
     ] {
         assert!(taxonomy.contains(name), "DESIGN.md taxonomy is missing `{name}`");
     }
+}
+
+#[test]
+fn shipped_design_md_contracts_parse() {
+    let design = std::fs::read_to_string(workspace_root().join("DESIGN.md"))
+        .expect("DESIGN.md must be readable");
+    let contracts = fcma_audit::graph::Contracts::from_design_md(&design);
+
+    let layering = contracts.layering.expect("DESIGN.md §12 must declare the layering table");
+    let kernels = layering.get("fcma-linalg").expect("layering table must cover fcma-linalg");
+    assert!(kernels.is_empty(), "fcma-linalg must stay dependency-free, got {kernels:?}");
+    let cluster = layering.get("fcma-cluster").expect("layering table must cover fcma-cluster");
+    assert!(cluster.contains("fcma-core"), "fcma-cluster must be allowed to use fcma-core");
+
+    let protocol = contracts.protocol.expect("DESIGN.md §12 must declare the protocol table");
+    let done = protocol
+        .iter()
+        .find(|e| e.enum_name == "FromWorker" && e.variant == "Done")
+        .expect("protocol table must list FromWorker::Done");
+    assert!(
+        done.fields.iter().any(|f| f == "task"),
+        "FromWorker::Done must carry `task` (exactly-once accounting)"
+    );
 }
 
 #[test]

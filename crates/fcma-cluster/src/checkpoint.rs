@@ -30,6 +30,7 @@ const MAGIC: &str = "fcma-checkpoint v1";
 
 /// One completed task and its scores, as recorded on disk.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct TaskRecord {
     /// The task this record covers.
     pub task: VoxelTask,
@@ -65,6 +66,7 @@ impl Checkpoint {
     }
 
     /// Parse already-read lines (separated out for testability).
+    // audit: allow(panicpath) — every line index is bounded by `i < lines.len()` in the loop
     fn parse(lines: &[String]) -> Result<Checkpoint, CheckpointError> {
         let header =
             lines.first().ok_or_else(|| CheckpointError::BadHeader { line: String::new() })?;
@@ -100,11 +102,13 @@ impl Checkpoint {
     }
 
     /// Voxel scores of every recorded task, flattened in file order.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn all_scores(&self) -> Vec<VoxelScore> {
         self.tasks.iter().flat_map(|t| t.scores.iter().copied()).collect()
     }
 
     /// Starts of the recorded tasks.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn completed_starts(&self) -> Vec<usize> {
         self.tasks.iter().map(|t| t.task.start).collect()
     }
@@ -199,14 +203,18 @@ fn parse_record(
 
 /// Incremental checkpoint writer: one flushed record per completed task.
 #[derive(Debug)]
-pub struct CheckpointWriter {
+pub(crate) struct CheckpointWriter {
     path: PathBuf,
     file: BufWriter<std::fs::File>,
 }
 
 impl CheckpointWriter {
     /// Create (truncate) `path` and write the sweep header.
-    pub fn create(path: &Path, n_voxels: usize, task_size: usize) -> Result<Self, CheckpointError> {
+    pub(crate) fn create(
+        path: &Path,
+        n_voxels: usize,
+        task_size: usize,
+    ) -> Result<Self, CheckpointError> {
         let map_io =
             |error: std::io::Error| CheckpointError::Io { path: path.to_path_buf(), error };
         let file = std::fs::File::create(path).map_err(map_io)?;
@@ -219,7 +227,7 @@ impl CheckpointWriter {
     /// Open `path` for appending further records (resume into the same
     /// file). The caller is responsible for having validated the header
     /// via [`Checkpoint::load`].
-    pub fn append(path: &Path) -> Result<Self, CheckpointError> {
+    pub(crate) fn append(path: &Path) -> Result<Self, CheckpointError> {
         let file = std::fs::OpenOptions::new()
             .append(true)
             .open(path)
@@ -230,7 +238,7 @@ impl CheckpointWriter {
     /// Append one completed task. `scores` must cover the task's voxels
     /// in order (the scheduler guarantees this). Flushes before
     /// returning so a later kill cannot lose the record.
-    pub fn record(
+    pub(crate) fn record(
         &mut self,
         task: VoxelTask,
         scores: &[VoxelScore],

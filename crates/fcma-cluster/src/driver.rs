@@ -100,6 +100,7 @@ impl ClusterConfig {
 /// tests can assert on scheduler behavior without reaching into driver
 /// internals.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// audit: allow(deadpub) — embedded in the public ClusterRun returned by run_cluster; demotion trips private_interfaces
 pub struct TaskStat {
     /// The task.
     pub task: VoxelTask,
@@ -473,6 +474,7 @@ impl Master {
     }
 
     /// Send `task` to `wid`; returns `false` if the worker is gone.
+    // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn dispatch(&mut self, task: VoxelTask, wid: usize, speculative: bool) -> bool {
         if self.workers[wid].tx.send(ToWorker::Task(task)).is_err() {
             self.workers[wid].alive = false;
@@ -508,6 +510,7 @@ impl Master {
     /// Resolve worker `wid`'s outstanding dispatch with `outcome`:
     /// record its `cluster.dispatch` span, wall-time histogram sample,
     /// and outcome counter. Every dispatch reaches this exactly once.
+    // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn resolve_dispatch(&mut self, wid: usize, outcome: DispatchOutcome) -> Option<DispatchInfo> {
         let info = self.current[wid].take()?;
         if fcma_trace::is_enabled() {
@@ -536,6 +539,7 @@ impl Master {
         }
     }
 
+    // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn on_done(
         &mut self,
         worker: usize,
@@ -593,6 +597,7 @@ impl Master {
         }
     }
 
+    // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn on_failed(&mut self, worker: usize, task: VoxelTask) -> Result<(), ClusterError> {
         let state = &mut self.workers[worker];
         let was_condemned = state.condemned;
@@ -663,6 +668,7 @@ impl Master {
     }
 
     /// Fire expired hang deadlines and due speculation timers.
+    // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn check_deadlines(&mut self) -> Result<(), ClusterError> {
         let now = Instant::now();
         if let Some(deadline) = self.task_deadline {
@@ -738,6 +744,7 @@ impl Master {
 
 /// Spawn one detached worker thread serving tasks until shutdown,
 /// disconnect, or its own death.
+// audit: allow(panicpath) — executor panics are contained by catch_unwind and reported as FromWorker::Failed
 fn spawn_worker(
     wid: usize,
     ctx: TaskContext,

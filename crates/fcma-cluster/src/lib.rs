@@ -28,7 +28,7 @@ pub mod fault;
 pub mod protocol;
 pub mod scaling;
 
-pub use checkpoint::{Checkpoint, CheckpointWriter, TaskRecord};
+pub use checkpoint::{Checkpoint, TaskRecord};
 pub use driver::{run_cluster, run_cluster_with, ClusterConfig, ClusterRun, TaskStat};
 pub use error::{CheckpointError, ClusterError};
 pub use fault::{ChaosExecutor, FaultKind, FaultPlan, FaultSpec};

@@ -92,6 +92,7 @@ impl ClusterModel {
     ///
     /// # Panics
     /// Panics if `speeds` is empty or contains a non-positive factor.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn simulate_heterogeneous(&self, task_secs: &[f64], speeds: &[f64]) -> f64 {
         assert!(!speeds.is_empty(), "simulate_heterogeneous: no nodes");
         assert!(speeds.iter().all(|&s| s > 0.0), "simulate_heterogeneous: speeds must be positive");

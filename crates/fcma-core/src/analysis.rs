@@ -49,6 +49,7 @@ pub fn score_all_voxels(
 
 /// One outer cross-validation fold of the offline analysis.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct FoldOutcome {
     /// Held-out subject.
     pub held_out: usize,
@@ -60,6 +61,7 @@ pub struct FoldOutcome {
 
 /// Result of the full offline analysis.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct OfflineResult {
     /// Per-fold outcomes.
     pub folds: Vec<FoldOutcome>,
@@ -75,6 +77,9 @@ pub struct OfflineResult {
 /// (inner LOSO via the executor's stage 3); a final classifier is then
 /// trained on the training subjects' correlation patterns of the selected
 /// voxels and tested on the held-out subject (§5.2.1).
+///
+/// # Panics
+/// If the dataset has fewer than 3 subjects (nested LOSO needs them).
 pub fn offline_analysis(
     dataset: &Dataset,
     exec: &dyn TaskExecutor,
@@ -136,6 +141,7 @@ fn final_classifier_accuracy(
 
 /// Result of the online (single-session) voxel selection.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct OnlineResult {
     /// Selected voxels for the neurofeedback classifier.
     pub selected: Vec<usize>,
@@ -163,6 +169,9 @@ pub fn online_voxel_selection(
 
 /// Assign epochs to `n_folds` groups, round-robin within each condition,
 /// so every fold contains both classes.
+///
+/// # Panics
+/// If `n_folds == 0`.
 pub fn stratified_folds(y: &[f32], n_folds: usize) -> Vec<usize> {
     let mut groups = vec![0usize; y.len()];
     let mut pos = 0usize;

@@ -57,6 +57,7 @@ impl TaskControls {
     }
 
     /// Controls bounded by a per-task deadline.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn with_deadline(deadline: Duration) -> Self {
         TaskControls { cancel: CancelToken::new(), deadline: Some(deadline) }
     }

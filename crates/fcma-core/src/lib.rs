@@ -29,17 +29,17 @@ pub mod stage3;
 pub mod stats;
 pub mod task;
 
-pub use analysis::{
-    offline_analysis, online_voxel_selection, score_all_voxels, AnalysisConfig, FoldOutcome,
-    OfflineResult, OnlineResult,
-};
+pub use analysis::{offline_analysis, online_voxel_selection, score_all_voxels, AnalysisConfig};
+pub use analysis::{FoldOutcome, OfflineResult, OnlineResult};
 pub use context::TaskContext;
 pub use control::{CancelToken, TaskControls};
 pub use executor::{BaselineExecutor, OptimizedExecutor, TaskExecutor};
-pub use realtime::{FeedbackModel, OnlineSession, SessionConfig, SessionError};
-pub use selection::{recovery_rate, select_top_k, stable_voxels};
-pub use stage1::{corr_baseline, corr_optimized, CorrData};
+pub use realtime::{FeedbackModel, SessionError};
+pub use realtime::{OnlineSession, SessionConfig};
+pub use selection::{recovery_rate, select_top_k};
+pub use stage1::CorrData;
+pub use stage1::{corr_baseline, corr_optimized};
 pub use stage2::{corr_normalized_merged, normalize_baseline, normalize_separated};
-pub use stage3::{score_task, score_voxel, KernelPrecompute};
-pub use stats::{benjamini_hochberg, permutation_p_value, voxel_permutation_test};
+pub use stage3::{score_task, KernelPrecompute};
+pub use stats::{benjamini_hochberg, voxel_permutation_test};
 pub use task::{partition, VoxelScore, VoxelTask};

@@ -50,6 +50,7 @@ impl Default for SessionConfig {
 
 /// A trained feedback state: selected voxels + classifier.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct FeedbackModel {
     /// Selected voxel indices.
     pub selected: Vec<usize>,
@@ -76,6 +77,7 @@ pub struct OnlineSession {
 
 /// Errors from session misuse.
 #[derive(Debug, PartialEq, Eq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub enum SessionError {
     /// `begin_epoch` while another epoch is open.
     EpochAlreadyOpen,
@@ -115,6 +117,7 @@ impl OnlineSession {
     }
 
     /// Number of volumes ingested.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn n_volumes(&self) -> usize {
         self.volumes.len()
     }
@@ -192,6 +195,7 @@ impl OnlineSession {
     /// Score epoch `e` (any completed epoch, typically one newer than the
     /// training set) with a feedback model: returns the decision value
     /// whose sign is the predicted condition.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn score_epoch(&self, fb: &FeedbackModel, e: usize) -> Result<f32, SessionError> {
         if e >= self.epochs.len() {
             return Err(SessionError::NotEnoughData(format!("epoch {e} not completed")));
@@ -211,6 +215,7 @@ impl OnlineSession {
 
     /// Build the kernel over every epoch's selected-voxel correlation
     /// patterns.
+    // audit: allow(panicpath) — row slices are sized by the same m/n/selected that sized the samples matrix
     fn selected_kernel(&self, ctx: &TaskContext, selected: &[usize]) -> (KernelMatrix, usize) {
         let m = ctx.n_epochs();
         let n = ctx.n_voxels();

@@ -17,7 +17,7 @@ pub fn select_top_k(scores: &[VoxelScore], k: usize) -> Vec<usize> {
 
 /// Voxels selected in at least `min_folds` of the per-fold selections —
 /// the reliable ROI.
-pub fn stable_voxels(fold_selections: &[Vec<usize>], min_folds: usize) -> Vec<usize> {
+pub(crate) fn stable_voxels(fold_selections: &[Vec<usize>], min_folds: usize) -> Vec<usize> {
     use std::collections::HashMap;
     let mut counts: HashMap<usize, usize> = HashMap::new();
     for sel in fold_selections {

@@ -51,6 +51,7 @@ fn bridge_stage1_counters(
 /// floats, row `v·M + e` holding voxel `v`'s correlation vector for
 /// epoch `e`.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct CorrData {
     /// Backing buffer.
     pub buf: Vec<f32>,
@@ -61,6 +62,9 @@ pub struct CorrData {
 impl CorrData {
     /// Voxel `v`'s full `M × N` correlation data matrix (rows are epochs)
     /// — exactly the stage-3 SVM data matrix, contiguous by construction.
+    ///
+    /// # Panics
+    /// If `v` is out of range for the layout.
     pub fn voxel_matrix(&self, v: usize) -> &[f32] {
         let m = self.layout.n_epochs;
         let n = self.layout.n_brain;
@@ -68,6 +72,9 @@ impl CorrData {
     }
 
     /// Mutable row for (voxel, epoch).
+    ///
+    /// # Panics
+    /// If `(v, e)` is out of range for the layout.
     pub fn row_mut(&mut self, v: usize, e: usize) -> &mut [f32] {
         let n = self.layout.n_brain;
         let r = self.layout.row(v, e);
@@ -75,6 +82,9 @@ impl CorrData {
     }
 
     /// Row for (voxel, epoch).
+    ///
+    /// # Panics
+    /// If `(v, e)` is out of range for the layout.
     pub fn row(&self, v: usize, e: usize) -> &[f32] {
         let n = self.layout.n_brain;
         let r = self.layout.row(v, e);
@@ -89,6 +99,9 @@ pub(crate) fn assigned_blocks(ctx: &TaskContext, task: VoxelTask) -> Vec<Mat> {
 
 /// Baseline stage 1: per-epoch generic blocked GEMM with interleaved
 /// output via the leading dimension.
+///
+/// # Panics
+/// If `task` is out of range for `ctx`.
 pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
     let v = task.count;
     let n = ctx.n_voxels();

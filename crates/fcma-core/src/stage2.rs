@@ -32,6 +32,9 @@ use fcma_linalg::{f32_from_usize, fisher_z_slice, CorrLayout};
 use fcma_trace::span;
 
 /// Baseline schedule: Fisher pass, then stats pass, then apply pass.
+///
+/// # Panics
+/// If `ctx`'s subject epoch ranges do not match `corr`'s layout.
 pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
     let n = corr.layout.n_brain;
     let v = corr.layout.n_assigned;
@@ -65,6 +68,9 @@ pub fn normalize_baseline(corr: &mut CorrData, ctx: &TaskContext) {
 }
 
 /// Separated-optimized schedule: fused Fisher+stats pass, then apply.
+///
+/// # Panics
+/// If `ctx`'s subject epoch ranges do not match `corr`'s layout.
 pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
     let n = corr.layout.n_brain;
     let v = corr.layout.n_assigned;
@@ -101,6 +107,9 @@ pub fn normalize_separated(corr: &mut CorrData, ctx: &TaskContext) {
 /// each tile is normalized immediately after being computed, before it
 /// leaves cache (Fig. 5), and the z-apply doubles as the single write to
 /// the interleaved output. Produces the finished normalized buffer.
+///
+/// # Panics
+/// If `task` is out of range for `ctx`.
 pub fn corr_normalized_merged(
     ctx: &TaskContext,
     task: VoxelTask,

@@ -29,7 +29,7 @@ pub enum KernelPrecompute {
 /// `vi` is the task-relative voxel index into `corr`; `y` and `groups`
 /// are parallel to the epochs of `corr` (groups are subjects for offline
 /// analysis, epoch folds for the online case).
-pub fn score_voxel(
+pub(crate) fn score_voxel(
     corr: &CorrData,
     vi: usize,
     y: &[f32],

@@ -17,7 +17,10 @@ use rand_chacha::ChaCha8Rng;
 
 /// Permute labels *within each subject* (the exchangeable unit in a
 /// subject-level design), preserving each subject's class balance.
-pub fn permute_labels_within_subject(
+///
+/// # Panics
+/// If `y` and `subjects` differ in length.
+pub(crate) fn permute_labels_within_subject(
     y: &[f32],
     subjects: &[usize],
     rng: &mut ChaCha8Rng,
@@ -39,7 +42,7 @@ pub fn permute_labels_within_subject(
 /// Null distribution of one voxel's LOSO accuracy under label
 /// permutation: `n_perms` re-runs of the cross validation with labels
 /// shuffled within subject. Deterministic in `seed`.
-pub fn null_accuracies(
+pub(crate) fn null_accuracies(
     kernel: &KernelMatrix,
     y: &[f32],
     subjects: &[usize],
@@ -58,7 +61,7 @@ pub fn null_accuracies(
 
 /// Permutation p-value with the standard +1 correction:
 /// `(1 + #{null ≥ observed}) / (1 + n_perms)`.
-pub fn permutation_p_value(observed: f64, null: &[f64]) -> f64 {
+pub(crate) fn permutation_p_value(observed: f64, null: &[f64]) -> f64 {
     let ge = null.iter().filter(|&&v| v >= observed - 1e-12).count();
     f64_from_usize(1 + ge) / f64_from_usize(1 + null.len())
 }

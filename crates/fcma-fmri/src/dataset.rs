@@ -38,7 +38,7 @@ impl Condition {
     }
 
     /// The on-disk token.
-    pub fn token(self) -> &'static str {
+    pub(crate) fn token(self) -> &'static str {
         match self {
             Condition::A => "0",
             Condition::B => "1",
@@ -80,6 +80,7 @@ pub struct Dataset {
 
 /// Errors raised by [`Dataset::new`] validation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// audit: allow(deadpub) — named only structurally outside the crate, via `Dataset::new`'s Result
 pub enum DatasetError {
     /// An epoch window exceeds the time axis.
     EpochOutOfRange { epoch: usize, start: usize, len: usize, n_timepoints: usize },
@@ -195,6 +196,7 @@ impl Dataset {
     }
 
     /// Indices into [`Self::epochs`] belonging to `subject`.
+    // audit: allow(panicpath) — start comes from position() (< len) or 0; total slicing; audit: allow(deadpub) — library API exercised by unit tests
     pub fn epoch_range_of_subject(&self, subject: usize) -> std::ops::Range<usize> {
         let start = self.epochs.iter().position(|e| e.subject == subject).unwrap_or(0);
         let end = start + self.epochs[start..].iter().take_while(|e| e.subject == subject).count();
@@ -207,7 +209,10 @@ impl Dataset {
     }
 
     /// One voxel's raw activity over an epoch window.
-    pub fn epoch_series(&self, voxel: usize, epoch: usize) -> &[f32] {
+    ///
+    /// # Panics
+    /// If `voxel` or `epoch` is out of range for the dataset.
+    pub(crate) fn epoch_series(&self, voxel: usize, epoch: usize) -> &[f32] {
         let ep = &self.epochs[epoch];
         &self.data.row(voxel)[ep.start..ep.start + ep.len]
     }

@@ -74,6 +74,9 @@ impl NormalizedEpochs {
     }
 
     /// The `k × N` normalized whole-brain matrix for epoch `e`.
+    ///
+    /// # Panics
+    /// If `e` is not a valid epoch index.
     pub fn brain(&self, e: usize) -> &Mat {
         &self.brain[e]
     }
@@ -83,7 +86,7 @@ impl NormalizedEpochs {
     ///
     /// # Panics
     /// Panics if the range exceeds the voxel count.
-    pub fn assigned_block(&self, e: usize, voxels: Range<usize>) -> Mat {
+    pub(crate) fn assigned_block(&self, e: usize, voxels: Range<usize>) -> Mat {
         assert!(
             voxels.end <= self.n_voxels,
             "assigned_block: voxel range {voxels:?} exceeds N={}",

@@ -77,7 +77,7 @@ impl Grid3 {
     }
 
     /// 6-connected (face) neighbors of voxel `i`, within bounds.
-    pub fn neighbors6(&self, i: usize) -> Vec<usize> {
+    pub(crate) fn neighbors6(&self, i: usize) -> Vec<usize> {
         let (x, y, z) = self.coords(i);
         let mut out = Vec::with_capacity(6);
         if x > 0 {
@@ -103,6 +103,7 @@ impl Grid3 {
 
     /// All voxels within Euclidean `radius` of `center` (a spherical ROI
     /// seed), sorted by linear index.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn sphere(&self, center: usize, radius: f64) -> Vec<usize> {
         let (cx, cy, cz) = self.coords(center);
         let r = radius.max(0.0);
@@ -127,6 +128,7 @@ impl Grid3 {
 
 /// A connected cluster of selected voxels.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct Cluster {
     /// Member voxels, sorted.
     pub voxels: Vec<usize>,

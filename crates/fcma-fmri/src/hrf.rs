@@ -9,6 +9,7 @@
 
 /// The canonical double-gamma HRF (SPM-style parameters).
 #[derive(Debug, Clone, Copy, PartialEq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct Hrf {
     /// Time-to-peak of the positive lobe, seconds (canonical 6).
     pub peak_delay_s: f64,
@@ -104,7 +105,8 @@ impl Hrf {
 
     /// Convolve a neural time series with the HRF (causal, same length:
     /// output `t` depends on inputs `≤ t`).
-    pub fn convolve(&self, x: &[f32]) -> Vec<f32> {
+    // audit: allow(panicpath) — j ranges over take(t + 1), so x[t - j] is in bounds
+    pub(crate) fn convolve(&self, x: &[f32]) -> Vec<f32> {
         let k = self.kernel();
         let mut out = vec![0.0f32; x.len()];
         for (t, o) in out.iter_mut().enumerate() {

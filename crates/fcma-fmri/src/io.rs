@@ -18,6 +18,7 @@ const MAGIC: &[u8; 8] = b"FCMADAT1";
 
 /// Errors from reading either format.
 #[derive(Debug)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub enum IoError {
     /// Underlying I/O failure.
     Io(io::Error),
@@ -62,6 +63,7 @@ pub fn write_activity<W: Write>(w: &mut W, data: &Mat) -> Result<(), IoError> {
 }
 
 /// Read an activity matrix from `r`.
+// audit: allow(panicpath) — indexes chunks_exact(4) chunks, in-bounds by construction
 pub fn read_activity<R: Read>(r: &mut R) -> Result<Mat, IoError> {
     let mut r = BufReader::new(r);
     let mut magic = [0u8; 8];
@@ -99,6 +101,7 @@ pub fn write_epoch_table<W: Write>(w: &mut W, epochs: &[EpochSpec]) -> Result<()
 }
 
 /// Parse an epoch table from `r`.
+// audit: allow(panicpath) — toks[0..=3] guarded by the len == 4 check above each use
 pub fn read_epoch_table<R: Read>(r: &mut R) -> Result<Vec<EpochSpec>, IoError> {
     let r = BufReader::new(r);
     let mut epochs = Vec::new();

@@ -26,7 +26,8 @@ pub mod synth;
 
 pub use dataset::{Condition, Dataset, DatasetError, EpochSpec};
 pub use epoch::NormalizedEpochs;
-pub use geometry::{extract_clusters, Cluster, Grid3};
+pub use geometry::Cluster;
+pub use geometry::{extract_clusters, Grid3};
 pub use hrf::Hrf;
 pub use mask::VoxelMask;
 pub use synth::{GroundTruth, Placement, SynthConfig};

@@ -58,6 +58,7 @@ impl VoxelMask {
 
     /// Spherical mask on a grid (a crude "brain is round" mask): keep
     /// voxels within `radius` of the grid center.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn sphere(grid: &Grid3, radius: f64) -> Self {
         let center = grid.index(grid.nx / 2, grid.ny / 2, grid.nz / 2);
         VoxelMask { keep: (0..grid.len()).map(|v| grid.distance(center, v) <= radius).collect() }

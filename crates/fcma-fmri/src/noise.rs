@@ -65,7 +65,7 @@ impl Drift {
 
 /// Standard normal sample via Box–Muller (keeps us independent of
 /// `rand_distr`, which is outside the approved dependency set).
-pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+pub(crate) fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     loop {
         let u1: f32 = rng.random::<f32>();
         if u1 <= f32::MIN_POSITIVE {

@@ -11,7 +11,7 @@ use crate::synth::{Placement, SynthConfig};
 
 /// Full-scale *face-scene* shape: 34,470 voxels, 18 subjects, 216 epochs
 /// of 12 time points (12 epochs per subject).
-pub fn face_scene_full() -> SynthConfig {
+pub(crate) fn face_scene_full() -> SynthConfig {
     SynthConfig {
         n_voxels: 34_470,
         n_subjects: 18,
@@ -30,7 +30,7 @@ pub fn face_scene_full() -> SynthConfig {
 
 /// Full-scale *attention* shape: 25,260 voxels, 30 subjects, 540 epochs of
 /// 12 time points (18 epochs per subject).
-pub fn attention_full() -> SynthConfig {
+pub(crate) fn attention_full() -> SynthConfig {
     SynthConfig {
         n_voxels: 25_260,
         n_subjects: 30,

@@ -107,7 +107,7 @@ impl GroundTruth {
 
 impl SynthConfig {
     /// Time points per subject scan.
-    pub fn timepoints_per_subject(&self) -> usize {
+    pub(crate) fn timepoints_per_subject(&self) -> usize {
         self.epochs_per_subject * (self.epoch_len + self.gap)
     }
 
@@ -143,7 +143,11 @@ impl SynthConfig {
     /// The two halves of the informative network (the halves whose mutual
     /// correlation flips with condition), each sorted. Deterministic in
     /// the seed.
-    pub fn network_halves(&self) -> (Vec<usize>, Vec<usize>) {
+    ///
+    /// # Panics
+    /// If the config is invalid (odd `n_informative`, network larger than
+    /// the volume, or zero-sized dimensions).
+    pub(crate) fn network_halves(&self) -> (Vec<usize>, Vec<usize>) {
         self.validate();
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ 0xA11C_E5E1);
         let half = self.n_informative / 2;
@@ -166,7 +170,7 @@ impl SynthConfig {
                     .max_by(|&a, &b| {
                         grid.distance(c1, a).total_cmp(&grid.distance(c1, b)).then(a.cmp(&b))
                     })
-                    // audit: allow(unwrap) — range is non-empty: random_range above panics first on n_voxels == 0
+                    // audit: allow(panicpath) — range is non-empty: random_range above panics first on n_voxels == 0
                     .expect("n_voxels > 0");
                 let blob = |center: usize, exclude: &[usize]| -> Vec<usize> {
                     let mut all: Vec<usize> =
@@ -190,6 +194,7 @@ impl SynthConfig {
     /// The informative voxel set implied by this config (deterministic in
     /// the seed; regenerating is cheap). Union of the two network halves,
     /// sorted.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn informative_voxels(&self) -> Vec<usize> {
         let (h1, h2) = self.network_halves();
         let mut inf: Vec<usize> = h1.into_iter().chain(h2).collect();
@@ -198,6 +203,10 @@ impl SynthConfig {
     }
 
     /// Generate the dataset and its ground truth.
+    ///
+    /// # Panics
+    /// If the config is invalid (odd `n_informative`, network larger than
+    /// the volume, or zero-sized dimensions).
     pub fn generate(&self) -> (Dataset, GroundTruth) {
         self.validate();
         let nt = self.n_timepoints();
@@ -267,7 +276,7 @@ impl SynthConfig {
             }
         }
 
-        // audit: allow(unwrap) — epochs were generated within the bounds of the data just built
+        // audit: allow(panicpath) — epochs were generated within the bounds of the data just built
         let dataset = Dataset::new(data, epochs).expect("synthetic dataset must validate");
         (dataset, GroundTruth { informative })
     }

@@ -72,6 +72,10 @@ pub(crate) fn check_gemm_dims(
 ///
 /// Computes the full (symmetric) matrix; optimized SYRK kernels may compute
 /// one triangle and mirror it, which this oracle verifies.
+///
+/// # Panics
+/// If `lda < n`, `ldc < m`, or either buffer is shorter than the
+/// leading-dimension layout requires.
 pub fn syrk_ref(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
     assert!(lda >= n, "syrk: lda {lda} < n {n}");
     assert!(ldc >= m, "syrk: ldc {ldc} < m {m}");

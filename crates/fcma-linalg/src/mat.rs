@@ -112,6 +112,9 @@ impl Mat {
     }
 
     /// Borrow row `r` as a slice.
+    ///
+    /// # Panics
+    /// If `r >= self.rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f32] {
         assert!(r < self.rows, "Mat::row({r}) out of bounds (rows={})", self.rows);
@@ -119,6 +122,9 @@ impl Mat {
     }
 
     /// Mutably borrow row `r` as a slice.
+    ///
+    /// # Panics
+    /// If `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
         assert!(r < self.rows, "Mat::row_mut({r}) out of bounds (rows={})", self.rows);
@@ -138,11 +144,13 @@ impl Mat {
     }
 
     /// Consume into the underlying buffer.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn into_vec(self) -> Vec<f32> {
         self.data
     }
 
     /// A newly allocated transpose.
+    // audit: allow(panicpath) — indices range over self's own dims, in-bounds by construction
     pub fn transposed(&self) -> Mat {
         let mut t = Mat::zeros(self.cols, self.rows);
         for r in 0..self.rows {
@@ -157,6 +165,7 @@ impl Mat {
     ///
     /// # Panics
     /// Panics if the range exceeds the row count.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn row_block(&self, start: usize, count: usize) -> Mat {
         assert!(
             start + count <= self.rows,
@@ -179,6 +188,7 @@ impl Mat {
     }
 
     /// Frobenius norm.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn frobenius_norm(&self) -> f32 {
         self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
     }

@@ -62,6 +62,10 @@ pub fn microkernel<const MR: usize, const NR: usize>(
 
 /// Like [`microkernel`] but for an edge tile narrower than `NR` columns
 /// and/or shorter than `MR` rows. Slower; only used on matrix fringes.
+///
+/// # Panics
+/// If the packed panels or `c` are shorter than the `k`/`mr`/`nr`/`ldc`
+/// layout requires.
 #[inline]
 #[allow(clippy::too_many_arguments)] // kernel-call ABI
 pub fn microkernel_edge<const MR: usize, const NR: usize>(
@@ -100,6 +104,9 @@ pub fn microkernel_edge<const MR: usize, const NR: usize>(
 
 /// Pack an `mr × k` slab of row-major `A` (leading dimension `lda`) into
 /// the k-major panel layout, zero-padding rows `mr..MR`.
+///
+/// # Panics
+/// If `a` or `panel` is shorter than the `mr`/`k`/`lda` layout requires.
 #[inline]
 pub fn pack_a_panel<const MR: usize>(
     a: &[f32],
@@ -121,6 +128,9 @@ pub fn pack_a_panel<const MR: usize>(
 
 /// Pack a `k × nr` slab of row-major `B` (leading dimension `ldb`) into the
 /// panel layout, zero-padding columns `nr..NR`.
+///
+/// # Panics
+/// If `b` or `panel` is shorter than the `k`/`nr`/`ldb` layout requires.
 #[inline]
 pub fn pack_b_panel<const NR: usize>(
     b: &[f32],

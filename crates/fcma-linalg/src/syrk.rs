@@ -36,6 +36,10 @@ pub const PANEL_K: usize = 96;
 /// per dot product but re-streams both operand rows from memory for every
 /// `C` entry — the reuse failure mode the paper measures for MKL on this
 /// shape.
+///
+/// # Panics
+/// If `lda < n`, `ldc < m`, or either buffer is shorter than the
+/// leading-dimension layout requires.
 pub fn syrk_dot(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
     assert!(lda >= n, "syrk_dot: lda {lda} < n {n}");
     assert!(ldc >= m, "syrk_dot: ldc {ldc} < m {m}");
@@ -96,6 +100,10 @@ pub fn syrk_panel_with(
 ///
 /// `grain` panels are processed per task; the default entry point uses one
 /// task per [`PANEL_K`]-deep panel group of 8.
+///
+/// # Panics
+/// If `lda < n`, `ldc < m`, or either buffer is shorter than the
+/// leading-dimension layout requires.
 pub fn syrk_panel_parallel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
     validate(m, n, a.len(), lda, c.len(), ldc);
     if m == 0 {

@@ -282,6 +282,9 @@ pub fn corr_tile_block(
 /// Baseline stage-1 reference: per-epoch `gemm_ref` with the interleaving
 /// expressed via `ldc`, exactly how the paper's baseline drives
 /// `cblas_sgemm`. Used as the correctness oracle for the optimized kernel.
+///
+/// # Panics
+/// If `epochs` is empty or `out` is shorter than the layout requires.
 pub fn corr_reference(epochs: &[EpochPair<'_>], out: &mut [f32]) -> CorrLayout {
     assert!(!epochs.is_empty(), "corr_reference: no epochs");
     let v = epochs[0].assigned.rows();

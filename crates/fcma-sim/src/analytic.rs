@@ -42,14 +42,14 @@ pub mod params {
 
     /// VI of our packed-panel microkernels: full-width ops by
     /// construction (the paper measures exactly 16 on the Phi).
-    pub fn vi_opt_matmul(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_opt_matmul(m: &MachineConfig) -> f64 {
         m.vpu_lanes as f64
     }
 
     /// Vectorization intensity of MKL's GEMM/SYRK on tall-skinny shapes.
     /// **Calibrated**: 3.6 on the Phi (paper Table 1); on the mature AVX
     /// Xeon port MKL reaches ~80% of the 8-lane ideal.
-    pub fn vi_mkl_matmul(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_mkl_matmul(m: &MachineConfig) -> f64 {
         if m.vpu_lanes >= 16 {
             3.6
         } else {
@@ -59,31 +59,31 @@ pub mod params {
 
     /// VI of the baseline normalization. **Calibrated** to Table 1 (8.5 on
     /// the Phi); proportionally scaled on narrower machines.
-    pub fn vi_norm_baseline(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_norm_baseline(m: &MachineConfig) -> f64 {
         8.5 * m.vpu_lanes as f64 / 16.0
     }
 
     /// VI of the optimized 16-voxel-chunk normalization: full-width SIMD
     /// with a scalar transcendental tail (derived ≈ 14/16 of ideal).
-    pub fn vi_norm_opt(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_norm_opt(m: &MachineConfig) -> f64 {
         14.0 * m.vpu_lanes as f64 / 16.0
     }
 
     /// VI of LibSVM's node-walking loops. **Calibrated** to Table 8
     /// (1.9) — essentially scalar on every machine.
-    pub fn vi_libsvm(_m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_libsvm(_m: &MachineConfig) -> f64 {
         1.9
     }
 
     /// VI of the float-converted LibSVM (dense f32 but un-restructured
     /// loops; between LibSVM and PhiSVM).
-    pub fn vi_libsvm_opt(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_libsvm_opt(m: &MachineConfig) -> f64 {
         8.0 * m.vpu_lanes as f64 / 16.0
     }
 
     /// VI of PhiSVM's fused dense loops. **Calibrated** to Table 8 (9.8 on
     /// the Phi; the selection scans vectorize imperfectly).
-    pub fn vi_phisvm(m: &MachineConfig) -> f64 {
+    pub(crate) fn vi_phisvm(m: &MachineConfig) -> f64 {
         9.8 * m.vpu_lanes as f64 / 16.0
     }
 
@@ -126,7 +126,7 @@ impl CorrShape {
     }
 
     /// Output elements (the full correlation data for the task).
-    pub fn out_elems(&self) -> u64 {
+    pub(crate) fn out_elems(&self) -> u64 {
         self.v * self.n * self.m
     }
 }

@@ -52,6 +52,7 @@ impl KernelCounters {
     /// `elements` processed `width`-wide plus `scalar_tail` scalar
     /// element-operations, `mem_refs` memory instructions, and the given
     /// flops/misses.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn from_vector_profile(
         elements: u64,
         width: u64,

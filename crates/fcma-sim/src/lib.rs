@@ -28,7 +28,8 @@ pub mod timemodel;
 pub mod trace;
 
 pub use analytic::{CorrShape, NormShape, SvmImpl, SvmShape, SyrkShape};
-pub use cache::{CacheConfig, CacheSim, CacheStats};
+pub use cache::CacheStats;
+pub use cache::{CacheConfig, CacheSim};
 pub use counters::KernelCounters;
 pub use machine::{phi_5110p, xeon_e5_2670, MachineConfig};
 pub use timemodel::TimeModel;

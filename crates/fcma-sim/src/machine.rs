@@ -41,18 +41,19 @@ pub struct MachineConfig {
 
 impl MachineConfig {
     /// Total hardware threads.
-    pub fn total_threads(&self) -> usize {
+    pub(crate) fn total_threads(&self) -> usize {
         self.cores * self.threads_per_core
     }
 
     /// Aggregate instruction-issue throughput in instructions/second,
     /// modeling one (vector) instruction issued per core per cycle.
-    pub fn issue_rate(&self) -> f64 {
+    pub(crate) fn issue_rate(&self) -> f64 {
         self.cores as f64 * self.clock_ghz * 1e9
     }
 
     /// The ideal vectorization intensity (one full vector per VPU
     /// instruction).
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn ideal_vector_intensity(&self) -> f64 {
         self.vpu_lanes as f64
     }

@@ -31,6 +31,7 @@ impl Default for SolverKind {
 
 /// Outcome of a full leave-one-subject-out run.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — named only structurally outside the crate, via `loso_cross_validate`'s return value
 pub struct CvResult {
     /// Correct predictions across all folds / total held-out samples.
     pub accuracy: f64,

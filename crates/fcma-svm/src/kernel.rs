@@ -28,6 +28,7 @@ impl KernelMatrix {
     }
 
     /// Precompute via the generic library-style SYRK (baseline path).
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn precompute_baseline(data: &Mat) -> Self {
         Self::precompute_baseline_raw(data.rows(), data.cols(), data.as_slice())
     }
@@ -87,6 +88,7 @@ impl KernelMatrix {
 
     /// Diagonal entry `K[i, i]`.
     #[inline]
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn diag(&self, i: usize) -> f32 {
         self.k.get(i, i)
     }
@@ -94,6 +96,9 @@ impl KernelMatrix {
     /// Extract the dense sub-kernel over `idx × idx` (one CV fold's
     /// training block). Contiguous output keeps the SMO hot loops
     /// vectorizable.
+    ///
+    /// # Panics
+    /// If any index in `idx` is out of range for the kernel.
     pub fn sub_kernel(&self, idx: &[usize]) -> Mat {
         let l = idx.len();
         let mut out = Mat::zeros(l, l);
@@ -108,6 +113,7 @@ impl KernelMatrix {
     }
 
     /// Underlying matrix (for inspection / serialization).
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn as_mat(&self) -> &Mat {
         &self.k
     }

@@ -32,9 +32,12 @@ pub mod smo;
 
 pub use cv::{loso_cross_validate, CvResult, SolverKind};
 pub use kernel::KernelMatrix;
-pub use model::{SvmModel, WssStats};
-pub use persist::{load_model, save_model, PersistError};
-pub use phisvm::{train_optimized_libsvm, train_phisvm};
+pub use model::SvmModel;
+pub use model::WssStats;
+pub use persist::PersistError;
+pub use persist::{load_model, save_model};
+pub use phisvm::train_phisvm;
 pub use probability::PlattScaling;
-pub use reference::{LibSvmParams, LibSvmResult};
+pub use reference::LibSvmParams;
+pub use reference::LibSvmResult;
 pub use smo::{SmoParams, WssMode};

@@ -5,6 +5,7 @@ use crate::kernel::KernelMatrix;
 /// Which working-set-selection heuristic trained the model (PhiSVM's
 /// adaptive mode records how many iterations each heuristic ran).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct WssStats {
     /// Iterations using the first-order (maximal-violating-pair) rule.
     pub first_order_iters: usize,
@@ -41,6 +42,9 @@ impl SvmModel {
     }
 
     /// Decision value for global sample `x` of `kernel`.
+    ///
+    /// # Panics
+    /// If `x` or any training index is out of range for `kernel`.
     pub fn decision(&self, kernel: &KernelMatrix, x: usize) -> f32 {
         let row = kernel.row(x);
         let mut s = 0.0f32;
@@ -51,7 +55,7 @@ impl SvmModel {
     }
 
     /// Predicted label sign (`+1` / `−1`) for global sample `x`.
-    pub fn predict(&self, kernel: &KernelMatrix, x: usize) -> f32 {
+    pub(crate) fn predict(&self, kernel: &KernelMatrix, x: usize) -> f32 {
         if self.decision(kernel, x) >= 0.0 {
             1.0
         } else {

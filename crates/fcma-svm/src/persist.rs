@@ -13,6 +13,7 @@ const MAGIC: &[u8; 8] = b"FCMASVM1";
 
 /// Persistence errors.
 #[derive(Debug)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub enum PersistError {
     /// Underlying I/O failure.
     Io(io::Error),

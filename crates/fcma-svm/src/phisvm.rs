@@ -28,7 +28,7 @@ pub fn train_phisvm(
 
 /// Train the "optimized LibSVM" variant: identical machinery with the
 /// working-set heuristic pinned to LibSVM's second-order rule.
-pub fn train_optimized_libsvm(
+pub(crate) fn train_optimized_libsvm(
     kernel: &KernelMatrix,
     idx: &[usize],
     y: &[f32],

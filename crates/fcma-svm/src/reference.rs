@@ -51,6 +51,7 @@ impl Default for LibSvmParams {
 
 /// Result of a replica solve.
 #[derive(Debug, Clone)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct LibSvmResult {
     /// Dual variables (double precision, as in LibSVM).
     pub alpha: Vec<f64>,
@@ -89,7 +90,7 @@ impl RowCache {
             }
             self.entries.push((i, make()));
         }
-        // audit: allow(unwrap) — an entry was pushed on both branches above
+        // audit: allow(panicpath) — an entry was pushed on both branches above
         &self.entries.last().expect("just pushed").1
     }
 }
@@ -290,6 +291,9 @@ fn calculate_rho(y: &[f64], alpha: &[f64], g: &[f64], c: f64) -> f64 {
 
 /// Decision value for global kernel sample `x` under a replica model
 /// trained on `idx`/`y`.
+///
+/// # Panics
+/// If `x` or any index in `idx` is out of range for `kernel`.
 pub fn decision(
     kernel: &KernelMatrix,
     result: &LibSvmResult,

@@ -127,6 +127,7 @@ fn ns_since(epoch: Instant, t: Instant) -> u64 {
 /// An open span; completing (dropping) it records the span. Produced by
 /// [`crate::span!`] / [`start_span`].
 #[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
+// audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
 pub struct SpanGuard(Option<ActiveSpan>);
 
 struct ActiveSpan {
@@ -140,6 +141,7 @@ struct ActiveSpan {
 
 impl SpanGuard {
     /// The guard produced when no collector is installed: does nothing.
+    // audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
     pub fn disabled() -> Self {
         SpanGuard(None)
     }
@@ -182,6 +184,7 @@ impl Drop for SpanGuard {
 
 /// Open a span. Prefer the [`crate::span!`] macro, which skips attribute
 /// construction entirely when no collector is installed.
+// audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
 pub fn start_span(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> SpanGuard {
     let active = with_tls(|_, buf, stack| {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
@@ -194,6 +197,7 @@ pub fn start_span(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> 
 
 /// Record an instant event (zero duration, `ph:"i"` in Chrome traces).
 /// Prefer the [`crate::event!`] macro.
+// audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
 pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
     with_tls(|_, buf, stack| {
         let record = SpanRecord {
@@ -235,6 +239,7 @@ pub fn record_span_since(
 /// Trait bound for [`add_counter`] deltas, so call sites can pass the
 /// `usize` quantities the pipeline naturally produces without lossy
 /// casts in kernel crates.
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub trait IntoCount {
     /// Convert to the counter delta.
     fn into_count(self) -> u64;
@@ -268,6 +273,7 @@ pub fn add_counter(name: &'static str, delta: impl IntoCount) {
 
 /// Record `value` into the named histogram. Prefer the
 /// [`crate::histogram!`] macro.
+// audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
 pub fn record_value(name: &'static str, value: f64) {
     with_tls(|inner, _, _| {
         lock(&inner.histograms).entry(name).or_default().record(value);
@@ -303,7 +309,7 @@ impl Collector {
 
     /// Install this collector as the process-global sink, replacing any
     /// previous one.
-    pub fn install(&self) {
+    pub(crate) fn install(&self) {
         let mut global = lock(&GLOBAL);
         *global = Some(Arc::clone(&self.inner));
         GENERATION.fetch_add(1, Ordering::Release);
@@ -312,7 +318,7 @@ impl Collector {
 
     /// Uninstall this collector if it is the installed one. Returns
     /// whether it was.
-    pub fn uninstall(&self) -> bool {
+    pub(crate) fn uninstall(&self) -> bool {
         let mut global = lock(&GLOBAL);
         let installed = global.as_ref().is_some_and(|g| Arc::ptr_eq(g, &self.inner));
         if installed {
@@ -352,6 +358,7 @@ impl Collector {
 }
 
 /// RAII guard from [`Collector::install_scoped`].
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct ScopedCollector<'a> {
     collector: &'a Collector,
     _scope: MutexGuard<'static, ()>,

@@ -42,6 +42,7 @@ fn push_attr_value(out: &mut String, v: &AttrValue) {
 }
 
 /// Serialize a report as Chrome trace JSON (object format).
+// audit: allow(panicpath) — buckets[..last] bounded by rposition, in-bounds by construction
 pub fn to_chrome_json(report: &TraceReport) -> String {
     let mut out = String::with_capacity(4096 + report.spans.len() * 160);
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
@@ -118,7 +119,7 @@ fn attr_from_value(v: &Value) -> AttrValue {
             if n.fract() == 0.0 && *n >= 0.0 {
                 AttrValue::U64(v.as_u64().unwrap_or(0))
             } else if n.fract() == 0.0 && *n >= -9_007_199_254_740_992.0 {
-                // audit: allow(cast) — guarded: integral f64 within i64 range
+                // cast is exact here: guarded: integral f64 within i64 range
                 AttrValue::I64(*n as i64)
             } else {
                 AttrValue::F64(*n)
@@ -132,12 +133,12 @@ fn attr_from_value(v: &Value) -> AttrValue {
 fn ns_of(v: Option<&Value>) -> u64 {
     // Timestamps are decimal microseconds; convert back to integer ns.
     let us = v.and_then(Value::as_f64).unwrap_or(0.0);
-    // audit: allow(cast) — guarded below by max(0) semantics
+    // cast is exact here: guarded below by max(0) semantics
     let ns = (us * 1_000.0).round();
     if ns <= 0.0 {
         0
     } else {
-        // audit: allow(cast) — non-negative after the guard above
+        // cast is exact here: non-negative after the guard above
         ns as u64
     }
 }
@@ -148,6 +149,7 @@ fn ns_of(v: Option<&Value>) -> u64 {
 /// # Errors
 /// Returns a description of the first structural problem: invalid JSON,
 /// missing `traceEvents`, or malformed event members.
+// audit: allow(panicpath) — bucket writes bounded by take(HISTOGRAM_BUCKETS)
 pub fn from_chrome_json(input: &str) -> Result<TraceReport, String> {
     let doc = json::parse(input)?;
     let events = doc
@@ -243,7 +245,7 @@ pub fn to_prometheus_text(report: &TraceReport) -> String {
         }
         let _ = writeln!(out, "# TYPE fcma_span_duration_seconds_total counter");
         for row in &aggregates {
-            // audit: allow(cast) — ns tally to seconds for display
+            // cast is exact here: ns tally to seconds for display
             let secs = row.total_ns as f64 / 1e9;
             let _ =
                 writeln!(out, "fcma_span_duration_seconds_total{{span=\"{}\"}} {secs}", row.name);

@@ -30,7 +30,7 @@ pub enum Value {
 
 impl Value {
     /// The object map, if this is an object.
-    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+    pub(crate) fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Object(m) => Some(m),
             _ => None,
@@ -38,7 +38,7 @@ impl Value {
     }
 
     /// The array items, if this is an array.
-    pub fn as_array(&self) -> Option<&[Value]> {
+    pub(crate) fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Array(v) => Some(v),
             _ => None,
@@ -54,7 +54,7 @@ impl Value {
     }
 
     /// The number, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
+    pub(crate) fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Number(n) => Some(*n),
             _ => None,
@@ -62,10 +62,10 @@ impl Value {
     }
 
     /// The number as u64, if this is a non-negative integral number.
-    pub fn as_u64(&self) -> Option<u64> {
+    pub(crate) fn as_u64(&self) -> Option<u64> {
         match self {
             Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => {
-                // audit: allow(cast) — guarded: non-negative integral f64
+                // cast is exact here: guarded: non-negative integral f64
                 Some(*n as u64)
             }
             _ => None,
@@ -93,12 +93,14 @@ pub fn parse(input: &str) -> Result<Value, String> {
     Ok(value)
 }
 
+// audit: allow(panicpath) — `bytes[*pos]` is guarded by `*pos < bytes.len()` in the loop condition
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
     while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
         *pos += 1;
     }
 }
 
+// audit: allow(panicpath) — descent helpers bounds-guard every byte index; syntax errors are Err, not panics
 fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
@@ -251,7 +253,7 @@ fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
 }
 
 /// Append `s` to `out` as a JSON string literal (with quotes).
-pub fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

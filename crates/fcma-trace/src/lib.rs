@@ -49,9 +49,11 @@ mod report;
 
 pub use collector::{
     add_counter, instant, is_enabled, record_span_since, record_value, start_span, Collector,
-    IntoCount, ScopedCollector, SpanGuard,
+    SpanGuard,
 };
-pub use report::{AttrValue, Histogram, SpanAggregate, SpanRecord, TraceReport, HISTOGRAM_BUCKETS};
+pub use collector::{IntoCount, ScopedCollector};
+pub use report::{AttrValue, HISTOGRAM_BUCKETS};
+pub use report::{Histogram, SpanRecord, TraceReport};
 
 /// Open a hierarchical span; it records its wall time when the returned
 /// guard drops. Attributes are `key = value` pairs, where values are

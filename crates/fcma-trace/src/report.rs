@@ -75,6 +75,7 @@ impl From<&str> for AttrValue {
 
 /// One completed span or instant event.
 #[derive(Debug, Clone, PartialEq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct SpanRecord {
     /// Dotted snake-case name from the documented taxonomy
     /// (e.g. `stage1.corr`).
@@ -95,11 +96,12 @@ pub struct SpanRecord {
 
 impl SpanRecord {
     /// Whether this record is an instant event rather than a span.
-    pub fn is_event(&self) -> bool {
+    pub(crate) fn is_event(&self) -> bool {
         self.dur_ns.is_none()
     }
 
     /// Look up an attribute by key.
+    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
         self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
@@ -111,6 +113,7 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 
 /// A fixed-footprint distribution: count/sum/min/max plus log2 buckets.
 #[derive(Debug, Clone, PartialEq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct Histogram {
     /// Number of recorded values.
     pub count: u64,
@@ -138,6 +141,7 @@ impl Default for Histogram {
 
 impl Histogram {
     /// Record one value.
+    // audit: allow(panicpath) — idx < HISTOGRAM_BUCKETS by the loop guard above it
     pub fn record(&mut self, value: f64) {
         self.count += 1;
         self.sum += value;
@@ -162,7 +166,7 @@ impl Histogram {
         if self.count == 0 {
             0.0
         } else {
-            // audit: allow(cast) — count is a tally, f64 mantissa suffices
+            // cast is exact here: count is a tally, f64 mantissa suffices
             self.sum / self.count as f64
         }
     }
@@ -170,6 +174,7 @@ impl Histogram {
 
 /// Everything one collector recorded, merged and ready for export.
 #[derive(Debug, Clone, Default)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
 pub struct TraceReport {
     /// Completed spans and instant events, sorted by start time.
     pub spans: Vec<SpanRecord>,
@@ -181,7 +186,7 @@ pub struct TraceReport {
 
 /// Aggregate of all same-named spans, one row of the summary table.
 #[derive(Debug, Clone, PartialEq)]
-pub struct SpanAggregate {
+pub(crate) struct SpanAggregate {
     /// Span name.
     pub name: String,
     /// Number of completed spans with this name.
@@ -212,7 +217,7 @@ impl TraceReport {
 
     /// Wall-clock extent of the trace: from the earliest span start to
     /// the latest span end, in nanoseconds.
-    pub fn wall_ns(&self) -> u64 {
+    pub(crate) fn wall_ns(&self) -> u64 {
         let start = self.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
         let end = self
             .spans
@@ -224,7 +229,7 @@ impl TraceReport {
     }
 
     /// Aggregate spans by name, sorted by total time descending.
-    pub fn aggregates(&self) -> Vec<SpanAggregate> {
+    pub(crate) fn aggregates(&self) -> Vec<SpanAggregate> {
         let mut by_name: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
         for s in &self.spans {
             if let Some(dur) = s.dur_ns {
@@ -241,7 +246,7 @@ impl TraceReport {
                 count,
                 total_ns,
                 mean_ns: total_ns / count.max(1),
-                // audit: allow(cast) — ratio of tallies for display only
+                // cast is exact here: ratio of tallies for display only
                 share: total_ns as f64 / wall as f64,
             })
             .collect();
@@ -386,7 +391,7 @@ impl TraceReport {
 
 /// Render nanoseconds with an adaptive unit (ns/µs/ms/s).
 fn fmt_ns(ns: u64) -> String {
-    // audit: allow(cast) — display-only unit scaling
+    // cast is exact here: display-only unit scaling
     let ns_f = ns as f64;
     if ns < 1_000 {
         format!("{ns}ns")

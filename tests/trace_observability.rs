@@ -121,7 +121,7 @@ fn chaos_counters_match_a_seeded_fault_plan() {
     assert!(expected_panics > 0, "seed must inject at least one panic");
 
     // Every panic permanently kills one worker; keep two spares.
-    // audit: allow(cast) — expected_panics is a handful of tasks
+    // cast is exact here: expected_panics is a handful of tasks
     let n_workers = expected_panics as usize + 2;
     let cfg = ClusterConfig { n_workers, task_size, retry_budget: 3, ..Default::default() };
 
