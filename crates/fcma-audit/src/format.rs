@@ -85,6 +85,12 @@ mod tests {
                 pass: "protocol",
                 message: "table lists `FromWorker::Gone\u{2014}with \"quotes\"`".to_owned(),
             },
+            Violation {
+                file: "crates/fcma-cluster/src/driver.rs".to_owned(),
+                line: 9,
+                pass: "syncfacade",
+                message: "`std::sync::Mutex` bypasses the fcma-sync facade".to_owned(),
+            },
         ]
     }
 
@@ -93,7 +99,9 @@ mod tests {
         let got = render(&sample(), Format::Human);
         let want = "crates/fcma-linalg/src/mat.rs:27: panicpath: pub fn `zeros` can panic \
                     (`panic!` at mat.rs:27)\n\
-                    DESIGN.md:1: protocol: table lists `FromWorker::Gone\u{2014}with \"quotes\"`\n";
+                    DESIGN.md:1: protocol: table lists `FromWorker::Gone\u{2014}with \"quotes\"`\n\
+                    crates/fcma-cluster/src/driver.rs:9: syncfacade: `std::sync::Mutex` \
+                    bypasses the fcma-sync facade\n";
         assert_eq!(got, want);
     }
 
@@ -104,7 +112,10 @@ mod tests {
             "{\"file\":\"crates/fcma-linalg/src/mat.rs\",\"line\":27,\"pass\":\"panicpath\",\
                     \"message\":\"pub fn `zeros` can panic (`panic!` at mat.rs:27)\"}\n\
                     {\"file\":\"DESIGN.md\",\"line\":1,\"pass\":\"protocol\",\
-                    \"message\":\"table lists `FromWorker::Gone\u{2014}with \\\"quotes\\\"`\"}\n";
+                    \"message\":\"table lists `FromWorker::Gone\u{2014}with \\\"quotes\\\"`\"}\n\
+                    {\"file\":\"crates/fcma-cluster/src/driver.rs\",\"line\":9,\
+                    \"pass\":\"syncfacade\",\"message\":\"`std::sync::Mutex` bypasses the \
+                    fcma-sync facade\"}\n";
         assert_eq!(got, want);
     }
 

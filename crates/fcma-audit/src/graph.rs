@@ -153,7 +153,7 @@ pub struct ProtocolEntry {
     pub fields: Vec<String>,
 }
 
-/// The machine-readable architecture contracts from DESIGN.md §12.
+/// The machine-readable architecture contracts from DESIGN.md §12–§13.
 #[derive(Debug, Clone, Default)]
 pub struct Contracts {
     /// Allowed direct `fcma-*` dependencies per crate; `None` when the
@@ -161,6 +161,11 @@ pub struct Contracts {
     pub layering: Option<BTreeMap<String, BTreeSet<String>>>,
     /// Protocol table entries; `None` when the table is absent.
     pub protocol: Option<Vec<ProtocolEntry>>,
+    /// Declared lock-acquisition order from the §13 "Lock order" table:
+    /// lock names in rank order (a thread holding a lock may only
+    /// acquire locks of strictly higher rank). `None` when the table is
+    /// absent.
+    pub lock_order: Option<Vec<String>>,
 }
 
 /// Extract backtick-quoted tokens from a markdown table cell.
@@ -182,26 +187,46 @@ fn backticked(cell: &str) -> Vec<String> {
 }
 
 impl Contracts {
-    /// Parse the `## 12. Architecture contracts` section of DESIGN.md.
+    /// Parse the `## 12. Architecture contracts` section of DESIGN.md,
+    /// plus the §13 "Lock order" table.
     ///
-    /// Table rows are classified by their first backticked token: a
+    /// §12 table rows are classified by their first backticked token: a
     /// token containing `::` is a protocol row (`Enum::Variant`), a
     /// `fcma-*` token is a layering row. Header and separator rows have
-    /// no backticked first cell and are skipped.
+    /// no backticked first cell and are skipped. The lock-order table is
+    /// every table row between a heading containing "Lock order" and the
+    /// next heading; each row's first backticked token is a lock name,
+    /// ranked by row order.
     pub fn from_design_md(text: &str) -> Contracts {
         let mut in_section = false;
+        let mut in_lock_order = false;
         let mut layering: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut protocol: Vec<ProtocolEntry> = Vec::new();
+        let mut lock_order: Vec<String> = Vec::new();
         for line in text.lines() {
-            if line.starts_with("## ") {
-                in_section = line.contains("Architecture contracts");
+            if line.starts_with('#') {
+                in_lock_order = line.contains("Lock order");
+                if line.starts_with("## ") {
+                    in_section = line.contains("Architecture contracts");
+                }
                 continue;
             }
-            if !in_section || !line.trim_start().starts_with('|') {
+            if !line.trim_start().starts_with('|') {
                 continue;
             }
             let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
             if cells.len() < 2 {
+                continue;
+            }
+            if in_lock_order {
+                // First backticked token anywhere in the row names the
+                // lock (the leading cell is typically the rank number).
+                if let Some(name) = cells.iter().find_map(|c| backticked(c).into_iter().next()) {
+                    lock_order.push(name);
+                }
+                continue;
+            }
+            if !in_section {
                 continue;
             }
             let first = backticked(cells[0]);
@@ -225,6 +250,7 @@ impl Contracts {
         Contracts {
             layering: (!layering.is_empty()).then_some(layering),
             protocol: (!protocol.is_empty()).then_some(protocol),
+            lock_order: (!lock_order.is_empty()).then_some(lock_order),
         }
     }
 }
@@ -247,6 +273,9 @@ pub struct CallGraph {
     pub nodes: Vec<FnNode>,
     /// Reverse edges: `callers[i]` = node indices that call node `i`.
     pub callers: Vec<Vec<usize>>,
+    /// Forward edges with evidence: `callees[i]` = `(callee node,
+    /// 0-based call line)` for every resolved call site in node `i`.
+    pub callees: Vec<Vec<(usize, usize)>>,
 }
 
 /// A panic-reachability verdict for one node: why it can panic.
@@ -291,6 +320,7 @@ impl CallGraph {
         };
 
         let mut callers: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut callees: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nodes.len()];
         for (i, node) in nodes.iter().enumerate() {
             let f = &files[node.file].1.fns[node.idx];
             for call in &f.calls {
@@ -304,11 +334,12 @@ impl CallGraph {
                 for &j in candidates {
                     if i != j && sees(node, &nodes[j]) {
                         callers[j].push(i);
+                        callees[i].push((j, call.line));
                     }
                 }
             }
         }
-        CallGraph { nodes, callers }
+        CallGraph { nodes, callers, callees }
     }
 
     /// Propagate panic reachability. `direct[i]` is `Some(why)` when
@@ -426,6 +457,24 @@ Blah.
         let c = Contracts::from_design_md("## 11. Observability\n\n| `a.b` |\n");
         assert!(c.layering.is_none());
         assert!(c.protocol.is_none());
+        assert!(c.lock_order.is_none());
+    }
+
+    #[test]
+    fn contracts_parse_lock_order_table_in_rank_order() {
+        let md = "## 13. Concurrency model\n\nProse.\n\n### Lock order\n\n\
+                  | Rank | Lock | Protects |\n|---|---|---|\n\
+                  | 1 | `shared` | the C matrix |\n\
+                  | 2 | `attempts` | chaos counters |\n\n\
+                  ### After\n\n| `not_a_lock` | x |\n";
+        let c = Contracts::from_design_md(md);
+        assert_eq!(c.lock_order.unwrap(), vec!["shared", "attempts"]);
+        // The §12 tables are unaffected by the §13 parse.
+        let both = format!("{DESIGN}\n{md}");
+        let c2 = Contracts::from_design_md(&both);
+        assert!(c2.layering.is_some());
+        assert!(c2.protocol.is_some());
+        assert_eq!(c2.lock_order.unwrap().len(), 2);
     }
 
     fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {

@@ -107,6 +107,12 @@ passes:
   protocol     ToWorker/FromWorker variants ↔ driver match arms ↔ the
                DESIGN.md §Architecture contracts protocol table
   deadpub      no workspace-pub item without cross-crate references
+  syncfacade   no raw std::sync/std::thread/crossbeam_channel/parking_lot
+               outside the fcma-sync facade (Arc/Weak stay allowed)
+  lockorder    every .lock() receiver declared in DESIGN.md §13 and
+               acquired in strictly increasing rank (call-graph transitive)
+  blockinlock  no channel recv / file I/O reachable while a facade lock
+               is held
   unusedallow  every allow marker must suppress something
 
 escape markers (same line or the line above; reason mandatory):
@@ -114,4 +120,7 @@ escape markers (same line or the line above; reason mandatory):
   // audit: allow(proptest) — <reason>
   // audit: allow(tracename) — <reason>
   // audit: allow(panicpath) — <reason>
-  // audit: allow(deadpub) — <reason>";
+  // audit: allow(deadpub) — <reason>
+  // audit: allow(syncfacade) — <reason>
+  // audit: allow(lockorder) — <reason>
+  // audit: allow(blockinlock) — <reason>";

@@ -12,6 +12,9 @@
 //! | `panicpath`   | call-graph panic reachability of sweep-crate `pub fn`s | `# Panics` docs or allow marker |
 //! | `protocol`    | ToWorker/FromWorker ↔ driver match arms ↔ DESIGN.md §12 table | none |
 //! | `deadpub`     | sweep-crate `pub` items with no cross-crate references | allow marker |
+//! | `syncfacade`  | no raw `std::sync`/`std::thread`/vendor sync primitives outside fcma-sync | allow marker |
+//! | `lockorder`   | `.lock()` receivers declared in DESIGN.md §13, acquired in rank order | allow marker |
+//! | `blockinlock` | no channel recv / file I/O reachable while a facade lock is held | allow marker |
 //! | `unusedallow` | every allow marker must suppress something | none |
 //!
 //! Allow markers are comments of the form
@@ -20,7 +23,7 @@
 //! last and flags any marker no other pass consumed.
 
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::graph::{CallGraph, Contracts, CrateGraph};
 use crate::parser::{self, ParsedFile, TypeKind, Vis};
@@ -37,8 +40,14 @@ const PROPTEST_CRATE: &str = "fcma-linalg";
 const TRACE_CRATE: &str = "fcma-trace";
 
 /// Call-site prefixes whose first string literal is a trace name.
-const TRACE_SITES: &[&str] =
-    &["span!(", "event!(", "counter!(", "histogram!(", "record_span_since("];
+const TRACE_SITES: &[&str] = &[
+    "span!(",
+    "event!(",
+    "counter!(",
+    "histogram!(",
+    "record_span_since(",
+    "record_span_elapsed(",
+];
 
 /// Where the cluster protocol enums live.
 const PROTOCOL_FILE: &str = "crates/fcma-cluster/src/protocol.rs";
@@ -48,13 +57,35 @@ const DRIVER_FILE: &str = "crates/fcma-cluster/src/driver.rs";
 
 /// Crates whose code never runs inside a sweep, exempt from the
 /// `panicpath` and `deadpub` passes: `fcma-audit` is this CI tool
-/// itself and `fcma-bench` is a measurement harness, so a panic or an
-/// unused `pub` item there cannot take down a worker. Every other
-/// library crate — including any future one — is in scope by default.
-const EXEMPT_CRATES: &[&str] = &["fcma-audit", "fcma-bench"];
+/// itself, `fcma-bench` is a measurement harness, and `fcma-mc` is the
+/// model-checking harness (its asserts *should* abort the checker), so
+/// a panic or an unused `pub` item there cannot take down a worker.
+/// Every other library crate — including any future one — is in scope
+/// by default.
+const EXEMPT_CRATES: &[&str] = &["fcma-audit", "fcma-bench", "fcma-mc"];
 
 /// The package name of the workspace root crate.
 const ROOT_CRATE: &str = "fcma";
+
+/// Crates exempt from the concurrency-facade passes (`syncfacade`,
+/// `lockorder`, `blockinlock`): `fcma-sync` *is* the facade, `fcma-mc`
+/// is the model checker driving it, `fcma-trace` is the observational
+/// substrate below it (its internal registry mutex must keep working
+/// while the facade is in model mode), and the tool/bench crates never
+/// run inside a sweep.
+const SYNC_EXEMPT_CRATES: &[&str] =
+    &["fcma-sync", "fcma-mc", "fcma-trace", "fcma-audit", "fcma-bench"];
+
+/// `std::sync` items forbidden outside the facade. `Arc`/`Weak` stay
+/// allowed — they are shared ownership, not synchronization, and the
+/// model checker does not need to interpose on them.
+const FORBIDDEN_STD_SYNC: &[&str] =
+    &["Mutex", "RwLock", "Condvar", "Barrier", "Once", "OnceLock", "LazyLock", "mpsc", "atomic"];
+
+/// Call names that can block the calling thread — channel receives and
+/// file I/O — and are therefore forbidden while a facade lock is held.
+const BLOCKING_CALLS: &[&str] =
+    &["recv", "recv_timeout", "read_to_string", "write_all", "flush", "sync_all"];
 
 /// Every pass name an allow marker may reference.
 const PASS_NAMES: &[&str] = &[
@@ -67,11 +98,23 @@ const PASS_NAMES: &[&str] = &[
     "panicpath",
     "protocol",
     "deadpub",
+    "syncfacade",
+    "lockorder",
+    "blockinlock",
     "unusedallow",
 ];
 
 /// Passes that honor allow markers at all.
-const ESCAPABLE_PASSES: &[&str] = &["cast", "proptest", "tracename", "panicpath", "deadpub"];
+const ESCAPABLE_PASSES: &[&str] = &[
+    "cast",
+    "proptest",
+    "tracename",
+    "panicpath",
+    "deadpub",
+    "syncfacade",
+    "lockorder",
+    "blockinlock",
+];
 
 /// One diagnostic. Lines are 1-based for display.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,6 +203,9 @@ impl Workspace {
         v.extend(check_panicpath(self));
         v.extend(check_protocol(self));
         v.extend(check_deadpub(self));
+        v.extend(check_syncfacade(self));
+        v.extend(check_lockorder(self));
+        v.extend(check_blockinlock(self));
         // Must run last: it inventories markers the passes above consumed.
         v.extend(check_unused_allow(self));
         v.sort_by(|a, b| (&a.file, a.line, a.pass).cmp(&(&b.file, b.line, b.pass)));
@@ -812,6 +858,384 @@ pub fn check_deadpub(ws: &Workspace) -> Vec<Violation> {
     out
 }
 
+/// Pass: no raw synchronization primitive outside the fcma-sync facade.
+///
+/// The model checker (`fcma-mc`) can only explore interleavings that
+/// route through `fcma_sync`'s choice points; a raw `std::sync::Mutex`,
+/// `std::thread::spawn`, `crossbeam_channel`, or `parking_lot` lock in
+/// scheduler-adjacent code is invisible to it and silently shrinks the
+/// verified state space. `std::sync::Arc`/`Weak` stay allowed (shared
+/// ownership, not synchronization). Kernel-local uses with a bounded
+/// critical section can justify themselves with
+/// `// audit: allow(syncfacade) — <reason>`.
+pub fn check_syncfacade(ws: &Workspace) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !matches!(f.role, Role::Lib | Role::Bin)
+            || SYNC_EXEMPT_CRATES.contains(&ws.crate_key(fi))
+        {
+            continue;
+        }
+        let flag = |line: usize, what: &str, instead: &str, out: &mut Vec<Violation>| {
+            if f.in_test_span(line) || ws.allowed(fi, "syncfacade", line) {
+                return;
+            }
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: line + 1,
+                pass: "syncfacade",
+                message: format!(
+                    "`{what}` bypasses the fcma-sync facade (invisible to the model \
+                     checker); use {instead} or add `// audit: allow(syncfacade) — <reason>`"
+                ),
+            });
+        };
+        for (lno, code) in f.scan.code_lines.iter().enumerate() {
+            if !site_starts_word(code, "crossbeam_channel").is_empty() {
+                flag(lno, "crossbeam_channel", "`fcma_sync::channel`", &mut out);
+            }
+            if !site_starts_word(code, "parking_lot").is_empty() {
+                flag(lno, "parking_lot", "`fcma_sync::Mutex`", &mut out);
+            }
+            if !site_starts_word(code, "std::thread").is_empty() {
+                flag(lno, "std::thread", "`fcma_sync::thread`", &mut out);
+            }
+            for col in site_starts(code, "std::sync::") {
+                let after = col + "std::sync::".len();
+                for item in std_sync_items(&f.scan.code_lines, lno, after) {
+                    if FORBIDDEN_STD_SYNC.contains(&item.as_str()) {
+                        flag(
+                            lno,
+                            &format!("std::sync::{item}"),
+                            "the `fcma_sync` equivalent",
+                            &mut out,
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The item names referenced by a `std::sync::` path starting at char
+/// `from` on line `lno`: the single following identifier, or for a
+/// grouped import (`std::sync::{Arc, Mutex}`) every top-level ident in
+/// the braces, following continuation lines until the group closes.
+fn std_sync_items(code_lines: &[String], lno: usize, from: usize) -> Vec<String> {
+    let mut items = Vec::new();
+    let first: Vec<char> = code_lines[lno].chars().collect();
+    if first.get(from) != Some(&'{') {
+        let mut name = String::new();
+        let mut i = from;
+        while i < first.len() && (first[i].is_alphanumeric() || first[i] == '_') {
+            name.push(first[i]);
+            i += 1;
+        }
+        if !name.is_empty() {
+            items.push(name);
+        }
+        return items;
+    }
+    // Grouped import: collect the first ident of each `,`-separated
+    // entry at brace depth 1 (so `atomic::AtomicBool` yields `atomic`).
+    let mut depth = 0i32;
+    let mut expecting = true;
+    for (idx, raw) in code_lines.iter().enumerate().skip(lno) {
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = if idx == lno { from } else { 0 };
+        while i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    depth += 1;
+                    i += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return items;
+                    }
+                    i += 1;
+                }
+                ',' => {
+                    if depth == 1 {
+                        expecting = true;
+                    }
+                    i += 1;
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut name = String::new();
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        name.push(chars[i]);
+                        i += 1;
+                    }
+                    if depth == 1 && expecting {
+                        items.push(name);
+                        expecting = false;
+                    }
+                }
+                _ => i += 1,
+            }
+        }
+    }
+    items
+}
+
+/// One direct lock-acquisition site in an in-scope function.
+struct LockSite {
+    /// Receiver ident of the `.lock()` call, if resolvable.
+    recv: Option<String>,
+    /// 0-based line.
+    line: usize,
+}
+
+/// Shared scaffolding for the two lock-graph passes: the in-scope call
+/// graph (library code of non-exempt crates, tests excluded) plus each
+/// node's unsuppressed `.lock()` sites for `pass`.
+fn lock_graph(ws: &Workspace, pass: &str) -> (CallGraph, Vec<Vec<LockSite>>) {
+    let files: Vec<(String, &ParsedFile)> = ws
+        .files
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| {
+            let key = if f.role == Role::Lib { ws.crate_key(fi).to_owned() } else { String::new() };
+            (key, &ws.parsed[fi])
+        })
+        .collect();
+    let include = |file: usize, idx: usize| {
+        let f = &ws.files[file];
+        f.role == Role::Lib
+            && !SYNC_EXEMPT_CRATES.contains(&ws.crate_key(file))
+            && !f.in_test_span(ws.parsed[file].fns[idx].line)
+    };
+    let mut visible: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for m in &ws.crates.crates {
+        visible.insert(m.name.clone(), ws.crates.closure(&m.name));
+    }
+    let graph = CallGraph::build(&files, &include, &visible);
+
+    let sites: Vec<Vec<LockSite>> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            ws.parsed[n.file].fns[n.idx]
+                .calls
+                .iter()
+                .filter(|c| c.name == "lock" && c.method)
+                .filter(|c| !ws.allowed(n.file, pass, c.line))
+                .map(|c| LockSite { recv: c.recv.clone(), line: c.line })
+                .collect()
+        })
+        .collect();
+    (graph, sites)
+}
+
+/// Pass: every `.lock()` receiver is declared in the DESIGN.md §13
+/// lock-order table, and locks are acquired in strictly increasing rank.
+///
+/// Two-level check over the in-scope call graph: within one function, a
+/// lock site that follows another must target a strictly higher-ranked
+/// lock (the conservative assumption is that the earlier guard is still
+/// held); across functions, a call placed after a lock site must not
+/// reach — transitively — an acquisition of an equal- or lower-ranked
+/// lock. Either direction of a rank inversion is a potential ABBA
+/// deadlock the model checker can only find if the schedule happens to
+/// interleave both paths; this pass rejects the pattern statically.
+/// Scoped guards that provably drop early can justify themselves with
+/// `// audit: allow(lockorder) — <reason>` on the acquisition line.
+pub fn check_lockorder(ws: &Workspace) -> Vec<Violation> {
+    let Some(order) = &ws.contracts.lock_order else {
+        return Vec::new();
+    };
+    let rank: BTreeMap<&str, usize> =
+        order.iter().enumerate().map(|(i, n)| (n.as_str(), i)).collect();
+    let (graph, sites) = lock_graph(ws, "lockorder");
+
+    // Transitive lock sets: which declared locks can each node acquire,
+    // directly or through calls.
+    let mut acquires: Vec<BTreeSet<String>> = sites
+        .iter()
+        .map(|s| s.iter().filter_map(|l| l.recv.clone()).collect::<BTreeSet<_>>())
+        .collect();
+    let mut queue: VecDeque<usize> =
+        (0..graph.nodes.len()).filter(|&i| !acquires[i].is_empty()).collect();
+    while let Some(j) = queue.pop_front() {
+        let locks = acquires[j].clone();
+        for &i in &graph.callers[j] {
+            let before = acquires[i].len();
+            acquires[i].extend(locks.iter().cloned());
+            if acquires[i].len() > before {
+                queue.push_back(i);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let file = &ws.files[n.file];
+        for site in &sites[i] {
+            let Some(r) = &site.recv else {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: site.line + 1,
+                    pass: "lockorder",
+                    message: "`.lock()` on an unresolvable receiver: bind the mutex to a \
+                              named binding declared in the DESIGN.md §13 lock-order table"
+                        .to_owned(),
+                });
+                continue;
+            };
+            let Some(&held_rank) = rank.get(r.as_str()) else {
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: site.line + 1,
+                    pass: "lockorder",
+                    message: format!(
+                        "lock `{r}` is not declared in the DESIGN.md §13 lock-order table; \
+                         add a row (or `// audit: allow(lockorder) — <reason>`)"
+                    ),
+                });
+                continue;
+            };
+            // Later direct acquisitions in the same function.
+            for later in sites[i].iter().filter(|l| l.line > site.line) {
+                let Some(lr) = &later.recv else { continue };
+                if let Some(&later_rank) = rank.get(lr.as_str()) {
+                    if later_rank <= held_rank {
+                        out.push(Violation {
+                            file: file.rel_path.clone(),
+                            line: later.line + 1,
+                            pass: "lockorder",
+                            message: format!(
+                                "lock `{lr}` (rank {}) acquired while `{r}` (rank {}) may \
+                                 still be held inverts the DESIGN.md §13 lock order",
+                                later_rank + 1,
+                                held_rank + 1,
+                            ),
+                        });
+                    }
+                }
+            }
+            // Calls after the acquisition that can lock transitively.
+            for &(callee, call_line) in &graph.callees[i] {
+                if call_line < site.line || ws.allowed(n.file, "lockorder", call_line) {
+                    continue;
+                }
+                let callee_fn = &ws.parsed[graph.nodes[callee].file].fns[graph.nodes[callee].idx];
+                for l2 in &acquires[callee] {
+                    if let Some(&r2) = rank.get(l2.as_str()) {
+                        if r2 <= held_rank {
+                            out.push(Violation {
+                                file: file.rel_path.clone(),
+                                line: call_line + 1,
+                                pass: "lockorder",
+                                message: format!(
+                                    "call to `{}` can acquire lock `{l2}` (rank {}) while \
+                                     `{r}` (rank {}) may still be held, inverting the \
+                                     DESIGN.md §13 lock order",
+                                    callee_fn.name,
+                                    r2 + 1,
+                                    held_rank + 1,
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pass: nothing that can block is reachable while a facade lock is held.
+///
+/// A thread that parks inside a channel `recv`/`recv_timeout` or a file
+/// write while holding a mutex stalls every thread contending for that
+/// lock — under the model checker this shows up as an exploding schedule
+/// space, and in production as a convoy. From each `.lock()` site, the
+/// rest of the enclosing function is conservatively treated as the
+/// critical section: any direct blocking call after it, or any call
+/// whose transitive closure contains one, is flagged. Escapable with
+/// `// audit: allow(blockinlock) — <reason>` when the guard provably
+/// drops first.
+pub fn check_blockinlock(ws: &Workspace) -> Vec<Violation> {
+    let (graph, sites) = lock_graph(ws, "blockinlock");
+
+    // Per-node blocking evidence, propagated callee → caller.
+    let mut blocks: Vec<Option<String>> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            ws.parsed[n.file].fns[n.idx]
+                .calls
+                .iter()
+                .find(|c| BLOCKING_CALLS.contains(&c.name.as_str()))
+                .map(|c| format!("`.{}()` at {}:{}", c.name, ws.files[n.file].rel_path, c.line + 1))
+        })
+        .collect();
+    let mut queue: VecDeque<usize> =
+        (0..graph.nodes.len()).filter(|&i| blocks[i].is_some()).collect();
+    while let Some(j) = queue.pop_front() {
+        let callee_name = ws.parsed[graph.nodes[j].file].fns[graph.nodes[j].idx].name.clone();
+        let why = blocks[j].clone().unwrap_or_default();
+        for &i in &graph.callers[j] {
+            if blocks[i].is_none() {
+                blocks[i] = Some(format!("via `{callee_name}`, {why}"));
+                queue.push_back(i);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let file = &ws.files[n.file];
+        let f = &ws.parsed[n.file].fns[n.idx];
+        for site in &sites[i] {
+            let held = site.recv.as_deref().unwrap_or("<unnamed>");
+            // Direct blocking calls textually after the acquisition.
+            for call in &f.calls {
+                if call.line < site.line
+                    || !BLOCKING_CALLS.contains(&call.name.as_str())
+                    || ws.allowed(n.file, "blockinlock", call.line)
+                {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.rel_path.clone(),
+                    line: call.line + 1,
+                    pass: "blockinlock",
+                    message: format!(
+                        "`.{}()` can block while lock `{held}` may still be held; drop the \
+                         guard first or add `// audit: allow(blockinlock) — <reason>`",
+                        call.name
+                    ),
+                });
+            }
+            // Calls whose transitive closure blocks.
+            for &(callee, call_line) in &graph.callees[i] {
+                if call_line < site.line || ws.allowed(n.file, "blockinlock", call_line) {
+                    continue;
+                }
+                if let Some(why) = &blocks[callee] {
+                    let callee_fn =
+                        &ws.parsed[graph.nodes[callee].file].fns[graph.nodes[callee].idx];
+                    out.push(Violation {
+                        file: file.rel_path.clone(),
+                        line: call_line + 1,
+                        pass: "blockinlock",
+                        message: format!(
+                            "call to `{}` can block ({why}) while lock `{held}` may still \
+                             be held",
+                            callee_fn.name
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Pass: every allow marker must have suppressed something this run.
 ///
 /// Mirrors `#[warn(unused_allow)]`: a marker naming an unknown pass, a
@@ -897,6 +1321,21 @@ fn site_starts(line: &str, pat: &str) -> Vec<usize> {
         }
     }
     out
+}
+
+/// [`site_starts`] filtered to occurrences that also end at a word
+/// boundary, so `std::thread` matches `std::thread::spawn` but not a
+/// hypothetical `std::thread_pool`.
+fn site_starts_word(line: &str, pat: &str) -> Vec<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let plen = pat.chars().count();
+    site_starts(line, pat)
+        .into_iter()
+        .filter(|&s| match chars.get(s + plen) {
+            Some(&c) => !(c.is_ascii_alphanumeric() || c == '_'),
+            None => true,
+        })
+        .collect()
 }
 
 /// First `"…"` literal at or after char `from` on line `lno`, searching
@@ -1443,6 +1882,137 @@ mod tests {
         );
         let b = lib_file("fcma-core", "//! m\nfn f(_: impl Referenced) {}\n");
         let v = check_deadpub(&ws_of(vec![a, b]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn syncfacade_flags_raw_primitives_and_grouped_imports() {
+        let f = lib_file(
+            "fcma-cluster",
+            "//! m\nuse std::sync::Mutex;\n\
+             use std::sync::{\n    Arc,\n    mpsc,\n};\n\
+             use crossbeam_channel::unbounded;\n\
+             fn f() {\n    std::thread::spawn(|| {});\n}\n",
+        );
+        let v = check_syncfacade(&ws_of(vec![f]));
+        assert_eq!(v.len(), 4, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("std::sync::Mutex")));
+        assert!(v.iter().any(|x| x.message.contains("std::sync::mpsc")));
+        assert!(v.iter().any(|x| x.message.contains("crossbeam_channel")));
+        assert!(v.iter().any(|x| x.message.contains("std::thread")));
+        assert!(v.iter().all(|x| x.pass == "syncfacade"));
+    }
+
+    #[test]
+    fn syncfacade_allows_arc_exempt_crates_tests_and_markers() {
+        let arc_only = lib_file("fcma-cluster", "//! m\nuse std::sync::Arc;\nfn f() {}\n");
+        let facade_itself = lib_file("fcma-sync", "//! m\nuse std::sync::Mutex;\nfn f() {}\n");
+        let in_tests = lib_file(
+            "fcma-cluster",
+            "//! m\n#[cfg(test)]\nmod tests {\n    use std::sync::mpsc;\n}\n",
+        );
+        let marked = lib_file(
+            "fcma-linalg",
+            "//! m\n// audit: allow(syncfacade) — kernel-local reduction lock\nuse parking_lot::Mutex;\n",
+        );
+        let v = check_syncfacade(&ws_of(vec![arc_only, facade_itself, in_tests, marked]));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    fn lock_contract() -> Contracts {
+        Contracts {
+            lock_order: Some(vec!["shared".to_owned(), "attempts".to_owned()]),
+            ..Contracts::default()
+        }
+    }
+
+    #[test]
+    fn lockorder_silent_without_a_contract_table() {
+        let f = lib_file("fcma-cluster", "//! m\nfn f() {\n    let g = rogue.lock();\n}\n");
+        assert!(check_lockorder(&ws_of(vec![f])).is_empty());
+    }
+
+    #[test]
+    fn lockorder_flags_inversion_undeclared_and_unresolvable() {
+        let f = lib_file(
+            "fcma-cluster",
+            "//! m\nfn inverted() {\n    let a = attempts.lock();\n    let s = shared.lock();\n}\n\
+             fn undeclared() {\n    let g = rogue.lock();\n}\n\
+             fn unresolvable() {\n    let g = make().lock();\n}\n",
+        );
+        let v = check_lockorder(&ws_with(vec![f], CrateGraph::default(), lock_contract()));
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|x| x.line == 4 && x.message.contains("inverts")), "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("`rogue` is not declared")));
+        assert!(v.iter().any(|x| x.message.contains("unresolvable receiver")));
+    }
+
+    #[test]
+    fn lockorder_flags_transitive_inversion_through_a_callee() {
+        let f = lib_file(
+            "fcma-cluster",
+            "//! m\nfn f() {\n    let g = attempts.lock();\n    helper();\n}\n\
+             fn helper() {\n    let s = shared.lock();\n}\n",
+        );
+        let v = check_lockorder(&ws_with(vec![f], CrateGraph::default(), lock_contract()));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 4);
+        assert!(v[0].message.contains("can acquire lock `shared`"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn lockorder_quiet_on_increasing_rank_and_markers() {
+        let ordered = lib_file(
+            "fcma-cluster",
+            "//! m\nfn f() {\n    let s = shared.lock();\n    helper();\n}\n\
+             fn helper() {\n    let a = attempts.lock();\n}\n",
+        );
+        let marked = lib_file(
+            "fcma-core",
+            "//! m\nfn f() {\n    // audit: allow(lockorder) — guard drops on the previous line\n    let g = scratch.lock();\n}\n",
+        );
+        let v = check_lockorder(&ws_with(
+            vec![ordered, marked],
+            CrateGraph::default(),
+            lock_contract(),
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn blockinlock_flags_direct_and_transitive_blocking() {
+        let f = lib_file(
+            "fcma-cluster",
+            "//! m\nfn direct() {\n    let g = state.lock();\n    let m = rx.recv();\n}\n\
+             fn indirect() {\n    let g = state.lock();\n    helper();\n}\n\
+             fn helper() {\n    let m = rx.recv();\n}\n",
+        );
+        let v = check_blockinlock(&ws_of(vec![f]));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.line == 4 && x.message.contains("`.recv()` can block")));
+        assert!(
+            v.iter().any(|x| x.line == 8 && x.message.contains("call to `helper` can block")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn blockinlock_quiet_before_lock_outside_lib_and_with_marker() {
+        let before = lib_file(
+            "fcma-cluster",
+            "//! m\nfn f() {\n    let m = rx.recv();\n    let g = state.lock();\n}\n",
+        );
+        let bin = SourceFile::new(
+            "crates/fcma-cli/src/main.rs",
+            Some("fcma-cli"),
+            Role::Bin,
+            "//! m\nfn f() {\n    let g = io::stdout().lock();\n    out.flush();\n}\n",
+        );
+        let marked = lib_file(
+            "fcma-core",
+            "//! m\nfn f() {\n    let g = state.lock();\n    // audit: allow(blockinlock) — guard dropped on the line above\n    let m = rx.recv();\n}\n",
+        );
+        let v = check_blockinlock(&ws_of(vec![before, bin, marked]));
         assert!(v.is_empty(), "{v:?}");
     }
 

@@ -1,7 +1,8 @@
 //! On-disk fixture workspace: seed one violation per workspace-level
-//! pass (layering, panicpath, protocol, deadpub, unusedallow) in a
-//! temporary crate tree and assert the full [`fcma_audit::audit`]
-//! pipeline — discovery, manifest parsing, DESIGN.md contract parsing,
+//! pass (layering, panicpath, protocol, deadpub, syncfacade, lockorder,
+//! blockinlock, unusedallow) in a temporary crate tree and assert the
+//! full [`fcma_audit::audit`] pipeline — discovery, manifest parsing,
+//! DESIGN.md contract parsing (including the §13 lock-order table),
 //! call-graph construction — catches each one and nothing it shouldn't.
 //!
 //! The in-memory seeds in `self_clean.rs` cover the per-file passes;
@@ -52,12 +53,22 @@ const DESIGN_MD: &str = "\
 | `fcma-alpha` | (none) |
 | `fcma-beta` | (none) |
 | `fcma-cluster` | (none) |
+| `fcma-gamma` | (none) |
 
 | Message | Payload fields | Meaning |
 |---|---|---|
 | `ToWorker::Task` | `task` | dispatch one task |
 | `ToWorker::Shutdown` | (none) | drain and exit |
 | `FromWorker::Done` | `worker`, `task` | scores for a task |
+
+## 13. Concurrency model
+
+### Lock order
+
+| Rank | Lock | Protects |
+|---|---|---|
+| 1 | `shared` | the fixture's accumulator |
+| 2 | `attempts` | the fixture's retry counters |
 ";
 
 /// Build the seeded workspace and run the audit once.
@@ -158,6 +169,32 @@ fn audited_fixture(tag: &str) -> (Fixture, Vec<Violation>) {
          }\n",
     );
 
+    // fcma-gamma: one violation per concurrency pass — a raw std::sync
+    // primitive, a lock-order inversion against the §13 table, and a
+    // channel receive while a declared lock is held.
+    fx.write(
+        "crates/fcma-gamma/Cargo.toml",
+        "[package]\nname = \"fcma-gamma\"\n\n[dependencies]\n",
+    );
+    fx.write(
+        "crates/fcma-gamma/src/lib.rs",
+        "//! Seeded: raw sync primitive, rank inversion, blocking in lock.\n\
+         \n\
+         use std::sync::Mutex;\n\
+         \n\
+         /// Takes rank-1 `shared` while rank-2 `attempts` is held.\n\
+         fn inverted() {\n\
+             let a = attempts.lock();\n\
+             let s = shared.lock();\n\
+         }\n\
+         \n\
+         /// Receives on a channel while `shared` is held.\n\
+         fn convoy() {\n\
+             let g = shared.lock();\n\
+             let m = rx.recv();\n\
+         }\n",
+    );
+
     let violations = fcma_audit::audit(&fx.root).expect("fixture audit must run");
     (fx, violations)
 }
@@ -246,6 +283,46 @@ fn unusedallow_pass_fires_on_stale_marker() {
             .iter()
             .any(|v| v.file == "crates/fcma-alpha/src/lib.rs" && v.message.contains("stale")),
         "stale marker not flagged: {stale:?}"
+    );
+}
+
+#[test]
+fn syncfacade_pass_fires_on_raw_std_sync_import() {
+    let (_fx, violations) = audited_fixture("syncfacade");
+    let sync = hits(&violations, "syncfacade");
+    assert!(
+        sync.iter()
+            .any(|v| v.file == "crates/fcma-gamma/src/lib.rs"
+                && v.message.contains("std::sync::Mutex")),
+        "raw std::sync::Mutex import not flagged: {sync:?}"
+    );
+}
+
+#[test]
+fn lockorder_pass_fires_on_rank_inversion_from_design_table() {
+    let (_fx, violations) = audited_fixture("lockorder");
+    let order = hits(&violations, "lockorder");
+    assert!(
+        order.iter().any(|v| v.file == "crates/fcma-gamma/src/lib.rs"
+            && v.message.contains("lock `shared` (rank 1)")
+            && v.message.contains("inverts")),
+        "rank inversion not flagged (is the §13 table parsed?): {order:?}"
+    );
+    assert!(
+        !order.iter().any(|v| v.message.contains("`attempts` is not declared")),
+        "declared locks must not be flagged as undeclared: {order:?}"
+    );
+}
+
+#[test]
+fn blockinlock_pass_fires_on_recv_while_lock_held() {
+    let (_fx, violations) = audited_fixture("blockinlock");
+    let block = hits(&violations, "blockinlock");
+    assert!(
+        block.iter().any(|v| v.file == "crates/fcma-gamma/src/lib.rs"
+            && v.message.contains("`.recv()` can block")
+            && v.message.contains("`shared`")),
+        "channel receive under a held lock not flagged: {block:?}"
     );
 }
 

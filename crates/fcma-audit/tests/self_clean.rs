@@ -48,15 +48,28 @@ fn seeded_violations_are_caught() {
             "//! Seeded.\nfn f() {\n    let _s = span!(\"totally.undocumented\");\n}\n\
              // audit: allow(cast) — never consulted, so stale\n",
         ),
+        SourceFile::new(
+            "crates/fcma-cluster/src/rawsync.rs",
+            Some("fcma-cluster"),
+            Role::Lib,
+            "//! Seeded.\nuse std::sync::Condvar;\nfn f() {}\n",
+        ),
     ];
     let taxonomy = Taxonomy::from_design_md("## Observability\n`stage1.corr`\n")
         .expect("fixture taxonomy parses");
     let ws = Workspace::new(seeded, CrateGraph::default(), Contracts::default(), Some(taxonomy));
     let violations = ws.run_all();
     let passes_hit: std::collections::BTreeSet<&str> = violations.iter().map(|v| v.pass).collect();
-    for expected in
-        ["unsafe", "cast", "proptest", "moddoc", "tracename", "panicpath", "unusedallow"]
-    {
+    for expected in [
+        "unsafe",
+        "cast",
+        "proptest",
+        "moddoc",
+        "tracename",
+        "panicpath",
+        "syncfacade",
+        "unusedallow",
+    ] {
         assert!(passes_hit.contains(expected), "pass `{expected}` did not fire: {violations:?}");
     }
 }
@@ -99,6 +112,13 @@ fn shipped_design_md_contracts_parse() {
     assert!(
         done.fields.iter().any(|f| f == "task"),
         "FromWorker::Done must carry `task` (exactly-once accounting)"
+    );
+
+    let locks = contracts.lock_order.expect("DESIGN.md §13 must declare the lock-order table");
+    assert_eq!(
+        locks,
+        vec!["shared".to_owned(), "attempts".to_owned()],
+        "the shipped lock ranking the lockorder pass enforces"
     );
 }
 

@@ -30,15 +30,16 @@
 use crate::checkpoint::{Checkpoint, CheckpointWriter};
 use crate::error::ClusterError;
 use crate::protocol::{FromWorker, ToWorker};
-use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fcma_core::{
     partition, CancelToken, TaskContext, TaskControls, TaskExecutor, VoxelScore, VoxelTask,
 };
+use fcma_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use fcma_sync::time::Instant;
 use fcma_trace::{counter, event, histogram, span, AttrValue};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Scheduling policy and fault-tolerance knobs for one cluster run.
 #[derive(Debug, Clone)]
@@ -192,7 +193,7 @@ pub fn run_cluster_with(
     counter!("cluster.tasks.total", total_tasks);
 
     // Seed completed work from the resume checkpoint, if any.
-    let mut completed: HashSet<usize> = HashSet::new();
+    let mut completed: BTreeSet<usize> = BTreeSet::new();
     let mut scores: Vec<VoxelScore> = Vec::with_capacity(ctx.n_voxels());
     let mut resumed_records = Vec::new();
     let mut resumed_voxels = 0usize;
@@ -231,7 +232,7 @@ pub fn run_cluster_with(
     };
     drop(resumed_records);
 
-    let resumed_starts: HashSet<usize> = completed.iter().copied().collect();
+    let resumed_starts: BTreeSet<usize> = completed.iter().copied().collect();
     let queue: VecDeque<VoxelTask> =
         all_tasks.iter().copied().filter(|t| !completed.contains(&t.start)).collect();
 
@@ -261,11 +262,11 @@ pub fn run_cluster_with(
         completed,
         scores,
         writer: writer.take(),
-        attempts: HashMap::new(),
-        in_flight: HashMap::new(),
+        attempts: BTreeMap::new(),
+        in_flight: BTreeMap::new(),
         current: vec![None; cfg.n_workers],
-        first_dispatched: HashMap::new(),
-        finished_stats: HashMap::new(),
+        first_dispatched: BTreeMap::new(),
+        finished_stats: BTreeMap::new(),
         retry_budget: cfg.retry_budget,
         task_deadline: cfg.task_deadline,
         speculate_after: cfg.speculate_after,
@@ -402,19 +403,19 @@ struct Flight {
 struct Master {
     workers: Vec<WorkerState>,
     queue: VecDeque<VoxelTask>,
-    completed: HashSet<usize>,
+    completed: BTreeSet<usize>,
     scores: Vec<VoxelScore>,
     writer: Option<CheckpointWriter>,
     /// Non-speculative dispatches per task start.
-    attempts: HashMap<usize, usize>,
-    in_flight: HashMap<usize, Flight>,
+    attempts: BTreeMap<usize, usize>,
+    in_flight: BTreeMap<usize, Flight>,
     /// The dispatch each worker is currently executing (trace + stats
     /// accounting; resolved exactly once per dispatch).
     current: Vec<Option<DispatchInfo>>,
     /// First dispatch time per task start (per-task wall-time stats).
-    first_dispatched: HashMap<usize, Instant>,
+    first_dispatched: BTreeMap<usize, Instant>,
     /// Per-task outcome stats, filled at accepted completion.
-    finished_stats: HashMap<usize, TaskStat>,
+    finished_stats: BTreeMap<usize, TaskStat>,
     retry_budget: usize,
     task_deadline: Option<Duration>,
     speculate_after: Option<Duration>,
@@ -516,7 +517,7 @@ impl Master {
         if fcma_trace::is_enabled() {
             fcma_trace::add_counter(outcome.counter_name(), 1_u64);
             histogram!("cluster.dispatch.wall_ms", info.started.elapsed().as_secs_f64() * 1e3);
-            fcma_trace::record_span_since(
+            fcma_trace::record_span_elapsed(
                 "cluster.dispatch",
                 vec![
                     ("task", AttrValue::from(info.task.start)),
@@ -525,7 +526,7 @@ impl Master {
                     ("speculative", AttrValue::from(info.speculative)),
                     ("outcome", AttrValue::from(outcome.label())),
                 ],
-                info.started,
+                info.started.elapsed(),
             );
         }
         Some(info)
@@ -565,6 +566,9 @@ impl Master {
             if accepted { DispatchOutcome::Completed } else { DispatchOutcome::Discarded };
         let _ = self.resolve_dispatch(worker, outcome);
         if accepted {
+            // Under the model checker this is the at-most-once oracle:
+            // two accepted completions of one task are a defect.
+            fcma_sync::runtime::report_completion(u64::try_from(task.start).unwrap_or(u64::MAX));
             self.completed.insert(task.start);
             self.tasks_per_worker[worker] += 1;
             self.finished_stats.insert(
@@ -754,7 +758,7 @@ fn spawn_worker(
     to_master: Sender<FromWorker>,
     controls: TaskControls,
 ) {
-    std::thread::spawn(move || {
+    fcma_sync::thread::spawn(move || {
         if to_master.send(FromWorker::Ready { worker: wid }).is_err() {
             return;
         }

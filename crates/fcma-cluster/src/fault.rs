@@ -11,9 +11,11 @@
 //! test reproduces from its seed alone.
 
 use fcma_core::{TaskContext, TaskControls, TaskExecutor, VoxelScore, VoxelTask};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
-use std::time::{Duration, Instant};
+use fcma_sync::time::Instant;
+use fcma_sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Granularity of cancellation polling inside injected waits.
 const POLL_SLICE: Duration = Duration::from_millis(1);
@@ -154,13 +156,13 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub struct ChaosExecutor {
     inner: Arc<dyn TaskExecutor>,
     plan: FaultPlan,
-    attempts: Mutex<HashMap<usize, usize>>,
+    attempts: Mutex<BTreeMap<usize, usize>>,
 }
 
 impl ChaosExecutor {
     /// Wrap `inner`, injecting the faults of `plan`.
     pub fn new(inner: Arc<dyn TaskExecutor>, plan: FaultPlan) -> Self {
-        ChaosExecutor { inner, plan, attempts: Mutex::new(HashMap::new()) }
+        ChaosExecutor { inner, plan, attempts: Mutex::new(BTreeMap::new()) }
     }
 
     /// Convenience: panic exactly once, on the first execution of the
@@ -174,13 +176,13 @@ impl ChaosExecutor {
     /// executed so far.
     // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn attempts_for(&self, task_start: usize) -> usize {
-        let map = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
+        let map = self.attempts.lock();
         map.get(&task_start).copied().unwrap_or(0)
     }
 
     /// Atomically fetch-and-increment the attempt counter for a task.
     fn next_attempt(&self, task_start: usize) -> usize {
-        let mut map = self.attempts.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut map = self.attempts.lock();
         let slot = map.entry(task_start).or_insert(0);
         let attempt = *slot;
         *slot += 1;
@@ -188,8 +190,10 @@ impl ChaosExecutor {
     }
 }
 
-/// Sleep `total` in cancellable slices. Returns `false` if cancellation
-/// fired before the sleep finished.
+/// Sleep `total` in cancellable slices on the facade clock (virtual
+/// time under a [`fcma_sync::clock::VirtualClock`] or a model checker —
+/// injected stalls then cost no wall time). Returns `false` if
+/// cancellation fired before the sleep finished.
 fn sleep_unless_cancelled(total: Duration, controls: &TaskControls) -> bool {
     let deadline = Instant::now() + total;
     loop {
@@ -200,7 +204,7 @@ fn sleep_unless_cancelled(total: Duration, controls: &TaskControls) -> bool {
         if now >= deadline {
             return true;
         }
-        std::thread::sleep(POLL_SLICE.min(deadline - now));
+        fcma_sync::thread::sleep(POLL_SLICE.min(deadline.saturating_duration_since(now)));
     }
 }
 

@@ -10,7 +10,6 @@ use fcma_core::{VoxelScore, VoxelTask};
 
 /// Messages from the master to a worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
-// audit: allow(deadpub) — the documented wire protocol (DESIGN.md §12); kept pub as the crate's conformance surface
 pub enum ToWorker {
     /// Process this voxel block.
     Task(VoxelTask),
@@ -20,7 +19,6 @@ pub enum ToWorker {
 
 /// Messages from a worker to the master.
 #[derive(Debug, Clone)]
-// audit: allow(deadpub) — the documented wire protocol (DESIGN.md §12); kept pub as the crate's conformance surface
 pub enum FromWorker {
     /// Initial "ready for work" handshake.
     Ready {

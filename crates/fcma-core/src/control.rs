@@ -9,7 +9,7 @@
 //! the master has already re-dispatched the task elsewhere and will
 //! ignore the condemned worker's late results.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use fcma_sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 

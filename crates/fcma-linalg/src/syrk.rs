@@ -18,6 +18,7 @@
 //!   `parking_lot` mutex exactly like the paper's OpenMP lock.
 
 use crate::microkernel::{microkernel, microkernel_edge, pack_a_panel};
+// audit: allow(syncfacade) — kernel-local reduction lock inside a rayon scope, mirroring the paper's §4.4 OpenMP lock; never held across scheduler code, so the model checker has nothing to explore here
 use parking_lot::Mutex;
 use rayon::prelude::*;
 

@@ -1,0 +1,136 @@
+//! Per-thread mode dispatch and the model-checker runtime interface.
+//!
+//! The facade primitives consult [`mode`] on every operation. In the
+//! default [`Mode::Real`] they delegate to `std`; under
+//! [`Mode::Virtual`] timed operations read the installed
+//! [`crate::clock::VirtualClock`]; under [`Mode::Model`] every
+//! operation is routed through the installed [`McRuntime`] — the hook
+//! `fcma-mc` implements to serialize threads and explore interleavings.
+
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+use crate::clock::VirtualClock;
+
+/// Protocol-level events the facade reports to a model-check runtime.
+///
+/// These feed the model checker's built-in detectors; outside model
+/// mode they are never constructed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McEvent {
+    /// A send was attempted on a channel all of whose receivers have
+    /// been dropped (the send returns an error to the caller either
+    /// way; the checker may be configured to treat it as a failure).
+    SendAfterClose {
+        /// Facade object id of the channel's state lock.
+        channel: u64,
+    },
+    /// An exactly-once completion key was observed (e.g. a scheduler
+    /// accepted results for a task). A duplicate key is the
+    /// double-completion defect.
+    Completion {
+        /// Caller-chosen key; see [`report_completion`].
+        key: u64,
+    },
+}
+
+/// The operations a model checker must provide to drive the facade.
+///
+/// Contract: threads under model mode run one at a time. A call that
+/// blocks (`mutex_lock`, `condvar_wait`, `sleep`) returns only once the
+/// scheduler has granted the resource to the calling thread and made it
+/// the running thread, so the facade can then take the underlying std
+/// primitive without contention. `condvar_wait` releases model
+/// ownership of `mutex` on entry and re-grants it before returning;
+/// the return value is `true` when the wait timed out.
+pub trait McRuntime: Send + Sync {
+    /// Allocate a deterministic id for a facade object (lock, condvar,
+    /// channel) on first use under the model.
+    fn next_object_id(&self) -> u64;
+    /// Spawn `f` as a new model thread inheriting this runtime.
+    fn spawn(&self, f: Box<dyn FnOnce() + Send>);
+    /// Block until the model grants the calling thread lock `id`.
+    fn mutex_lock(&self, id: u64);
+    /// Release model ownership of lock `id` (a preemption point).
+    fn mutex_unlock(&self, id: u64);
+    /// Atomically release `mutex`, wait on `cv` (bounded by
+    /// `timeout_nanos` of virtual time if given), re-acquire `mutex`.
+    fn condvar_wait(&self, cv: u64, mutex: u64, timeout_nanos: Option<u64>) -> bool;
+    /// Wake one (or all) waiters of `cv` (a preemption point).
+    fn condvar_notify(&self, cv: u64, all: bool);
+    /// Current virtual time in nanoseconds.
+    fn now_nanos(&self) -> u64;
+    /// Advance the calling thread past `nanos` of virtual time.
+    fn sleep(&self, nanos: u64);
+    /// A plain scheduling point (emitted before atomic accesses).
+    fn interleave(&self);
+    /// Report a protocol-level event to the checker's detectors.
+    fn record(&self, event: McEvent);
+}
+
+/// The calling thread's current facade mode.
+#[derive(Clone)]
+pub(crate) enum Mode {
+    /// Delegate to `std`; real time.
+    Real,
+    /// Real threading over a shared discrete-event clock.
+    Virtual(Arc<VirtualClock>),
+    /// Cooperative scheduling under a model checker.
+    Model(Arc<dyn McRuntime>),
+}
+
+thread_local! {
+    static MODE: RefCell<Mode> = const { RefCell::new(Mode::Real) };
+}
+
+/// Read (a clone of) the calling thread's mode.
+pub(crate) fn mode() -> Mode {
+    MODE.with(|m| m.borrow().clone())
+}
+
+/// Replace the calling thread's mode, returning the previous one.
+pub(crate) fn set_mode(new: Mode) -> Mode {
+    MODE.with(|m| std::mem::replace(&mut *m.borrow_mut(), new))
+}
+
+/// Restores the previous mode when dropped.
+// audit: allow(deadpub) — RAII guard returned by `enter_model`; held as `let _guard`, so its name never appears cross-crate
+pub struct ModeGuard {
+    prev: Option<Mode>,
+}
+
+impl Drop for ModeGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            set_mode(prev);
+        }
+    }
+}
+
+/// Put the calling thread under model-checker control until the guard
+/// drops. Called by `fcma-mc` at the top of every model thread.
+pub fn enter_model(rt: Arc<dyn McRuntime>) -> ModeGuard {
+    ModeGuard { prev: Some(set_mode(Mode::Model(rt))) }
+}
+
+/// Put the calling thread on a virtual clock until the guard drops.
+pub(crate) fn enter_virtual(clock: Arc<VirtualClock>) -> ModeGuard {
+    ModeGuard { prev: Some(set_mode(Mode::Virtual(clock))) }
+}
+
+/// The model-mode id of a facade object, allocated on first use.
+///
+/// Objects created fresh inside the checked closure see identical
+/// allocation order on every execution (threads are serialized), so ids
+/// are stable across replays.
+pub(crate) fn model_object_id(slot: &OnceLock<u64>, rt: &Arc<dyn McRuntime>) -> u64 {
+    *slot.get_or_init(|| rt.next_object_id())
+}
+
+/// Report an exactly-once completion key to the model checker's
+/// double-completion detector. A no-op outside model mode.
+pub fn report_completion(key: u64) {
+    if let Mode::Model(rt) = mode() {
+        rt.record(McEvent::Completion { key });
+    }
+}

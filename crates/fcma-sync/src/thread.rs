@@ -1,0 +1,51 @@
+//! Facade thread operations: [`spawn`] and [`sleep`].
+//!
+//! `spawn` propagates the parent's facade mode into the child: under a
+//! virtual clock the child is registered with the clock for the
+//! quiescence check (and unregistered when it exits); under a model
+//! checker the child becomes a new model thread whose every facade
+//! operation is a scheduling point. Threads are detached — the cluster
+//! scheduler tracks worker liveness through its protocol, not joins.
+
+use std::time::Duration;
+
+use crate::clock::{self, Park};
+use crate::runtime::{mode, Mode};
+use crate::time::{duration_to_nanos, now_nanos};
+
+/// Spawn a detached thread running `f` under the parent's facade mode.
+pub fn spawn<F>(f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    match mode() {
+        Mode::Real => {
+            std::thread::spawn(f);
+        }
+        Mode::Virtual(vclock) => {
+            vclock.register();
+            std::thread::spawn(move || clock::run_registered(&vclock, f));
+        }
+        Mode::Model(rt) => rt.spawn(Box::new(f)),
+    }
+}
+
+/// Block the calling thread for `dur` of (possibly virtual) time.
+pub fn sleep(dur: Duration) {
+    match mode() {
+        Mode::Real => std::thread::sleep(dur),
+        Mode::Virtual(vclock) => {
+            let deadline = vclock.now_nanos() + duration_to_nanos(dur);
+            while vclock.park(None, Some(deadline)) == Park::Woken {
+                // Spurious wake (another waiter's event); park again.
+            }
+        }
+        Mode::Model(rt) => rt.sleep(duration_to_nanos(dur)),
+    }
+}
+
+/// Current facade time in nanoseconds — a convenience for tests that
+/// assert on virtual timing without building an `Instant`.
+pub fn now_virtual_nanos() -> u64 {
+    now_nanos()
+}

@@ -27,7 +27,7 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Fast global gate: is any collector installed?
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -213,10 +213,12 @@ pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
     });
 }
 
-/// Record a span whose start time was captured externally (the cluster
-/// master tracks dispatch flights this way: the span begins at dispatch
-/// and is recorded when the master resolves the flight). The duration is
-/// `started.elapsed()` at the time of this call.
+/// Record a span whose start time was captured externally. The duration
+/// is `started.elapsed()` at the time of this call. The cluster master
+/// used to track dispatch flights this way; it now records durations
+/// measured on the sync facade's clock via [`record_span_elapsed`], but
+/// this variant stays public for callers that hold a std [`Instant`].
+// audit: allow(deadpub) — public trace API kept for std-Instant callers; the facade-ported driver uses record_span_elapsed instead
 pub fn record_span_since(
     name: &'static str,
     attrs: Vec<(&'static str, AttrValue)>,
@@ -230,6 +232,32 @@ pub fn record_span_since(
             parent: stack.last().copied(),
             start_ns: ns_since(buf.epoch, started),
             dur_ns: Some(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)),
+            attrs: attrs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
+        };
+        lock(&buf.events).push(record);
+    });
+}
+
+/// Record a span that ends now and lasted `elapsed`, for callers that
+/// measure time on a clock other than `std` (the cluster master tracks
+/// dispatch flights on the `fcma-sync` facade clock, which may be
+/// virtual; only the duration is meaningful there, so the span is
+/// anchored to end at the record call).
+pub fn record_span_elapsed(
+    name: &'static str,
+    attrs: Vec<(&'static str, AttrValue)>,
+    elapsed: Duration,
+) {
+    with_tls(|_, buf, stack| {
+        let end_ns = ns_since(buf.epoch, Instant::now());
+        let dur_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let record = SpanRecord {
+            name: name.to_owned(),
+            tid: buf.tid,
+            id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+            parent: stack.last().copied(),
+            start_ns: end_ns.saturating_sub(dur_ns),
+            dur_ns: Some(dur_ns),
             attrs: attrs.iter().map(|(k, v)| ((*k).to_owned(), v.clone())).collect(),
         };
         lock(&buf.events).push(record);

@@ -48,8 +48,8 @@ pub mod json;
 mod report;
 
 pub use collector::{
-    add_counter, instant, is_enabled, record_span_since, record_value, start_span, Collector,
-    SpanGuard,
+    add_counter, instant, is_enabled, record_span_elapsed, record_span_since, record_value,
+    start_span, Collector, SpanGuard,
 };
 pub use collector::{IntoCount, ScopedCollector};
 pub use report::{AttrValue, HISTOGRAM_BUCKETS};

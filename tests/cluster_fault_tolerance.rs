@@ -4,6 +4,7 @@
 
 use fcma::cluster::CheckpointError;
 use fcma::prelude::*;
+use fcma_sync::clock::VirtualClock;
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,6 +32,11 @@ fn tmp(name: &str) -> PathBuf {
 /// instead hand the requeued task to the idle worker.
 #[test]
 fn requeued_task_reaches_an_idle_worker() {
+    // The whole run sits on the facade's virtual clock: the 300 ms fuse
+    // costs no wall time, and it fires only once every other thread is
+    // parked — i.e. strictly after the healthy worker went idle, which
+    // is exactly the ordering this regression needs. No real-time race.
+    let clock = VirtualClock::install();
     let ctx = planted(64);
     // Two tasks, two workers. Task 0 panics only after a long fuse, so
     // the other worker has long since finished task 1 and sits idle when
@@ -46,6 +52,11 @@ fn requeued_task_reaches_an_idle_worker() {
     assert_eq!(run.requeued_tasks, 1);
     let voxels: Vec<usize> = run.scores.iter().map(|s| s.voxel).collect();
     assert_eq!(voxels, (0..64).collect::<Vec<_>>());
+    assert!(
+        clock.now() >= Duration::from_millis(300),
+        "the panic fuse must have elapsed on the virtual clock, got {:?}",
+        clock.now()
+    );
 }
 
 /// Drive a checkpointed run to total failure partway through the sweep.

@@ -7,6 +7,8 @@
 use fcma::prelude::*;
 use fcma::trace::export::{from_chrome_json, to_chrome_json};
 use fcma::trace::Collector;
+use fcma_sync::clock::VirtualClock;
+use fcma_sync::thread::now_virtual_nanos;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -27,6 +29,10 @@ fn chaos_exec(plan: FaultPlan) -> Arc<dyn TaskExecutor> {
 /// stats must attribute exactly two attempts to each faulted task.
 #[test]
 fn chaos_counters_match_an_explicit_fault_plan() {
+    // Virtual clock: the stalled task's 500 ms deadline elapses in zero
+    // wall time, and the condemnation becomes deterministic instead of
+    // racing the real scheduler.
+    let _clock = VirtualClock::install();
     let ctx = planted(96); // 6 tasks of 16 voxels
     let plan = FaultPlan::none().with_fault(0, 0, FaultKind::panic_now()).with_fault(
         48,
@@ -79,11 +85,18 @@ fn chaos_counters_match_an_explicit_fault_plan() {
         assert!(stat.worker.is_some(), "task {} has no accepted worker", stat.task.start);
         let want_attempts = if stat.task.start == 0 || stat.task.start == 48 { 2 } else { 1 };
         assert_eq!(stat.attempts, want_attempts, "task {}", stat.task.start);
-        assert!(stat.wall > Duration::ZERO);
+        // On the virtual clock a healthy task's wall can be exactly
+        // zero (compute burns no virtual time); only the stalled task
+        // is guaranteed a nonzero — and exact — wall below.
     }
-    // The condemned task was outstanding at least one full deadline.
+    // The condemned task was outstanding at least one full deadline,
+    // measured on the virtual clock the whole run shares.
     let stalled = run.task_stats.iter().find(|s| s.task.start == 48).unwrap();
     assert!(stalled.wall >= Duration::from_millis(500), "stalled wall {:?}", stalled.wall);
+    assert!(
+        now_virtual_nanos() >= 500_000_000,
+        "virtual time must have advanced past the deadline"
+    );
 
     // The exported Chrome JSON carries the same accounting.
     let json = to_chrome_json(&report);
@@ -148,6 +161,10 @@ fn chaos_counters_match_a_seeded_fault_plan() {
 /// result arrives) or cancelled at shutdown (if it does not).
 #[test]
 fn speculative_duplicate_is_traced_and_accounted() {
+    // Virtual clock: the 800 ms straggler sleep and the 80 ms
+    // speculation trigger both elapse instantly and in a fixed order
+    // (the duplicate always launches while the straggler still sleeps).
+    let _clock = VirtualClock::install();
     let ctx = planted(64); // 4 tasks of 16 voxels
     let plan = FaultPlan::none().with_fault(16, 0, FaultKind::Delay(Duration::from_millis(800)));
     let cfg = ClusterConfig {
