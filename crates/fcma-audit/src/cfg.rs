@@ -1,0 +1,534 @@
+//! Control-flow structure for a single function body.
+//!
+//! Built on the same token stream as [`crate::parser`], this module
+//! recovers the two facts the hot-path passes need: the **loop forest**
+//! (which lines sit inside which `for`/`while`/`loop`, how deeply, and
+//! what the induction variables are) and a conservative **basic-block
+//! graph** for the reaching-definitions engine in [`crate::dataflow`].
+//!
+//! The block graph is deliberately over-approximate: every non-loop
+//! brace region (an `if` arm, a `match` arm, a closure body, a struct
+//! literal) is treated as an *optional* region with a bypass edge
+//! around it, so a definition inside a branch never kills one outside
+//! it. Loops get a back edge from the body's end to its head and an
+//! exit edge from the head, `break`/`continue` edges target the
+//! matching (possibly labeled) loop, and `return` ends its block
+//! without successors. That is exactly as much precision as the
+//! `accumorder` pass needs — "does a float definition from *outside*
+//! this loop reach this `+=` site?" — while staying robust to every
+//! token shape the tolerant parser accepts.
+
+use crate::lexer::Scanned;
+use crate::parser::{tokenize, Tok};
+
+/// Which looping construct introduced a [`LoopInfo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for <pat> in <iter> { ... }`
+    For,
+    /// `while <cond> { ... }` (including `while let`)
+    While,
+    /// `loop { ... }`
+    Loop,
+}
+
+/// One loop in the function's loop forest.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The construct that opened the loop.
+    pub kind: LoopKind,
+    /// Label, if the loop was written as `'name: for ...`.
+    pub label: Option<String>,
+    /// 0-based line of the `for`/`while`/`loop` keyword.
+    pub head_line: usize,
+    /// 0-based inclusive line span of the braced body (open `{` line to
+    /// close `}` line). The header line is included when it shares the
+    /// open-brace line, which over-approximates "inside the loop" for
+    /// iterator-expression code on the header — acceptable for passes
+    /// that only ever *flag* loop-resident work.
+    pub body: (usize, usize),
+    /// Nesting depth: 1 for an outermost loop of the function.
+    pub depth: usize,
+    /// Whether another loop nests anywhere inside this one.
+    pub has_inner: bool,
+    /// For `for` loops: the identifiers bound by the loop pattern
+    /// (e.g. `i`, or `a`/`b` for `for (a, b) in ...`). Empty for
+    /// `while`/`loop`.
+    pub induction: Vec<String>,
+}
+
+/// One conservative basic block.
+#[derive(Debug, Clone)]
+pub struct BasicBlock {
+    /// 0-based first line a token of this block appeared on.
+    pub first_line: usize,
+    /// 0-based last line a token of this block appeared on.
+    pub last_line: usize,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Number of loops open when the block started.
+    pub loop_depth: usize,
+}
+
+/// Loop forest plus block graph for one function body.
+#[derive(Debug, Clone, Default)]
+pub struct FnCfg {
+    /// Blocks in creation (roughly source) order; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Loops in source order of their opening keyword.
+    pub loops: Vec<LoopInfo>,
+}
+
+impl FnCfg {
+    /// Build the CFG for the function whose body spans `body`
+    /// (0-based inclusive line numbers of the opening and closing
+    /// braces, as recorded by [`crate::parser::FnItem::body`]).
+    pub fn build(scan: &Scanned, body: (usize, usize)) -> FnCfg {
+        let toks = tokenize(scan);
+        Builder::new(&toks, body).run()
+    }
+
+    /// How many loops contain `line` (0 = not inside any loop).
+    pub fn loop_depth_at(&self, line: usize) -> usize {
+        self.loops.iter().filter(|l| l.body.0 <= line && line <= l.body.1).count()
+    }
+
+    /// The deepest loop whose body contains `line`.
+    pub fn innermost_loop_at(&self, line: usize) -> Option<&LoopInfo> {
+        self.loops.iter().filter(|l| l.body.0 <= line && line <= l.body.1).max_by_key(|l| l.depth)
+    }
+
+    /// Index of the block whose line span best matches `line`: among
+    /// blocks containing the line, the one opened last. Falls back to
+    /// the entry block.
+    pub fn block_at(&self, line: usize) -> usize {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.first_line <= line && line <= b.last_line)
+            .map(|(i, _)| i)
+            .next_back()
+            .unwrap_or(0)
+    }
+}
+
+/// Stack frame for one open brace region.
+enum Frame {
+    /// A loop body: remembers its `loops` index, head block, and any
+    /// `break` blocks waiting for the loop's exit block.
+    Loop { loop_idx: usize, head_block: usize, breaks: Vec<usize> },
+    /// Any other brace region (branch arm, closure, struct literal):
+    /// remembers the predecessor block for the bypass edge.
+    Plain { pred: usize },
+}
+
+/// A `for`/`while`/`loop` keyword seen, body brace not yet reached.
+struct Pending {
+    kind: LoopKind,
+    label: Option<String>,
+    head_line: usize,
+    /// Paren/bracket depth inside the loop header.
+    depth: i32,
+    /// For `for` loops: have we passed the top-level `in` yet?
+    seen_in: bool,
+    induction: Vec<String>,
+}
+
+struct Builder<'a> {
+    toks: &'a [(Tok, usize)],
+    body: (usize, usize),
+    blocks: Vec<BasicBlock>,
+    loops: Vec<LoopInfo>,
+    frames: Vec<Frame>,
+    cur: usize,
+    pending: Option<Pending>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(toks: &'a [(Tok, usize)], body: (usize, usize)) -> Builder<'a> {
+        Builder {
+            toks,
+            body,
+            blocks: Vec::new(),
+            loops: Vec::new(),
+            frames: Vec::new(),
+            cur: 0,
+            pending: None,
+        }
+    }
+
+    fn open_loops(&self) -> usize {
+        self.frames.iter().filter(|f| matches!(f, Frame::Loop { .. })).count()
+    }
+
+    fn new_block(&mut self, line: usize) -> usize {
+        let depth = self.open_loops();
+        self.blocks.push(BasicBlock {
+            first_line: line,
+            last_line: line,
+            succs: Vec::new(),
+            loop_depth: depth,
+        });
+        self.blocks.len() - 1
+    }
+
+    fn link(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn touch(&mut self, line: usize) {
+        let b = &mut self.blocks[self.cur];
+        b.last_line = b.last_line.max(line);
+    }
+
+    fn run(mut self) -> FnCfg {
+        // Find the opening brace of the body: the first `{` at or after
+        // the body's first line (header tokens on earlier lines belong
+        // to the signature).
+        let Some(start) =
+            self.toks.iter().position(|(t, l)| *l >= self.body.0 && matches!(t, Tok::P('{')))
+        else {
+            return FnCfg::default();
+        };
+        self.cur = self.new_block(self.toks[start].1);
+        let mut depth = 1i32;
+        let mut i = start + 1;
+        while i < self.toks.len() && depth > 0 {
+            let (tok, line) = &self.toks[i];
+            let line = *line;
+            self.touch(line);
+            if let Some(p) = self.pending.as_mut() {
+                match tok {
+                    Tok::P('(') | Tok::P('[') => p.depth += 1,
+                    Tok::P(')') | Tok::P(']') => p.depth -= 1,
+                    Tok::P('{') if p.depth == 0 => {
+                        depth += 1;
+                        self.open_loop(line);
+                        i += 1;
+                        continue;
+                    }
+                    Tok::P(';') if p.depth == 0 => {
+                        // Malformed header (macro soup); give up on it.
+                        self.pending = None;
+                    }
+                    Tok::Ident(w) if p.kind == LoopKind::For && !p.seen_in => {
+                        if w == "in" && p.depth == 0 {
+                            p.seen_in = true;
+                        } else if w != "mut" && w != "ref" && w != "_" {
+                            p.induction.push(w.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+                continue;
+            }
+            match tok {
+                Tok::Ident(w) if w == "for" || w == "while" || w == "loop" => {
+                    let kind = match w.as_str() {
+                        "for" => LoopKind::For,
+                        "while" => LoopKind::While,
+                        _ => LoopKind::Loop,
+                    };
+                    // A label reads `'name : for` — three tokens back.
+                    let label = if i >= 3 {
+                        match (&self.toks[i - 3].0, &self.toks[i - 2].0, &self.toks[i - 1].0) {
+                            (Tok::P('\''), Tok::Ident(l), Tok::P(':')) => Some(l.clone()),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    if kind == LoopKind::Loop {
+                        // `loop` has no header: its `{` follows directly.
+                        self.pending = Some(Pending {
+                            kind,
+                            label,
+                            head_line: line,
+                            depth: 0,
+                            seen_in: true,
+                            induction: Vec::new(),
+                        });
+                    } else {
+                        self.pending = Some(Pending {
+                            kind,
+                            label,
+                            head_line: line,
+                            depth: 0,
+                            seen_in: false,
+                            induction: Vec::new(),
+                        });
+                    }
+                }
+                Tok::Ident(w) if w == "break" => self.on_break(i, line),
+                Tok::Ident(w) if w == "continue" => self.on_continue(i, line),
+                Tok::Ident(w) if w == "return" => {
+                    // End the block with no successors; code after is a
+                    // fresh (possibly unreachable) block.
+                    self.cur = self.new_block(line);
+                }
+                Tok::P('{') => {
+                    depth += 1;
+                    let pred = self.cur;
+                    let inner = self.new_block(line);
+                    self.link(pred, inner);
+                    self.frames.push(Frame::Plain { pred });
+                    self.cur = inner;
+                }
+                Tok::P('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                    match self.frames.pop() {
+                        Some(Frame::Plain { pred }) => {
+                            let after = self.new_block(line);
+                            self.link(self.cur, after);
+                            // Bypass edge: the region may not execute.
+                            self.link(pred, after);
+                            self.cur = after;
+                        }
+                        Some(Frame::Loop { loop_idx, head_block, breaks }) => {
+                            self.loops[loop_idx].body.1 = line;
+                            // Back edge, then the loop's exit block.
+                            self.link(self.cur, head_block);
+                            let after = self.new_block(line);
+                            self.link(head_block, after);
+                            for b in breaks {
+                                self.link(b, after);
+                            }
+                            self.cur = after;
+                        }
+                        None => {}
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Close any loops left open by malformed input.
+        let last_line = self.body.1;
+        while let Some(frame) = self.frames.pop() {
+            if let Frame::Loop { loop_idx, .. } = frame {
+                if self.loops[loop_idx].body.1 == usize::MAX {
+                    self.loops[loop_idx].body.1 = last_line;
+                }
+            }
+        }
+        FnCfg { blocks: self.blocks, loops: self.loops }
+    }
+
+    fn open_loop(&mut self, brace_line: usize) {
+        let p = self.pending.take().expect("open_loop only with a pending loop");
+        let depth = self.open_loops() + 1;
+        // Any enclosing loop now has an inner loop.
+        for f in &self.frames {
+            if let Frame::Loop { loop_idx, .. } = f {
+                self.loops[*loop_idx].has_inner = true;
+            }
+        }
+        self.loops.push(LoopInfo {
+            kind: p.kind,
+            label: p.label,
+            head_line: p.head_line,
+            body: (brace_line, usize::MAX),
+            depth,
+            has_inner: false,
+            induction: p.induction,
+        });
+        let loop_idx = self.loops.len() - 1;
+        let pred = self.cur;
+        let head = self.new_block(p.head_line.min(brace_line));
+        // The frame is pushed below, so count this block as inside.
+        self.blocks[head].loop_depth = depth;
+        self.link(pred, head);
+        self.frames.push(Frame::Loop { loop_idx, head_block: head, breaks: Vec::new() });
+        self.cur = head;
+    }
+
+    /// Frame-stack index of the loop a `break`/`continue` at token `i`
+    /// targets: the labeled loop if `'label` follows, else the innermost.
+    fn target_loop(&self, i: usize) -> Option<usize> {
+        let label = match (self.toks.get(i + 1), self.toks.get(i + 2)) {
+            (Some((Tok::P('\''), _)), Some((Tok::Ident(l), _))) => Some(l.as_str()),
+            _ => None,
+        };
+        self.frames.iter().rposition(|f| match f {
+            Frame::Loop { loop_idx, .. } => match label {
+                Some(l) => self.loops[*loop_idx].label.as_deref() == Some(l),
+                None => true,
+            },
+            Frame::Plain { .. } => false,
+        })
+    }
+
+    fn on_break(&mut self, i: usize, line: usize) {
+        if let Some(fi) = self.target_loop(i) {
+            let cur = self.cur;
+            if let Frame::Loop { breaks, .. } = &mut self.frames[fi] {
+                breaks.push(cur);
+            }
+            self.cur = self.new_block(line);
+        }
+    }
+
+    fn on_continue(&mut self, i: usize, line: usize) {
+        if let Some(fi) = self.target_loop(i) {
+            let head = match &self.frames[fi] {
+                Frame::Loop { head_block, .. } => *head_block,
+                Frame::Plain { .. } => unreachable!("target_loop only returns loops"),
+            };
+            let cur = self.cur;
+            self.link(cur, head);
+            self.cur = self.new_block(line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    /// Parse `src`, return the CFG of its sole top-level fn.
+    fn cfg_of(src: &str) -> FnCfg {
+        let scanned = scan(src);
+        let parsed = parse(&scanned);
+        let f = parsed.fns.first().expect("fixture has a fn");
+        FnCfg::build(&scanned, f.body.expect("fixture fn has a body"))
+    }
+
+    #[test]
+    fn simple_for_loop_depth_and_induction() {
+        let cfg = cfg_of(
+            "fn f(v: &[f32]) {\n    let mut s = 0.0;\n    for i in 0..v.len() {\n        s += 1.0;\n    }\n    let _ = s;\n}\n",
+        );
+        assert_eq!(cfg.loops.len(), 1);
+        let l = &cfg.loops[0];
+        assert_eq!(l.kind, LoopKind::For);
+        assert_eq!(l.induction, vec!["i".to_owned()]);
+        assert_eq!(l.depth, 1);
+        assert!(!l.has_inner);
+        assert_eq!(cfg.loop_depth_at(1), 0, "pre-loop line");
+        assert_eq!(cfg.loop_depth_at(3), 1, "loop body line");
+        assert_eq!(cfg.loop_depth_at(5), 0, "post-loop line");
+    }
+
+    #[test]
+    fn nested_loops_report_depth_and_has_inner() {
+        let cfg = cfg_of(
+            "fn f() {\n    for i in 0..4 {\n        while go() {\n            loop {\n                work(i);\n            }\n        }\n    }\n}\n",
+        );
+        assert_eq!(cfg.loops.len(), 3);
+        assert_eq!(cfg.loops[0].depth, 1);
+        assert_eq!(cfg.loops[1].depth, 2);
+        assert_eq!(cfg.loops[2].depth, 3);
+        assert!(cfg.loops[0].has_inner);
+        assert!(cfg.loops[1].has_inner);
+        assert!(!cfg.loops[2].has_inner);
+        assert_eq!(cfg.loop_depth_at(4), 3);
+        let inner = cfg.innermost_loop_at(4).expect("line 4 is in the loop");
+        assert_eq!(inner.kind, LoopKind::Loop);
+    }
+
+    #[test]
+    fn destructuring_for_pattern_binds_all_idents() {
+        let cfg = cfg_of(
+            "fn f(xs: &[(usize, f32)]) {\n    for (n, x) in xs.iter().enumerate() {\n        let _ = (n, x);\n    }\n}\n",
+        );
+        assert_eq!(cfg.loops[0].induction, vec!["n".to_owned(), "x".to_owned()]);
+    }
+
+    #[test]
+    fn labeled_break_targets_outer_loop() {
+        let cfg = cfg_of(
+            "fn f() {\n    'outer: for i in 0..8 {\n        for j in 0..8 {\n            if i + j > 9 {\n                break 'outer;\n            }\n        }\n    }\n}\n",
+        );
+        assert_eq!(cfg.loops.len(), 2);
+        assert_eq!(cfg.loops[0].label.as_deref(), Some("outer"));
+        assert_eq!(cfg.loops[1].label, None);
+        assert_eq!(cfg.loops[0].depth, 1);
+        assert_eq!(cfg.loops[1].depth, 2);
+        // The `break 'outer` line is inside both loop bodies.
+        assert_eq!(cfg.loop_depth_at(4), 2);
+        // The outer loop's exit block must be reachable from the break's
+        // block: find a block ending on the break line with a successor
+        // whose loop_depth is 0.
+        let escaped = cfg.blocks.iter().any(|b| {
+            b.first_line <= 4
+                && 4 <= b.last_line
+                && b.succs.iter().any(|&s| cfg.blocks[s].loop_depth == 0)
+        });
+        assert!(escaped, "labeled break must reach a depth-0 block: {:?}", cfg.blocks);
+    }
+
+    #[test]
+    fn loop_with_match_and_break() {
+        let cfg = cfg_of(
+            "fn f(rx: Rx) {\n    loop {\n        match rx.recv() {\n            Ok(v) => {\n                handle(v);\n            }\n            Err(_) => {\n                break;\n            }\n        }\n    }\n    done();\n}\n",
+        );
+        assert_eq!(cfg.loops.len(), 1);
+        assert_eq!(cfg.loops[0].kind, LoopKind::Loop);
+        assert_eq!(cfg.loops[0].body, (1, 10));
+        assert_eq!(cfg.loop_depth_at(4), 1, "match arm body is inside the loop");
+        assert_eq!(cfg.loop_depth_at(11), 0, "after the loop");
+    }
+
+    #[test]
+    fn closure_bodies_are_transparent_for_loop_depth() {
+        let cfg = cfg_of(
+            "fn f(xs: &[f32]) {\n    let g = |v: &[f32]| {\n        for x in v {\n            use_it(x);\n        }\n    };\n    for y in xs {\n        g(&[*y]);\n    }\n}\n",
+        );
+        // Two loops total: one inside the closure, one in the fn body.
+        assert_eq!(cfg.loops.len(), 2);
+        assert_eq!(cfg.loops[0].depth, 1, "closure loop is not nested in an outer loop");
+        assert_eq!(cfg.loops[1].depth, 1);
+        assert_eq!(cfg.loop_depth_at(3), 1, "inside the closure's loop");
+        assert_eq!(cfg.loop_depth_at(7), 1, "inside the fn-body loop");
+        assert_eq!(cfg.loop_depth_at(5), 0, "between the loops");
+    }
+
+    #[test]
+    fn while_let_parses_as_while() {
+        let cfg = cfg_of(
+            "fn f(mut it: It) {\n    while let Some(v) = it.next() {\n        sink(v);\n    }\n}\n",
+        );
+        assert_eq!(cfg.loops.len(), 1);
+        assert_eq!(cfg.loops[0].kind, LoopKind::While);
+        assert!(cfg.loops[0].induction.is_empty());
+    }
+
+    #[test]
+    fn loop_header_line_counts_as_inside() {
+        // Documented over-approximation: code on the open-brace line is
+        // treated as loop-resident.
+        let cfg =
+            cfg_of("fn f(n: usize) {\n    for p in (0..n).step_by(8) {\n        w(p);\n    }\n}\n");
+        assert_eq!(cfg.loop_depth_at(1), 1);
+    }
+
+    #[test]
+    fn blocks_form_a_graph_with_loop_back_edge() {
+        let cfg =
+            cfg_of("fn f() {\n    a();\n    for i in 0..2 {\n        b(i);\n    }\n    c();\n}\n");
+        // Entry block must lead (transitively) to a depth-1 block and a
+        // depth-1 block must have an edge back to the loop head.
+        let head =
+            cfg.blocks.iter().position(|b| b.loop_depth == 1).expect("loop head block exists");
+        // With no inner braces the loop body IS the head block, so the
+        // back edge shows up as a self-edge.
+        let has_back_edge = cfg.blocks.iter().any(|b| b.loop_depth >= 1 && b.succs.contains(&head));
+        assert!(has_back_edge, "loop body must loop back to its head: {:?}", cfg.blocks);
+    }
+
+    #[test]
+    fn fn_without_body_yields_empty_cfg() {
+        let scanned = scan("trait T {\n    fn sig(&self);\n}\n");
+        let parsed = parse(&scanned);
+        let f = parsed.fns.first().expect("trait method parsed");
+        assert!(f.body.is_none());
+    }
+}

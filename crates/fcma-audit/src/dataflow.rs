@@ -1,0 +1,524 @@
+//! Intraprocedural dataflow facts for the hot-path passes.
+//!
+//! Three families of facts, all computed from the scrubbed token
+//! stream so string literals and comments can never fake a hit:
+//!
+//! * **Local definitions + reaching definitions** over the block graph
+//!   of [`crate::cfg::FnCfg`] — `accumorder` asks whether a float
+//!   definition from *outside* a loop reaches a `+=` site inside it.
+//! * **Effect summaries** — which lines of a function allocate on the
+//!   heap and which lines contain a panicking `[]` index. Allocation
+//!   effects are propagated interprocedurally by the `allocinloop`
+//!   pass through the existing call graph.
+//! * **Site scans** — compound assignments (`x += …`) and single-ident
+//!   index expressions (`a[i]`), the raw material of `accumorder` and
+//!   `boundsinloop`.
+//!
+//! Everything here is heuristic in the same deliberate way the parser
+//! is: destructuring `let` bindings are not tracked, and an init
+//! expression counts as "float-valued" only on positive evidence (an
+//! `f32`/`f64` suffix or a decimal literal). The passes built on top
+//! only ever *flag* with an escape hatch, so over- and
+//! under-approximation both degrade gracefully.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::FnCfg;
+use crate::lexer::Scanned;
+use crate::parser::{tokenize, FnItem, SourceKind, Tok};
+
+/// One definition of a local variable.
+#[derive(Debug, Clone)]
+pub struct Def {
+    /// The bound identifier.
+    pub name: String,
+    /// 0-based line of the binding.
+    pub line: usize,
+    /// Scrubbed source text to the right of the `=`.
+    pub init: String,
+}
+
+impl Def {
+    /// Positive evidence that the initializer is a float expression:
+    /// an `f32`/`f64` suffix/type or a decimal literal (`0.0`, `1.`).
+    pub fn is_float(&self) -> bool {
+        if contains_word(&self.init, "f32") || contains_word(&self.init, "f64") {
+            return true;
+        }
+        let chars: Vec<char> = self.init.chars().collect();
+        chars.windows(2).any(|w| w[0].is_ascii_digit() && w[1] == '.') && !self.init.contains("..")
+    }
+}
+
+/// A compound assignment `name op= …` to a plain (non-indexed,
+/// non-field) local.
+#[derive(Debug, Clone)]
+pub struct CompoundAssign {
+    /// The assigned identifier.
+    pub name: String,
+    /// 0-based line.
+    pub line: usize,
+    /// The operator character (`+`, `-`, `*`, `/`).
+    pub op: char,
+}
+
+/// A `base[index]` expression whose index is a single identifier.
+#[derive(Debug, Clone)]
+pub struct IndexSite {
+    /// 0-based line.
+    pub line: usize,
+    /// The indexed identifier.
+    pub base: String,
+    /// The index identifier.
+    pub index: String,
+}
+
+/// One heap-allocation site inside a function body.
+#[derive(Debug, Clone)]
+pub struct AllocSite {
+    /// 0-based line.
+    pub line: usize,
+    /// Human label for diagnostics, e.g. `` `vec!` `` or `` `.to_vec()` ``.
+    pub what: String,
+}
+
+/// Per-function effect summary consumed by the hot-path passes.
+#[derive(Debug, Clone, Default)]
+pub struct Effects {
+    /// Heap-allocation sites, sorted by line.
+    pub allocs: Vec<AllocSite>,
+    /// Lines with a panicking `[]` index (from the parser's panic
+    /// sources) — a cheap pre-filter for `boundsinloop`.
+    pub index_lines: Vec<usize>,
+}
+
+/// Method-call names that allocate.
+const ALLOC_METHODS: &[&str] = &["to_vec", "clone", "collect", "to_owned", "to_string"];
+/// `Owner::name` qualified calls that allocate.
+const ALLOC_OWNERS: &[&str] = &["Vec", "Box", "String", "VecDeque", "BTreeMap", "HashMap"];
+const ALLOC_CTORS: &[&str] = &["new", "with_capacity", "from"];
+/// Macros that allocate, matched textually (the parser does not record
+/// macro invocations as calls).
+const ALLOC_MACROS: &[&str] = &["vec!", "format!"];
+
+/// Collect the allocation and panic-index effect summary for `f`.
+pub fn effects(f: &FnItem, scan: &Scanned) -> Effects {
+    let Some(body) = f.body else { return Effects::default() };
+    let mut allocs: Vec<AllocSite> = Vec::new();
+    for c in &f.calls {
+        if c.method && ALLOC_METHODS.contains(&c.name.as_str()) {
+            allocs.push(AllocSite { line: c.line, what: format!("`.{}()`", c.name) });
+        } else if let Some(owner) = &c.owner {
+            if ALLOC_OWNERS.contains(&owner.as_str()) && ALLOC_CTORS.contains(&c.name.as_str()) {
+                allocs.push(AllocSite { line: c.line, what: format!("`{}::{}`", owner, c.name) });
+            }
+        }
+    }
+    for (line, code) in scan.code_lines.iter().enumerate().take(body.1 + 1).skip(body.0) {
+        for mac in ALLOC_MACROS {
+            if has_macro(code, mac) {
+                allocs.push(AllocSite { line, what: format!("`{mac}`") });
+            }
+        }
+    }
+    allocs.sort_by_key(|a| (a.line, a.what.clone()));
+    allocs.dedup_by(|a, b| a.line == b.line && a.what == b.what);
+    let mut index_lines: Vec<usize> =
+        f.sources.iter().filter(|s| s.kind == SourceKind::Index).map(|s| s.line).collect();
+    index_lines.dedup();
+    Effects { allocs, index_lines }
+}
+
+/// Does `code` invoke macro `mac` (e.g. `"vec!"`) at a word boundary?
+fn has_macro(code: &str, mac: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(mac) {
+        let at = from + p;
+        let ok_left = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_ascii_alphanumeric() || c == '_')
+        };
+        if ok_left {
+            return true;
+        }
+        from = at + mac.len();
+    }
+    false
+}
+
+fn contains_word(hay: &str, word: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(word) {
+        let at = from + p;
+        let ok_left = at == 0 || {
+            let c = bytes[at - 1] as char;
+            !(c.is_ascii_alphanumeric() || c == '_')
+        };
+        let end = at + word.len();
+        let ok_right = end >= hay.len() || {
+            let c = bytes[end] as char;
+            !(c.is_ascii_alphanumeric() || c == '_')
+        };
+        if ok_left && ok_right {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Tokens of the body span, as `(token, line)` pairs.
+fn body_tokens(scan: &Scanned, body: (usize, usize)) -> Vec<(Tok, usize)> {
+    tokenize(scan).into_iter().filter(|(_, l)| body.0 <= *l && *l <= body.1).collect()
+}
+
+/// Punctuation that, directly before an `Ident '=' …` sequence, marks a
+/// comparison or compound operator rather than a plain assignment.
+const NOT_ASSIGN_PREFIX: &[char] =
+    &['=', '<', '>', '!', '+', '-', '*', '/', '%', '&', '|', '^', '.', ':'];
+
+/// Collect local definitions (simple `let` bindings and plain
+/// reassignments) inside `body`. Destructuring patterns are skipped.
+pub fn local_defs(scan: &Scanned, body: (usize, usize)) -> Vec<Def> {
+    let toks = body_tokens(scan, body);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].0 {
+            Tok::Ident(w) if w == "let" => {
+                let mut j = i + 1;
+                if matches!(&toks.get(j), Some((Tok::Ident(m), _)) if m == "mut") {
+                    j += 1;
+                }
+                if let (Some((Tok::Ident(name), line)), Some((Tok::P('=') | Tok::P(':'), _))) =
+                    (toks.get(j), toks.get(j + 1))
+                {
+                    // `let x = …` or `let x: T = …`.
+                    out.push(Def {
+                        name: name.clone(),
+                        line: *line,
+                        init: init_text(&scan.code_lines[*line]),
+                    });
+                    i = j + 1;
+                    continue;
+                }
+            }
+            Tok::Ident(name) => {
+                // Plain reassignment `x = …` (not `==`, `=>`, `x op= …`).
+                let prev_ok = i == 0
+                    || match &toks[i - 1].0 {
+                        Tok::Ident(w) => w != "let" && w != "mut",
+                        Tok::P(c) => !NOT_ASSIGN_PREFIX.contains(c),
+                    };
+                let is_assign = matches!(toks.get(i + 1), Some((Tok::P('='), _)))
+                    && !matches!(toks.get(i + 2), Some((Tok::P('=') | Tok::P('>'), _)));
+                if prev_ok && is_assign && !is_keyword(name) {
+                    out.push(Def {
+                        name: name.clone(),
+                        line: toks[i].1,
+                        init: init_text(&scan.code_lines[toks[i].1]),
+                    });
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "let"
+            | "mut"
+            | "if"
+            | "else"
+            | "match"
+            | "for"
+            | "while"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "fn"
+            | "in"
+            | "ref"
+            | "move"
+            | "const"
+            | "static"
+    )
+}
+
+/// The source text after the first plain `=` on `code` (skipping
+/// `==`, `<=`, `>=`, `!=`, `=>`, and compound `op=` operators).
+fn init_text(code: &str) -> String {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '=' {
+            continue;
+        }
+        let prev = if i > 0 { chars[i - 1] } else { ' ' };
+        let next = chars.get(i + 1).copied().unwrap_or(' ');
+        if NOT_ASSIGN_PREFIX.contains(&prev) || next == '=' || next == '>' {
+            continue;
+        }
+        return chars[i + 1..].iter().collect();
+    }
+    String::new()
+}
+
+/// Collect compound assignments to plain locals inside `body`.
+/// Indexed (`a[i] += …`) and field (`s.x += …`) targets are skipped —
+/// they are element updates, not scalar accumulators.
+pub fn compound_assigns(scan: &Scanned, body: (usize, usize)) -> Vec<CompoundAssign> {
+    let toks = body_tokens(scan, body);
+    let mut out = Vec::new();
+    for i in 1..toks.len().saturating_sub(1) {
+        let op = match &toks[i].0 {
+            Tok::P(c @ ('+' | '-' | '*' | '/')) => *c,
+            _ => continue,
+        };
+        if !matches!(&toks[i + 1].0, Tok::P('=')) {
+            continue;
+        }
+        if matches!(toks.get(i + 2), Some((Tok::P('='), _))) {
+            continue;
+        }
+        let Tok::Ident(name) = &toks[i - 1].0 else { continue };
+        if is_keyword(name) {
+            continue;
+        }
+        // `s.x += …` is a field update; `*s += …` (a &mut deref) is a
+        // scalar accumulator and is kept.
+        if i >= 2 && matches!(&toks[i - 2].0, Tok::P('.')) {
+            continue;
+        }
+        out.push(CompoundAssign { name: name.clone(), line: toks[i].1, op });
+    }
+    out
+}
+
+/// Collect `base[index]` sites where the index is one identifier.
+pub fn index_sites(scan: &Scanned, body: (usize, usize)) -> Vec<IndexSite> {
+    let toks = body_tokens(scan, body);
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(3) {
+        let (Tok::Ident(base), line) = (&toks[i].0, toks[i].1) else { continue };
+        if !matches!(&toks[i + 1].0, Tok::P('[')) {
+            continue;
+        }
+        let Tok::Ident(index) = &toks[i + 2].0 else { continue };
+        if !matches!(&toks[i + 3].0, Tok::P(']')) {
+            continue;
+        }
+        if is_keyword(base) || is_keyword(index) {
+            continue;
+        }
+        out.push(IndexSite { line, base: base.clone(), index: index.clone() });
+    }
+    out
+}
+
+/// Reaching definitions over a [`FnCfg`] block graph.
+pub struct Reaching<'a> {
+    defs: &'a [Def],
+    cfg: &'a FnCfg,
+    /// Per-block set of def indices reaching the block's entry.
+    in_sets: Vec<BTreeSet<usize>>,
+    /// Block index each def lives in.
+    def_block: Vec<usize>,
+}
+
+impl<'a> Reaching<'a> {
+    /// Run the classic gen/kill fixpoint. Block counts are tiny (one
+    /// per brace region), so a naive iterate-until-stable is plenty.
+    pub fn build(cfg: &'a FnCfg, defs: &'a [Def]) -> Reaching<'a> {
+        let nb = cfg.blocks.len();
+        let def_block: Vec<usize> = defs.iter().map(|d| cfg.block_at(d.line)).collect();
+        // gen[b]: per name, the last def of that name in the block.
+        let mut gen: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nb];
+        let mut kills_name: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); nb];
+        for b in 0..nb {
+            let mut last: std::collections::BTreeMap<&str, usize> = Default::default();
+            for (di, d) in defs.iter().enumerate() {
+                if def_block[di] == b {
+                    last.insert(d.name.as_str(), di);
+                    kills_name[b].insert(d.name.as_str());
+                }
+            }
+            gen[b].extend(last.values().copied());
+        }
+        let mut in_sets: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nb];
+        let mut out_sets: Vec<BTreeSet<usize>> = gen.clone();
+        loop {
+            let mut changed = false;
+            for b in 0..nb {
+                let mut inc: BTreeSet<usize> = BTreeSet::new();
+                for (p, blk) in cfg.blocks.iter().enumerate() {
+                    if blk.succs.contains(&b) {
+                        inc.extend(out_sets[p].iter().copied());
+                    }
+                }
+                if inc != in_sets[b] {
+                    in_sets[b] = inc;
+                    changed = true;
+                }
+                let mut out: BTreeSet<usize> = gen[b].clone();
+                out.extend(
+                    in_sets[b]
+                        .iter()
+                        .copied()
+                        .filter(|&d| !kills_name[b].contains(defs[d].name.as_str())),
+                );
+                if out != out_sets[b] {
+                    out_sets[b] = out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        Reaching { defs, cfg, in_sets, def_block }
+    }
+
+    /// Definitions of `name` that can reach a use at `line`: the latest
+    /// same-block def at or before the line if one exists, otherwise
+    /// every def of the name flowing into the block.
+    pub fn reaching_at(&self, name: &str, line: usize) -> Vec<&Def> {
+        let b = self.cfg.block_at(line);
+        let local = self
+            .defs
+            .iter()
+            .enumerate()
+            .filter(|(di, d)| self.def_block[*di] == b && d.name == name && d.line <= line)
+            .max_by_key(|(_, d)| d.line);
+        if let Some((_, d)) = local {
+            return vec![d];
+        }
+        self.in_sets[b].iter().map(|&di| &self.defs[di]).filter(|d| d.name == name).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn first_fn(src: &str) -> (Scanned, (usize, usize), FnItem) {
+        let scanned = scan(src);
+        let parsed = parse(&scanned);
+        let f = parsed.fns.first().expect("fixture has a fn").clone();
+        let body = f.body.expect("fixture fn has a body");
+        (scanned, body, f)
+    }
+
+    #[test]
+    fn let_bindings_and_reassignments_are_defs() {
+        let (scanned, body, _) = first_fn(
+            "fn f() {\n    let mut s = 0.0f32;\n    let n: usize = 3;\n    s = 1.0;\n    let _ = (s, n);\n}\n",
+        );
+        let defs = local_defs(&scanned, body);
+        let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+        assert!(names.contains(&"s"), "{defs:?}");
+        assert!(names.contains(&"n"), "{defs:?}");
+        assert_eq!(defs.iter().filter(|d| d.name == "s").count(), 2, "let + reassign");
+    }
+
+    #[test]
+    fn float_initializers_are_recognized() {
+        let (scanned, body, _) = first_fn(
+            "fn f(k: usize) {\n    let a = 0.0f32;\n    let b = 1.5;\n    let c = k;\n    let d = 0..k;\n    let _ = (a, b, c, d);\n}\n",
+        );
+        let defs = local_defs(&scanned, body);
+        let by = |n: &str| defs.iter().find(|d| d.name == n).expect("def exists");
+        assert!(by("a").is_float());
+        assert!(by("b").is_float());
+        assert!(!by("c").is_float(), "plain ident init has no float evidence");
+        assert!(!by("d").is_float(), "a range is not a float literal");
+    }
+
+    #[test]
+    fn comparisons_and_arrows_are_not_defs() {
+        let (scanned, body, _) = first_fn(
+            "fn f(x: usize) -> usize {\n    if x == 3 { return 0; }\n    let y = match x { 0 => 1, _ => 2 };\n    y\n}\n",
+        );
+        let defs = local_defs(&scanned, body);
+        assert_eq!(defs.len(), 1, "{defs:?}");
+        assert_eq!(defs[0].name, "y");
+    }
+
+    #[test]
+    fn compound_assigns_skip_indexed_and_field_targets() {
+        let (scanned, body, _) = first_fn(
+            "fn f(a: &mut [f32], s: &mut St) {\n    let mut t = 0.0;\n    t += 1.0;\n    a[0] += 1.0;\n    s.x += 1.0;\n    *best -= 2.0;\n}\n",
+        );
+        let sites = compound_assigns(&scanned, body);
+        let names: Vec<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["t", "best"], "{sites:?}");
+    }
+
+    #[test]
+    fn index_sites_match_single_ident_indices_only() {
+        let (scanned, body, _) = first_fn(
+            "fn f(a: &[f32], d: &mut [f32], i: usize, n: usize) {\n    let x = a[i];\n    d[i + 1] = x;\n    let y = &a[..n];\n    let _ = y;\n}\n",
+        );
+        let sites = index_sites(&scanned, body);
+        assert_eq!(sites.len(), 1, "{sites:?}");
+        assert_eq!(sites[0].base, "a");
+        assert_eq!(sites[0].index, "i");
+    }
+
+    #[test]
+    fn alloc_effects_cover_macros_methods_and_ctors() {
+        let (scanned, _, f) = first_fn(
+            "fn f(xs: &[f32]) -> Vec<f32> {\n    let v = vec![0.0f32; 4];\n    let w = xs.to_vec();\n    let b = Box::new(1);\n    let _ = (w, b);\n    v\n}\n",
+        );
+        let e = effects(&f, &scanned);
+        let whats: Vec<&str> = e.allocs.iter().map(|a| a.what.as_str()).collect();
+        assert!(whats.contains(&"`vec!`"), "{whats:?}");
+        assert!(whats.contains(&"`.to_vec()`"), "{whats:?}");
+        assert!(whats.contains(&"`Box::new`"), "{whats:?}");
+    }
+
+    #[test]
+    fn alloc_macros_in_strings_or_comments_do_not_count() {
+        let (scanned, _, f) = first_fn(
+            "fn f() {\n    // vec! here is commentary\n    let s = \"vec![1]\";\n    let _ = s;\n}\n",
+        );
+        let e = effects(&f, &scanned);
+        assert!(e.allocs.is_empty(), "{:?}", e.allocs);
+    }
+
+    #[test]
+    fn reaching_defs_cross_loop_boundary() {
+        let (scanned, body, _) = first_fn(
+            "fn f(xs: &[f32]) -> f32 {\n    let mut s = 0.0f32;\n    for x in xs {\n        s += *x;\n    }\n    s\n}\n",
+        );
+        let cfg = FnCfg::build(&scanned, body);
+        let defs = local_defs(&scanned, body);
+        let rd = Reaching::build(&cfg, &defs);
+        let reach = rd.reaching_at("s", 3);
+        assert!(!reach.is_empty(), "outer def must reach the += site");
+        assert!(reach.iter().any(|d| d.line == 1 && d.is_float()), "{reach:?}");
+    }
+
+    #[test]
+    fn per_iteration_def_shadows_outer_def() {
+        let (scanned, body, _) = first_fn(
+            "fn f(xs: &[f32]) {\n    let mut s = 0.0f32;\n    for x in xs {\n        let mut s = 0.0f32;\n        s += *x;\n        let _ = s;\n    }\n    let _ = s;\n}\n",
+        );
+        let cfg = FnCfg::build(&scanned, body);
+        let defs = local_defs(&scanned, body);
+        let rd = Reaching::build(&cfg, &defs);
+        let reach = rd.reaching_at("s", 4);
+        assert!(
+            reach.iter().all(|d| d.line == 3),
+            "same-block def must shadow the outer one: {reach:?}"
+        );
+    }
+}

@@ -48,6 +48,22 @@ pub fn render(violations: &[Violation], format: Format) -> String {
     out
 }
 
+/// Render per-pass statistics as a deterministic pretty-printed JSON
+/// object (pass run order), for `fcma-audit stats` and the committed
+/// `audit-baseline.json` that CI diffs against byte for byte.
+pub fn render_stats(stats: &[(&'static str, usize, usize)]) -> String {
+    let mut out = String::from("{\n");
+    for (i, (pass, violations, allows)) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "  {}: {{\"violations\": {violations}, \"allows\": {allows}}}",
+            json_str(pass)
+        ));
+        out.push_str(if i + 1 < stats.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("}\n");
+    out
+}
+
 /// Minimal JSON string escaping (std-only, like the fcma-trace exporter).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -129,6 +145,15 @@ mod tests {
     fn json_escapes_control_chars() {
         assert_eq!(json_str("a\nb\t\"c\"\\"), "\"a\\nb\\t\\\"c\\\"\\\\\"");
         assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn stats_format_golden() {
+        let got = render_stats(&[("unsafe", 0, 0), ("cast", 2, 5), ("unusedallow", 1, 0)]);
+        let want = "{\n  \"unsafe\": {\"violations\": 0, \"allows\": 0},\n  \
+                    \"cast\": {\"violations\": 2, \"allows\": 5},\n  \
+                    \"unusedallow\": {\"violations\": 1, \"allows\": 0}\n}\n";
+        assert_eq!(got, want);
     }
 
     #[test]

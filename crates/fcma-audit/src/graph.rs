@@ -166,6 +166,10 @@ pub struct Contracts {
     /// acquire locks of strictly higher rank). `None` when the table is
     /// absent.
     pub lock_order: Option<Vec<String>>,
+    /// Functions declared hot by the §14 "Hot functions" table, as
+    /// `name` or `Type::name` entries. `None` when the table is absent.
+    /// The hot-path passes union these with `// audit: hot` markers.
+    pub hot_fns: Option<Vec<String>>,
 }
 
 /// Extract backtick-quoted tokens from a markdown table cell.
@@ -188,7 +192,7 @@ fn backticked(cell: &str) -> Vec<String> {
 
 impl Contracts {
     /// Parse the `## 12. Architecture contracts` section of DESIGN.md,
-    /// plus the §13 "Lock order" table.
+    /// plus the §13 "Lock order" and §14 "Hot functions" tables.
     ///
     /// §12 table rows are classified by their first backticked token: a
     /// token containing `::` is a protocol row (`Enum::Variant`), a
@@ -196,16 +200,21 @@ impl Contracts {
     /// no backticked first cell and are skipped. The lock-order table is
     /// every table row between a heading containing "Lock order" and the
     /// next heading; each row's first backticked token is a lock name,
-    /// ranked by row order.
+    /// ranked by row order. The hot-functions table works the same way
+    /// under a heading containing "Hot functions": each row's first
+    /// backticked cell names a hot function.
     pub fn from_design_md(text: &str) -> Contracts {
         let mut in_section = false;
         let mut in_lock_order = false;
+        let mut in_hot = false;
         let mut layering: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut protocol: Vec<ProtocolEntry> = Vec::new();
         let mut lock_order: Vec<String> = Vec::new();
+        let mut hot_fns: Vec<String> = Vec::new();
         for line in text.lines() {
             if line.starts_with('#') {
                 in_lock_order = line.contains("Lock order");
+                in_hot = line.contains("Hot functions");
                 if line.starts_with("## ") {
                     in_section = line.contains("Architecture contracts");
                 }
@@ -223,6 +232,12 @@ impl Contracts {
                 // lock (the leading cell is typically the rank number).
                 if let Some(name) = cells.iter().find_map(|c| backticked(c).into_iter().next()) {
                     lock_order.push(name);
+                }
+                continue;
+            }
+            if in_hot {
+                if let Some(name) = backticked(cells[0]).into_iter().next() {
+                    hot_fns.push(name);
                 }
                 continue;
             }
@@ -251,6 +266,7 @@ impl Contracts {
             layering: (!layering.is_empty()).then_some(layering),
             protocol: (!protocol.is_empty()).then_some(protocol),
             lock_order: (!lock_order.is_empty()).then_some(lock_order),
+            hot_fns: (!hot_fns.is_empty()).then_some(hot_fns),
         }
     }
 }
@@ -475,6 +491,24 @@ Blah.
         assert!(c2.layering.is_some());
         assert!(c2.protocol.is_some());
         assert_eq!(c2.lock_order.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn contracts_parse_hot_functions_table() {
+        let md = "## 14. Hot-path contracts\n\nProse about markers.\n\n\
+                  ### Hot functions\n\n\
+                  | Function | Crate | Role |\n|---|---|---|\n\
+                  | `syrk_panel_scratch` | `fcma-linalg` | stage-3 panel walk |\n\
+                  | `gemm_blocked_scratch` | `fcma-linalg` | baseline GEMM |\n\n\
+                  ### After\n\n| `not_hot` | x |\n";
+        let c = Contracts::from_design_md(md);
+        assert_eq!(c.hot_fns.unwrap(), vec!["syrk_panel_scratch", "gemm_blocked_scratch"]);
+        // The §13 and §12 parses are unaffected by a §14 table.
+        let both = format!("{DESIGN}\n### Lock order\n\n| 1 | `shared` | x |\n\n{md}");
+        let c2 = Contracts::from_design_md(&both);
+        assert!(c2.layering.is_some());
+        assert_eq!(c2.lock_order.unwrap(), vec!["shared"]);
+        assert_eq!(c2.hot_fns.unwrap().len(), 2);
     }
 
     fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {

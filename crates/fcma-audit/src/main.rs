@@ -1,6 +1,7 @@
 //! Command-line driver for the FCMA static-analysis audit.
 //!
-//! Usage: `fcma-audit check [--root DIR] [--format human|json]`
+//! Usage: `fcma-audit check [--root DIR] [--format human|json]
+//! [--passes a,b,c]` or `fcma-audit stats [--root DIR]`.
 //!
 //! With no `--root`, the workspace root is resolved from the location
 //! of this crate at compile time (two levels above its manifest), so
@@ -10,6 +11,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fcma_audit::passes::{ESCAPABLE_PASSES, PASS_NAMES};
 use fcma_audit::Format;
 
 fn main() -> ExitCode {
@@ -17,6 +19,7 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Human;
     let mut command: Option<String> = None;
+    let mut passes: Option<Vec<String>> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -35,6 +38,15 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--passes" => match it.next() {
+                Some(list) => {
+                    passes = Some(list.split(',').map(str::to_owned).collect());
+                }
+                None => {
+                    eprintln!("fcma-audit: --passes requires a comma-separated pass list");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -47,8 +59,57 @@ fn main() -> ExitCode {
         }
     }
 
+    let selected: Vec<&str> = match &passes {
+        None => PASS_NAMES.to_vec(),
+        Some(list) => {
+            let mut sel = Vec::new();
+            for p in list {
+                match PASS_NAMES.iter().find(|known| **known == p.as_str()) {
+                    Some(known) => sel.push(*known),
+                    None => {
+                        eprintln!(
+                            "fcma-audit: unknown pass `{p}` (known: {})",
+                            PASS_NAMES.join(", ")
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            // unusedallow decides staleness from which markers the other
+            // passes consumed; on a subset it would flag markers whose
+            // pass simply didn't run.
+            if sel.contains(&"unusedallow") && !ESCAPABLE_PASSES.iter().all(|p| sel.contains(p)) {
+                eprintln!(
+                    "fcma-audit: `unusedallow` needs every escapable pass selected \
+                     (it checks which allow markers were consumed)"
+                );
+                return ExitCode::from(2);
+            }
+            sel
+        }
+    };
+
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
     match command.as_deref() {
         Some("check") => {}
+        Some("stats") => {
+            if passes.is_some() {
+                eprintln!("fcma-audit: `stats` always covers every pass; drop --passes");
+                return ExitCode::from(2);
+            }
+            return match fcma_audit::analyze(&root) {
+                Ok(ws) => {
+                    print!("{}", fcma_audit::render_stats(&ws.stats()));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("fcma-audit: error: {e}");
+                    ExitCode::from(2)
+                }
+            };
+        }
         Some(other) => {
             eprintln!("fcma-audit: unknown command `{other}`\n{USAGE}");
             return ExitCode::from(2);
@@ -59,11 +120,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let root =
-        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
-
-    match fcma_audit::audit(&root) {
-        Ok(violations) => {
+    match fcma_audit::analyze(&root) {
+        Ok(ws) => {
+            let violations = ws.run_selected(&selected);
             print!("{}", fcma_audit::render(&violations, format));
             if violations.is_empty() {
                 // JSON consumers get a silent empty stream; humans get
@@ -86,12 +145,20 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: fcma-audit check [--root DIR] [--format human|json]
+const USAGE: &str = "usage: fcma-audit check [--root DIR] [--format human|json] [--passes a,b,c]
+       fcma-audit stats [--root DIR]
+
+commands:
+  check  run the audit passes and print violations (exit 1 if any)
+  stats  print per-pass violation and allow-marker counts as JSON
+         (CI diffs this against the committed audit-baseline.json)
 
 output:
   --format human  file:line: pass: message (default)
   --format json   one JSON object per violation:
                   {\"file\":…,\"line\":…,\"pass\":…,\"message\":…}
+  --passes a,b,c  run only the named passes (`unusedallow` requires
+                  every escapable pass to be selected with it)
 
 passes:
   unsafe       no `unsafe` blocks anywhere (no escape hatch)
@@ -113,7 +180,20 @@ passes:
                acquired in strictly increasing rank (call-graph transitive)
   blockinlock  no channel recv / file I/O reachable while a facade lock
                is held
+  allocinloop  no heap allocation inside a loop of a hot fn, directly or
+               through callees (DESIGN.md §14 table or `// audit: hot`)
+  boundsinloop no `base[i]` indexing by the induction variable in an
+               innermost hot loop (use slices/iterators/chunks)
+  accumorder   no float compound accumulation across iterations of a hot
+               loop without an `// audit: allow(accumorder)` justification
+  hotcallout   hot fns call only hot or `// audit: pure` fns; no console
+               I/O, trace probes, locks, or blocking calls in hot code
   unusedallow  every allow marker must suppress something
+
+fn markers (on the fn line or the line directly above):
+  // audit: hot   treat this fn as hot even if absent from DESIGN.md §14
+  // audit: pure  trusted leaf: hot fns may call it; its body is not
+                  scanned by hotcallout (allocation still propagates)
 
 escape markers (same line or the line above; reason mandatory):
   // audit: allow(cast) — <reason>
@@ -123,4 +203,8 @@ escape markers (same line or the line above; reason mandatory):
   // audit: allow(deadpub) — <reason>
   // audit: allow(syncfacade) — <reason>
   // audit: allow(lockorder) — <reason>
-  // audit: allow(blockinlock) — <reason>";
+  // audit: allow(blockinlock) — <reason>
+  // audit: allow(allocinloop) — <reason>
+  // audit: allow(boundsinloop) — <reason>
+  // audit: allow(accumorder) — <reason>
+  // audit: allow(hotcallout) — <reason>";

@@ -164,13 +164,13 @@ const NON_CALL_KEYWORDS: &[&str] = &[
 
 /// One lexical token: an identifier or a punctuation character.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
+pub(crate) enum Tok {
     Ident(String),
     P(char),
 }
 
 /// Tokenize the scrubbed code view; returns (token, 0-based line) pairs.
-fn tokenize(scan: &Scanned) -> Vec<(Tok, usize)> {
+pub(crate) fn tokenize(scan: &Scanned) -> Vec<(Tok, usize)> {
     let mut out = Vec::new();
     for (lineno, code) in scan.code_lines.iter().enumerate() {
         let chars: Vec<char> = code.chars().collect();

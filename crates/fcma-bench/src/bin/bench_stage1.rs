@@ -1,0 +1,81 @@
+//! `bench-stage1` — quick host benchmark of the stage-1 correlation
+//! kernels and the stage-3a SYRK, emitted as deterministic-shape JSON.
+//!
+//! ```sh
+//! bench-stage1 [--scaled-voxels N] [--task-voxels N] [--reps N] > BENCH_stage1.json
+//! ```
+//!
+//! Runs `measure_stage12` (baseline GEMM vs tall-skinny vs merged
+//! normalization, on a scaled dataset) and `measure_syrk` (dot vs panel
+//! SYRK at the *full-scale* kernel-matrix shape) for both evaluation
+//! datasets. The committed `BENCH_stage1.json` records one machine's
+//! numbers next to the shapes that produced them; absolute times vary
+//! across hosts, so consumers should compare ratios, not milliseconds.
+
+use fcma_bench::measure::{measure_stage12, measure_syrk};
+use fcma_bench::workloads::DatasetKind;
+
+struct Opts {
+    scaled_voxels: usize,
+    task_voxels: usize,
+    reps: usize,
+}
+
+fn main() {
+    let mut opts = Opts { scaled_voxels: 256, task_voxels: 32, reps: 3 };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |name: &str| -> usize {
+            it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("bench-stage1: {name} requires a positive integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--scaled-voxels" => opts.scaled_voxels = num("--scaled-voxels"),
+            "--task-voxels" => opts.task_voxels = num("--task-voxels"),
+            "--reps" => opts.reps = num("--reps"),
+            other => {
+                eprintln!("bench-stage1: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"scaled_voxels\": {}, \"task_voxels\": {}, \"reps\": {}}},\n",
+        opts.scaled_voxels, opts.task_voxels, opts.reps
+    ));
+    out.push_str("  \"datasets\": [\n");
+    for (di, kind) in DatasetKind::both().iter().enumerate() {
+        let (n, subjects, m, _) = kind.table2();
+        let syrk = kind.syrk_shape(1);
+        eprintln!("bench-stage1: {} stage-1/2 (scaled)...", kind.name());
+        let t = measure_stage12(*kind, opts.scaled_voxels, opts.task_voxels, opts.reps);
+        eprintln!("bench-stage1: {} SYRK {}x{} (full-scale)...", kind.name(), syrk.m, syrk.n);
+        let (dot_ms, panel_ms) = measure_syrk(*kind, opts.scaled_voxels, opts.reps);
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"table2\": {{\"voxels\": {n}, \
+             \"subjects\": {subjects}, \"epochs\": {m}}},\n",
+            kind.name()
+        ));
+        out.push_str(&format!(
+            "      \"stage12_ms\": {{\"corr_baseline\": {:.3}, \"corr_optimized\": {:.3}, \
+             \"separated\": {:.3}, \"merged\": {:.3}, \"baseline_norm\": {:.3}}},\n",
+            t.corr_baseline_ms,
+            t.corr_optimized_ms,
+            t.separated_ms,
+            t.merged_ms,
+            t.baseline_norm_ms
+        ));
+        out.push_str(&format!(
+            "      \"syrk\": {{\"m\": {}, \"n\": {}, \"dot_ms\": {:.3}, \"panel_ms\": {:.3}}}\n",
+            syrk.m, syrk.n, dot_ms, panel_ms
+        ));
+        out.push_str(if di == 0 { "    },\n" } else { "    }\n" });
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

@@ -13,7 +13,9 @@
 use crate::context::TaskContext;
 use crate::task::VoxelTask;
 use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
-use fcma_linalg::{corr_tall_skinny, gemm_blocked, CorrLayout, Mat};
+use fcma_linalg::{
+    corr_tall_skinny, gemm_blocked_scratch, BlockSizes, CorrLayout, GemmScratch, Mat,
+};
 use fcma_sim::analytic::CorrShape;
 use fcma_trace::{counter, span};
 
@@ -113,11 +115,24 @@ pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
     if fcma_trace::is_enabled() {
         bridge_stage1_counters(&assigned, v, n, fcma_sim::analytic::corr_mkl);
     }
-    for e in 0..m {
-        let a = &assigned[e];
+    // One scratch serves every epoch's multiply (DESIGN.md §14: no
+    // per-iteration allocation on the correlation path).
+    let mut scratch = GemmScratch::new(BlockSizes::default());
+    for (e, a) in assigned.iter().enumerate() {
         let b = ctx.norm.brain(e);
         let k = a.cols();
-        gemm_blocked(v, n, k, a.as_slice(), k.max(1), b.as_slice(), n, &mut buf[e * n..], m * n);
+        gemm_blocked_scratch(
+            v,
+            n,
+            k,
+            a.as_slice(),
+            k.max(1),
+            b.as_slice(),
+            n,
+            &mut buf[e * n..],
+            m * n,
+            &mut scratch,
+        );
     }
     fcma_linalg::debug_assert_finite!(&buf, "stage1 baseline correlation output");
     CorrData { buf, layout }

@@ -11,6 +11,7 @@
 
 use crate::stage1::CorrData;
 use crate::task::{VoxelScore, VoxelTask};
+use fcma_linalg::{SyrkScratch, PANEL_K};
 use fcma_svm::{loso_cross_validate, KernelMatrix, SolverKind};
 use fcma_trace::{counter, span};
 use rayon::prelude::*;
@@ -36,6 +37,7 @@ pub(crate) fn score_voxel(
     groups: &[usize],
     solver: &SolverKind,
     precompute: KernelPrecompute,
+    scratch: &mut SyrkScratch,
 ) -> f64 {
     let m = corr.layout.n_epochs;
     let n = corr.layout.n_brain;
@@ -44,7 +46,7 @@ pub(crate) fn score_voxel(
     let data = corr.voxel_matrix(vi);
     let kernel = match precompute {
         KernelPrecompute::Baseline => KernelMatrix::precompute_baseline_raw(m, n, data),
-        KernelPrecompute::Optimized => KernelMatrix::precompute_raw(m, n, data),
+        KernelPrecompute::Optimized => KernelMatrix::precompute_raw_with(m, n, data, scratch),
     };
     loso_cross_validate(&kernel, y, groups, solver).accuracy
 }
@@ -63,12 +65,17 @@ pub fn score_task(
     assert_eq!(corr.layout.n_assigned, task.count, "score_task: task/corr shape mismatch");
     let _span = span!("stage3.score", voxels = task.count, epochs = corr.layout.n_epochs);
     counter!("stage3.voxels", task.count);
+    // One SYRK scratch per rayon worker, reused across that worker's
+    // voxels — the paper's per-thread A_local buffers (§4.4).
     (0..task.count)
         .into_par_iter()
-        .map(|vi| VoxelScore {
-            voxel: task.start + vi,
-            accuracy: score_voxel(corr, vi, y, groups, solver, precompute),
-        })
+        .map_init(
+            || SyrkScratch::new(corr.layout.n_epochs, PANEL_K),
+            |scratch, vi| VoxelScore {
+                voxel: task.start + vi,
+                accuracy: score_voxel(corr, vi, y, groups, solver, precompute, scratch),
+            },
+        )
         .collect()
 }
 

@@ -73,8 +73,63 @@ pub fn gemm_blocked_with(
     c: &mut [f32],
     ldc: usize,
 ) {
+    let mut scratch = GemmScratch::new(bs);
+    gemm_blocked_scratch(m, n, k, a, lda, b, ldb, c, ldc, &mut scratch);
+}
+
+/// Reusable packing buffers for the blocked GEMM. Sized purely by the
+/// block configuration, so one [`GemmScratch`] serves any sequence of
+/// problem shapes — e.g. the stage-1 correlation loop multiplies one
+/// epoch slab per iteration and must not pay an allocation each time.
+pub struct GemmScratch {
+    /// `NR`-wide packed panels of the current `B` slab.
+    b_pack: Vec<f32>,
+    /// `MR`-tall packed panels of the current `A` slab.
+    a_pack: Vec<f32>,
+    /// Block configuration the buffers were sized for.
+    bs: BlockSizes,
+}
+
+impl GemmScratch {
+    /// Size packing buffers for the given block configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate block sizes (`mc < MR`, `nc < NR`, `kc == 0`).
+    #[must_use]
+    pub fn new(bs: BlockSizes) -> Self {
+        assert!(bs.mc >= MR && bs.nc >= NR && bs.kc >= 1, "gemm_blocked: degenerate block sizes");
+        GemmScratch {
+            b_pack: vec![0.0f32; bs.kc * bs.nc.div_ceil(NR) * NR],
+            a_pack: vec![0.0f32; bs.kc * bs.mc.div_ceil(MR) * MR],
+            bs,
+        }
+    }
+}
+
+/// [`gemm_blocked_with`] with caller-provided packing buffers — the hot
+/// entry point (DESIGN.md §14). The block configuration is carried by
+/// the scratch; results are bit-identical to the allocating wrappers
+/// because every packed region read by the microkernels is fully
+/// overwritten (fringe-padded) before use.
+///
+/// # Panics
+/// Panics on inconsistent leading dimensions or undersized buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_blocked_scratch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    c: &mut [f32],
+    ldc: usize,
+    scratch: &mut GemmScratch,
+) {
     check_gemm_dims(m, n, k, a.len(), lda, b.len(), ldb, c.len(), ldc);
-    assert!(bs.mc >= MR && bs.nc >= NR && bs.kc >= 1, "gemm_blocked: degenerate block sizes");
+    let GemmScratch { b_pack, a_pack, bs } = scratch;
+    let bs = *bs;
     if m == 0 || n == 0 {
         return;
     }
@@ -84,10 +139,6 @@ pub fn gemm_blocked_with(
         }
         return;
     }
-
-    // Panel buffers are reused across all slabs ("workhorse" allocations).
-    let mut b_pack = vec![0.0f32; bs.kc * bs.nc.div_ceil(NR) * NR];
-    let mut a_pack = vec![0.0f32; bs.kc * bs.mc.div_ceil(MR) * MR];
 
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
@@ -208,6 +259,25 @@ mod tests {
         let mut c = vec![3.0; 6];
         gemm_blocked(2, 3, 0, &[], 0, &[], 3, &mut c, 3);
         assert_eq!(c, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One dirty scratch swept across unrelated shapes must reproduce
+        // the fresh-allocation path bit for bit.
+        let bs = BlockSizes { mc: 16, kc: 8, nc: 32 };
+        let mut scratch = GemmScratch::new(bs);
+        for (m, n, k, seed) in [(20usize, 50usize, 12usize, 1u32), (7, 5, 3, 2), (13, 70, 30, 3)] {
+            let a = pseudo(m * k, seed);
+            let b = pseudo(k * n, seed + 10);
+            let mut fresh = vec![0.0; m * n];
+            gemm_blocked_with(bs, m, n, k, &a, k, &b, n, &mut fresh, n);
+            let mut reused = vec![f32::NAN; m * n];
+            gemm_blocked_scratch(m, n, k, &a, k, &b, n, &mut reused, n, &mut scratch);
+            for (r, f) in reused.iter().zip(&fresh) {
+                assert_eq!(r.to_bits(), f.to_bits(), "({m}x{n}x{k})");
+            }
+        }
     }
 
     #[test]

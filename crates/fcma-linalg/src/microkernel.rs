@@ -23,6 +23,7 @@ pub const VPU_WIDTH: usize = 16;
 /// Panics (in debug builds) if the panels are shorter than `k` steps or the
 /// C buffer cannot hold the tile at leading dimension `ldc`.
 #[inline]
+// audit: pure
 pub fn microkernel<const MR: usize, const NR: usize>(
     k: usize,
     a_panel: &[f32],
@@ -68,6 +69,7 @@ pub fn microkernel<const MR: usize, const NR: usize>(
 /// layout requires.
 #[inline]
 #[allow(clippy::too_many_arguments)] // kernel-call ABI
+                                     // audit: pure
 pub fn microkernel_edge<const MR: usize, const NR: usize>(
     k: usize,
     mr: usize,
@@ -108,6 +110,7 @@ pub fn microkernel_edge<const MR: usize, const NR: usize>(
 /// # Panics
 /// If `a` or `panel` is shorter than the `mr`/`k`/`lda` layout requires.
 #[inline]
+// audit: pure
 pub fn pack_a_panel<const MR: usize>(
     a: &[f32],
     lda: usize,
@@ -132,6 +135,7 @@ pub fn pack_a_panel<const MR: usize>(
 /// # Panics
 /// If `b` or `panel` is shorter than the `k`/`nr`/`ldb` layout requires.
 #[inline]
+// audit: pure
 pub fn pack_b_panel<const NR: usize>(
     b: &[f32],
     ldb: usize,

@@ -81,16 +81,42 @@ pub fn syrk_panel_with(
     c: &mut [f32],
     ldc: usize,
 ) {
-    assert!(panel_k > 0, "syrk: panel_k must be positive");
+    let mut scratch = SyrkScratch::new(m, panel_k);
+    syrk_panel_scratch(m, n, a, lda, c, ldc, &mut scratch);
+}
+
+/// [`syrk_panel_with`] with caller-provided packing buffers — the hot
+/// entry point (DESIGN.md §14). The panel depth is carried by the
+/// scratch; a [`SyrkScratch`] built once can be reused across calls (and
+/// across smaller `m`) without touching the allocator, which is what the
+/// paper's per-thread `A_local` buffers amount to.
+///
+/// Results are bit-identical to the allocating wrappers: every scratch
+/// region read by the microkernels is fully overwritten first, so stale
+/// contents from a previous call can never leak into the product.
+///
+/// # Panics
+/// Panics if buffers are inconsistent or `scratch` was built for a
+/// smaller `m`.
+pub fn syrk_panel_scratch(
+    m: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    c: &mut [f32],
+    ldc: usize,
+    scratch: &mut SyrkScratch,
+) {
+    assert!(scratch.m >= m, "syrk: scratch built for m {} < {m}", scratch.m);
     validate(m, n, a.len(), lda, c.len(), ldc);
     if m == 0 {
         return;
     }
     zero_lower(c, m, ldc);
-    let mut scratch = PanelScratch::new(m, panel_k);
+    let panel_k = scratch.panel_k;
     for p in (0..n).step_by(panel_k) {
         let kp = panel_k.min(n - p);
-        accumulate_panel(m, a, lda, p, kp, c, ldc, &mut scratch, panel_k);
+        accumulate_panel(m, a, lda, p, kp, c, ldc, scratch);
     }
     mirror_lower_to_upper(c, m, ldc);
 }
@@ -116,11 +142,11 @@ pub fn syrk_panel_parallel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f
     let shared = Mutex::new(&mut *c);
     (0..n_panels.div_ceil(grain)).into_par_iter().for_each(|g| {
         let mut local = vec![0.0f32; m * m];
-        let mut scratch = PanelScratch::new(m, PANEL_K);
+        let mut scratch = SyrkScratch::new(m, PANEL_K);
         for pi in g * grain..((g + 1) * grain).min(n_panels) {
             let p = pi * PANEL_K;
             let kp = PANEL_K.min(n - p);
-            accumulate_panel(m, a, lda, p, kp, &mut local, m, &mut scratch, PANEL_K);
+            accumulate_panel(m, a, lda, p, kp, &mut local, m, &mut scratch);
         }
         // "After the thread completes its portion of the matrix multiply,
         // it takes a lock corresponding to the C matrix and adds its
@@ -136,21 +162,42 @@ pub fn syrk_panel_parallel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f
 }
 
 /// Reusable packing buffers for one thread's panel walk (`A_local` and
-/// `A^T_local` in the paper's Fig. 7 terminology).
-struct PanelScratch {
+/// `A^T_local` in the paper's Fig. 7 terminology). Build once with
+/// [`SyrkScratch::new`], thread through [`syrk_panel_scratch`]; the
+/// buffers are private so only the kernel's fully-overwriting writes
+/// ever touch them.
+pub struct SyrkScratch {
     /// `MR`-tall packed slabs for every row tile (the `Aᵀ_local` role).
     a_packs: Vec<f32>,
+    /// One `NR`-wide right-operand panel, rebuilt per column tile.
+    b_panel: Vec<f32>,
+    /// Panel depth the buffers were sized for; also the walk's step.
+    panel_k: usize,
+    /// Largest `m` the `a_packs` slab can pack.
+    m: usize,
 }
 
-impl PanelScratch {
-    fn new(m: usize, panel_k: usize) -> Self {
+impl SyrkScratch {
+    /// Size buffers for an `m`-row update walked `panel_k` deep.
+    ///
+    /// # Panics
+    /// Panics if `panel_k` is zero.
+    #[must_use]
+    pub fn new(m: usize, panel_k: usize) -> Self {
+        assert!(panel_k > 0, "syrk: panel_k must be positive");
         let n_row_tiles = m.div_ceil(MR);
-        PanelScratch { a_packs: vec![0.0; n_row_tiles * panel_k * MR] }
+        SyrkScratch {
+            a_packs: vec![0.0; n_row_tiles * panel_k * MR],
+            b_panel: vec![0.0; panel_k * NR],
+            panel_k,
+            m,
+        }
     }
 }
 
 /// Add one `kp`-deep panel's contribution to the lower triangle of `c`.
 #[allow(clippy::too_many_arguments)]
+// audit: hot
 fn accumulate_panel(
     m: usize,
     a: &[f32],
@@ -159,30 +206,24 @@ fn accumulate_panel(
     kp: usize,
     c: &mut [f32],
     ldc: usize,
-    scratch: &mut PanelScratch,
-    panel_k: usize,
+    scratch: &mut SyrkScratch,
 ) {
+    let SyrkScratch { a_packs, b_panel, panel_k, .. } = scratch;
+    let panel_k = *panel_k;
     // Pack every MR-tall row tile of A[:, p..p+kp] once; tiles serve as
     // both the left (a_panel) and — re-read NR-wide — the right operand.
     for (t, i0) in (0..m).step_by(MR).enumerate() {
         let mr = MR.min(m - i0);
-        pack_a_panel::<MR>(
-            &a[i0 * lda + p..],
-            lda,
-            mr,
-            kp,
-            &mut scratch.a_packs[t * panel_k * MR..],
-        );
+        pack_a_panel::<MR>(&a[i0 * lda + p..], lda, mr, kp, &mut a_packs[t * panel_k * MR..]);
     }
     // Right-operand panels need the B layout (l*NR + j = A[j0+j, p+l]);
     // build them per column tile from A directly.
-    let mut b_panel = vec![0.0f32; kp * NR];
     for j0 in (0..m).step_by(NR) {
         let nr = NR.min(m - j0);
         for l in 0..kp {
             let dst = &mut b_panel[l * NR..(l + 1) * NR];
-            for j in 0..nr {
-                dst[j] = a[(j0 + j) * lda + p + l];
+            for (j, d) in dst[..nr].iter_mut().enumerate() {
+                *d = a[(j0 + j) * lda + p + l];
             }
             dst[nr..].fill(0.0);
         }
@@ -193,17 +234,17 @@ fn accumulate_panel(
                 continue;
             }
             let mr = MR.min(m - i0);
-            let a_panel = &scratch.a_packs[t * panel_k * MR..t * panel_k * MR + kp * MR];
+            let a_panel = &a_packs[t * panel_k * MR..t * panel_k * MR + kp * MR];
             let c_off = i0 * ldc + j0;
             if mr == MR && nr == NR {
-                microkernel::<MR, NR>(kp, a_panel, &b_panel, &mut c[c_off..], ldc, true);
+                microkernel::<MR, NR>(kp, a_panel, b_panel, &mut c[c_off..], ldc, true);
             } else {
                 microkernel_edge::<MR, NR>(
                     kp,
                     mr,
                     nr,
                     a_panel,
-                    &b_panel,
+                    b_panel,
                     &mut c[c_off..],
                     ldc,
                     true,
@@ -213,6 +254,7 @@ fn accumulate_panel(
     }
 }
 
+// audit: pure
 fn validate(m: usize, n: usize, a_len: usize, lda: usize, c_len: usize, ldc: usize) {
     assert!(lda >= n, "syrk: lda {lda} < n {n}");
     assert!(ldc >= m, "syrk: ldc {ldc} < m {m}");
@@ -222,6 +264,7 @@ fn validate(m: usize, n: usize, a_len: usize, lda: usize, c_len: usize, ldc: usi
     }
 }
 
+// audit: pure
 fn zero_lower(c: &mut [f32], m: usize, ldc: usize) {
     // Tiles straddling the diagonal write a few upper entries too; zero the
     // full square so stale data never leaks through the mirror step.
@@ -230,6 +273,7 @@ fn zero_lower(c: &mut [f32], m: usize, ldc: usize) {
     }
 }
 
+// audit: pure
 fn mirror_lower_to_upper(c: &mut [f32], m: usize, ldc: usize) {
     for i in 0..m {
         for j in i + 1..m {
@@ -345,6 +389,31 @@ mod tests {
     fn rejects_zero_panel_depth() {
         let mut c = vec![0.0; 4];
         syrk_panel_with(0, 2, 4, &[0.0; 8], 4, &mut c, 2);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One dirty scratch walked across shrinking shapes must reproduce
+        // the fresh-allocation path bit for bit.
+        let mut scratch = SyrkScratch::new(24, 48);
+        for (m, n, seed) in [(24usize, 150usize, 5u32), (17, 97, 6), (9, 200, 7)] {
+            let a = pseudo(m * n, seed);
+            let mut fresh = vec![0.0; m * m];
+            syrk_panel_with(48, m, n, &a, n, &mut fresh, m);
+            let mut reused = vec![f32::NAN; m * m];
+            syrk_panel_scratch(m, n, &a, n, &mut reused, m, &mut scratch);
+            for (r, f) in reused.iter().zip(&fresh) {
+                assert_eq!(r.to_bits(), f.to_bits(), "m={m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch built for")]
+    fn rejects_undersized_scratch() {
+        let mut scratch = SyrkScratch::new(4, 16);
+        let mut c = vec![0.0; 64];
+        syrk_panel_scratch(8, 16, &[0.0; 128], 16, &mut c, 8, &mut scratch);
     }
 
     #[test]

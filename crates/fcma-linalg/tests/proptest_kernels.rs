@@ -97,6 +97,64 @@ proptest! {
     }
 
     #[test]
+    fn syrk_panel_scratch_bit_identical_to_fresh(
+        m in 1usize..20,
+        n in 1usize..180,
+        panel_k in 1usize..64,
+        seed in any::<u32>(),
+    ) {
+        let a: Vec<f32> = (0..m * n)
+            .map(|i| (((i as u32).wrapping_mul(seed | 1) >> 16) % 100) as f32 / 50.0 - 1.0)
+            .collect();
+        let mut fresh = vec![0.0; m * m];
+        syrk_panel_with(panel_k, m, n, &a, n, &mut fresh, m);
+        // Dirty the scratch with an unrelated product first: reuse must
+        // still reproduce the fresh-allocation path bit for bit.
+        let decoy: Vec<f32> = a.iter().map(|v| v.mul_add(-1.5, 0.3)).collect();
+        let mut scratch = SyrkScratch::new(m, panel_k);
+        let mut junk = vec![0.0; m * m];
+        syrk_panel_scratch(m, n, &decoy, n, &mut junk, m, &mut scratch);
+        let mut reused = vec![f32::NAN; m * m];
+        syrk_panel_scratch(m, n, &a, n, &mut reused, m, &mut scratch);
+        for (r, f) in reused.iter().zip(&fresh) {
+            prop_assert_eq!(r.to_bits(), f.to_bits(), "m={} n={} panel_k={}", m, n, panel_k);
+        }
+    }
+
+    #[test]
+    fn gemm_blocked_scratch_bit_identical_to_fresh(
+        m in 1usize..20,
+        n in 1usize..50,
+        k in 0usize..30,
+        mc in 8usize..32,
+        kc in 1usize..16,
+        nc in 16usize..64,
+        seed in any::<u64>(),
+    ) {
+        let bs = BlockSizes { mc, kc, nc };
+        let mut rng_state = seed;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((rng_state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let a: Vec<f32> = (0..m * k.max(1)).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k.max(1) * n).map(|_| next()).collect();
+        let mut fresh = vec![0.0; m * n];
+        gemm_blocked_with(bs, m, n, k, &a, k.max(1), &b, n, &mut fresh, n);
+        // Same dirty-reuse discipline as the SYRK property above.
+        let decoy_a: Vec<f32> = a.iter().map(|v| v.mul_add(-2.0, 0.1)).collect();
+        let decoy_b: Vec<f32> = b.iter().map(|v| v.mul_add(0.5, -0.2)).collect();
+        let mut scratch = GemmScratch::new(bs);
+        let mut junk = vec![0.0; m * n];
+        gemm_blocked_scratch(m, n, k, &decoy_a, k.max(1), &decoy_b, n, &mut junk, n, &mut scratch);
+        let mut reused = vec![f32::NAN; m * n];
+        gemm_blocked_scratch(m, n, k, &a, k.max(1), &b, n, &mut reused, n, &mut scratch);
+        for (r, f) in reused.iter().zip(&fresh) {
+            prop_assert_eq!(r.to_bits(), f.to_bits(), "({}x{}x{})", m, n, k);
+        }
+    }
+
+    #[test]
     fn corr_tall_skinny_matches_reference(
         v in 1usize..12,
         n in 1usize..80,

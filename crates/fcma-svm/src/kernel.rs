@@ -10,7 +10,7 @@
 //! the memory reduction that lets a coprocessor hold 240 voxels' problems
 //! at once (§4.4).
 
-use fcma_linalg::{syrk_dot, syrk_panel, Mat};
+use fcma_linalg::{syrk_dot, syrk_panel, syrk_panel_scratch, Mat, SyrkScratch};
 use fcma_trace::span;
 
 /// A precomputed symmetric positive semidefinite Gram matrix over `M`
@@ -40,6 +40,26 @@ impl KernelMatrix {
         let _span = span!("svm.kernel.precompute", samples = m, features = n, kernel = "panel");
         let mut k = Mat::zeros(m, m);
         syrk_panel(m, n, data, n, k.as_mut_slice(), m);
+        fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 SYRK kernel precompute");
+        KernelMatrix { k }
+    }
+
+    /// [`Self::precompute_raw`] reusing caller-provided SYRK scratch —
+    /// the per-thread path stage 3 takes when precomputing hundreds of
+    /// voxels' kernels back to back (one allocation per worker instead
+    /// of one per voxel).
+    ///
+    /// # Panics
+    /// Panics if `scratch` was built for a smaller `m` than `data`'s rows.
+    pub fn precompute_raw_with(
+        m: usize,
+        n: usize,
+        data: &[f32],
+        scratch: &mut SyrkScratch,
+    ) -> Self {
+        let _span = span!("svm.kernel.precompute", samples = m, features = n, kernel = "panel");
+        let mut k = Mat::zeros(m, m);
+        syrk_panel_scratch(m, n, data, n, k.as_mut_slice(), m, scratch);
         fcma_linalg::debug_assert_finite!(k.as_slice(), "stage3 SYRK kernel precompute");
         KernelMatrix { k }
     }
@@ -133,6 +153,20 @@ mod tests {
         let a = KernelMatrix::precompute(&x);
         let b = KernelMatrix::precompute_baseline(&x);
         assert!(a.as_mat().max_abs_diff(b.as_mat()) < 1e-3);
+    }
+
+    #[test]
+    fn precompute_with_scratch_is_bit_identical() {
+        let x = samples();
+        let fresh = KernelMatrix::precompute(&x);
+        let mut scratch = SyrkScratch::new(x.rows(), fcma_linalg::PANEL_K);
+        for _round in 0..2 {
+            let reused =
+                KernelMatrix::precompute_raw_with(x.rows(), x.cols(), x.as_slice(), &mut scratch);
+            for (r, f) in reused.as_mat().as_slice().iter().zip(fresh.as_mat().as_slice()) {
+                assert_eq!(r.to_bits(), f.to_bits());
+            }
+        }
     }
 
     #[test]

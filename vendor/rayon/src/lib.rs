@@ -93,6 +93,20 @@ impl ParRange {
     {
         ParMap { range: self.range, f }
     }
+
+    /// Lazily map every index through `f`, handing each worker thread
+    /// its own mutable state built by `init` — one `init` call per
+    /// contiguous chunk, reused across that chunk's indices (mirrors
+    /// `rayon`'s `map_init`, which the kernels use for per-thread
+    /// scratch buffers).
+    pub fn map_init<S, T, I, F>(self, init: I, f: F) -> ParMapInit<I, F>
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        ParMapInit { range: self.range, init, f }
+    }
 }
 
 /// A mapped parallel iterator; consume it with [`ParMap::collect`].
@@ -140,6 +154,64 @@ impl<F> ParMap<F> {
     }
 }
 
+/// A mapped parallel iterator with per-thread state; consume it with
+/// [`ParMapInit::collect`].
+pub struct ParMapInit<I, F> {
+    range: Range<usize>,
+    init: I,
+    f: F,
+}
+
+impl<I, F> ParMapInit<I, F> {
+    /// Evaluate the map in parallel, preserving index order. Each worker
+    /// chunk builds its state once and threads it through its indices.
+    pub fn collect<S, T, C>(self) -> C
+    where
+        T: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+        C: From<Vec<T>>,
+    {
+        let chunks = chunks_of(&self.range, thread_budget());
+        let items: Vec<T> = match chunks.len() {
+            0 => Vec::new(),
+            1 => {
+                let mut state = (self.init)();
+                self.range.map(|i| (self.f)(&mut state, i)).collect()
+            }
+            _ => {
+                let init = &self.init;
+                let f = &self.f;
+                let mut parts: Vec<Vec<T>> = Vec::new();
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = chunks
+                        .into_iter()
+                        .map(|chunk| {
+                            scope.spawn(move || {
+                                let mut state = init();
+                                chunk.map(|i| f(&mut state, i)).collect::<Vec<T>>()
+                            })
+                        })
+                        .collect();
+                    parts = handles
+                        .into_iter()
+                        .map(|h| match h.join() {
+                            Ok(v) => v,
+                            Err(payload) => std::panic::resume_unwind(payload),
+                        })
+                        .collect();
+                });
+                let mut items = Vec::with_capacity(self.range.len());
+                for part in parts {
+                    items.extend(part);
+                }
+                items
+            }
+        };
+        C::from(items)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -158,6 +230,29 @@ mod tests {
     fn map_collect_preserves_order() {
         let v: Vec<usize> = (0..257).into_par_iter().map(|i| i * 2).collect();
         assert_eq!(v, (0..257).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_init_reuses_state_within_a_chunk() {
+        // Each worker's counter state must persist across its own chunk;
+        // values stay index-ordered regardless of the chunking.
+        let v: Vec<(usize, usize)> = (0..64)
+            .into_par_iter()
+            .map_init(
+                || 0usize,
+                |calls, i| {
+                    *calls += 1;
+                    (i, *calls)
+                },
+            )
+            .collect();
+        assert_eq!(v.len(), 64);
+        assert!(v.iter().enumerate().all(|(idx, &(i, _))| i == idx));
+        // State threads through: within any chunk the call counter climbs
+        // 1, 2, 3, ... so some index beyond the first must see calls > 1
+        // whenever a chunk holds more than one index.
+        let max_calls = v.iter().map(|&(_, c)| c).max().unwrap();
+        assert!(max_calls >= 64 / super::thread_budget().max(1));
     }
 
     #[test]
