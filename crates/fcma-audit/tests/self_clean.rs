@@ -100,7 +100,11 @@ fn shipped_design_md_contracts_parse() {
 
     let layering = contracts.layering.expect("DESIGN.md §12 must declare the layering table");
     let kernels = layering.get("fcma-linalg").expect("layering table must cover fcma-linalg");
-    assert!(kernels.is_empty(), "fcma-linalg must stay dependency-free, got {kernels:?}");
+    assert_eq!(
+        kernels.iter().collect::<Vec<_>>(),
+        vec!["fcma-sync"],
+        "fcma-linalg may depend on the concurrency facade (the §15 pool) and nothing else"
+    );
     let cluster = layering.get("fcma-cluster").expect("layering table must cover fcma-cluster");
     assert!(cluster.contains("fcma-core"), "fcma-cluster must be allowed to use fcma-core");
 
@@ -117,12 +121,12 @@ fn shipped_design_md_contracts_parse() {
     let locks = contracts.lock_order.expect("DESIGN.md §13 must declare the lock-order table");
     assert_eq!(
         locks,
-        vec!["shared".to_owned(), "attempts".to_owned()],
+        vec!["deque".to_owned(), "region".to_owned(), "attempts".to_owned()],
         "the shipped lock ranking the lockorder pass enforces"
     );
 
     let hot = contracts.hot_fns.expect("DESIGN.md §14 must declare the hot-functions table");
-    for name in ["syrk_panel_scratch", "gemm_blocked_scratch", "accumulate_panel"] {
+    for name in ["syrk_panel_scratch", "gemm_blocked_scratch", "accumulate_panel", "splitmix"] {
         assert!(hot.iter().any(|h| h == name), "§14 hot table must list `{name}`, got {hot:?}");
     }
 }

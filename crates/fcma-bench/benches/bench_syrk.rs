@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fcma_linalg::{syrk_dot, syrk_panel, syrk_panel_parallel, syrk_ref};
+use fcma_sync::pool::Pool;
 use std::hint::black_box;
 
 /// The paper's sample dimension (204 training epochs, face-scene) against
@@ -46,9 +47,10 @@ fn bench_syrk(c: &mut Criterion) {
             black_box(&out);
         })
     });
+    let pool = Pool::from_env();
     g.bench_function("panel_96_parallel", |b| {
         b.iter(|| {
-            syrk_panel_parallel(M, N, &a, N, &mut out, M);
+            syrk_panel_parallel(&pool, M, N, &a, N, &mut out, M);
             black_box(&out);
         })
     });

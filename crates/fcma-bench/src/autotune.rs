@@ -1,0 +1,184 @@
+//! Seeded, deterministic autotuner for the kernel shape knobs
+//! (DESIGN.md §15).
+//!
+//! The search is a plain grid walk in a **fixed enumeration order** over
+//! a **seeded synthetic workload**: GEMM block sizes `(mc, kc, nc)`,
+//! SYRK panel depth `panel_k`, and the merged-pipeline strip width
+//! `tile_cols`. A candidate must beat the incumbent by more than 2% of
+//! wall time to replace it, so timing jitter between near-equal shapes
+//! cannot flip the choice from run to run — on a quiet host the outcome
+//! is a deterministic function of the seed and the grid.
+//!
+//! `bench-stage1` runs this and commits the chosen shapes and timings
+//! into `BENCH_stage1.json`, which the `bench_gate` tier-1 test then
+//! holds future changes to.
+
+use crate::measure::time_ms;
+use fcma_linalg::gemm_blocked::BlockSizes;
+use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
+use fcma_linalg::{corr_tall_skinny, gemm_blocked_with, syrk_panel_with, Mat};
+
+/// GEMM `mc` candidates (rows of `A` per L2 slab).
+pub const GRID_MC: [usize; 2] = [32, 64];
+/// GEMM `kc` candidates (depth per slab).
+pub const GRID_KC: [usize; 2] = [64, 128];
+/// GEMM `nc` candidates (columns of `B` per outer slab).
+pub const GRID_NC: [usize; 2] = [256, 512];
+/// SYRK panel-depth candidates (the paper fixes 96; 48 halves the slab).
+pub const GRID_PANEL_K: [usize; 2] = [48, 96];
+/// Merged-pipeline strip-width candidates.
+pub const GRID_TILE_COLS: [usize; 3] = [512, 1024, 2048];
+
+/// Relative improvement a candidate needs over the incumbent (2%).
+const HYSTERESIS: f64 = 0.02;
+
+/// The shapes the search settled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TunedShapes {
+    /// Blocked-GEMM cache blocking.
+    pub block: BlockSizes,
+    /// SYRK panel depth.
+    pub panel_k: usize,
+    /// Tall-skinny / merged-pipeline strip width.
+    pub tile_cols: usize,
+}
+
+/// Chosen shapes plus the winning wall times and the grid size.
+#[derive(Debug, Clone, Copy)]
+pub struct TuneOutcome {
+    /// Winning knob values.
+    pub shapes: TunedShapes,
+    /// Best blocked-GEMM time on the tuning workload (ms).
+    pub gemm_ms: f64,
+    /// Best panel-SYRK time on the tuning workload (ms).
+    pub syrk_ms: f64,
+    /// Best tall-skinny strip time on the tuning workload (ms).
+    pub merged_ms: f64,
+    /// Total candidates evaluated across the three knob groups.
+    pub candidates: usize,
+}
+
+/// Deterministic pseudo-data from a splitmix64-style stream.
+fn pseudo(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // cast is exact here: 24-bit mantissa fraction for test data
+            ((state >> 40) as f32 / (1u32 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Keep `candidate` only if it beats the incumbent by the hysteresis
+/// margin; earlier candidates win ties by construction.
+fn better(incumbent_ms: f64, candidate_ms: f64) -> bool {
+    candidate_ms < incumbent_ms * (1.0 - HYSTERESIS)
+}
+
+/// Run the grid search. `seed` fixes the workload contents; `reps` is
+/// the best-of repetition count per candidate (timing noise damping).
+#[must_use]
+pub fn autotune(seed: u64, reps: usize) -> TuneOutcome {
+    let mut candidates = 0usize;
+
+    // --- GEMM blocking: one stage-1-shaped multiply (tall-skinny-ish
+    // but big enough that the blocking matters).
+    let (m, n, k) = (64usize, 4096usize, 16usize);
+    let a = pseudo(m * k, seed);
+    let b = pseudo(k * n, seed ^ 0x9e37_79b9);
+    let mut c = vec![0.0f32; m * n];
+    let mut best_block = BlockSizes::default();
+    let mut gemm_ms = f64::INFINITY;
+    for mc in GRID_MC {
+        for kc in GRID_KC {
+            for nc in GRID_NC {
+                let bs = BlockSizes { mc, kc, nc };
+                let t = time_ms(reps, || {
+                    gemm_blocked_with(bs, m, n, k, &a, k, &b, n, &mut c, n);
+                    std::hint::black_box(&c);
+                });
+                candidates += 1;
+                if better(gemm_ms, t) {
+                    gemm_ms = t;
+                    best_block = bs;
+                }
+            }
+        }
+    }
+
+    // --- SYRK panel depth: one kernel-matrix-shaped update.
+    let (sm, sn) = (96usize, 4096usize);
+    let sa = pseudo(sm * sn, seed ^ 0x51f0_aa11);
+    let mut sc = vec![0.0f32; sm * sm];
+    let mut best_panel_k = GRID_PANEL_K[0];
+    let mut syrk_ms = f64::INFINITY;
+    for panel_k in GRID_PANEL_K {
+        let t = time_ms(reps, || {
+            syrk_panel_with(panel_k, sm, sn, &sa, sn, &mut sc, sm);
+            std::hint::black_box(&sc);
+        });
+        candidates += 1;
+        if better(syrk_ms, t) {
+            syrk_ms = t;
+            best_panel_k = panel_k;
+        }
+    }
+
+    // --- Strip width: the tall-skinny correlation kernel the merged
+    // stage-1+2 path is built on.
+    let (v, tn, tk, eps_n) = (32usize, 4096usize, 12usize, 4usize);
+    let assigned: Vec<Mat> =
+        (0..eps_n).map(|e| Mat::from_vec(v, tk, pseudo(v * tk, seed ^ (e as u64) << 16))).collect();
+    let brain: Vec<Mat> = (0..eps_n)
+        .map(|e| Mat::from_vec(tk, tn, pseudo(tk * tn, seed ^ (e as u64) << 24)))
+        .collect();
+    let eps: Vec<EpochPair<'_>> =
+        assigned.iter().zip(&brain).map(|(a, b)| EpochPair { assigned: a, brain: b }).collect();
+    let mut buf = vec![0.0f32; v * eps_n * tn];
+    let mut best_tile_cols = GRID_TILE_COLS[0];
+    let mut merged_ms = f64::INFINITY;
+    for tile_cols in GRID_TILE_COLS {
+        let t = time_ms(reps, || {
+            corr_tall_skinny(&eps, &mut buf, TallSkinnyOpts { tile_cols });
+            std::hint::black_box(&buf);
+        });
+        candidates += 1;
+        if better(merged_ms, t) {
+            merged_ms = t;
+            best_tile_cols = tile_cols;
+        }
+    }
+
+    TuneOutcome {
+        shapes: TunedShapes { block: best_block, panel_k: best_panel_k, tile_cols: best_tile_cols },
+        gemm_ms,
+        syrk_ms,
+        merged_ms,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn autotune_picks_from_the_grid() {
+        let out = autotune(42, 1);
+        assert!(GRID_MC.contains(&out.shapes.block.mc));
+        assert!(GRID_KC.contains(&out.shapes.block.kc));
+        assert!(GRID_NC.contains(&out.shapes.block.nc));
+        assert!(GRID_PANEL_K.contains(&out.shapes.panel_k));
+        assert!(GRID_TILE_COLS.contains(&out.shapes.tile_cols));
+        assert_eq!(
+            out.candidates,
+            GRID_MC.len() * GRID_KC.len() * GRID_NC.len()
+                + GRID_PANEL_K.len()
+                + GRID_TILE_COLS.len()
+        );
+        assert!(out.gemm_ms > 0.0 && out.gemm_ms.is_finite());
+        assert!(out.syrk_ms > 0.0 && out.syrk_ms.is_finite());
+        assert!(out.merged_ms > 0.0 && out.merged_ms.is_finite());
+    }
+}

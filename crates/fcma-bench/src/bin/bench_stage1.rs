@@ -8,21 +8,38 @@
 //! Runs `measure_stage12` (baseline GEMM vs tall-skinny vs merged
 //! normalization, on a scaled dataset) and `measure_syrk` (dot vs panel
 //! SYRK at the *full-scale* kernel-matrix shape) for both evaluation
-//! datasets. The committed `BENCH_stage1.json` records one machine's
-//! numbers next to the shapes that produced them; absolute times vary
-//! across hosts, so consumers should compare ratios, not milliseconds.
+//! datasets, plus the §15 additions: the seeded shape autotuner, the
+//! pooled kernels against their serial twins, and the gate thresholds
+//! the `bench_gate` tier-1 test holds future changes to. The committed
+//! `BENCH_stage1.json` records one machine's numbers next to the shapes
+//! that produced them; absolute times vary across hosts, so consumers
+//! (including the gate) compare ratios, not milliseconds. The emitted
+//! `host.parallelism` field says whether the parallel numbers mean
+//! anything: on a 1-core host they are pool overhead, and the speedup
+//! gate stays disarmed.
 
-use fcma_bench::measure::{measure_stage12, measure_syrk};
+use fcma_bench::autotune::autotune;
+use fcma_bench::measure::{measure_stage12, measure_stage12_parallel, measure_syrk};
 use fcma_bench::workloads::DatasetKind;
+
+/// Speedup the merged kernel must show at ≥4 worker threads on a host
+/// with ≥4 cores (`bench_gate` enforces this only on such hosts).
+const MIN_SPEEDUP_4T: f64 = 1.3;
+/// Allowed relative worsening of the merged/baseline serial time ratio
+/// before `bench_gate` fails.
+const MAX_SERIAL_REGRESSION: f64 = 0.25;
+/// Worker count for the recorded parallel run.
+const BENCH_THREADS: usize = 8;
 
 struct Opts {
     scaled_voxels: usize,
     task_voxels: usize,
     reps: usize,
+    seed: u64,
 }
 
 fn main() {
-    let mut opts = Opts { scaled_voxels: 256, task_voxels: 32, reps: 3 };
+    let mut opts = Opts { scaled_voxels: 256, task_voxels: 32, reps: 3, seed: 42 };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -36,6 +53,7 @@ fn main() {
             "--scaled-voxels" => opts.scaled_voxels = num("--scaled-voxels"),
             "--task-voxels" => opts.task_voxels = num("--task-voxels"),
             "--reps" => opts.reps = num("--reps"),
+            "--seed" => opts.seed = num("--seed") as u64,
             other => {
                 eprintln!("bench-stage1: unknown argument `{other}`");
                 std::process::exit(2);
@@ -43,11 +61,60 @@ fn main() {
         }
     }
 
+    let parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
     let mut out = String::from("{\n");
     out.push_str(&format!(
-        "  \"config\": {{\"scaled_voxels\": {}, \"task_voxels\": {}, \"reps\": {}}},\n",
-        opts.scaled_voxels, opts.task_voxels, opts.reps
+        "  \"config\": {{\"scaled_voxels\": {}, \"task_voxels\": {}, \"reps\": {}, \
+         \"seed\": {}}},\n",
+        opts.scaled_voxels, opts.task_voxels, opts.reps, opts.seed
     ));
+    out.push_str(&format!("  \"host\": {{\"parallelism\": {parallelism}}},\n"));
+    out.push_str(&format!(
+        "  \"gates\": {{\"min_speedup_4t\": {MIN_SPEEDUP_4T:.2}, \
+         \"max_serial_regression\": {MAX_SERIAL_REGRESSION:.2}}},\n"
+    ));
+
+    eprintln!("bench-stage1: autotune (seed {})...", opts.seed);
+    let tune = autotune(opts.seed, opts.reps);
+    out.push_str(&format!(
+        "  \"autotune\": {{\"seed\": {}, \"candidates\": {}, \"mc\": {}, \"kc\": {}, \
+         \"nc\": {}, \"panel_k\": {}, \"tile_cols\": {}, \"gemm_ms\": {:.3}, \
+         \"syrk_ms\": {:.3}, \"merged_ms\": {:.3}}},\n",
+        opts.seed,
+        tune.candidates,
+        tune.shapes.block.mc,
+        tune.shapes.block.kc,
+        tune.shapes.block.nc,
+        tune.shapes.panel_k,
+        tune.shapes.tile_cols,
+        tune.gemm_ms,
+        tune.syrk_ms,
+        tune.merged_ms
+    ));
+
+    eprintln!("bench-stage1: pooled kernels at {BENCH_THREADS} threads...");
+    let par = measure_stage12_parallel(
+        DatasetKind::FaceScene,
+        opts.scaled_voxels,
+        opts.task_voxels,
+        opts.reps,
+        BENCH_THREADS,
+    );
+    out.push_str(&format!(
+        "  \"parallel\": {{\"threads\": {}, \"merged_serial_ms\": {:.3}, \
+         \"merged_parallel_ms\": {:.3}, \"merged_speedup\": {:.3}, \
+         \"baseline_serial_ms\": {:.3}, \"baseline_parallel_ms\": {:.3}, \
+         \"baseline_speedup\": {:.3}}},\n",
+        par.threads,
+        par.merged_serial_ms,
+        par.merged_parallel_ms,
+        par.merged_serial_ms / par.merged_parallel_ms,
+        par.baseline_serial_ms,
+        par.baseline_parallel_ms,
+        par.baseline_serial_ms / par.baseline_parallel_ms
+    ));
+
     out.push_str("  \"datasets\": [\n");
     for (di, kind) in DatasetKind::both().iter().enumerate() {
         let (n, subjects, m, _) = kind.table2();

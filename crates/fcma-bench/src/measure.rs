@@ -14,11 +14,12 @@
 
 use crate::workloads::DatasetKind;
 use fcma_core::{
-    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline, normalize_separated,
-    TaskContext, VoxelTask,
+    corr_baseline, corr_baseline_parallel, corr_normalized_merged, corr_normalized_merged_parallel,
+    corr_optimized, normalize_baseline, normalize_separated, TaskContext, VoxelTask,
 };
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_svm::{loso_cross_validate, KernelMatrix, LibSvmParams, SmoParams, SolverKind, WssMode};
+use fcma_sync::pool::Pool;
 use std::time::Instant;
 
 /// Measured behaviour of one SVM solver on the CV workload.
@@ -147,6 +148,87 @@ pub fn measure_stage12(
         merged_ms,
         baseline_norm_ms,
     }
+}
+
+/// Serial-vs-pooled host times for the two parallel stage-1/2 entry
+/// points (DESIGN.md §15). Speedups are bit-identity-checked elsewhere;
+/// this only records wall clock.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelStageTimes {
+    /// Worker count of the pool used for the parallel runs.
+    pub threads: usize,
+    /// Merged stage-1+2 on the serial path.
+    pub merged_serial_ms: f64,
+    /// Merged stage-1+2 through the work-stealing pool.
+    pub merged_parallel_ms: f64,
+    /// Baseline stage-1 on the serial path.
+    pub baseline_serial_ms: f64,
+    /// Baseline stage-1 through the pool (per-epoch banded GEMM).
+    pub baseline_parallel_ms: f64,
+}
+
+/// Measure the pooled stage-1/2 kernels against their serial twins on
+/// the same scaled task. On a 1-core host the "parallel" numbers are
+/// pool overhead, not speedup — `BENCH_stage1.json` records the host's
+/// parallelism next to them so gates can tell the difference.
+pub fn measure_stage12_parallel(
+    kind: DatasetKind,
+    scaled_voxels: usize,
+    task_voxels: usize,
+    reps: usize,
+    threads: usize,
+) -> ParallelStageTimes {
+    let cfg = kind.scaled_config(scaled_voxels);
+    let (dataset, _) = cfg.generate();
+    let ctx = TaskContext::full(&dataset);
+    let task = VoxelTask { start: 0, count: task_voxels.min(ctx.n_voxels()) };
+    let opts = TallSkinnyOpts { tile_cols: 2048 };
+    let pool = Pool::new(threads);
+
+    let merged_serial_ms = time_ms(reps, || {
+        std::hint::black_box(corr_normalized_merged(&ctx, task, opts));
+    });
+    let merged_parallel_ms = time_ms(reps, || {
+        std::hint::black_box(corr_normalized_merged_parallel(&ctx, task, opts, &pool));
+    });
+    let baseline_serial_ms = time_ms(reps, || {
+        std::hint::black_box(corr_baseline(&ctx, task));
+    });
+    let baseline_parallel_ms = time_ms(reps, || {
+        std::hint::black_box(corr_baseline_parallel(&ctx, task, &pool));
+    });
+
+    ParallelStageTimes {
+        threads,
+        merged_serial_ms,
+        merged_parallel_ms,
+        baseline_serial_ms,
+        baseline_parallel_ms,
+    }
+}
+
+/// Pooled panel-SYRK wall time at the full-scale kernel-matrix shape,
+/// alongside [`measure_syrk`]'s serial numbers. Returns
+/// `(serial_panel_ms, parallel_panel_ms)`.
+pub fn measure_syrk_parallel(kind: DatasetKind, reps: usize, threads: usize) -> (f64, f64) {
+    use fcma_linalg::{syrk_panel, syrk_panel_parallel};
+    let (n_full, subjects, m_full, _) = kind.table2();
+    let m = (m_full - m_full / subjects) as usize;
+    let n = n_full as usize;
+    let a: Vec<f32> = (0..m * n)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) >> 16) as f32 / 65536.0 - 0.5)
+        .collect();
+    let mut c = vec![0.0f32; m * m];
+    let pool = Pool::new(threads);
+    let serial_ms = time_ms(reps, || {
+        syrk_panel(m, n, &a, n, &mut c, m);
+        std::hint::black_box(&c);
+    });
+    let parallel_ms = time_ms(reps, || {
+        syrk_panel_parallel(&pool, m, n, &a, n, &mut c, m);
+        std::hint::black_box(&c);
+    });
+    (serial_ms, parallel_ms)
 }
 
 /// Host wall-clock of the two SYRK implementations on the **full-scale**

@@ -9,6 +9,7 @@ use fcma_core::{
 use fcma_fmri::geometry::{extract_clusters, Grid3};
 use fcma_fmri::mask::VoxelMask;
 use fcma_fmri::{io as fio, presets, Placement};
+use fcma_sync::pool::Pool;
 use fcma_trace::export::{from_chrome_json, to_chrome_json, to_prometheus_text};
 use fcma_trace::{event, Collector};
 use std::error::Error;
@@ -29,6 +30,8 @@ pub(crate) fn print_help() {
          \u{20} info      describe a dataset        --data STEM\n\
          \u{20} analyze   score every voxel         --data STEM --executor optimized|baseline\n\
          \u{20}                                     --task-size N --top-k K [--out scores.tsv]\n\
+         \u{20}                                     [--threads N] kernel threads per worker\n\
+         \u{20}                                     (default: $FCMA_THREADS or 1)\n\
          \u{20}                                     [--truth STEM.truth]\n\
          \u{20}                                     [--workers N] run on the fault-tolerant\n\
          \u{20}                                     threaded cluster driver, with\n\
@@ -110,10 +113,26 @@ pub(crate) fn info(args: &Args) -> Result<()> {
     Ok(())
 }
 
+/// Kernel threads for the executors' pool: `--threads` if given, else
+/// the `FCMA_THREADS` environment variable, else 1.
+fn threads_of(args: &Args) -> Result<usize> {
+    match args.get("threads") {
+        Some(v) => {
+            let n: usize = v.parse()?;
+            if n == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            Ok(n)
+        }
+        None => Ok(Pool::from_env().threads()),
+    }
+}
+
 fn executor_of(args: &Args) -> Result<Arc<dyn TaskExecutor>> {
+    let pool = Pool::new(threads_of(args)?);
     match args.get_or("executor", "optimized").as_str() {
-        "optimized" => Ok(Arc::new(OptimizedExecutor::default())),
-        "baseline" => Ok(Arc::new(BaselineExecutor::default())),
+        "optimized" => Ok(Arc::new(OptimizedExecutor { pool, ..Default::default() })),
+        "baseline" => Ok(Arc::new(BaselineExecutor { pool, ..Default::default() })),
         other => Err(format!("unknown executor {other:?}").into()),
     }
 }
@@ -141,6 +160,7 @@ fn cluster_config_of(args: &Args, task_size: usize) -> Result<ClusterConfig> {
     Ok(ClusterConfig {
         n_workers: args.get_parsed("workers", 0usize, "integer")?,
         task_size,
+        kernel_threads: threads_of(args)?,
         retry_budget: args.get_parsed("retries", 2usize, "integer")?,
         task_deadline: {
             let ms = args.get_parsed("task-deadline-ms", 0u64, "integer")?;

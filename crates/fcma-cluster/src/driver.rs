@@ -70,6 +70,13 @@ pub struct ClusterConfig {
     /// Optional cross-validation grouping override (see
     /// [`fcma_core::TaskExecutor::process_grouped`]).
     pub groups: Option<Arc<Vec<usize>>>,
+    /// Kernel threads each worker's executor uses for its parallel
+    /// loops (the pool embedded in the executor; see
+    /// [`fcma_sync::pool::Pool`]). Purely informational to the driver —
+    /// the executor carries its own pool — but recorded here so one
+    /// config describes the whole run shape, and defaulted from the
+    /// `FCMA_THREADS` environment variable.
+    pub kernel_threads: usize,
 }
 
 impl Default for ClusterConfig {
@@ -84,6 +91,7 @@ impl Default for ClusterConfig {
             checkpoint: None,
             resume_from: None,
             groups: None,
+            kernel_threads: fcma_sync::pool::Pool::from_env().threads(),
         }
     }
 }
@@ -188,7 +196,8 @@ pub fn run_cluster_with(
         "cluster.run",
         workers = cfg.n_workers,
         tasks = total_tasks,
-        task_size = cfg.task_size
+        task_size = cfg.task_size,
+        kernel_threads = cfg.kernel_threads
     );
     counter!("cluster.tasks.total", total_tasks);
 

@@ -3,12 +3,13 @@
 
 use crate::context::TaskContext;
 use crate::control::TaskControls;
-use crate::stage1::corr_baseline;
-use crate::stage2::{corr_normalized_merged, normalize_baseline};
+use crate::stage1::corr_baseline_parallel;
+use crate::stage2::{corr_normalized_merged_parallel, normalize_baseline};
 use crate::stage3::{score_task, KernelPrecompute};
 use crate::task::{VoxelScore, VoxelTask};
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_svm::{LibSvmParams, SmoParams, SolverKind};
+use fcma_sync::pool::Pool;
 use fcma_trace::span;
 
 /// A single-node implementation of the three-stage FCMA pipeline.
@@ -56,6 +57,9 @@ pub trait TaskExecutor: Send + Sync {
 pub struct BaselineExecutor {
     /// LibSVM parameters for stage 3.
     pub svm: LibSvmParams,
+    /// Worker pool for the kernel loops (defaults to single-threaded;
+    /// see [`Pool::from_env`] for the `FCMA_THREADS` plumbing).
+    pub pool: Pool,
 }
 
 impl TaskExecutor for BaselineExecutor {
@@ -71,7 +75,7 @@ impl TaskExecutor for BaselineExecutor {
     ) -> Vec<VoxelScore> {
         let _span =
             span!("task.process", start = task.start, count = task.count, executor = "baseline");
-        let mut corr = corr_baseline(ctx, task);
+        let mut corr = corr_baseline_parallel(ctx, task, &self.pool);
         normalize_baseline(&mut corr, ctx);
         let groups = groups.unwrap_or(&ctx.subjects);
         score_task(
@@ -81,6 +85,7 @@ impl TaskExecutor for BaselineExecutor {
             groups,
             &SolverKind::LibSvm(self.svm),
             KernelPrecompute::Baseline,
+            &self.pool,
         )
     }
 }
@@ -93,6 +98,9 @@ pub struct OptimizedExecutor {
     pub opts: TallSkinnyOpts,
     /// PhiSVM parameters for stage 3.
     pub svm: SmoParams,
+    /// Worker pool for the kernel loops (defaults to single-threaded;
+    /// see [`Pool::from_env`] for the `FCMA_THREADS` plumbing).
+    pub pool: Pool,
 }
 
 impl TaskExecutor for OptimizedExecutor {
@@ -108,7 +116,7 @@ impl TaskExecutor for OptimizedExecutor {
     ) -> Vec<VoxelScore> {
         let _span =
             span!("task.process", start = task.start, count = task.count, executor = "optimized");
-        let corr = corr_normalized_merged(ctx, task, self.opts);
+        let corr = corr_normalized_merged_parallel(ctx, task, self.opts, &self.pool);
         let groups = groups.unwrap_or(&ctx.subjects);
         score_task(
             &corr,
@@ -117,6 +125,7 @@ impl TaskExecutor for OptimizedExecutor {
             groups,
             &SolverKind::PhiSvm(self.svm),
             KernelPrecompute::Optimized,
+            &self.pool,
         )
     }
 }

@@ -14,10 +14,21 @@ use crate::context::TaskContext;
 use crate::task::VoxelTask;
 use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
 use fcma_linalg::{
-    corr_tall_skinny, gemm_blocked_scratch, BlockSizes, CorrLayout, GemmScratch, Mat,
+    corr_tall_skinny, gemm_blocked_parallel, gemm_blocked_scratch, BlockSizes, CorrLayout,
+    GemmScratch, Mat,
 };
 use fcma_sim::analytic::CorrShape;
+use fcma_sync::pool::{Pool, PoolStats};
 use fcma_trace::{counter, span};
+
+/// Bridge one parallel region's [`PoolStats`] into the trace counters.
+/// The pool itself is trace-free (fcma-sync stays a leaf crate), so the
+/// kernel call sites own the `pool.*` counter taxonomy (DESIGN.md §11).
+pub(crate) fn bridge_pool_counters(stats: &PoolStats) {
+    counter!("pool.tasks.run", stats.tasks);
+    counter!("pool.steals", stats.steals);
+    counter!("pool.idle.parks", stats.idle_parks);
+}
 
 /// Widen a shape dimension for the analytic counter models.
 fn dim(x: usize) -> u64 {
@@ -134,6 +145,53 @@ pub fn corr_baseline(ctx: &TaskContext, task: VoxelTask) -> CorrData {
             &mut scratch,
         );
     }
+    fcma_linalg::debug_assert_finite!(&buf, "stage1 baseline correlation output");
+    CorrData { buf, layout }
+}
+
+/// Parallel baseline stage 1: the same per-epoch generic blocked GEMM,
+/// with each epoch's multiply banded across `pool` workers along the
+/// (small) assigned-voxel dimension. Bit-identical to [`corr_baseline`]
+/// at every thread count — the bands are `mc`-aligned, so the per-element
+/// FMA sequences match the serial schedule exactly (DESIGN.md §15).
+///
+/// # Panics
+/// If `task` is out of range for `ctx`.
+pub fn corr_baseline_parallel(ctx: &TaskContext, task: VoxelTask, pool: &Pool) -> CorrData {
+    if pool.threads() <= 1 {
+        return corr_baseline(ctx, task);
+    }
+    let v = task.count;
+    let n = ctx.n_voxels();
+    let m = ctx.n_epochs();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    let mut buf = vec![0.0f32; layout.out_len()];
+    let assigned = assigned_blocks(ctx, task);
+    let _span = span!("stage1.corr", voxels = v, brain = n, epochs = m, kernel = "baseline");
+    if fcma_trace::is_enabled() {
+        bridge_stage1_counters(&assigned, v, n, fcma_sim::analytic::corr_mkl);
+    }
+    // Merge the per-epoch parallel regions into one stats record so the
+    // trace sees one bridge per task, not one per epoch.
+    let mut pool_stats = PoolStats::default();
+    for (e, a) in assigned.iter().enumerate() {
+        let b = ctx.norm.brain(e);
+        let k = a.cols();
+        pool_stats.merge(gemm_blocked_parallel(
+            pool,
+            BlockSizes::default(),
+            v,
+            n,
+            k,
+            a.as_slice(),
+            k.max(1),
+            b.as_slice(),
+            n,
+            &mut buf[e * n..],
+            m * n,
+        ));
+    }
+    bridge_pool_counters(&pool_stats);
     fcma_linalg::debug_assert_finite!(&buf, "stage1 baseline correlation output");
     CorrData { buf, layout }
 }

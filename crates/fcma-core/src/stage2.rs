@@ -25,10 +25,13 @@
 //! keeps the stat loops on the vector units (idea #3).
 
 use crate::context::TaskContext;
-use crate::stage1::CorrData;
+use crate::stage1::{bridge_pool_counters, CorrData};
 use crate::task::VoxelTask;
-use fcma_linalg::tall_skinny::{corr_tile_block, EpochPair, TallSkinnyOpts};
+use fcma_linalg::tall_skinny::{
+    corr_tile_block, corr_tile_block_rows, EpochPair, TallSkinnyOpts, MR,
+};
 use fcma_linalg::{f32_from_usize, fisher_z_slice, CorrLayout};
+use fcma_sync::pool::Pool;
 use fcma_trace::span;
 
 /// Baseline schedule: Fisher pass, then stats pass, then apply pass.
@@ -178,6 +181,136 @@ pub fn corr_normalized_merged(
     CorrData { buf, layout }
 }
 
+/// Parallel merged schedule: the fused stage-1+2 pipeline banded across
+/// `pool` workers along the assigned-voxel dimension.
+///
+/// Each worker owns a disjoint MR-aligned band of the task's voxels and
+/// runs the full [`corr_normalized_merged`] tile loop for that band —
+/// computing each correlation tile and normalizing it while cache-hot —
+/// writing straight into its own contiguous slice of the interleaved
+/// output. Bit-identical to the serial merged schedule at every thread
+/// count (DESIGN.md §15): band boundaries respect the register-tile
+/// grouping, per-voxel statistics never cross bands, and there is no
+/// cross-thread reduction at all.
+///
+/// # Panics
+/// If `task` is out of range for `ctx`.
+pub fn corr_normalized_merged_parallel(
+    ctx: &TaskContext,
+    task: VoxelTask,
+    opts: TallSkinnyOpts,
+    pool: &Pool,
+) -> CorrData {
+    let v = task.count;
+    let n_groups = v.div_ceil(MR);
+    let bands = pool.threads().min(n_groups).max(1);
+    if bands <= 1 {
+        return corr_normalized_merged(ctx, task, opts);
+    }
+    let n = ctx.n_voxels();
+    let m = ctx.n_epochs();
+    let layout = CorrLayout { n_assigned: v, n_epochs: m, n_brain: n };
+    let mut buf = vec![0.0f32; layout.out_len()];
+    let _span = span!("stage12.fused", voxels = v, brain = n, epochs = m, threads = bands);
+
+    let assigned = crate::stage1::assigned_blocks(ctx, task);
+    let pairs: Vec<EpochPair<'_>> = assigned
+        .iter()
+        .enumerate()
+        .map(|(e, a)| EpochPair { assigned: a, brain: ctx.norm.brain(e) })
+        .collect();
+
+    // Carve the interleaved buffer at band boundaries: voxels [v0, v1)
+    // own rows v0·M .. v1·M, a contiguous slice.
+    let mut tasks: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(bands);
+    let mut rest: &mut [f32] = &mut buf;
+    let mut v0 = 0usize;
+    for band in 0..bands {
+        let groups = n_groups / bands + usize::from(band < n_groups % bands);
+        let v1 = (v0 + groups * MR).min(v);
+        if band + 1 == bands {
+            tasks.push((v0, v1, rest));
+            rest = &mut [];
+        } else {
+            let (head, tail) = rest.split_at_mut((v1 - v0) * m * n);
+            tasks.push((v0, v1, head));
+            rest = tail;
+        }
+        v0 = v1;
+    }
+    let _ = rest;
+
+    let w_max = opts.tile_cols.max(16);
+    let max_se = max_subject_epochs(ctx);
+    let (_, stats) = pool.run_init_stats(
+        tasks,
+        || (),
+        |(), _idx, (v0, v1, chunk)| {
+            merged_band(ctx, &pairs, v0, v1, chunk, w_max, max_se, m, n);
+        },
+    );
+    bridge_pool_counters(&stats);
+    fcma_linalg::debug_assert_finite!(&buf, "stage2 merged pipeline output");
+    CorrData { buf, layout }
+}
+
+/// One worker's share of the merged pipeline: voxels `[v0, v1)`, writing
+/// the band's rows into `chunk` (local layout, row `(vi − v0)·M + e`).
+#[allow(clippy::too_many_arguments)] // band-worker ABI: everything is loop-invariant context
+fn merged_band(
+    ctx: &TaskContext,
+    pairs: &[EpochPair<'_>],
+    v0: usize,
+    v1: usize,
+    chunk: &mut [f32],
+    w_max: usize,
+    max_se: usize,
+    m: usize,
+    n: usize,
+) {
+    let bv = v1 - v0;
+    let mut tile = vec![0.0f32; bv * max_se * w_max];
+    let mut sum = vec![0.0f32; w_max];
+    let mut sumsq = vec![0.0f32; w_max];
+    let mut mean = vec![0.0f32; w_max];
+    let mut inv_std = vec![0.0f32; w_max];
+
+    let mut j0 = 0;
+    while j0 < n {
+        let w = w_max.min(n - j0);
+        for sr in ctx.subject_ranges.iter() {
+            let e_cnt = sr.len();
+            corr_tile_block_rows(pairs, v0..v1, sr.clone(), j0..j0 + w, &mut tile);
+            for vi in 0..bv {
+                let base = vi * e_cnt * w;
+                let block = &mut tile[base..base + e_cnt * w];
+                sum[..w].fill(0.0);
+                sumsq[..w].fill(0.0);
+                for row in block.chunks_mut(w) {
+                    fisher_z_slice(row);
+                    accumulate(row, &mut sum[..w], &mut sumsq[..w]);
+                }
+                finish_stats(
+                    &sum[..w],
+                    &sumsq[..w],
+                    f32_from_usize(e_cnt),
+                    &mut mean[..w],
+                    &mut inv_std[..w],
+                );
+                for (ei, e) in sr.clone().enumerate() {
+                    let src = &block[ei * w..(ei + 1) * w];
+                    let dst_row = vi * m + e;
+                    let dst = &mut chunk[dst_row * n + j0..dst_row * n + j0 + w];
+                    for j in 0..w {
+                        dst[j] = (src[j] - mean[j]) * inv_std[j];
+                    }
+                }
+            }
+        }
+        j0 += w;
+    }
+}
+
 fn max_subject_epochs(ctx: &TaskContext) -> usize {
     ctx.subject_ranges.iter().map(std::iter::ExactSizeIterator::len).max().unwrap_or(0)
 }
@@ -248,6 +381,22 @@ mod tests {
         normalize_separated(&mut sep, &ctx);
         let merged = corr_normalized_merged(&ctx, task, TallSkinnyOpts { tile_cols: 24 });
         assert!(max_diff(&sep, &merged) < 1e-4);
+    }
+
+    #[test]
+    fn parallel_merged_bit_identical_at_every_thread_count() {
+        let ctx = ctx();
+        // 19 voxels: 2 full MR groups + a 3-row edge, so band carving
+        // exercises both aligned interior bands and the ragged tail.
+        let task = VoxelTask { start: 2, count: 19 };
+        let opts = TallSkinnyOpts { tile_cols: 48 };
+        let serial = corr_normalized_merged(&ctx, task, opts);
+        for threads in [1usize, 2, 3, 8] {
+            let par = corr_normalized_merged_parallel(&ctx, task, opts, &Pool::new(threads));
+            for (i, (p, s)) in par.buf.iter().zip(&serial.buf).enumerate() {
+                assert_eq!(p.to_bits(), s.to_bits(), "threads={threads} idx={i}");
+            }
+        }
     }
 
     #[test]

@@ -6,15 +6,15 @@
 //! configured SVM solver. The resulting accuracy is the voxel's
 //! "informativeness" score.
 //!
-//! One rayon task handles one voxel — the paper's "a thread takes full
+//! One pool task handles one voxel — the paper's "a thread takes full
 //! responsibility for the cross validation of one voxel".
 
-use crate::stage1::CorrData;
+use crate::stage1::{bridge_pool_counters, CorrData};
 use crate::task::{VoxelScore, VoxelTask};
 use fcma_linalg::{SyrkScratch, PANEL_K};
-use fcma_svm::{loso_cross_validate, KernelMatrix, SolverKind};
+use fcma_svm::{loso_cross_validate, loso_cross_validate_pool, KernelMatrix, SolverKind};
+use fcma_sync::pool::Pool;
 use fcma_trace::{counter, span};
-use rayon::prelude::*;
 
 /// Which SYRK implementation precomputes the kernels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +29,11 @@ pub enum KernelPrecompute {
 ///
 /// `vi` is the task-relative voxel index into `corr`; `y` and `groups`
 /// are parallel to the epochs of `corr` (groups are subjects for offline
-/// analysis, epoch folds for the online case).
+/// analysis, epoch folds for the online case). When `fold_pool` is set
+/// the CV folds run fold-parallel — bit-identical to the serial CV at
+/// every thread count (DESIGN.md §15), used when the task is narrower
+/// than the pool.
+#[allow(clippy::too_many_arguments)] // per-voxel scoring ABI shared by both executors
 pub(crate) fn score_voxel(
     corr: &CorrData,
     vi: usize,
@@ -38,6 +42,7 @@ pub(crate) fn score_voxel(
     solver: &SolverKind,
     precompute: KernelPrecompute,
     scratch: &mut SyrkScratch,
+    fold_pool: Option<&Pool>,
 ) -> f64 {
     let m = corr.layout.n_epochs;
     let n = corr.layout.n_brain;
@@ -48,7 +53,10 @@ pub(crate) fn score_voxel(
         KernelPrecompute::Baseline => KernelMatrix::precompute_baseline_raw(m, n, data),
         KernelPrecompute::Optimized => KernelMatrix::precompute_raw_with(m, n, data, scratch),
     };
-    loso_cross_validate(&kernel, y, groups, solver).accuracy
+    match fold_pool {
+        Some(pool) => loso_cross_validate_pool(&kernel, y, groups, solver, pool).accuracy,
+        None => loso_cross_validate(&kernel, y, groups, solver).accuracy,
+    }
 }
 
 /// Score every voxel of a task in parallel.
@@ -61,22 +69,34 @@ pub fn score_task(
     groups: &[usize],
     solver: &SolverKind,
     precompute: KernelPrecompute,
+    pool: &Pool,
 ) -> Vec<VoxelScore> {
     assert_eq!(corr.layout.n_assigned, task.count, "score_task: task/corr shape mismatch");
     let _span = span!("stage3.score", voxels = task.count, epochs = corr.layout.n_epochs);
     counter!("stage3.voxels", task.count);
-    // One SYRK scratch per rayon worker, reused across that worker's
-    // voxels — the paper's per-thread A_local buffers (§4.4).
-    (0..task.count)
-        .into_par_iter()
-        .map_init(
-            || SyrkScratch::new(corr.layout.n_epochs, PANEL_K),
-            |scratch, vi| VoxelScore {
-                voxel: task.start + vi,
-                accuracy: score_voxel(corr, vi, y, groups, solver, precompute, scratch),
-            },
-        )
-        .collect()
+    if task.count == 1 && pool.threads() > 1 {
+        // A single-voxel task (the online/realtime shape) has no voxel
+        // parallelism to exploit; push the pool down one level and run
+        // the CV folds in parallel instead. Same score either way — the
+        // fold-parallel CV is bit-identical to serial (DESIGN.md §15).
+        let mut scratch = SyrkScratch::new(corr.layout.n_epochs, PANEL_K);
+        let accuracy =
+            score_voxel(corr, 0, y, groups, solver, precompute, &mut scratch, Some(pool));
+        return vec![VoxelScore { voxel: task.start, accuracy }];
+    }
+    // One SYRK scratch per pool worker, reused across that worker's
+    // voxels — the paper's per-thread A_local buffers (§4.4). Scores come
+    // back in task-index order regardless of which worker ran them.
+    let (scores, stats) = pool.run_init_stats(
+        (0..task.count).collect(),
+        || SyrkScratch::new(corr.layout.n_epochs, PANEL_K),
+        |scratch, _idx, vi| VoxelScore {
+            voxel: task.start + vi,
+            accuracy: score_voxel(corr, vi, y, groups, solver, precompute, scratch, None),
+        },
+    );
+    bridge_pool_counters(&stats);
+    scores
 }
 
 #[cfg(test)]
@@ -102,6 +122,7 @@ mod tests {
             &ctx.subjects,
             &SolverKind::PhiSvm(SmoParams::default()),
             KernelPrecompute::Optimized,
+            &Pool::new(2),
         );
         (scores, gt.informative, ctx)
     }
@@ -131,9 +152,25 @@ mod tests {
         let task = VoxelTask { start: 0, count: 16 };
         let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
         let solver = SolverKind::PhiSvm(SmoParams::default());
-        let a =
-            score_task(&corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized);
-        let b = score_task(&corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Baseline);
+        let pool = Pool::new(2);
+        let a = score_task(
+            &corr,
+            task,
+            &ctx.y,
+            &ctx.subjects,
+            &solver,
+            KernelPrecompute::Optimized,
+            &pool,
+        );
+        let b = score_task(
+            &corr,
+            task,
+            &ctx.y,
+            &ctx.subjects,
+            &solver,
+            KernelPrecompute::Baseline,
+            &pool,
+        );
         for (x, y) in a.iter().zip(&b) {
             assert!(
                 (x.accuracy - y.accuracy).abs() < 0.101,
@@ -161,6 +198,7 @@ mod tests {
             &ctx.subjects,
             &SolverKind::PhiSvm(SmoParams::default()),
             KernelPrecompute::Optimized,
+            &Pool::new(2),
         );
         let b = score_task(
             &corr,
@@ -169,6 +207,7 @@ mod tests {
             &ctx.subjects,
             &SolverKind::LibSvm(LibSvmParams::default()),
             KernelPrecompute::Optimized,
+            &Pool::new(2),
         );
         let mean_gap: f64 =
             a.iter().zip(&b).map(|(x, y)| (x.accuracy - y.accuracy).abs()).sum::<f64>()
@@ -180,6 +219,43 @@ mod tests {
     fn scores_are_in_unit_interval() {
         let (scores, _, _) = scored(1.0);
         assert!(scores.iter().all(|s| (0.0..=1.0).contains(&s.accuracy)));
+    }
+
+    #[test]
+    fn single_voxel_task_fold_parallel_matches_serial() {
+        // task.count == 1 at threads > 1 takes the fold-parallel CV
+        // path; the score must still be bit-identical to the serial run.
+        let mut cfg = presets::tiny();
+        cfg.n_voxels = 24;
+        cfg.n_informative = 4;
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let task = VoxelTask { start: 7, count: 1 };
+        let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
+        let solver = SolverKind::PhiSvm(SmoParams::default());
+        let serial = score_task(
+            &corr,
+            task,
+            &ctx.y,
+            &ctx.subjects,
+            &solver,
+            KernelPrecompute::Optimized,
+            &Pool::new(1),
+        );
+        for threads in [2usize, 8] {
+            let par = score_task(
+                &corr,
+                task,
+                &ctx.y,
+                &ctx.subjects,
+                &solver,
+                KernelPrecompute::Optimized,
+                &Pool::new(threads),
+            );
+            assert_eq!(par.len(), 1);
+            assert_eq!(par[0].voxel, 7);
+            assert_eq!(par[0].accuracy.to_bits(), serial[0].accuracy.to_bits());
+        }
     }
 
     #[test]
@@ -198,6 +274,7 @@ mod tests {
             &ctx.subjects,
             &SolverKind::PhiSvm(SmoParams::default()),
             KernelPrecompute::Optimized,
+            &Pool::new(3),
         );
         let voxels: Vec<usize> = scores.iter().map(|s| s.voxel).collect();
         assert_eq!(voxels, vec![10, 11, 12, 13, 14]);

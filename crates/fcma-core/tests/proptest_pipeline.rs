@@ -3,13 +3,15 @@
 //! dataset configurations.
 
 use fcma_core::{
-    corr_baseline, corr_normalized_merged, corr_optimized, normalize_baseline, normalize_separated,
-    score_task, KernelPrecompute, TaskContext, VoxelTask,
+    corr_baseline, corr_baseline_parallel, corr_normalized_merged, corr_normalized_merged_parallel,
+    corr_optimized, normalize_baseline, normalize_separated, score_task, KernelPrecompute,
+    TaskContext, VoxelTask,
 };
 use fcma_fmri::noise::{Ar1, Drift};
 use fcma_fmri::synth::{Placement, SynthConfig};
 use fcma_linalg::tall_skinny::TallSkinnyOpts;
 use fcma_svm::{SmoParams, SolverKind};
+use fcma_sync::pool::Pool;
 use proptest::prelude::*;
 
 fn config_strategy() -> impl Strategy<Value = SynthConfig> {
@@ -63,8 +65,9 @@ proptest! {
 
         let whole_task = VoxelTask { start: 0, count: d.n_voxels() };
         let whole = corr_normalized_merged(&ctx, whole_task, TallSkinnyOpts::default());
+        let pool = Pool::new(2);
         let ref_scores = score_task(
-            &whole, whole_task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+            &whole, whole_task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized, &pool,
         );
 
         let mut start = 0;
@@ -73,7 +76,7 @@ proptest! {
             let task = VoxelTask { start, count };
             let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
             let scores = score_task(
-                &corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+                &corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized, &pool,
             );
             for s in &scores {
                 let r = &ref_scores[s.voxel];
@@ -86,6 +89,57 @@ proptest! {
                 );
             }
             start += count;
+        }
+    }
+
+    /// DESIGN.md §15: the fused stage-1+2 pipeline and the baseline
+    /// stage-1 GEMM are bit-identical to their serial schedules at every
+    /// thread count, on arbitrary datasets and task offsets.
+    #[test]
+    fn parallel_pipeline_bit_identical(cfg in config_strategy(), start_frac in 0.0f32..0.6) {
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let start = (start_frac * d.n_voxels() as f32) as usize;
+        let count = d.n_voxels() - start;
+        let task = VoxelTask { start, count };
+
+        let merged = corr_normalized_merged(&ctx, task, TallSkinnyOpts { tile_cols: 32 });
+        let base = corr_baseline(&ctx, task);
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let pm = corr_normalized_merged_parallel(&ctx, task, TallSkinnyOpts { tile_cols: 32 }, &pool);
+            let pb = corr_baseline_parallel(&ctx, task, &pool);
+            for (i, (p, s)) in pm.buf.iter().zip(&merged.buf).enumerate() {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "merged threads={} idx={}", threads, i);
+            }
+            for (i, (p, s)) in pb.buf.iter().zip(&base.buf).enumerate() {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "baseline threads={} idx={}", threads, i);
+            }
+        }
+    }
+
+    /// Stage-3 scores do not depend on the pool's thread count or steal
+    /// seed: every voxel's CV runs to the same accuracy bit for bit.
+    #[test]
+    fn scores_thread_count_invariant(cfg in config_strategy()) {
+        let (d, _) = cfg.generate();
+        let ctx = TaskContext::full(&d);
+        let task = VoxelTask { start: 0, count: d.n_voxels().min(10) };
+        let corr = corr_normalized_merged(&ctx, task, TallSkinnyOpts::default());
+        let solver = SolverKind::PhiSvm(SmoParams::default());
+        let reference = score_task(
+            &corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+            &Pool::new(1),
+        );
+        for threads in [2usize, 3, 8] {
+            let scores = score_task(
+                &corr, task, &ctx.y, &ctx.subjects, &solver, KernelPrecompute::Optimized,
+                &Pool::new(threads).with_seed(u64::from(threads as u32) * 7 + 1),
+            );
+            for (s, r) in scores.iter().zip(&reference) {
+                prop_assert_eq!(s.voxel, r.voxel);
+                prop_assert_eq!(s.accuracy.to_bits(), r.accuracy.to_bits(), "threads={}", threads);
+            }
         }
     }
 
@@ -109,6 +163,7 @@ proptest! {
             &ctx.subjects,
             &SolverKind::PhiSvm(SmoParams::default()),
             KernelPrecompute::Optimized,
+            &Pool::new(3),
         );
         for s in &scores {
             prop_assert!((0.0..=1.0).contains(&s.accuracy));

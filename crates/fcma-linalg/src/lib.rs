@@ -33,7 +33,8 @@ pub mod tall_skinny;
 
 pub use cast::{f32_from_f64, f32_from_usize, f64_from_usize};
 pub use gemm_blocked::{
-    gemm_blocked, gemm_blocked_scratch, gemm_blocked_with, BlockSizes, GemmScratch,
+    gemm_blocked, gemm_blocked_parallel, gemm_blocked_scratch, gemm_blocked_with, BlockSizes,
+    GemmScratch,
 };
 pub use gemm_ref::{gemm_ref, syrk_ref};
 pub use mat::Mat;
@@ -46,5 +47,6 @@ pub use syrk::{
     PANEL_K,
 };
 pub use tall_skinny::{
-    corr_reference, corr_tall_skinny, corr_tile_block, CorrLayout, EpochPair, TallSkinnyOpts,
+    corr_reference, corr_tall_skinny, corr_tile_block, corr_tile_block_rows, CorrLayout, EpochPair,
+    TallSkinnyOpts,
 };

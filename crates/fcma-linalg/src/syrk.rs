@@ -14,13 +14,15 @@
 //! * [`syrk_dot`] — a generic library-style version (chunked row dot
 //!   products over the lower triangle), the `cblas_ssyrk` stand-in;
 //! * [`syrk_panel`] — the paper's panel-blocked, microkernel-based design,
-//!   with an optional rayon-parallel path whose partial-`C` merge uses a
-//!   `parking_lot` mutex exactly like the paper's OpenMP lock.
+//!   with a work-stealing parallel path ([`syrk_panel_parallel`]) that
+//!   splits `C` into `MR`-aligned row bands. Unlike the paper's
+//!   OpenMP-lock partial-`C` merge (§4.4), each band walks every panel
+//!   in serial order and owns its output rows outright, so the parallel
+//!   result is *bit-identical* to the serial kernel at any thread count
+//!   (DESIGN.md §15) — there is no arrival-order reduction to race.
 
 use crate::microkernel::{microkernel, microkernel_edge, pack_a_panel};
-// audit: allow(syncfacade) — kernel-local reduction lock inside a rayon scope, mirroring the paper's §4.4 OpenMP lock; never held across scheduler code, so the model checker has nothing to explore here
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use fcma_sync::pool::Pool;
 
 /// Register tile height of the SYRK microkernel.
 pub const MR: usize = 8;
@@ -116,48 +118,72 @@ pub fn syrk_panel_scratch(
     let panel_k = scratch.panel_k;
     for p in (0..n).step_by(panel_k) {
         let kp = panel_k.min(n - p);
-        accumulate_panel(m, a, lda, p, kp, c, ldc, scratch);
+        accumulate_panel(m, 0, m, a, lda, p, kp, c, ldc, scratch);
     }
     mirror_lower_to_upper(c, m, ldc);
 }
 
-/// Rayon-parallel variant: panels are distributed across threads, each
-/// thread accumulates into a private partial `C`, and partials are merged
-/// into the shared output under a mutex (the paper's OpenMP-lock design).
-///
-/// `grain` panels are processed per task; the default entry point uses one
-/// task per [`PANEL_K`]-deep panel group of 8.
+/// Work-stealing parallel variant: `C`'s rows are split into contiguous
+/// `MR`-aligned bands, one pool task per band. Every band walks the
+/// full panel sequence in order and writes only its own rows, so each
+/// output element sees exactly the serial kernel's instruction sequence
+/// — results are bit-identical to [`syrk_panel_scratch`] at every
+/// thread count (the deterministic-reduction contract, DESIGN.md §15).
+/// Each worker reuses one [`SyrkScratch`] across its bands.
 ///
 /// # Panics
 /// If `lda < n`, `ldc < m`, or either buffer is shorter than the
 /// leading-dimension layout requires.
-pub fn syrk_panel_parallel(m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize) {
+pub fn syrk_panel_parallel(
+    pool: &Pool,
+    m: usize,
+    n: usize,
+    a: &[f32],
+    lda: usize,
+    c: &mut [f32],
+    ldc: usize,
+) {
     validate(m, n, a.len(), lda, c.len(), ldc);
     if m == 0 {
         return;
     }
-    zero_lower(c, m, ldc);
-    let n_panels = n.div_ceil(PANEL_K);
-    let grain = 8usize;
-    let shared = Mutex::new(&mut *c);
-    (0..n_panels.div_ceil(grain)).into_par_iter().for_each(|g| {
-        let mut local = vec![0.0f32; m * m];
+    let n_tiles = m.div_ceil(MR);
+    let bands = pool.threads().min(n_tiles).max(1);
+    if bands <= 1 {
         let mut scratch = SyrkScratch::new(m, PANEL_K);
-        for pi in g * grain..((g + 1) * grain).min(n_panels) {
-            let p = pi * PANEL_K;
-            let kp = PANEL_K.min(n - p);
-            accumulate_panel(m, a, lda, p, kp, &mut local, m, &mut scratch);
+        syrk_panel_scratch(m, n, a, lda, c, ldc, &mut scratch);
+        return;
+    }
+    zero_lower(c, m, ldc);
+    // Carve MR-aligned row bands off the output; each task owns rows
+    // [r0, r1) outright (disjoint &mut slices, no reduction lock).
+    let mut tasks: Vec<(usize, usize, &mut [f32])> = Vec::with_capacity(bands);
+    let mut rest: &mut [f32] = c;
+    let mut r0 = 0usize;
+    for band in 0..bands {
+        let tiles = n_tiles / bands + usize::from(band < n_tiles % bands);
+        let r1 = (r0 + tiles * MR).min(m);
+        if band + 1 == bands {
+            tasks.push((r0, r1, rest));
+            rest = &mut [];
+        } else {
+            let (head, tail) = rest.split_at_mut((r1 - r0) * ldc);
+            tasks.push((r0, r1, head));
+            rest = tail;
         }
-        // "After the thread completes its portion of the matrix multiply,
-        // it takes a lock corresponding to the C matrix and adds its
-        // contribution" (§4.4).
-        let mut guard = shared.lock();
-        for i in 0..m {
-            for j in 0..=i {
-                guard[i * ldc + j] += local[i * m + j];
+        r0 = r1;
+    }
+    let _ = rest;
+    pool.run_init(
+        tasks,
+        || SyrkScratch::new(m, PANEL_K),
+        |scratch, _idx, (r0, r1, band)| {
+            for p in (0..n).step_by(PANEL_K) {
+                let kp = PANEL_K.min(n - p);
+                accumulate_panel(m, r0, r1, a, lda, p, kp, band, ldc, scratch);
             }
-        }
-    });
+        },
+    );
     mirror_lower_to_upper(c, m, ldc);
 }
 
@@ -195,30 +221,39 @@ impl SyrkScratch {
     }
 }
 
-/// Add one `kp`-deep panel's contribution to the lower triangle of `c`.
+/// Add one `kp`-deep panel's contribution to the lower triangle of the
+/// `MR`-aligned row band `[r0, r1)`. `c_band` holds only the band's
+/// rows (global row `i` lives at `(i - r0) * ldc`); the serial kernel
+/// passes the full range `(0, m)` with `c_band = c`. Because band
+/// boundaries are `MR`-aligned, the tile walk — and therefore each
+/// element's accumulation sequence — is identical however the rows are
+/// banded.
 #[allow(clippy::too_many_arguments)]
 // audit: hot
 fn accumulate_panel(
     m: usize,
+    r0: usize,
+    r1: usize,
     a: &[f32],
     lda: usize,
     p: usize,
     kp: usize,
-    c: &mut [f32],
+    c_band: &mut [f32],
     ldc: usize,
     scratch: &mut SyrkScratch,
 ) {
     let SyrkScratch { a_packs, b_panel, panel_k, .. } = scratch;
     let panel_k = *panel_k;
-    // Pack every MR-tall row tile of A[:, p..p+kp] once; tiles serve as
-    // both the left (a_panel) and — re-read NR-wide — the right operand.
-    for (t, i0) in (0..m).step_by(MR).enumerate() {
+    // Pack every MR-tall row tile of A[r0..r1, p..p+kp] once; tiles serve
+    // as both the left (a_panel) and — re-read NR-wide — the right operand.
+    for (t, i0) in (r0..r1).step_by(MR).enumerate() {
         let mr = MR.min(m - i0);
         pack_a_panel::<MR>(&a[i0 * lda + p..], lda, mr, kp, &mut a_packs[t * panel_k * MR..]);
     }
     // Right-operand panels need the B layout (l*NR + j = A[j0+j, p+l]);
-    // build them per column tile from A directly.
-    for j0 in (0..m).step_by(NR) {
+    // build them per column tile from A directly. Only column tiles at
+    // or left of the band's last row contribute to its lower triangle.
+    for j0 in (0..r1).step_by(NR) {
         let nr = NR.min(m - j0);
         for l in 0..kp {
             let dst = &mut b_panel[l * NR..(l + 1) * NR];
@@ -229,15 +264,15 @@ fn accumulate_panel(
         }
         // Only row tiles at or below this column tile contribute to the
         // lower triangle (j0 <= i0 covers all i >= j; see mirror step).
-        for (t, i0) in (0..m).step_by(MR).enumerate() {
+        for (t, i0) in (r0..r1).step_by(MR).enumerate() {
             if i0 < j0 {
                 continue;
             }
             let mr = MR.min(m - i0);
             let a_panel = &a_packs[t * panel_k * MR..t * panel_k * MR + kp * MR];
-            let c_off = i0 * ldc + j0;
+            let c_off = (i0 - r0) * ldc + j0;
             if mr == MR && nr == NR {
-                microkernel::<MR, NR>(kp, a_panel, b_panel, &mut c[c_off..], ldc, true);
+                microkernel::<MR, NR>(kp, a_panel, b_panel, &mut c_band[c_off..], ldc, true);
             } else {
                 microkernel_edge::<MR, NR>(
                     kp,
@@ -245,7 +280,7 @@ fn accumulate_panel(
                     nr,
                     a_panel,
                     b_panel,
-                    &mut c[c_off..],
+                    &mut c_band[c_off..],
                     ldc,
                     true,
                 );
@@ -338,8 +373,30 @@ mod tests {
 
     #[test]
     fn parallel_version_matches_reference() {
-        check(20, 2000, syrk_panel_parallel);
-        check(17, 777, syrk_panel_parallel);
+        for threads in [2usize, 3, 8] {
+            let pool = Pool::new(threads);
+            let f = |m: usize, n: usize, a: &[f32], lda: usize, c: &mut [f32], ldc: usize| {
+                syrk_panel_parallel(&pool, m, n, a, lda, c, ldc);
+            };
+            check(20, 2000, f);
+            check(17, 777, f);
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial_at_every_thread_count() {
+        for (m, n) in [(20usize, 300usize), (17, 97), (9, 45), (33, 128)] {
+            let a = pseudo(m * n, 13);
+            let mut serial = vec![0.0; m * m];
+            syrk_panel(m, n, &a, n, &mut serial, m);
+            for threads in [1usize, 2, 3, 8] {
+                let mut par = vec![f32::NAN; m * m];
+                syrk_panel_parallel(&Pool::new(threads), m, n, &a, n, &mut par, m);
+                for (p, s) in par.iter().zip(&serial) {
+                    assert_eq!(p.to_bits(), s.to_bits(), "threads={threads} m={m} n={n}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -216,14 +216,47 @@ pub fn corr_tile_block(
     col_range: Range<usize>,
     buf: &mut [f32],
 ) {
+    let v = epochs.first().map_or(0, |ep| ep.assigned.rows());
+    corr_tile_block_rows(epochs, 0..v, epoch_range, col_range, buf);
+}
+
+/// Voxel-range generalization of [`corr_tile_block`]: compute the block
+/// only for assigned voxels `voxel_range`, writing `buf` densely with
+/// *local* voxel indices (`buf[((vi − v_start) · E + ei) · W + …]`).
+///
+/// This is the unit of work the parallel fused stage-1+2 pipeline hands
+/// to pool workers: each worker owns a disjoint MR-aligned band of
+/// assigned voxels. `voxel_range.start` must be a multiple of [`MR`] so
+/// the register-tile grouping — and therefore every per-element FMA
+/// sequence — matches the serial full-range call bit for bit
+/// (DESIGN.md §15 determinism contract).
+///
+/// # Panics
+/// Panics on inconsistent shapes, out-of-bounds ranges, an unaligned
+/// `voxel_range.start`, or a short buffer.
+pub fn corr_tile_block_rows(
+    epochs: &[EpochPair<'_>],
+    voxel_range: Range<usize>,
+    epoch_range: Range<usize>,
+    col_range: Range<usize>,
+    buf: &mut [f32],
+) {
     assert!(!epochs.is_empty(), "corr_tile_block: no epochs");
     let v = epochs[0].assigned.rows();
     let n = epochs[0].brain.cols();
     assert!(epoch_range.end <= epochs.len(), "corr_tile_block: epoch range out of bounds");
     assert!(col_range.end <= n, "corr_tile_block: column range out of bounds");
+    assert!(voxel_range.end <= v, "corr_tile_block: voxel range out of bounds");
+    assert_eq!(
+        voxel_range.start % MR,
+        0,
+        "corr_tile_block: voxel range must start on an MR={MR} boundary"
+    );
+    let v_start = voxel_range.start;
+    let v_count = voxel_range.len();
     let e_count = epoch_range.len();
     let w = col_range.len();
-    assert!(buf.len() >= v * e_count * w, "corr_tile_block: buffer too short");
+    assert!(buf.len() >= v_count * e_count * w, "corr_tile_block: buffer too short");
 
     let k_max = epochs[epoch_range.clone()].iter().map(EpochPair::k).max().unwrap_or(0);
     let mut b_pack = vec![0.0f32; k_max.max(1) * w.div_ceil(NR) * NR];
@@ -235,7 +268,7 @@ pub fn corr_tile_block(
         ep.validate(v, n);
         let k = ep.k();
         if k == 0 {
-            for vi in 0..v {
+            for vi in 0..v_count {
                 buf[(vi * e_count + ei) * w..(vi * e_count + ei + 1) * w].fill(0.0);
             }
             continue;
@@ -245,14 +278,14 @@ pub fn corr_tile_block(
             let nr = NR.min(col_range.end - jt);
             pack_b_panel::<NR>(&ep.brain.as_slice()[jt..], n, k, nr, &mut b_pack[t * k_max * NR..]);
         }
-        for v0 in (0..v).step_by(MR) {
-            let mr = MR.min(v - v0);
+        for v0 in voxel_range.clone().step_by(MR) {
+            let mr = MR.min(voxel_range.end - v0);
             pack_a_panel::<MR>(&ep.assigned.as_slice()[v0 * k..], k, mr, k, &mut a_pack);
             for t in 0..n_tiles {
                 let jt = t * NR;
                 let nr = NR.min(w - jt);
                 let b_panel = &b_pack[t * k_max * NR..t * k_max * NR + k * NR];
-                let c_off = (v0 * e_count + ei) * w + jt;
+                let c_off = ((v0 - v_start) * e_count + ei) * w + jt;
                 if mr == MR && nr == NR {
                     microkernel::<MR, NR>(
                         k,
@@ -422,6 +455,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn tile_block_rows_bit_identical_to_full_range() {
+        // Band-partitioned computation (the parallel fused pipeline's unit
+        // of work) must reproduce the full-range tile bit for bit as long
+        // as band starts are MR-aligned.
+        let v = 21; // 2 full MR groups + a 5-row edge
+        let n = 50;
+        let ks = [12usize, 7, 12];
+        let (assigned, brain) = make_epochs(v, n, &ks);
+        let eps = pairs(&assigned, &brain);
+        let er = 0..ks.len();
+        let cr = 3..47usize;
+        let w = cr.len();
+        let ec = er.len();
+        let mut full = vec![f32::NAN; v * ec * w];
+        corr_tile_block(&eps, er.clone(), cr.clone(), &mut full);
+        for bands in [1usize, 2, 3] {
+            let n_groups = v.div_ceil(MR);
+            let mut v0 = 0usize;
+            for band in 0..bands.min(n_groups) {
+                let groups = n_groups / bands + usize::from(band < n_groups % bands);
+                let v1 = (v0 + groups * MR).min(v);
+                let mut part = vec![f32::NAN; (v1 - v0) * ec * w];
+                corr_tile_block_rows(&eps, v0..v1, er.clone(), cr.clone(), &mut part);
+                for (li, got) in part.iter().enumerate() {
+                    let vi = v0 + li / (ec * w);
+                    let want = full[(vi * ec) * w + li % (ec * w)];
+                    assert_eq!(got.to_bits(), want.to_bits(), "bands={bands} band={band}");
+                }
+                v0 = v1;
+            }
+            assert_eq!(v0, v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "MR=8 boundary")]
+    fn tile_block_rows_rejects_unaligned_start() {
+        let a = Mat::zeros(16, 3);
+        let b = Mat::zeros(3, 5);
+        let eps = [EpochPair { assigned: &a, brain: &b }];
+        let mut buf = vec![0.0; 16 * 5];
+        corr_tile_block_rows(&eps, 3..16, 0..1, 0..5, &mut buf);
     }
 
     #[test]

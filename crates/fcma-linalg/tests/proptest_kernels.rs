@@ -2,8 +2,9 @@
 //! implementations across randomized shapes and data.
 
 use fcma_linalg::gemm_blocked::BlockSizes;
-use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts};
+use fcma_linalg::tall_skinny::{EpochPair, TallSkinnyOpts, MR};
 use fcma_linalg::*;
+use fcma_sync::pool::Pool;
 use proptest::prelude::*;
 
 fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
@@ -89,7 +90,7 @@ proptest! {
         let mut par = vec![0.0; m * m];
         syrk_dot(m, n, &a, n, &mut dotv, m);
         syrk_panel(m, n, &a, n, &mut pan, m);
-        syrk_panel_parallel(m, n, &a, n, &mut par, m);
+        syrk_panel_parallel(&Pool::new(3), m, n, &a, n, &mut par, m);
         for i in 0..m * m {
             prop_assert!(close(dotv[i], pan[i], n as f32));
             prop_assert!(close(pan[i], par[i], n as f32));
@@ -443,6 +444,107 @@ proptest! {
                     let got = buf[(vi * m_epochs + ei) * w + (j - col0)];
                     prop_assert!(close(got, naive, k as f32), "({vi},{ei},{j}): {got} vs {naive}");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn corr_tile_block_rows_bands_bit_identical_to_full_range(
+        v in 1usize..40,
+        n in 4usize..48,
+        k in 1usize..10,
+        m_epochs in 1usize..4,
+        bands in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // The parallel fused pipeline's banding unit: computing the block
+        // in MR-aligned voxel bands must reproduce the full-range call
+        // bit for bit (DESIGN.md §15).
+        let assigned: Vec<Mat> = (0..m_epochs)
+            .map(|e| Mat::from_vec(v, k, pseudo(v * k, seed ^ e as u64)))
+            .collect();
+        let brain: Vec<Mat> = (0..m_epochs)
+            .map(|e| Mat::from_vec(k, n, pseudo(k * n, seed ^ (e as u64) << 8)))
+            .collect();
+        let eps: Vec<EpochPair> = assigned
+            .iter()
+            .zip(&brain)
+            .map(|(a, b)| EpochPair { assigned: a, brain: b })
+            .collect();
+        let col0 = n / 5;
+        let w = n - col0;
+        let mut full = vec![f32::NAN; v * m_epochs * w];
+        corr_tile_block_rows(&eps, 0..v, 0..m_epochs, col0..n, &mut full);
+        let mut banded = vec![f32::NAN; v * m_epochs * w];
+        let n_groups = v.div_ceil(MR);
+        let bands = bands.min(n_groups);
+        let mut v0 = 0usize;
+        for band in 0..bands {
+            let groups = n_groups / bands + usize::from(band < n_groups % bands);
+            let v1 = (v0 + groups * MR).min(v);
+            let chunk = &mut banded[v0 * m_epochs * w..v1 * m_epochs * w];
+            corr_tile_block_rows(&eps, v0..v1, 0..m_epochs, col0..n, chunk);
+            v0 = v1;
+        }
+        prop_assert_eq!(v0, v);
+        for (i, (b, f)) in banded.iter().zip(&full).enumerate() {
+            prop_assert_eq!(b.to_bits(), f.to_bits(), "idx {} (v={} bands={})", i, v, bands);
+        }
+    }
+
+    // DESIGN.md §15 determinism contract: the parallel band kernels must
+    // be BIT-identical to their serial counterparts at every thread
+    // count, arbitrary shapes, including the dirty-scratch path (a decoy
+    // product runs through the same pool first, so any per-worker state
+    // reuse — seeded deques, stolen bands, recycled packing buffers —
+    // must not perturb a single ulp).
+
+    #[test]
+    fn gemm_parallel_bit_identical_across_threads(
+        m in 1usize..48,
+        n in 1usize..40,
+        k in 0usize..24,
+        mc in 8usize..32,
+        kc in 1usize..16,
+        nc in 16usize..64,
+        seed in any::<u64>(),
+    ) {
+        let bs = BlockSizes { mc, kc, nc };
+        let a = pseudo(m * k.max(1), seed);
+        let b = pseudo(k.max(1) * n, seed ^ 0xbead);
+        let mut serial = vec![0.0; m * n];
+        gemm_blocked_with(bs, m, n, k, &a, k.max(1), &b, n, &mut serial, n);
+        let decoy: Vec<f32> = a.iter().map(|v| v.mul_add(-1.5, 0.2)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut junk = vec![0.0; m * n];
+            gemm_blocked_parallel(&pool, bs, m, n, k, &decoy, k.max(1), &b, n, &mut junk, n);
+            let mut par = vec![f32::NAN; m * n];
+            gemm_blocked_parallel(&pool, bs, m, n, k, &a, k.max(1), &b, n, &mut par, n);
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "threads={} ({}x{}x{})", threads, m, n, k);
+            }
+        }
+    }
+
+    #[test]
+    fn syrk_parallel_bit_identical_across_threads(
+        m in 1usize..40,
+        n in 1usize..160,
+        seed in any::<u64>(),
+    ) {
+        let a = pseudo(m * n, seed);
+        let mut serial = vec![0.0; m * m];
+        syrk_panel(m, n, &a, n, &mut serial, m);
+        let decoy: Vec<f32> = a.iter().map(|v| v.mul_add(0.7, -0.3)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::new(threads);
+            let mut junk = vec![0.0; m * m];
+            syrk_panel_parallel(&pool, m, n, &decoy, n, &mut junk, m);
+            let mut par = vec![f32::NAN; m * m];
+            syrk_panel_parallel(&pool, m, n, &a, n, &mut par, m);
+            for (p, s) in par.iter().zip(&serial) {
+                prop_assert_eq!(p.to_bits(), s.to_bits(), "threads={} (m={} n={})", threads, m, n);
             }
         }
     }

@@ -76,6 +76,8 @@ enum Status {
     CvWait { cv: u64, mutex: u64, deadline: Option<u64>, notified: bool },
     /// Waiting for virtual time to pass.
     Sleep { until: u64 },
+    /// Waiting for another model thread to finish (a scoped join).
+    Join { target: usize },
     /// Exited (or drained after a failure).
     Finished,
 }
@@ -203,7 +205,7 @@ impl Scheduler {
             let _mode = enter_model(rt);
             if sched.wait_first_turn(id) {
                 let result = catch_unwind(AssertUnwindSafe(f));
-                sched.on_thread_exit(id, result.err());
+                sched.on_thread_exit(id, result.err().map(|p| panic_message(p.as_ref())));
             } else {
                 sched.on_thread_exit(id, None);
             }
@@ -226,10 +228,9 @@ impl Scheduler {
     }
 
     /// A model thread's closure returned (or unwound).
-    fn on_thread_exit(&self, id: usize, panic: Option<Box<dyn std::any::Any + Send>>) {
+    fn on_thread_exit(&self, id: usize, panic: Option<String>) {
         let mut st = self.lock_state();
-        if let Some(payload) = panic {
-            let message = panic_message(payload.as_ref());
+        if let Some(message) = panic {
             if !message.contains(ABORT) && st.failure.is_none() {
                 Self::fail(&mut st, FailureKind::Panic { thread: id, message });
             }
@@ -305,6 +306,7 @@ impl Scheduler {
                 lock_free && (*notified || deadline.is_some_and(|d| d <= st.time))
             }
             Status::Sleep { until } => *until <= st.time,
+            Status::Join { target } => st.threads[*target].status == Status::Finished,
             Status::Finished => false,
         }
     }
@@ -330,6 +332,7 @@ impl Scheduler {
             Status::CvWait { cv, notified: true, .. } => format!("t{t} wakes from cv#{cv}"),
             Status::CvWait { cv, .. } => format!("t{t} times out on cv#{cv}"),
             Status::Sleep { .. } => format!("t{t} finishes sleeping"),
+            Status::Join { target } => format!("t{t} joins t{target}"),
             Status::Finished => format!("t{t} (finished)"),
         }
     }
@@ -420,7 +423,7 @@ impl Scheduler {
                 st.locks.insert(mutex, Some(t));
                 st.threads[t].timed_out = !notified;
             }
-            Status::Runnable | Status::Sleep { .. } | Status::Finished => {}
+            Status::Runnable | Status::Sleep { .. } | Status::Join { .. } | Status::Finished => {}
         }
         st.threads[t].status = Status::Runnable;
         st.current = t;
@@ -447,6 +450,9 @@ impl Scheduler {
                 }
                 Status::Sleep { until } => {
                     blocked.push(format!("t{t}: sleeping until {until}ns"));
+                }
+                Status::Join { target } => {
+                    blocked.push(format!("t{t}: joining t{target} (not finished)"));
                 }
                 Status::Runnable => blocked.push(format!("t{t}: runnable (scheduler bug?)")),
             }
@@ -593,6 +599,44 @@ impl McRuntime for Scheduler {
             st.current
         };
         self.schedule_point(me, Status::Runnable);
+    }
+
+    fn thread_register(&self) -> usize {
+        {
+            let st = self.lock_state();
+            if st.failure.is_some() {
+                drop(st);
+                Self::abort_thread();
+            }
+        }
+        let mut st = self.lock_state();
+        let id = st.threads.len();
+        st.threads.push(ThreadState { status: Status::Runnable, timed_out: false });
+        id
+    }
+
+    fn thread_enter(&self, id: usize) -> bool {
+        self.wait_first_turn(id)
+    }
+
+    fn thread_exit(&self, id: usize, panic: Option<String>) {
+        self.on_thread_exit(id, panic);
+    }
+
+    fn thread_join(&self, target: usize) {
+        if std::thread::panicking() {
+            return;
+        }
+        let me = {
+            let st = self.lock_state();
+            if st.failure.is_some() {
+                drop(st);
+                Self::abort_thread();
+                return;
+            }
+            st.current
+        };
+        self.schedule_point(me, Status::Join { target });
     }
 
     fn record(&self, event: McEvent) {

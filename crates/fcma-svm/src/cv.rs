@@ -10,6 +10,7 @@ use crate::kernel::KernelMatrix;
 use crate::phisvm::{train_optimized_libsvm, train_phisvm};
 use crate::reference::{decision as ref_decision, train_precomputed, LibSvmParams};
 use crate::smo::SmoParams;
+use fcma_sync::pool::Pool;
 use fcma_trace::{counter, span};
 
 /// Which solver runs the folds — the three rows of the paper's Table 8.
@@ -62,54 +63,108 @@ pub fn loso_cross_validate(
     let _span = span!("svm.cv.loso", folds = n_subjects, samples = m);
     counter!("svm.cv.folds", n_subjects);
 
-    let mut fold_accuracies = Vec::with_capacity(n_subjects);
-    let mut total_iterations = 0usize;
-    let mut correct = 0usize;
-    let mut total = 0usize;
+    let folds: Vec<FoldResult> =
+        (0..n_subjects).map(|held| run_fold(kernel, y, subjects, held, solver)).collect();
+    reduce_folds(&folds)
+}
 
-    for held in 0..n_subjects {
-        let train_idx: Vec<usize> = (0..m).filter(|&t| subjects[t] != held).collect();
-        let test_idx: Vec<usize> = (0..m).filter(|&t| subjects[t] == held).collect();
-        assert!(!test_idx.is_empty(), "cv: subject {held} has no samples");
-        let train_y: Vec<f32> = train_idx.iter().map(|&t| y[t]).collect();
+/// Fold-parallel leave-one-subject-out cross validation.
+///
+/// Each fold (one held-out subject) becomes one pool task; the fold
+/// results are reduced in held-subject order, so the outcome is
+/// bit-identical to [`loso_cross_validate`] at every thread count and
+/// steal seed (DESIGN.md §15) — each fold's training run is a serial
+/// solve over its own sub-problem, and the cross-fold reduction is pure
+/// integer accumulation in a fixed order.
+///
+/// # Panics
+/// Panics on length mismatches or if any fold would see a single class.
+pub fn loso_cross_validate_pool(
+    kernel: &KernelMatrix,
+    y: &[f32],
+    subjects: &[usize],
+    solver: &SolverKind,
+    pool: &Pool,
+) -> CvResult {
+    let m = kernel.n();
+    assert_eq!(y.len(), m, "cv: targets length != kernel size");
+    assert_eq!(subjects.len(), m, "cv: subjects length != kernel size");
+    let n_subjects = subjects.iter().copied().max().map_or(0, |s| s + 1);
+    assert!(n_subjects >= 2, "cv: need at least two subjects for LOSO");
+    let _span = span!("svm.cv.loso", folds = n_subjects, samples = m);
+    counter!("svm.cv.folds", n_subjects);
 
-        let mut fold_correct = 0usize;
-        match solver {
-            SolverKind::LibSvm(p) => {
-                let r = train_precomputed(kernel, &train_idx, &train_y, p);
-                total_iterations += r.iterations;
-                for &t in &test_idx {
-                    let d = ref_decision(kernel, &r, &train_idx, &train_y, t);
-                    let pred = if d >= 0.0 { 1.0 } else { -1.0 };
-                    if pred == y[t] {
-                        fold_correct += 1;
-                    }
-                }
-            }
-            SolverKind::OptimizedLibSvm(p) => {
-                let model = train_optimized_libsvm(kernel, &train_idx, &train_y, p);
-                total_iterations += model.iterations;
-                for &t in &test_idx {
-                    if model.predict(kernel, t) == y[t] {
-                        fold_correct += 1;
-                    }
-                }
-            }
-            SolverKind::PhiSvm(p) => {
-                let model = train_phisvm(kernel, &train_idx, &train_y, p);
-                total_iterations += model.iterations;
-                for &t in &test_idx {
-                    if model.predict(kernel, t) == y[t] {
-                        fold_correct += 1;
-                    }
+    let folds = pool
+        .run((0..n_subjects).collect(), |_idx, held| run_fold(kernel, y, subjects, held, solver));
+    reduce_folds(&folds)
+}
+
+/// One fold's outcome: (correct predictions, held-out samples, solver
+/// iterations).
+type FoldResult = (usize, usize, usize);
+
+/// Train on everything except subject `held`, test on `held`'s epochs.
+fn run_fold(
+    kernel: &KernelMatrix,
+    y: &[f32],
+    subjects: &[usize],
+    held: usize,
+    solver: &SolverKind,
+) -> FoldResult {
+    let m = kernel.n();
+    let train_idx: Vec<usize> = (0..m).filter(|&t| subjects[t] != held).collect();
+    let test_idx: Vec<usize> = (0..m).filter(|&t| subjects[t] == held).collect();
+    assert!(!test_idx.is_empty(), "cv: subject {held} has no samples");
+    let train_y: Vec<f32> = train_idx.iter().map(|&t| y[t]).collect();
+
+    let mut fold_correct = 0usize;
+    let iterations;
+    match solver {
+        SolverKind::LibSvm(p) => {
+            let r = train_precomputed(kernel, &train_idx, &train_y, p);
+            iterations = r.iterations;
+            for &t in &test_idx {
+                let d = ref_decision(kernel, &r, &train_idx, &train_y, t);
+                let pred = if d >= 0.0 { 1.0 } else { -1.0 };
+                if pred == y[t] {
+                    fold_correct += 1;
                 }
             }
         }
-        fold_accuracies.push(fold_correct as f64 / test_idx.len() as f64);
-        correct += fold_correct;
-        total += test_idx.len();
+        SolverKind::OptimizedLibSvm(p) => {
+            let model = train_optimized_libsvm(kernel, &train_idx, &train_y, p);
+            iterations = model.iterations;
+            for &t in &test_idx {
+                if model.predict(kernel, t) == y[t] {
+                    fold_correct += 1;
+                }
+            }
+        }
+        SolverKind::PhiSvm(p) => {
+            let model = train_phisvm(kernel, &train_idx, &train_y, p);
+            iterations = model.iterations;
+            for &t in &test_idx {
+                if model.predict(kernel, t) == y[t] {
+                    fold_correct += 1;
+                }
+            }
+        }
     }
+    (fold_correct, test_idx.len(), iterations)
+}
 
+/// Fixed-order reduction over fold results (fold index = held subject).
+fn reduce_folds(folds: &[FoldResult]) -> CvResult {
+    let mut fold_accuracies = Vec::with_capacity(folds.len());
+    let mut total_iterations = 0usize;
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for &(fold_correct, test_len, iterations) in folds {
+        fold_accuracies.push(fold_correct as f64 / test_len as f64);
+        correct += fold_correct;
+        total += test_len;
+        total_iterations += iterations;
+    }
     CvResult { accuracy: correct as f64 / total as f64, fold_accuracies, total_iterations }
 }
 
@@ -162,6 +217,27 @@ mod tests {
         let b = loso_cross_validate(&k, &y, &subjects, &SolverKind::PhiSvm(SmoParams::default()));
         for (fa, fb) in a.fold_accuracies.iter().zip(&b.fold_accuracies) {
             assert!((fa - fb).abs() < 0.2, "fold accuracy divergence: {fa} vs {fb}");
+        }
+    }
+
+    #[test]
+    fn fold_parallel_bit_identical_at_every_thread_count() {
+        let (k, y, subjects) = separable_problem();
+        for solver in [
+            SolverKind::LibSvm(LibSvmParams::default()),
+            SolverKind::OptimizedLibSvm(SmoParams::default()),
+            SolverKind::PhiSvm(SmoParams::default()),
+        ] {
+            let serial = loso_cross_validate(&k, &y, &subjects, &solver);
+            for threads in [1usize, 2, 3, 8] {
+                let par = loso_cross_validate_pool(&k, &y, &subjects, &solver, &Pool::new(threads));
+                assert_eq!(par.accuracy.to_bits(), serial.accuracy.to_bits(), "{solver:?}");
+                assert_eq!(par.total_iterations, serial.total_iterations);
+                assert_eq!(par.fold_accuracies.len(), serial.fold_accuracies.len());
+                for (p, s) in par.fold_accuracies.iter().zip(&serial.fold_accuracies) {
+                    assert_eq!(p.to_bits(), s.to_bits(), "{solver:?} threads={threads}");
+                }
+            }
         }
     }
 

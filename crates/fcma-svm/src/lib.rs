@@ -30,7 +30,7 @@ pub mod probability;
 pub mod reference;
 pub mod smo;
 
-pub use cv::{loso_cross_validate, CvResult, SolverKind};
+pub use cv::{loso_cross_validate, loso_cross_validate_pool, CvResult, SolverKind};
 pub use kernel::KernelMatrix;
 pub use model::SvmModel;
 pub use model::WssStats;

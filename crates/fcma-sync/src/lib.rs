@@ -32,6 +32,7 @@ pub mod atomic;
 pub mod channel;
 pub mod clock;
 pub mod mutex;
+pub mod pool;
 pub mod runtime;
 pub mod thread;
 pub mod time;
@@ -40,3 +41,4 @@ pub mod time;
 mod tests;
 
 pub use mutex::{Condvar, Mutex, MutexGuard};
+pub use pool::{Pool, PoolStats};

@@ -66,6 +66,33 @@ pub trait McRuntime: Send + Sync {
     fn interleave(&self);
     /// Report a protocol-level event to the checker's detectors.
     fn record(&self, event: McEvent);
+
+    // --- scoped-thread hooks (used by `crate::pool`) ---
+    //
+    // `spawn` hands the closure to the runtime, which launches its own
+    // OS thread — that only works for `'static` closures. A scoped pool
+    // keeps the OS threads itself (so they may borrow from the caller's
+    // stack) and instead tells the model about them through these four
+    // hooks: the parent allocates a model-thread slot, each OS worker
+    // enters/exits it, and the parent performs a *model-visible* join
+    // before the OS-level scope join (which the model cannot see and
+    // must therefore never be the operation that blocks first).
+
+    /// Allocate a new runnable model-thread slot for a scoped worker,
+    /// called by the spawning (parent) thread. Returns the slot id.
+    fn thread_register(&self) -> usize;
+    /// Called by the worker OS thread once it starts: block until the
+    /// model schedules slot `id` for the first time. Returns `false`
+    /// when the execution already failed (the worker must exit without
+    /// running its body).
+    fn thread_enter(&self, id: usize) -> bool;
+    /// Called by the worker OS thread when its body returns (or
+    /// unwinds); `panic` carries the panic message, if any.
+    fn thread_exit(&self, id: usize, panic: Option<String>);
+    /// Block the calling (parent) model thread until slot `id` has
+    /// exited. Must be called before any OS-level join so the model
+    /// never sees the parent blocked invisibly.
+    fn thread_join(&self, id: usize);
 }
 
 /// The calling thread's current facade mode.

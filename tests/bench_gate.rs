@@ -1,0 +1,127 @@
+//! Bench regression gate over the committed `BENCH_stage1.json`
+//! (DESIGN.md §15).
+//!
+//! Absolute milliseconds are meaningless across hosts, so the gate
+//! compares **ratios**: the merged/baseline serial ratio measured here
+//! and now must not be more than `gates.max_serial_regression` worse
+//! than the committed ratio, and on a host with ≥4 cores the pooled
+//! merged kernel must reach `gates.min_speedup_4t`. The JSON has no
+//! serde on purpose (the workspace carries no serde dependency); the
+//! tiny extractor below leans on the emitter's deterministic shape.
+
+use fcma_bench::autotune::{GRID_KC, GRID_MC, GRID_NC, GRID_PANEL_K, GRID_TILE_COLS};
+use fcma_bench::measure::{measure_stage12, measure_stage12_parallel};
+use fcma_bench::workloads::DatasetKind;
+use std::path::Path;
+
+fn committed_json() -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_stage1.json");
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("BENCH_stage1.json must be committed at {path:?}: {e}"))
+}
+
+/// Extract the number after the first `"key":` occurrence. The emitter
+/// (`bench-stage1`) writes every scalar as `"key": <number>`, keys are
+/// chosen to be unambiguous as substrings, and the first dataset in the
+/// array is always face-scene.
+fn num(json: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\":");
+    let at =
+        json.find(&tag).unwrap_or_else(|| panic!("BENCH_stage1.json is missing field `{key}`"));
+    let rest = json[at + tag.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("field `{key}` is not a number ({:?}): {e}", &rest[..end]))
+}
+
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+#[test]
+fn committed_bench_json_has_gate_schema() {
+    let json = committed_json();
+
+    // Gate thresholds exist and are sane.
+    let min_speedup = num(&json, "min_speedup_4t");
+    assert!((1.0..10.0).contains(&min_speedup), "min_speedup_4t out of range: {min_speedup}");
+    let max_reg = num(&json, "max_serial_regression");
+    assert!((0.0..1.0).contains(&max_reg), "max_serial_regression out of range: {max_reg}");
+
+    // The recording host described itself, so ratio consumers can tell
+    // a 1-core overhead measurement from a real speedup.
+    let parallelism = num(&json, "parallelism");
+    assert!(parallelism >= 1.0, "host.parallelism must be recorded");
+
+    // Autotune chose shapes from the documented §15 grids.
+    assert!(GRID_MC.contains(&(num(&json, "mc") as usize)), "autotune.mc not in grid");
+    assert!(GRID_KC.contains(&(num(&json, "kc") as usize)), "autotune.kc not in grid");
+    assert!(GRID_NC.contains(&(num(&json, "nc") as usize)), "autotune.nc not in grid");
+    assert!(GRID_PANEL_K.contains(&(num(&json, "panel_k") as usize)), "panel_k not in grid");
+    assert!(GRID_TILE_COLS.contains(&(num(&json, "tile_cols") as usize)), "tile_cols not in grid");
+    let candidates = num(&json, "candidates") as usize;
+    assert_eq!(
+        candidates,
+        GRID_MC.len() * GRID_KC.len() * GRID_NC.len() + GRID_PANEL_K.len() + GRID_TILE_COLS.len(),
+        "autotune must sweep the full grid"
+    );
+
+    // Parallel section: an 8-thread run with positive times.
+    assert!(num(&json, "threads") >= 4.0, "parallel run must use >= 4 workers");
+    assert!(num(&json, "merged_serial_ms") > 0.0);
+    assert!(num(&json, "merged_parallel_ms") > 0.0);
+    assert!(num(&json, "merged_speedup") > 0.0);
+}
+
+#[test]
+fn serial_merged_ratio_has_not_regressed() {
+    let json = committed_json();
+    let committed_ratio = num(&json, "merged") / num(&json, "corr_baseline");
+    assert!(
+        committed_ratio > 0.0 && committed_ratio.is_finite(),
+        "committed merged/baseline ratio is degenerate: {committed_ratio}"
+    );
+    let max_reg = num(&json, "max_serial_regression");
+
+    // The committed numbers come from the release binary; an unoptimized
+    // build skews the merged/baseline ratio (the hand-tiled kernel loses
+    // more to missing inlining than the naive GEMM does), so the debug
+    // run keeps the gate armed but with wide slack — the release CI job
+    // is the authoritative enforcement.
+    let (reps, slack) = if cfg!(debug_assertions) { (1, 3.0) } else { (3, 1.0) };
+
+    // Same workload shape the committed numbers used; best-of reps damps
+    // scheduler noise.
+    let t = measure_stage12(DatasetKind::FaceScene, 256, 32, reps);
+    let measured_ratio = t.merged_ms / t.corr_baseline_ms;
+
+    assert!(
+        measured_ratio <= committed_ratio * (1.0 + max_reg) * slack,
+        "merged stage-1+2 regressed vs baseline GEMM: measured ratio {measured_ratio:.3} \
+         vs committed {committed_ratio:.3} (allowed +{:.0}%, slack x{slack})",
+        max_reg * 100.0
+    );
+}
+
+#[test]
+fn parallel_speedup_meets_gate_on_multicore_hosts() {
+    let cores = host_parallelism();
+    if cores < 4 {
+        // A <4-core host cannot show the gated speedup; the committed
+        // JSON records `host.parallelism` for the same reason.
+        eprintln!("bench_gate: host has {cores} core(s); speedup gate skipped");
+        return;
+    }
+    let json = committed_json();
+    let min_speedup = num(&json, "min_speedup_4t");
+    let threads = cores.min(8);
+    let par = measure_stage12_parallel(DatasetKind::FaceScene, 256, 32, 3, threads);
+    let speedup = par.merged_serial_ms / par.merged_parallel_ms;
+    assert!(
+        speedup >= min_speedup,
+        "pooled merged kernel too slow at {threads} threads: {speedup:.2}x < gate {min_speedup}"
+    );
+}
