@@ -57,7 +57,9 @@ const TRACE_SITES: &[&str] = &[
     "span!(",
     "event!(",
     "counter!(",
+    "labeled_counter!(",
     "histogram!(",
+    "record!(",
     "record_span_since(",
     "record_span_elapsed(",
 ];

@@ -2,12 +2,13 @@
 //! (every probe is one relaxed atomic load), with it installed, and the
 //! bare probe cost in isolation. The acceptance bar for the trace layer
 //! is that `collector_off` is indistinguishable from an uninstrumented
-//! build.
+//! build, and that the always-on flight recorder stays within 3% of the
+//! recorder-off stage-1 hot loop (`recorder_overhead_pipeline_task`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fcma_core::{OptimizedExecutor, TaskContext, TaskExecutor, VoxelTask};
 use fcma_fmri::presets;
-use fcma_trace::{span, Collector};
+use fcma_trace::{record, span, Collector, TraceOrigin};
 use std::hint::black_box;
 
 fn context() -> TaskContext {
@@ -33,6 +34,28 @@ fn bench_trace(c: &mut Criterion) {
     });
     g.finish();
 
+    // Flight recorder on/off around the same stage-1-dominated pipeline
+    // task, with one recorder event per iteration (the cluster's rate is
+    // far lower: a handful per dispatch). The 3% acceptance bar from
+    // DESIGN.md §11 is judged on this pair.
+    let mut g = c.benchmark_group("recorder_overhead_pipeline_task");
+    g.sample_size(10);
+    g.bench_function("recorder_off", |b| {
+        fcma_trace::recorder::set_enabled(false);
+        b.iter(|| {
+            record!("recorder.dispatch", black_box(1_u64), 1, TraceOrigin::Dispatch, 0);
+            black_box(exec.process(&ctx, task))
+        });
+        fcma_trace::recorder::set_enabled(true);
+    });
+    g.bench_function("recorder_on", |b| {
+        b.iter(|| {
+            record!("recorder.dispatch", black_box(1_u64), 1, TraceOrigin::Dispatch, 0);
+            black_box(exec.process(&ctx, task))
+        });
+    });
+    g.finish();
+
     let mut g = c.benchmark_group("trace_probe_cost");
     g.bench_function("disabled_span", |b| {
         b.iter(|| {
@@ -48,6 +71,11 @@ fn bench_trace(c: &mut Criterion) {
             black_box(guard.id())
         });
         let _ = collector.drain(); // bound per-sample record memory
+    });
+    g.bench_function("recorder_event", |b| {
+        b.iter(|| {
+            record!("recorder.dispatch", black_box(7_u64), 1, TraceOrigin::Dispatch, 3);
+        });
     });
     g.finish();
 }

@@ -49,7 +49,7 @@ impl std::error::Error for ArgError {}
 const SWITCHES: &[&str] = &["verbose", "help", "resume", "check"];
 
 /// Commands that accept bare positional arguments after the command name.
-const POSITIONAL_COMMANDS: &[&str] = &["report"];
+const POSITIONAL_COMMANDS: &[&str] = &["report", "top", "postmortem"];
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).

@@ -1,7 +1,7 @@
 //! CLI subcommand implementations.
 
 use crate::args::Args;
-use fcma_cluster::{run_cluster_with, ClusterConfig};
+use fcma_cluster::{run_cluster_with, ChaosExecutor, ClusterConfig};
 use fcma_core::{
     offline_analysis, recovery_rate, score_all_voxels, select_top_k, AnalysisConfig,
     BaselineExecutor, OptimizedExecutor, TaskContext, TaskExecutor, VoxelScore,
@@ -11,6 +11,7 @@ use fcma_fmri::mask::VoxelMask;
 use fcma_fmri::{io as fio, presets, Placement};
 use fcma_sync::pool::Pool;
 use fcma_trace::export::{from_chrome_json, to_chrome_json, to_prometheus_text};
+use fcma_trace::slo::{SloRule, SloSpec, SloViolation};
 use fcma_trace::{event, Collector};
 use std::error::Error;
 use std::io::{BufRead, BufReader, Write};
@@ -39,7 +40,13 @@ pub(crate) fn print_help() {
          \u{20}                                     [--checkpoint FILE] [--resume]\n\
          \u{20}                                     [--trace-out trace.json] Chrome trace\n\
          \u{20}                                     [--metrics-out metrics.prom] Prometheus text\n\
+         \u{20}                                     [--postmortem DIR] flight-recorder dumps\n\
+         \u{20}                                     [--chaos-panic-task N] inject one panic on\n\
+         \u{20}                                     the task starting at voxel N (fault drill)\n\
          \u{20} report    summarize a trace file    fcma report trace.json [--check]\n\
+         \u{20}                                     [--slo slo.toml] enforce latency SLOs\n\
+         \u{20} top       per-worker utilization    fcma top trace.json\n\
+         \u{20} postmortem summarize a dump         fcma postmortem FILE\n\
          \u{20} offline   nested LOSO analysis      --data STEM --top-k K [--task-size N]\n\
          \u{20} clusters  ROI cluster extraction    --scores scores.tsv --top-k K [--grid X,Y,Z]\n\
          \u{20} mask      threshold-mask a dataset  --data STEM --threshold T --out STEM2\n\
@@ -168,6 +175,7 @@ fn cluster_config_of(args: &Args, task_size: usize) -> Result<ClusterConfig> {
         },
         checkpoint,
         resume_from,
+        postmortem_dir: args.get("postmortem").map(PathBuf::from),
         ..Default::default()
     })
 }
@@ -176,7 +184,14 @@ fn cluster_config_of(args: &Args, task_size: usize) -> Result<ClusterConfig> {
 pub(crate) fn analyze(args: &Args) -> Result<()> {
     let data = stem(args, "data")?;
     let dataset = fio::load_dataset(&data)?;
-    let exec = executor_of(args)?;
+    let mut exec = executor_of(args)?;
+    if let Some(start) = args.get("chaos-panic-task") {
+        // Fault drill: one injected panic exercises the whole recovery
+        // and observability path (requeue, postmortem, causal trace).
+        let start: usize = start.parse()?;
+        exec = Arc::new(ChaosExecutor::panic_once(exec, start));
+        eprintln!("chaos: will panic once on the task starting at voxel {start}");
+    }
     let task_size = args.get_parsed("task-size", 64usize, "integer")?;
     let top_k = args.get_parsed("top-k", 16usize, "integer")?;
     let trace_out = args.get("trace-out").map(PathBuf::from);
@@ -213,7 +228,9 @@ pub(crate) fn analyze(args: &Args) -> Result<()> {
     );
 
     if let Some(scoped) = &scoped {
-        let report = scoped.drain();
+        // Bridge flight-recorder rings into the drained report so the
+        // Chrome trace shows recorder events alongside collector spans.
+        let report = scoped.drain_with_recorder();
         if let Some(path) = &trace_out {
             std::fs::write(path, to_chrome_json(&report))?;
             eprintln!("wrote trace {}", path.display());
@@ -263,6 +280,49 @@ pub(crate) fn report(args: &Args) -> Result<()> {
             return Err(format!("{} consistency violation(s)", violations.len()).into());
         }
     }
+    if let Some(slo_path) = args.get("slo") {
+        let spec = SloSpec::parse(&std::fs::read_to_string(slo_path)?)
+            .map_err(|e| format!("{slo_path}: {e}"))?;
+        let broken: Vec<SloViolation> = spec.check(&report.span_duration_histograms());
+        if broken.is_empty() {
+            let rules: &[SloRule] = &spec.rules;
+            eprintln!("slo: ok ({} rule(s))", rules.len());
+        } else {
+            for v in &broken {
+                eprintln!("{v}");
+            }
+            return Err(format!("{} SLO violation(s)", broken.len()).into());
+        }
+    }
+    Ok(())
+}
+
+/// `fcma top` — per-worker utilization and straggler timeline from a
+/// Chrome trace written by `analyze --trace-out`.
+pub(crate) fn top(args: &Args) -> Result<()> {
+    let path = args
+        .positional(0)
+        .or_else(|| args.get("trace"))
+        .ok_or("top needs a trace file: `fcma top trace.json`")?;
+    let text = std::fs::read_to_string(path)?;
+    let report = from_chrome_json(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", report.top_table());
+    Ok(())
+}
+
+/// `fcma postmortem` — validate and summarize a flight-recorder dump.
+pub(crate) fn postmortem(args: &Args) -> Result<()> {
+    let path = args
+        .positional(0)
+        .ok_or("postmortem needs a dump file: `fcma postmortem postmortem-....txt`")?;
+    let text = std::fs::read_to_string(path)?;
+    let summary: fcma_trace::postmortem::PostmortemSummary =
+        fcma_trace::postmortem::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("postmortem  {path}");
+    println!("trigger     {}", summary.trigger);
+    println!("events      {}", summary.events);
+    println!("rings       {}", summary.rings);
+    println!("chain       {} event(s)", summary.chain_len);
     Ok(())
 }
 
@@ -556,6 +616,67 @@ mod tests {
         assert!(prom.contains("fcma_cluster_tasks_completed 3"), "{prom}");
         // `fcma report --check` accepts the file it just wrote.
         report(&args(&["report", trace.to_str().unwrap(), "--check"])).unwrap();
+    }
+
+    #[test]
+    fn chaos_run_emits_postmortem_and_survives_slo_and_top() {
+        let ds = tmp("cli_chaos_ds");
+        let trace = tmp("cli_chaos_trace.json");
+        let pm_dir = tmp("cli_chaos_postmortems");
+        let slo = tmp("cli_chaos_slo.toml");
+        let _ = std::fs::remove_dir_all(&pm_dir);
+        generate(&args(&[
+            "generate",
+            "--preset",
+            "tiny",
+            "--voxels",
+            "48",
+            "--out",
+            ds.to_str().unwrap(),
+        ]))
+        .unwrap();
+        analyze(&args(&[
+            "analyze",
+            "--data",
+            ds.to_str().unwrap(),
+            "--task-size",
+            "16",
+            "--workers",
+            "3",
+            "--chaos-panic-task",
+            "16",
+            "--postmortem",
+            pm_dir.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The injected panic must have produced a validating dump that
+        // names the panicking task.
+        let dump = pm_dir.join("postmortem-task-panic-task16-attempt1.txt");
+        assert!(dump.exists(), "missing postmortem artifact in {}", pm_dir.display());
+        let summary =
+            fcma_trace::postmortem::validate(&std::fs::read_to_string(&dump).unwrap()).unwrap();
+        assert!(summary.trigger.starts_with("task.panic task=16"), "{}", summary.trigger);
+        assert!(summary.chain_len > 0, "causal chain for the panicking task is empty");
+        postmortem(&args(&["postmortem", dump.to_str().unwrap()])).unwrap();
+        // The trace passes the causality check and drives `fcma top`.
+        report(&args(&["report", trace.to_str().unwrap(), "--check"])).unwrap();
+        top(&args(&["top", trace.to_str().unwrap()])).unwrap();
+        // A generous SLO passes; an absurd one fails the command.
+        std::fs::write(&slo, "[[slo]]\nspan = \"cluster.dispatch\"\np = 0.99\nmax_ms = 60000\n")
+            .unwrap();
+        report(&args(&["report", trace.to_str().unwrap(), "--slo", slo.to_str().unwrap()]))
+            .unwrap();
+        std::fs::write(&slo, "[[slo]]\nspan = \"cluster.dispatch\"\np = 0.5\nmax_ms = 0.000001\n")
+            .unwrap();
+        assert!(report(&args(&[
+            "report",
+            trace.to_str().unwrap(),
+            "--slo",
+            slo.to_str().unwrap(),
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -35,7 +35,8 @@ use fcma_core::{
 };
 use fcma_sync::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fcma_sync::time::Instant;
-use fcma_trace::{counter, event, histogram, span, AttrValue};
+use fcma_trace::postmortem::PostmortemTrigger;
+use fcma_trace::{counter, event, histogram, record, span, AttrValue, TraceCtx, TraceOrigin};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -77,6 +78,13 @@ pub struct ClusterConfig {
     /// config describes the whole run shape, and defaulted from the
     /// `FCMA_THREADS` environment variable.
     pub kernel_threads: usize,
+    /// Write a flight-recorder postmortem dump (`fcma-postmortem v1`)
+    /// into this directory whenever the run hits a fault: a task panic,
+    /// a worker condemnation, a deadline fence discarding a late
+    /// message, or a checkpoint-resume mismatch. `None` disables dumps;
+    /// emission failures are ignored (postmortems must never take down
+    /// the run they describe).
+    pub postmortem_dir: Option<PathBuf>,
 }
 
 impl Default for ClusterConfig {
@@ -92,6 +100,7 @@ impl Default for ClusterConfig {
             resume_from: None,
             groups: None,
             kernel_threads: fcma_sync::pool::Pool::from_env().threads(),
+            postmortem_dir: None,
         }
     }
 }
@@ -209,6 +218,18 @@ pub fn run_cluster_with(
     if let Some(path) = &cfg.resume_from {
         let ck = Checkpoint::load(path)?;
         if (ck.n_voxels, ck.task_size) != (ctx.n_voxels(), cfg.task_size) {
+            record!(
+                "recorder.resume.mismatch",
+                0,
+                0,
+                TraceOrigin::Dispatch,
+                u64::try_from(ck.n_voxels).unwrap_or(u64::MAX)
+            );
+            if let Some(dir) = &cfg.postmortem_dir {
+                let trigger =
+                    PostmortemTrigger { kind: "resume.mismatch", task: 0, attempt: 0, worker: 0 };
+                let _ = fcma_trace::postmortem::emit_to_dir(dir, &trigger);
+            }
             return Err(ClusterError::CheckpointMismatch {
                 found: (ck.n_voxels, ck.task_size),
                 expected: (ctx.n_voxels(), cfg.task_size),
@@ -286,6 +307,7 @@ pub fn run_cluster_with(
         hung_workers: Vec::new(),
         speculative_launches: 0,
         duplicate_results: 0,
+        postmortem_dir: cfg.postmortem_dir.clone(),
     };
     let outcome = master.run(&to_master_rx, total_tasks);
     master.shutdown_workers();
@@ -435,9 +457,25 @@ struct Master {
     hung_workers: Vec<usize>,
     speculative_launches: usize,
     duplicate_results: usize,
+    /// Directory for flight-recorder postmortem dumps (`None`: off).
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl Master {
+    /// Dump the flight recorder for a fault. Best-effort by contract:
+    /// a postmortem must never take down the run it describes.
+    fn postmortem(&self, kind: &'static str, task: usize, attempt: usize, worker: usize) {
+        if let Some(dir) = &self.postmortem_dir {
+            let trigger = PostmortemTrigger {
+                kind,
+                task: u64::try_from(task).unwrap_or(u64::MAX),
+                attempt: u32::try_from(attempt).unwrap_or(u32::MAX),
+                worker: u64::try_from(worker).unwrap_or(u64::MAX),
+            };
+            let _ = fcma_trace::postmortem::emit_to_dir(dir, &trigger);
+        }
+    }
+
     /// The event loop: dispatch, receive, recover, until every task is
     /// complete or the run is unrecoverable.
     fn run(&mut self, rx: &Receiver<FromWorker>, total_tasks: usize) -> Result<(), ClusterError> {
@@ -484,9 +522,29 @@ impl Master {
     }
 
     /// Send `task` to `wid`; returns `false` if the worker is gone.
+    ///
+    /// The dispatch's causal identity ([`TraceCtx`]) is computed before
+    /// the send and rides the message: a speculative clone keeps the
+    /// straggler's attempt number under origin `speculative`, while a
+    /// retry advances the attempt under origin `retry` — so the two are
+    /// distinguishable everywhere downstream.
     // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
     fn dispatch(&mut self, task: VoxelTask, wid: usize, speculative: bool) -> bool {
-        if self.workers[wid].tx.send(ToWorker::Task(task)).is_err() {
+        let prior = self.attempts.get(&task.start).copied().unwrap_or(0);
+        let attempt = if speculative { prior } else { prior + 1 };
+        let origin = if speculative {
+            TraceOrigin::Speculative
+        } else if attempt <= 1 {
+            TraceOrigin::Dispatch
+        } else {
+            TraceOrigin::Retry
+        };
+        let ctx = TraceCtx::new(
+            u64::try_from(task.start).unwrap_or(u64::MAX),
+            u32::try_from(attempt).unwrap_or(u32::MAX),
+            origin,
+        );
+        if self.workers[wid].tx.send(ToWorker::Task { task, ctx }).is_err() {
             self.workers[wid].alive = false;
             self.workers[wid].idle = false;
             return false;
@@ -497,11 +555,24 @@ impl Master {
             self.speculative_launches += 1;
             counter!("cluster.tasks.speculative", 1_u64);
             event!("cluster.speculate", task = task.start, worker = wid);
+            record!(
+                "recorder.speculate",
+                ctx.task,
+                ctx.attempt,
+                origin,
+                u64::try_from(wid).unwrap_or(u64::MAX)
+            );
         } else {
             *self.attempts.entry(task.start).or_insert(0) += 1;
+            record!(
+                "recorder.dispatch",
+                ctx.task,
+                ctx.attempt,
+                origin,
+                u64::try_from(wid).unwrap_or(u64::MAX)
+            );
         }
         counter!("cluster.tasks.dispatched", 1_u64);
-        let attempt = self.attempts.get(&task.start).copied().unwrap_or(0);
         self.current[wid] = Some(DispatchInfo { task, started: now, attempt, speculative });
         self.first_dispatched.entry(task.start).or_insert(now);
         let flight = self.in_flight.entry(task.start).or_insert_with(|| Flight {
@@ -544,9 +615,32 @@ impl Master {
     fn handle(&mut self, msg: FromWorker) -> Result<(), ClusterError> {
         match msg {
             FromWorker::Ready { .. } => Ok(()), // workers start idle; informational
-            FromWorker::Done { worker, task, scores } => self.on_done(worker, task, scores),
-            FromWorker::Failed { worker, task } => self.on_failed(worker, task),
+            FromWorker::Done { worker, task, ctx, scores } => {
+                self.on_done(worker, task, ctx, scores)
+            }
+            FromWorker::Failed { worker, task, ctx } => self.on_failed(worker, task, ctx),
         }
+    }
+
+    /// Fence off a late message from a condemned worker: the attempt is
+    /// dead to the scheduler, and the fence timestamp is the causality
+    /// boundary `fcma report --check` enforces (no record attributed to
+    /// the fenced attempt may start after it).
+    fn fence(&mut self, worker: usize, task: VoxelTask, ctx: TraceCtx) {
+        event!("cluster.fence", worker = worker, task = task.start, attempt = ctx.attempt);
+        record!(
+            "recorder.fence",
+            ctx.task,
+            ctx.attempt,
+            ctx.origin,
+            u64::try_from(worker).unwrap_or(u64::MAX)
+        );
+        self.postmortem(
+            "deadline.fence",
+            task.start,
+            usize::try_from(ctx.attempt).unwrap_or(usize::MAX),
+            worker,
+        );
     }
 
     // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
@@ -554,6 +648,7 @@ impl Master {
         &mut self,
         worker: usize,
         task: VoxelTask,
+        ctx: TraceCtx,
         task_scores: Vec<VoxelScore>,
     ) -> Result<(), ClusterError> {
         if self.workers[worker].condemned {
@@ -561,7 +656,7 @@ impl Master {
             // task was re-dispatched elsewhere, so this result (possibly
             // truncated by cancellation) is discarded. Its dispatch was
             // already resolved as condemned — only fence it off.
-            event!("cluster.fence", worker = worker, task = task.start);
+            self.fence(worker, task, ctx);
             self.duplicate_results += 1;
             return Ok(());
         }
@@ -611,17 +706,28 @@ impl Master {
     }
 
     // audit: allow(panicpath) — worker ids are stamped at spawn time and dense in 0..workers.len()
-    fn on_failed(&mut self, worker: usize, task: VoxelTask) -> Result<(), ClusterError> {
+    fn on_failed(
+        &mut self,
+        worker: usize,
+        task: VoxelTask,
+        ctx: TraceCtx,
+    ) -> Result<(), ClusterError> {
         let state = &mut self.workers[worker];
         let was_condemned = state.condemned;
         state.alive = false;
         state.idle = false;
         if was_condemned {
             // Already resolved as condemned when the deadline fired.
-            event!("cluster.fence", worker = worker, task = task.start);
+            self.fence(worker, task, ctx);
         } else {
             self.failed_workers.push(worker);
             let _ = self.resolve_dispatch(worker, DispatchOutcome::Failed);
+            self.postmortem(
+                "task.panic",
+                task.start,
+                usize::try_from(ctx.attempt).unwrap_or(usize::MAX),
+                worker,
+            );
         }
         if let Some(flight) = self.in_flight.get_mut(&task.start) {
             flight.copies.retain(|c| c.worker != worker);
@@ -712,7 +818,16 @@ impl Master {
                         state.condemned = true;
                         self.hung_workers.push(wid);
                         event!("cluster.condemn", worker = wid, task = task.start);
-                        let _ = self.resolve_dispatch(wid, DispatchOutcome::Condemned);
+                        let info = self.resolve_dispatch(wid, DispatchOutcome::Condemned);
+                        let attempt = info.map_or(0, |i| i.attempt);
+                        record!(
+                            "recorder.condemn",
+                            u64::try_from(task.start).unwrap_or(u64::MAX),
+                            u32::try_from(attempt).unwrap_or(u32::MAX),
+                            TraceOrigin::Dispatch,
+                            u64::try_from(wid).unwrap_or(u64::MAX)
+                        );
+                        self.postmortem("worker.condemned", task.start, attempt, wid);
                     }
                 }
                 self.requeue_if_abandoned(task)?;
@@ -771,12 +886,25 @@ fn spawn_worker(
         if to_master.send(FromWorker::Ready { worker: wid }).is_err() {
             return;
         }
+        let warg = u64::try_from(wid).unwrap_or(u64::MAX);
         while let Ok(msg) = rx.recv() {
             match msg {
-                ToWorker::Task(task) => {
+                ToWorker::Task { task, ctx: trace_ctx } => {
                     if controls.cancel.is_cancelled() {
                         return;
                     }
+                    // Install the dispatch's causal identity for the
+                    // duration of the executor call: every span, event,
+                    // and recorder entry below — including on pool
+                    // threads — is stamped with it.
+                    let ctx_guard: fcma_trace::CtxGuard = trace_ctx.install();
+                    record!(
+                        "recorder.task.start",
+                        trace_ctx.task,
+                        trace_ctx.attempt,
+                        trace_ctx.origin,
+                        warg
+                    );
                     // Contain executor panics: report the failure so the
                     // master can requeue, then die (a crashed node does
                     // not come back).
@@ -788,17 +916,41 @@ fn spawn_worker(
                             &controls,
                         )
                     }));
+                    drop(ctx_guard);
                     match result {
                         Ok(scores) => {
+                            record!(
+                                "recorder.task.end",
+                                trace_ctx.task,
+                                trace_ctx.attempt,
+                                trace_ctx.origin,
+                                warg
+                            );
                             if to_master
-                                .send(FromWorker::Done { worker: wid, task, scores })
+                                .send(FromWorker::Done {
+                                    worker: wid,
+                                    task,
+                                    ctx: trace_ctx,
+                                    scores,
+                                })
                                 .is_err()
                             {
                                 return;
                             }
                         }
                         Err(_) => {
-                            let _ = to_master.send(FromWorker::Failed { worker: wid, task });
+                            record!(
+                                "recorder.task.panic",
+                                trace_ctx.task,
+                                trace_ctx.attempt,
+                                trace_ctx.origin,
+                                warg
+                            );
+                            let _ = to_master.send(FromWorker::Failed {
+                                worker: wid,
+                                task,
+                                ctx: trace_ctx,
+                            });
                             return;
                         }
                     }

@@ -167,7 +167,6 @@ impl ChaosExecutor {
 
     /// Convenience: panic exactly once, on the first execution of the
     /// task starting at `task_start` (the classic crashed-node probe).
-    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn panic_once(inner: Arc<dyn TaskExecutor>, task_start: usize) -> Self {
         Self::new(inner, FaultPlan::none().with_fault(task_start, 0, FaultKind::panic_now()))
     }

@@ -7,12 +7,21 @@
 //! transport lives in [`crate::driver`].
 
 use fcma_core::{VoxelScore, VoxelTask};
+use fcma_trace::TraceCtx;
 
 /// Messages from the master to a worker.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ToWorker {
     /// Process this voxel block.
-    Task(VoxelTask),
+    Task {
+        /// The voxel block to process.
+        task: VoxelTask,
+        /// Causal identity of this dispatch attempt. The worker installs
+        /// it around the executor call, so every span and recorder event
+        /// produced on its behalf — including on pool threads three
+        /// layers down — names the dispatch that caused it.
+        ctx: TraceCtx,
+    },
     /// No more work; terminate.
     Shutdown,
 }
@@ -33,6 +42,9 @@ pub enum FromWorker {
         worker: usize,
         /// The task these scores cover.
         task: VoxelTask,
+        /// Echo of the dispatch context, so the master can fence a late
+        /// answer against the exact attempt that produced it.
+        ctx: TraceCtx,
         /// Scores for the completed task.
         scores: Vec<VoxelScore>,
     },
@@ -43,6 +55,8 @@ pub enum FromWorker {
         worker: usize,
         /// The task that must be re-executed.
         task: VoxelTask,
+        /// Echo of the dispatch context of the failed attempt.
+        ctx: TraceCtx,
     },
 }
 
@@ -60,6 +74,11 @@ impl FromWorker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fcma_trace::TraceOrigin;
+
+    fn ctx_of(task: u64, attempt: u32) -> TraceCtx {
+        TraceCtx::new(task, attempt, TraceOrigin::Dispatch)
+    }
 
     #[test]
     fn message_kinds_carry_worker_ids() {
@@ -67,17 +86,30 @@ mod tests {
         let done = FromWorker::Done {
             worker: 1,
             task: VoxelTask { start: 0, count: 1 },
+            ctx: ctx_of(0, 1),
             scores: vec![VoxelScore { voxel: 0, accuracy: 0.5 }],
         };
         assert_eq!(done.worker(), 1);
-        let failed = FromWorker::Failed { worker: 2, task: VoxelTask { start: 0, count: 4 } };
+        let failed = FromWorker::Failed {
+            worker: 2,
+            task: VoxelTask { start: 0, count: 4 },
+            ctx: ctx_of(0, 1),
+        };
         assert_eq!(failed.worker(), 2);
     }
 
     #[test]
     fn to_worker_equality() {
-        let t = ToWorker::Task(VoxelTask { start: 0, count: 8 });
-        assert_eq!(t, ToWorker::Task(VoxelTask { start: 0, count: 8 }));
+        let t = ToWorker::Task { task: VoxelTask { start: 0, count: 8 }, ctx: ctx_of(0, 1) };
+        assert_eq!(t, ToWorker::Task { task: VoxelTask { start: 0, count: 8 }, ctx: ctx_of(0, 1) });
+        assert_ne!(
+            t,
+            ToWorker::Task {
+                task: VoxelTask { start: 0, count: 8 },
+                ctx: TraceCtx::new(0, 2, TraceOrigin::Retry),
+            },
+            "dispatch identity distinguishes retries of the same task"
+        );
         assert_ne!(t, ToWorker::Shutdown);
     }
 }

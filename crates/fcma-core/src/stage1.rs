@@ -18,16 +18,25 @@ use fcma_linalg::{
     GemmScratch, Mat,
 };
 use fcma_sim::analytic::CorrShape;
-use fcma_sync::pool::{Pool, PoolStats};
-use fcma_trace::{counter, span};
+use fcma_sync::pool::{Pool, PoolStats, WorkerLane};
+use fcma_trace::{counter, labeled_counter, span};
 
 /// Bridge one parallel region's [`PoolStats`] into the trace counters.
 /// The pool itself is trace-free (fcma-sync stays a leaf crate), so the
 /// kernel call sites own the `pool.*` counter taxonomy (DESIGN.md §11).
+/// Region totals land in plain counters; the per-worker lanes land in
+/// `worker`-labeled series so load imbalance (one worker stealing or
+/// parking far more than its peers) survives the aggregation.
 pub(crate) fn bridge_pool_counters(stats: &PoolStats) {
     counter!("pool.tasks.run", stats.tasks);
     counter!("pool.steals", stats.steals);
     counter!("pool.idle.parks", stats.idle_parks);
+    let lanes: &[WorkerLane] = &stats.per_worker;
+    for (wid, lane) in lanes.iter().enumerate() {
+        labeled_counter!("pool.worker.tasks", worker = wid, lane.tasks);
+        labeled_counter!("pool.worker.steals", worker = wid, lane.steals);
+        labeled_counter!("pool.worker.parks", worker = wid, lane.parks);
+    }
 }
 
 /// Widen a shape dimension for the analytic counter models.
@@ -177,7 +186,7 @@ pub fn corr_baseline_parallel(ctx: &TaskContext, task: VoxelTask, pool: &Pool) -
     for (e, a) in assigned.iter().enumerate() {
         let b = ctx.norm.brain(e);
         let k = a.cols();
-        pool_stats.merge(gemm_blocked_parallel(
+        pool_stats.merge(&gemm_blocked_parallel(
             pool,
             BlockSizes::default(),
             v,

@@ -41,4 +41,4 @@ pub mod time;
 mod tests;
 
 pub use mutex::{Condvar, Mutex, MutexGuard};
-pub use pool::{Pool, PoolStats};
+pub use pool::{Pool, PoolStats, WorkerLane};

@@ -38,7 +38,7 @@ use crate::runtime::{enter_model, mode, Mode};
 /// Counters describing one parallel region, for the caller to bridge
 /// into trace counters (`pool.*`). The pool itself stays trace-free so
 /// the facade remains a leaf crate.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Tasks executed (the region's task count).
     pub tasks: u64,
@@ -47,15 +47,64 @@ pub struct PoolStats {
     /// Times a worker parked with empty deques and work still in
     /// flight.
     pub idle_parks: u64,
+    /// Per-worker breakdown of the totals above, indexed by worker id
+    /// within the region (worker 0 is the caller). Merged totals hide
+    /// imbalance; these lanes are what the Prometheus `worker` labels
+    /// are bridged from.
+    pub per_worker: Vec<WorkerLane>,
+}
+
+/// One worker's share of a region's [`PoolStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerLane {
+    /// Tasks this worker executed.
+    pub tasks: u64,
+    /// Tasks this worker took from another worker's deque.
+    pub steals: u64,
+    /// Times this worker parked idle.
+    pub parks: u64,
 }
 
 impl PoolStats {
-    /// Accumulate another region's counters into this one.
-    pub fn merge(&mut self, other: PoolStats) {
+    /// Accumulate another region's counters into this one. Worker lanes
+    /// are merged by worker id; a region with more workers widens the
+    /// lane vector.
+    pub fn merge(&mut self, other: &PoolStats) {
         self.tasks = self.tasks.saturating_add(other.tasks);
         self.steals = self.steals.saturating_add(other.steals);
         self.idle_parks = self.idle_parks.saturating_add(other.idle_parks);
+        if self.per_worker.len() < other.per_worker.len() {
+            self.per_worker.resize(other.per_worker.len(), WorkerLane::default());
+        }
+        for (mine, theirs) in self.per_worker.iter_mut().zip(&other.per_worker) {
+            mine.tasks = mine.tasks.saturating_add(theirs.tasks);
+            mine.steals = mine.steals.saturating_add(theirs.steals);
+            mine.parks = mine.parks.saturating_add(theirs.parks);
+        }
     }
+}
+
+/// Hooks that carry a caller-side task context onto a region's spawned
+/// worker threads (DESIGN.md §11's causal tracing). The pool stays
+/// trace-free: the hooks are opaque function pointers over two packed
+/// words, registered once by the observability layer. `capture` runs on
+/// the forking thread before workers spawn; `apply` runs on each spawned
+/// worker at entry (with the captured words) and exit (with `None`).
+#[derive(Debug, Clone, Copy)]
+pub struct CtxHooks {
+    /// Snapshot the calling thread's context, if any.
+    pub capture: fn() -> Option<[u64; 2]>,
+    /// Install (`Some`) or clear (`None`) a context on this thread.
+    pub apply: fn(Option<[u64; 2]>),
+}
+
+static CTX_HOOKS: std::sync::OnceLock<CtxHooks> = std::sync::OnceLock::new();
+
+/// Register the context-propagation hooks. First registration wins;
+/// later calls are ignored (the observability layer registers a single
+/// global pair).
+pub fn set_ctx_hooks(hooks: CtxHooks) {
+    let _ = CTX_HOOKS.set(hooks);
 }
 
 /// A work-stealing thread-pool configuration. Cheap to copy; threads
@@ -161,11 +210,17 @@ impl Pool {
         let n = tasks.len();
         let n64 = u64::try_from(n).unwrap_or(u64::MAX);
         if self.threads <= 1 || n <= 1 {
-            // Inline: one worker state, task order = index order.
+            // Inline: one worker state, task order = index order. The
+            // caller's context is already on this thread, so the ctx
+            // hooks have nothing to do.
             let mut state = init();
             let results =
                 tasks.into_iter().enumerate().map(|(i, t)| job(&mut state, i, t)).collect();
-            return (results, PoolStats { tasks: n64, ..PoolStats::default() });
+            let lane = WorkerLane { tasks: n64, steals: 0, parks: 0 };
+            return (
+                results,
+                PoolStats { tasks: n64, per_worker: vec![lane], ..Default::default() },
+            );
         }
         let workers = self.threads.min(n);
 
@@ -184,18 +239,34 @@ impl Pool {
                 panic: None,
                 steals: 0,
                 idle_parks: 0,
+                lanes: vec![WorkerLane::default(); workers],
             }),
             cv: Condvar::new(),
         };
         let seed = self.seed;
         let run_worker = |wid: usize| worker(&shared, wid, workers, seed, &init, &job);
         let run_worker = &run_worker;
+        // Capture the forking thread's task context once; every spawned
+        // worker installs it for the region's duration so records made
+        // on pool threads keep their causal link to the dispatch.
+        // Worker 0 runs on the caller's own thread and must not touch
+        // its context.
+        let hooked_ctx = CTX_HOOKS.get().map(|h| (*h, (h.capture)()));
+        let run_spawned = |wid: usize| match hooked_ctx {
+            Some((hooks, Some(ctx))) => {
+                (hooks.apply)(Some(ctx));
+                run_worker(wid);
+                (hooks.apply)(None);
+            }
+            _ => run_worker(wid),
+        };
+        let run_spawned = &run_spawned;
 
         match mode() {
             Mode::Real => {
                 std::thread::scope(|s| {
                     for wid in 1..workers {
-                        s.spawn(move || run_worker(wid));
+                        s.spawn(move || run_spawned(wid));
                     }
                     run_worker(0);
                 });
@@ -207,7 +278,7 @@ impl Pool {
                         // quiescence check can never miss it.
                         vclock.register();
                         let vclock = Arc::clone(&vclock);
-                        s.spawn(move || clock::run_registered(&vclock, || run_worker(wid)));
+                        s.spawn(move || clock::run_registered(&vclock, || run_spawned(wid)));
                     }
                     run_worker(0);
                 });
@@ -222,7 +293,7 @@ impl Pool {
                         s.spawn(move || {
                             let _mode = enter_model(Arc::clone(&rt_child));
                             if rt_child.thread_enter(mid) {
-                                let out = catch_unwind(AssertUnwindSafe(|| run_worker(wid)));
+                                let out = catch_unwind(AssertUnwindSafe(|| run_spawned(wid)));
                                 rt_child
                                     .thread_exit(mid, out.err().map(|p| panic_message(p.as_ref())));
                             } else {
@@ -252,7 +323,12 @@ impl Pool {
             drop(reg);
             resume_unwind(p);
         }
-        let stats = PoolStats { tasks: n64, steals: reg.steals, idle_parks: reg.idle_parks };
+        let stats = PoolStats {
+            tasks: n64,
+            steals: reg.steals,
+            idle_parks: reg.idle_parks,
+            per_worker: std::mem::take(&mut reg.lanes),
+        };
         let results = reg
             .results
             .iter_mut()
@@ -283,6 +359,8 @@ struct RegionState<R> {
     panic: Option<Box<dyn std::any::Any + Send>>,
     steals: u64,
     idle_parks: u64,
+    /// Per-worker task/steal/park counts (same lock, same updates).
+    lanes: Vec<WorkerLane>,
 }
 
 /// One worker's loop: pop own deque from the front, steal from the back
@@ -327,8 +405,10 @@ fn worker<T, R, S, I, F>(
             Some((idx, task)) => {
                 let out = catch_unwind(AssertUnwindSafe(|| job(&mut state, idx, task)));
                 let mut reg = shared.region.lock();
+                reg.lanes[wid].tasks += 1;
                 if stolen {
                     reg.steals += 1;
+                    reg.lanes[wid].steals += 1;
                 }
                 match out {
                     Ok(r) => {
@@ -361,6 +441,7 @@ fn worker<T, R, S, I, F>(
                         return;
                     }
                     reg.idle_parks += 1;
+                    reg.lanes[wid].parks += 1;
                     shared.cv.wait(&mut reg);
                 }
             }
@@ -454,6 +535,61 @@ mod tests {
         assert_eq!(got.len(), 17);
         assert_eq!(stats.tasks, 17);
         assert!(stats.steals <= stats.tasks);
+    }
+
+    #[test]
+    fn per_worker_lanes_sum_to_region_totals() {
+        let pool = Pool::new(3);
+        let (_, stats) = pool.run_init_stats(vec![1u64; 23], || (), |(), _i, v| v);
+        assert!(!stats.per_worker.is_empty());
+        assert_eq!(stats.per_worker.iter().map(|l| l.tasks).sum::<u64>(), stats.tasks);
+        assert_eq!(stats.per_worker.iter().map(|l| l.steals).sum::<u64>(), stats.steals);
+        assert_eq!(stats.per_worker.iter().map(|l| l.parks).sum::<u64>(), stats.idle_parks);
+    }
+
+    #[test]
+    fn merge_widens_and_adds_lanes() {
+        let mut a = PoolStats {
+            tasks: 3,
+            steals: 1,
+            idle_parks: 0,
+            per_worker: vec![WorkerLane { tasks: 3, steals: 1, parks: 0 }],
+        };
+        let b = PoolStats {
+            tasks: 5,
+            steals: 0,
+            idle_parks: 2,
+            per_worker: vec![
+                WorkerLane { tasks: 2, steals: 0, parks: 1 },
+                WorkerLane { tasks: 3, steals: 0, parks: 1 },
+            ],
+        };
+        a.merge(&b);
+        assert_eq!(a.tasks, 8);
+        assert_eq!(a.per_worker.len(), 2);
+        assert_eq!(a.per_worker[0], WorkerLane { tasks: 5, steals: 1, parks: 1 });
+        assert_eq!(a.per_worker[1], WorkerLane { tasks: 3, steals: 0, parks: 1 });
+    }
+
+    #[test]
+    fn ctx_hooks_reach_spawned_workers() {
+        use std::cell::Cell;
+        thread_local! {
+            static TEST_CTX: Cell<Option<[u64; 2]>> = const { Cell::new(None) };
+        }
+        fn capture() -> Option<[u64; 2]> {
+            TEST_CTX.with(Cell::get)
+        }
+        fn apply(v: Option<[u64; 2]>) {
+            TEST_CTX.with(|c| c.set(v));
+        }
+        set_ctx_hooks(CtxHooks { capture, apply });
+        apply(Some([41, 7]));
+        let seen = Pool::new(4).run(vec![(); 16], |_i, ()| TEST_CTX.with(Cell::get));
+        apply(None);
+        // Every task — whichever worker thread ran it — saw the context
+        // captured on the forking thread.
+        assert!(seen.iter().all(|&s| s == Some([41, 7])));
     }
 
     #[test]

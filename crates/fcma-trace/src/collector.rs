@@ -47,16 +47,35 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Labeled-counter storage: (name, label key) → label value → count.
+type LabeledMap = HashMap<(&'static str, &'static str), std::collections::BTreeMap<u64, u64>>;
+
 /// Shared state of one collector.
 struct Inner {
     /// Time base for every timestamp recorded under this collector.
     epoch: Instant,
+    /// The facade clock's reading at this collector's epoch, for
+    /// aligning flight-recorder timestamps (recorded on the facade
+    /// clock) with span timestamps (recorded against `epoch`).
+    rec_epoch: u64,
     /// Every thread buffer ever registered under this collector.
     threads: Mutex<Vec<Arc<ThreadBuf>>>,
     /// Monotonic named counters.
     counters: Mutex<HashMap<&'static str, u64>>,
+    /// Labeled counters, keyed by (name, label key): label value → count.
+    labeled: Mutex<LabeledMap>,
     /// Named value distributions.
     histograms: Mutex<HashMap<&'static str, Histogram>>,
+}
+
+/// Stamp the thread's causal context (if a [`crate::TraceCtx`] guard is
+/// live) onto a record's attributes, linking it to its dispatch.
+fn stamp_ctx(attrs: &mut Vec<(&'static str, AttrValue)>) {
+    if let Some(ctx) = crate::TraceCtx::current() {
+        attrs.push(("ctx_task", AttrValue::U64(ctx.task)));
+        attrs.push(("ctx_attempt", AttrValue::U64(u64::from(ctx.attempt))));
+        attrs.push(("ctx_origin", AttrValue::Str(ctx.origin.as_str().to_owned())));
+    }
 }
 
 /// One thread's span buffer. Records are pushed on span *completion*
@@ -185,7 +204,8 @@ impl Drop for SpanGuard {
 /// Open a span. Prefer the [`crate::span!`] macro, which skips attribute
 /// construction entirely when no collector is installed.
 // audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
-pub fn start_span(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> SpanGuard {
+pub fn start_span(name: &'static str, mut attrs: Vec<(&'static str, AttrValue)>) -> SpanGuard {
+    stamp_ctx(&mut attrs);
     let active = with_tls(|_, buf, stack| {
         let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
         let parent = stack.last().copied();
@@ -198,7 +218,8 @@ pub fn start_span(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) -> 
 /// Record an instant event (zero duration, `ph:"i"` in Chrome traces).
 /// Prefer the [`crate::event!`] macro.
 // audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
-pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
+pub fn instant(name: &'static str, mut attrs: Vec<(&'static str, AttrValue)>) {
+    stamp_ctx(&mut attrs);
     with_tls(|_, buf, stack| {
         let record = SpanRecord {
             name: name.to_owned(),
@@ -221,9 +242,10 @@ pub fn instant(name: &'static str, attrs: Vec<(&'static str, AttrValue)>) {
 // audit: allow(deadpub) — public trace API kept for std-Instant callers; the facade-ported driver uses record_span_elapsed instead
 pub fn record_span_since(
     name: &'static str,
-    attrs: Vec<(&'static str, AttrValue)>,
+    mut attrs: Vec<(&'static str, AttrValue)>,
     started: Instant,
 ) {
+    stamp_ctx(&mut attrs);
     with_tls(|_, buf, stack| {
         let record = SpanRecord {
             name: name.to_owned(),
@@ -245,9 +267,10 @@ pub fn record_span_since(
 /// anchored to end at the record call).
 pub fn record_span_elapsed(
     name: &'static str,
-    attrs: Vec<(&'static str, AttrValue)>,
+    mut attrs: Vec<(&'static str, AttrValue)>,
     elapsed: Duration,
 ) {
+    stamp_ctx(&mut attrs);
     with_tls(|_, buf, stack| {
         let end_ns = ns_since(buf.epoch, Instant::now());
         let dur_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
@@ -299,6 +322,24 @@ pub fn add_counter(name: &'static str, delta: impl IntoCount) {
     });
 }
 
+/// Add `delta` to one series of a labeled counter — `label` is the
+/// label key (e.g. `worker`), `key` its value for this series. Prefer
+/// the [`crate::labeled_counter!`] macro.
+// audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
+pub fn add_labeled_counter(
+    name: &'static str,
+    label: &'static str,
+    key: impl IntoCount,
+    delta: impl IntoCount,
+) {
+    let (key, delta) = (key.into_count(), delta.into_count());
+    with_tls(|inner, _, _| {
+        let mut labeled = lock(&inner.labeled);
+        let slot = labeled.entry((name, label)).or_default().entry(key).or_insert(0);
+        *slot = slot.saturating_add(delta);
+    });
+}
+
 /// Record `value` into the named histogram. Prefer the
 /// [`crate::histogram!`] macro.
 // audit: allow(deadpub) — reached via $crate:: paths from #[macro_export] macros; demotion breaks cross-crate expansion
@@ -328,8 +369,10 @@ impl Collector {
         Collector {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
+                rec_epoch: fcma_sync::time::Instant::now().nanos(),
                 threads: Mutex::new(Vec::new()),
                 counters: Mutex::new(HashMap::new()),
+                labeled: Mutex::new(HashMap::new()),
                 histograms: Mutex::new(HashMap::new()),
             }),
         }
@@ -379,9 +422,44 @@ impl Collector {
         }
         spans.sort_by_key(|s| (s.start_ns, s.id));
         let counters = lock(&self.inner.counters).drain().map(|(k, v)| (k.to_owned(), v)).collect();
+        let labeled_counters = lock(&self.inner.labeled)
+            .drain()
+            .map(|((name, label), values)| {
+                (name.to_owned(), crate::LabeledCounter { label: label.to_owned(), values })
+            })
+            .collect();
         let histograms =
             lock(&self.inner.histograms).drain().map(|(k, v)| (k.to_owned(), v)).collect();
-        TraceReport { spans, counters, histograms }
+        TraceReport { spans, counters, labeled_counters, histograms }
+    }
+
+    /// [`Collector::drain`], then bridge the flight recorder's current
+    /// events into the report as instant records (so they land on the
+    /// Chrome timeline next to the spans). Recorder timestamps are on
+    /// the facade clock; they are re-based to this collector's epoch,
+    /// clamping events recorded before it to 0. Bridged records use
+    /// `tid = 900 + ring` to keep recorder lanes visually separate.
+    pub fn drain_with_recorder(&self) -> TraceReport {
+        let mut report = self.drain();
+        for ev in crate::recorder::snapshot().events {
+            report.spans.push(SpanRecord {
+                name: ev.kind.name().to_owned(),
+                tid: 900 + ev.ring,
+                id: NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed),
+                parent: None,
+                start_ns: ev.ts_ns.saturating_sub(self.inner.rec_epoch),
+                dur_ns: None,
+                attrs: vec![
+                    ("task".to_owned(), AttrValue::U64(ev.task)),
+                    ("attempt".to_owned(), AttrValue::U64(u64::from(ev.attempt))),
+                    ("origin".to_owned(), AttrValue::Str(ev.origin.as_str().to_owned())),
+                    ("arg".to_owned(), AttrValue::U64(ev.arg)),
+                    ("seq".to_owned(), AttrValue::U64(ev.seq)),
+                ],
+            });
+        }
+        report.spans.sort_by_key(|s| (s.start_ns, s.id));
+        report
     }
 }
 
@@ -396,6 +474,12 @@ impl ScopedCollector<'_> {
     /// Drain the underlying collector (see [`Collector::drain`]).
     pub fn drain(&self) -> TraceReport {
         self.collector.drain()
+    }
+
+    /// Drain plus the flight-recorder bridge (see
+    /// [`Collector::drain_with_recorder`]).
+    pub fn drain_with_recorder(&self) -> TraceReport {
+        self.collector.drain_with_recorder()
     }
 }
 

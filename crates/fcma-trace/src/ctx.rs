@@ -1,0 +1,178 @@
+//! Causal task context: links every span, event, and recorder entry on
+//! any thread back to the cluster dispatch that caused it.
+//!
+//! The master stamps a [`TraceCtx`] into each `ToWorker::Task` message;
+//! the worker installs it ([`TraceCtx::install`]) around the executor
+//! call, and the collector copies the current context into every record
+//! made while the guard is live (`ctx_task` / `ctx_attempt` /
+//! `ctx_origin` attributes). When the executor fans work out through
+//! `fcma-sync::pool`, the pool's context hooks (registered here, once)
+//! carry the same context onto the region's worker threads — so a span
+//! recorded three layers down on a stolen pool task still names its
+//! dispatch. `fcma report --check` closes the loop with cross-thread
+//! causality invariants over these attributes.
+
+use std::cell::Cell;
+
+use fcma_sync::pool::{set_ctx_hooks, CtxHooks};
+
+/// Where an attempt came from: the first dispatch of a task, a retry
+/// after a failure, or a speculative clone of a straggler. Retries and
+/// speculation clones share a task id; the origin is what tells them
+/// apart in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOrigin {
+    /// First dispatch of the task.
+    Dispatch,
+    /// Re-dispatch after a failed or condemned attempt.
+    Retry,
+    /// Speculative duplicate of a still-running straggler attempt.
+    Speculative,
+}
+
+impl TraceOrigin {
+    /// Stable string form (used as the `ctx_origin` attribute value).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceOrigin::Dispatch => "dispatch",
+            TraceOrigin::Retry => "retry",
+            TraceOrigin::Speculative => "speculative",
+        }
+    }
+
+    pub(crate) fn code(self) -> u64 {
+        match self {
+            TraceOrigin::Dispatch => 0,
+            TraceOrigin::Retry => 1,
+            TraceOrigin::Speculative => 2,
+        }
+    }
+
+    pub(crate) fn from_code(code: u64) -> TraceOrigin {
+        match code {
+            1 => TraceOrigin::Retry,
+            2 => TraceOrigin::Speculative,
+            _ => TraceOrigin::Dispatch,
+        }
+    }
+}
+
+/// The causal identity of one dispatch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Task identity (the task's start voxel in the cluster scheduler).
+    pub task: u64,
+    /// 0-based attempt number for this task.
+    pub attempt: u32,
+    /// How this attempt came to be dispatched.
+    pub origin: TraceOrigin,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+impl TraceCtx {
+    /// A context for `task`'s `attempt`-th dispatch.
+    #[must_use]
+    pub fn new(task: u64, attempt: u32, origin: TraceOrigin) -> TraceCtx {
+        TraceCtx { task, attempt, origin }
+    }
+
+    /// The calling thread's current context, if one is installed.
+    #[must_use]
+    pub fn current() -> Option<TraceCtx> {
+        CURRENT.with(Cell::get)
+    }
+
+    /// Install this context on the calling thread until the returned
+    /// guard drops (the previous context, if any, is restored). Also
+    /// registers the pool propagation hooks on first use, so any
+    /// `fcma-sync::pool` region forked under the guard carries the
+    /// context onto its worker threads.
+    pub fn install(self) -> CtxGuard {
+        register_pool_hooks();
+        let prev = CURRENT.with(|c| c.replace(Some(self)));
+        CtxGuard { prev }
+    }
+
+    pub(crate) fn pack(self) -> [u64; 2] {
+        [self.task, u64::from(self.attempt) << 8 | self.origin.code()]
+    }
+
+    pub(crate) fn unpack(words: [u64; 2]) -> TraceCtx {
+        TraceCtx {
+            task: words[0],
+            attempt: u32::try_from(words[1] >> 8).unwrap_or(u32::MAX),
+            origin: TraceOrigin::from_code(words[1] & 0xff),
+        }
+    }
+}
+
+/// RAII guard from [`TraceCtx::install`]; restores the previous context
+/// on drop.
+#[must_use = "the context uninstalls when the guard drops"]
+pub struct CtxGuard {
+    prev: Option<TraceCtx>,
+}
+
+impl Drop for CtxGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev.take()));
+    }
+}
+
+/// `capture` half of the pool hooks: snapshot this thread's context.
+fn hook_capture() -> Option<[u64; 2]> {
+    TraceCtx::current().map(TraceCtx::pack)
+}
+
+/// `apply` half of the pool hooks: install/clear on a pool worker.
+fn hook_apply(words: Option<[u64; 2]>) {
+    CURRENT.with(|c| c.set(words.map(TraceCtx::unpack)));
+}
+
+/// Register the pool context hooks exactly once per process.
+fn register_pool_hooks() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| set_ctx_hooks(CtxHooks { capture: hook_capture, apply: hook_apply }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_restores_previous_context_on_drop() {
+        assert_eq!(TraceCtx::current(), None);
+        let outer = TraceCtx::new(3, 0, TraceOrigin::Dispatch);
+        let g1 = outer.install();
+        {
+            let inner = TraceCtx::new(9, 2, TraceOrigin::Retry);
+            let g2 = inner.install();
+            assert_eq!(TraceCtx::current(), Some(inner));
+            drop(g2);
+        }
+        assert_eq!(TraceCtx::current(), Some(outer));
+        drop(g1);
+        assert_eq!(TraceCtx::current(), None);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips() {
+        for origin in [TraceOrigin::Dispatch, TraceOrigin::Retry, TraceOrigin::Speculative] {
+            let ctx = TraceCtx::new(u64::MAX - 7, 41, origin);
+            assert_eq!(TraceCtx::unpack(ctx.pack()), ctx);
+        }
+    }
+
+    #[test]
+    fn context_rides_pool_regions_onto_worker_threads() {
+        let ctx = TraceCtx::new(16, 1, TraceOrigin::Speculative);
+        let guard = ctx.install();
+        let seen = fcma_sync::Pool::new(4).run(vec![(); 12], |_i, ()| TraceCtx::current());
+        drop(guard);
+        assert!(seen.iter().all(|&s| s == Some(ctx)), "pool workers saw {seen:?}");
+    }
+}

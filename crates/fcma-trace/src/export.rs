@@ -16,8 +16,13 @@
 //! `span` label.
 
 use crate::json::{self, Value};
-use crate::report::{AttrValue, Histogram, SpanRecord, TraceReport, HISTOGRAM_BUCKETS};
+use crate::report::{
+    AttrValue, Histogram, LabeledCounter, SpanRecord, TraceReport, HISTOGRAM_BUCKETS,
+};
 use std::fmt::Write as _;
+
+/// The quantiles every summary family exports (p50 / p95 / p99).
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
 
 fn push_attr_value(out: &mut String, v: &AttrValue) {
     match v {
@@ -88,7 +93,30 @@ pub fn to_chrome_json(report: &TraceReport) -> String {
         json::escape_into(&mut out, name);
         let _ = write!(out, ":{value}");
     }
-    out.push_str("},\"fcmaHistograms\":{");
+    out.push('}');
+    // Elided entirely when empty, so pre-labeled-counter traces and
+    // their goldens keep their exact bytes.
+    if !report.labeled_counters.is_empty() {
+        out.push_str(",\"fcmaLabeledCounters\":{");
+        for (i, (name, lc)) in report.labeled_counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::escape_into(&mut out, name);
+            out.push_str(":{\"label\":");
+            json::escape_into(&mut out, &lc.label);
+            out.push_str(",\"values\":{");
+            for (j, (k, v)) in lc.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{k}\":{v}");
+            }
+            out.push_str("}}");
+        }
+        out.push('}');
+    }
+    out.push_str(",\"fcmaHistograms\":{");
     for (i, (name, h)) in report.histograms.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -200,6 +228,20 @@ pub fn from_chrome_json(input: &str) -> Result<TraceReport, String> {
             report.counters.insert(name.clone(), v);
         }
     }
+    if let Some(labeled) = doc.get("fcmaLabeledCounters").and_then(Value::as_object) {
+        for (name, entry) in labeled {
+            let label = entry.get("label").and_then(Value::as_str).unwrap_or("label").to_owned();
+            let mut values = std::collections::BTreeMap::new();
+            if let Some(obj) = entry.get("values").and_then(Value::as_object) {
+                for (k, v) in obj {
+                    if let (Ok(key), Some(val)) = (k.parse::<u64>(), v.as_u64()) {
+                        values.insert(key, val);
+                    }
+                }
+            }
+            report.labeled_counters.insert(name.clone(), LabeledCounter { label, values });
+        }
+    }
     if let Some(histograms) = doc.get("fcmaHistograms").and_then(Value::as_object) {
         for (name, value) in histograms {
             let mut h = Histogram {
@@ -229,20 +271,38 @@ fn prom_name(name: &str) -> String {
     name.replace(['.', '-'], "_")
 }
 
-/// Serialize a report in the Prometheus text exposition format.
+/// Serialize a report in the Prometheus text exposition format: every
+/// metric family gets `# HELP` / `# TYPE` header lines, labeled
+/// counters fan out into one series per label value, and latency
+/// summaries (per-span-family durations plus every value histogram)
+/// export p50/p95/p99 `quantile` series.
 pub fn to_prometheus_text(report: &TraceReport) -> String {
     let mut out = String::new();
     for (name, value) in &report.counters {
         let metric = prom_name(name);
+        let _ = writeln!(out, "# HELP fcma_{metric} FCMA monotonic counter {name}");
         let _ = writeln!(out, "# TYPE fcma_{metric} counter");
         let _ = writeln!(out, "fcma_{metric} {value}");
     }
+    for (name, lc) in &report.labeled_counters {
+        let metric = prom_name(name);
+        let _ = writeln!(out, "# HELP fcma_{metric} FCMA counter {name} by {}", lc.label);
+        let _ = writeln!(out, "# TYPE fcma_{metric} counter");
+        for (key, value) in &lc.values {
+            let _ = writeln!(out, "fcma_{metric}{{{}=\"{key}\"}} {value}", lc.label);
+        }
+    }
     let aggregates = report.aggregates();
     if !aggregates.is_empty() {
+        let _ = writeln!(out, "# HELP fcma_span_count completed spans per span family");
         let _ = writeln!(out, "# TYPE fcma_span_count counter");
         for row in &aggregates {
             let _ = writeln!(out, "fcma_span_count{{span=\"{}\"}} {}", row.name, row.count);
         }
+        let _ = writeln!(
+            out,
+            "# HELP fcma_span_duration_seconds_total total span wall time per span family"
+        );
         let _ = writeln!(out, "# TYPE fcma_span_duration_seconds_total counter");
         for row in &aggregates {
             // cast is exact here: ns tally to seconds for display
@@ -251,9 +311,32 @@ pub fn to_prometheus_text(report: &TraceReport) -> String {
                 writeln!(out, "fcma_span_duration_seconds_total{{span=\"{}\"}} {secs}", row.name);
         }
     }
+    let durations = report.span_duration_histograms();
+    if !durations.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP fcma_span_duration_us span latency quantiles per span family, in microseconds"
+        );
+        let _ = writeln!(out, "# TYPE fcma_span_duration_us summary");
+        for (name, h) in &durations {
+            for (q, label) in QUANTILES {
+                let _ = writeln!(
+                    out,
+                    "fcma_span_duration_us{{span=\"{name}\",quantile=\"{label}\"}} {}",
+                    h.quantile(q)
+                );
+            }
+            let _ = writeln!(out, "fcma_span_duration_us_count{{span=\"{name}\"}} {}", h.count);
+            let _ = writeln!(out, "fcma_span_duration_us_sum{{span=\"{name}\"}} {}", h.sum);
+        }
+    }
     for (name, h) in &report.histograms {
         let metric = prom_name(name);
+        let _ = writeln!(out, "# HELP fcma_{metric} FCMA value histogram {name}");
         let _ = writeln!(out, "# TYPE fcma_{metric} summary");
+        for (q, label) in QUANTILES {
+            let _ = writeln!(out, "fcma_{metric}{{quantile=\"{label}\"}} {}", h.quantile(q));
+        }
         let _ = writeln!(out, "fcma_{metric}_count {}", h.count);
         let _ = writeln!(out, "fcma_{metric}_sum {}", h.sum);
         if h.count > 0 {
@@ -273,6 +356,14 @@ mod tests {
         let mut counters = BTreeMap::new();
         counters.insert("cluster.tasks.dispatched".to_owned(), 7);
         counters.insert("stage1.flops".to_owned(), 123_456);
+        let mut labeled_counters = BTreeMap::new();
+        labeled_counters.insert(
+            "pool.worker.tasks".to_owned(),
+            LabeledCounter {
+                label: "worker".to_owned(),
+                values: [(0, 3), (1, 4)].into_iter().collect(),
+            },
+        );
         let mut histograms = BTreeMap::new();
         let mut h = Histogram::default();
         h.record(3.0);
@@ -303,6 +394,7 @@ mod tests {
                 },
             ],
             counters,
+            labeled_counters,
             histograms,
         }
     }
@@ -322,6 +414,8 @@ mod tests {
             "\"args\":{\"parent\":1,\"worker\":3}}",
             "],\"fcmaCounters\":{",
             "\"cluster.tasks.dispatched\":7,\"stage1.flops\":123456",
+            "},\"fcmaLabeledCounters\":{",
+            "\"pool.worker.tasks\":{\"label\":\"worker\",\"values\":{\"0\":3,\"1\":4}}",
             "},\"fcmaHistograms\":{",
             "\"svm.smo.iterations_per_solve\":",
             "{\"count\":2,\"sum\":20,\"min\":3,\"max\":17,\"buckets\":[0,1,0,0,1]}",
@@ -335,15 +429,34 @@ mod tests {
     fn prometheus_text_matches_golden() {
         let got = to_prometheus_text(&sample_report());
         let want = "\
+# HELP fcma_cluster_tasks_dispatched FCMA monotonic counter cluster.tasks.dispatched
 # TYPE fcma_cluster_tasks_dispatched counter
 fcma_cluster_tasks_dispatched 7
+# HELP fcma_stage1_flops FCMA monotonic counter stage1.flops
 # TYPE fcma_stage1_flops counter
 fcma_stage1_flops 123456
+# HELP fcma_pool_worker_tasks FCMA counter pool.worker.tasks by worker
+# TYPE fcma_pool_worker_tasks counter
+fcma_pool_worker_tasks{worker=\"0\"} 3
+fcma_pool_worker_tasks{worker=\"1\"} 4
+# HELP fcma_span_count completed spans per span family
 # TYPE fcma_span_count counter
 fcma_span_count{span=\"stage1.corr\"} 1
+# HELP fcma_span_duration_seconds_total total span wall time per span family
 # TYPE fcma_span_duration_seconds_total counter
 fcma_span_duration_seconds_total{span=\"stage1.corr\"} 0.00200025
+# HELP fcma_span_duration_us span latency quantiles per span family, in microseconds
+# TYPE fcma_span_duration_us summary
+fcma_span_duration_us{span=\"stage1.corr\",quantile=\"0.5\"} 2000.25
+fcma_span_duration_us{span=\"stage1.corr\",quantile=\"0.95\"} 2000.25
+fcma_span_duration_us{span=\"stage1.corr\",quantile=\"0.99\"} 2000.25
+fcma_span_duration_us_count{span=\"stage1.corr\"} 1
+fcma_span_duration_us_sum{span=\"stage1.corr\"} 2000.25
+# HELP fcma_svm_smo_iterations_per_solve FCMA value histogram svm.smo.iterations_per_solve
 # TYPE fcma_svm_smo_iterations_per_solve summary
+fcma_svm_smo_iterations_per_solve{quantile=\"0.5\"} 4
+fcma_svm_smo_iterations_per_solve{quantile=\"0.95\"} 17
+fcma_svm_smo_iterations_per_solve{quantile=\"0.99\"} 17
 fcma_svm_smo_iterations_per_solve_count 2
 fcma_svm_smo_iterations_per_solve_sum 20
 fcma_svm_smo_iterations_per_solve_min 3
@@ -362,6 +475,7 @@ fcma_svm_smo_iterations_per_solve_max 17
         }
         assert_eq!(parsed.spans, report.spans);
         assert_eq!(parsed.counters, report.counters);
+        assert_eq!(parsed.labeled_counters, report.labeled_counters);
         assert_eq!(parsed.histograms, report.histograms);
     }
 

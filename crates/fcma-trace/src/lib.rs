@@ -43,17 +43,22 @@
 //! ```
 
 mod collector;
+pub mod ctx;
 pub mod export;
 pub mod json;
+pub mod postmortem;
+pub mod recorder;
 mod report;
+pub mod slo;
 
 pub use collector::{
-    add_counter, instant, is_enabled, record_span_elapsed, record_span_since, record_value,
-    start_span, Collector, SpanGuard,
+    add_counter, add_labeled_counter, instant, is_enabled, record_span_elapsed, record_span_since,
+    record_value, start_span, Collector, SpanGuard,
 };
 pub use collector::{IntoCount, ScopedCollector};
+pub use ctx::{CtxGuard, TraceCtx, TraceOrigin};
 pub use report::{AttrValue, HISTOGRAM_BUCKETS};
-pub use report::{Histogram, SpanRecord, TraceReport};
+pub use report::{Histogram, LabeledCounter, SpanRecord, TraceReport};
 
 /// Open a hierarchical span; it records its wall time when the returned
 /// guard drops. Attributes are `key = value` pairs, where values are
@@ -120,6 +125,39 @@ macro_rules! histogram {
         if $crate::is_enabled() {
             $crate::record_value($name, $value);
         }
+    };
+}
+
+/// Add a delta to one series of a labeled counter (`label = key`
+/// selects the series; e.g. `worker = wid`). Unlike [`counter!`], one
+/// name fans out into per-label-value Prometheus series.
+///
+/// ```
+/// # use fcma_trace::labeled_counter;
+/// labeled_counter!("pool.worker.tasks", worker = 3_usize, 17_u64);
+/// ```
+#[macro_export]
+macro_rules! labeled_counter {
+    ($name:literal, $label:ident = $key:expr, $delta:expr) => {
+        if $crate::is_enabled() {
+            $crate::add_labeled_counter($name, stringify!($label), $key, $delta);
+        }
+    };
+}
+
+/// Append one event to the calling thread's flight-recorder ring. The
+/// recorder is **not** gated on a collector being installed — it is the
+/// always-on black box — so this macro only names the event; see
+/// [`recorder::record`].
+///
+/// ```
+/// # use fcma_trace::{record, TraceOrigin};
+/// record!("recorder.dispatch", 64, 1, TraceOrigin::Dispatch, 0);
+/// ```
+#[macro_export]
+macro_rules! record {
+    ($name:literal, $task:expr, $attempt:expr, $origin:expr, $arg:expr) => {
+        $crate::recorder::record($name, $task, $attempt, $origin, $arg)
     };
 }
 

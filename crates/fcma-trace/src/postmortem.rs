@@ -1,0 +1,265 @@
+//! Postmortem dumps: when the cluster hits a fault, the flight
+//! recorder's rings are snapshotted and rendered into a small,
+//! self-describing text artifact (`fcma-postmortem v1`) that names the
+//! trigger, prints the merged cross-thread timeline, and extracts the
+//! causal chain of the task that tripped the fault.
+//!
+//! The driver emits one automatically (into `ClusterConfig::
+//! postmortem_dir`) on a task panic, a worker condemnation, a deadline
+//! fence discarding a late message, or a checkpoint-resume mismatch.
+//! `fcma postmortem <file>` re-parses and summarizes a dump with
+//! [`validate`].
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::recorder::{snapshot, RecorderSnapshot};
+
+/// Magic first line of every dump; bump the suffix when the format
+/// changes shape.
+pub const POSTMORTEM_HEADER: &str = "fcma-postmortem v1";
+
+/// Why a postmortem was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostmortemTrigger {
+    /// Stable trigger kind: `task.panic`, `worker.condemned`,
+    /// `deadline.fence`, or `resume.mismatch` (DESIGN.md §11 table).
+    pub kind: &'static str,
+    /// The task at fault (its start voxel).
+    pub task: u64,
+    /// The attempt at fault.
+    pub attempt: u32,
+    /// The worker involved.
+    pub worker: u64,
+}
+
+/// Render a recorder snapshot plus trigger into the `fcma-postmortem
+/// v1` text format. Pure function of its inputs, so the format is
+/// golden-testable.
+#[must_use]
+pub fn render(snap: &RecorderSnapshot, trigger: &PostmortemTrigger) -> String {
+    let mut out = String::new();
+    let mut rings: Vec<u64> = snap.events.iter().map(|e| e.ring).collect();
+    rings.sort_unstable();
+    rings.dedup();
+    let _ = writeln!(out, "{POSTMORTEM_HEADER}");
+    let _ = writeln!(
+        out,
+        "trigger: {} task={} attempt={} worker={}",
+        trigger.kind, trigger.task, trigger.attempt, trigger.worker
+    );
+    let _ = writeln!(out, "events: {}", snap.events.len());
+    let _ = writeln!(out, "rings: {}", rings.len());
+    let _ = writeln!(out, "-- timeline --");
+    for e in &snap.events {
+        let _ = writeln!(
+            out,
+            "ts={} ring={} seq={} {} task={} attempt={} origin={} arg={}",
+            e.ts_ns,
+            e.ring,
+            e.seq,
+            e.kind.name(),
+            e.task,
+            e.attempt,
+            e.origin.as_str(),
+            e.arg
+        );
+    }
+    let _ = writeln!(out, "-- causal chain: task {} --", trigger.task);
+    for e in snap.causal_chain(trigger.task) {
+        let _ = writeln!(
+            out,
+            "ts={} ring={} seq={} {} attempt={} origin={} arg={}",
+            e.ts_ns,
+            e.ring,
+            e.seq,
+            e.kind.name(),
+            e.attempt,
+            e.origin.as_str(),
+            e.arg
+        );
+    }
+    out
+}
+
+/// Snapshot every ring and write a dump for `trigger` into `dir`
+/// (created if absent). The file name is derived from the trigger so
+/// repeated faults in one run produce distinct artifacts.
+///
+/// # Errors
+/// Propagates filesystem errors creating the directory or writing the
+/// file.
+pub fn emit_to_dir(dir: &Path, trigger: &PostmortemTrigger) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let snap = snapshot();
+    let kind = trigger.kind.replace('.', "-");
+    let path =
+        dir.join(format!("postmortem-{kind}-task{}-attempt{}.txt", trigger.task, trigger.attempt));
+    std::fs::write(&path, render(&snap, trigger))?;
+    Ok(path)
+}
+
+/// A parsed-back dump summary, as printed by `fcma postmortem`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PostmortemSummary {
+    /// The full `trigger:` line (minus the key).
+    pub trigger: String,
+    /// Declared event count from the header.
+    pub events: usize,
+    /// Declared ring count from the header.
+    pub rings: usize,
+    /// Lines in the causal-chain section.
+    pub chain_len: usize,
+}
+
+/// Parse and check a dump: header magic, trigger line, event count
+/// matching the timeline section, and a causal-chain section.
+///
+/// # Errors
+/// Returns a human-readable description of the first malformation.
+pub fn validate(text: &str) -> Result<PostmortemSummary, String> {
+    let mut lines = text.lines();
+    let header = lines.next().unwrap_or("");
+    if header != POSTMORTEM_HEADER {
+        return Err(format!("bad header {header:?}: want {POSTMORTEM_HEADER:?}"));
+    }
+    let trigger = lines
+        .next()
+        .and_then(|l| l.strip_prefix("trigger: "))
+        .ok_or_else(|| "missing trigger line".to_string())?
+        .to_string();
+    let events: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("events: "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| "missing events line".to_string())?;
+    let rings: usize = lines
+        .next()
+        .and_then(|l| l.strip_prefix("rings: "))
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| "missing rings line".to_string())?;
+    if lines.next() != Some("-- timeline --") {
+        return Err("missing timeline section".to_string());
+    }
+    let mut timeline = 0usize;
+    let mut chain_len = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("-- causal chain: ") {
+            if !rest.ends_with(" --") {
+                return Err(format!("malformed causal-chain marker {line:?}"));
+            }
+            chain_len = Some(0);
+            continue;
+        }
+        match &mut chain_len {
+            None => timeline += 1,
+            Some(n) => *n += 1,
+        }
+    }
+    if timeline != events {
+        return Err(format!("events header says {events} but timeline has {timeline} lines"));
+    }
+    let chain_len = chain_len.ok_or_else(|| "missing causal-chain section".to_string())?;
+    Ok(PostmortemSummary { trigger, events, rings, chain_len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::TraceOrigin;
+    use crate::recorder::{EventKind, RecorderEvent};
+
+    fn sample_snapshot() -> RecorderSnapshot {
+        let ev = |ring, seq, ts_ns, kind, task, attempt, origin, arg| RecorderEvent {
+            ring,
+            seq,
+            ts_ns,
+            kind,
+            task,
+            attempt,
+            origin,
+            arg,
+        };
+        RecorderSnapshot {
+            events: vec![
+                ev(0, 0, 100, EventKind::Dispatch, 64, 0, TraceOrigin::Dispatch, 1),
+                ev(1, 0, 150, EventKind::TaskStart, 64, 0, TraceOrigin::Dispatch, 1),
+                ev(0, 1, 200, EventKind::Dispatch, 128, 0, TraceOrigin::Dispatch, 2),
+                ev(1, 1, 900, EventKind::TaskPanic, 64, 0, TraceOrigin::Dispatch, 1),
+                ev(0, 2, 950, EventKind::Condemn, 64, 0, TraceOrigin::Dispatch, 1),
+                ev(0, 3, 980, EventKind::Dispatch, 64, 1, TraceOrigin::Retry, 2),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_matches_golden() {
+        let trigger = PostmortemTrigger { kind: "task.panic", task: 64, attempt: 0, worker: 1 };
+        let got = render(&sample_snapshot(), &trigger);
+        let want = "\
+fcma-postmortem v1
+trigger: task.panic task=64 attempt=0 worker=1
+events: 6
+rings: 2
+-- timeline --
+ts=100 ring=0 seq=0 recorder.dispatch task=64 attempt=0 origin=dispatch arg=1
+ts=150 ring=1 seq=0 recorder.task.start task=64 attempt=0 origin=dispatch arg=1
+ts=200 ring=0 seq=1 recorder.dispatch task=128 attempt=0 origin=dispatch arg=2
+ts=900 ring=1 seq=1 recorder.task.panic task=64 attempt=0 origin=dispatch arg=1
+ts=950 ring=0 seq=2 recorder.condemn task=64 attempt=0 origin=dispatch arg=1
+ts=980 ring=0 seq=3 recorder.dispatch task=64 attempt=1 origin=retry arg=2
+-- causal chain: task 64 --
+ts=100 ring=0 seq=0 recorder.dispatch attempt=0 origin=dispatch arg=1
+ts=150 ring=1 seq=0 recorder.task.start attempt=0 origin=dispatch arg=1
+ts=900 ring=1 seq=1 recorder.task.panic attempt=0 origin=dispatch arg=1
+ts=950 ring=0 seq=2 recorder.condemn attempt=0 origin=dispatch arg=1
+ts=980 ring=0 seq=3 recorder.dispatch attempt=1 origin=retry arg=2
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rendered_dump_validates_and_summarizes() {
+        let trigger =
+            PostmortemTrigger { kind: "worker.condemned", task: 64, attempt: 0, worker: 1 };
+        let text = render(&sample_snapshot(), &trigger);
+        let summary = validate(&text).expect("rendered dump must validate");
+        assert_eq!(summary.trigger, "worker.condemned task=64 attempt=0 worker=1");
+        assert_eq!(summary.events, 6);
+        assert_eq!(summary.rings, 2);
+        assert_eq!(summary.chain_len, 5);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_dumps() {
+        assert!(validate("not a postmortem").is_err());
+        assert!(validate("fcma-postmortem v1\n").is_err());
+        let trigger = PostmortemTrigger { kind: "task.panic", task: 1, attempt: 0, worker: 0 };
+        let mut text = render(&sample_snapshot(), &trigger);
+        text.push_str(
+            "ts=999 ring=9 seq=9 recorder.fence task=1 attempt=0 origin=dispatch arg=0\n",
+        );
+        // Extra chain lines are fine; a missing timeline line is not.
+        assert!(validate(&text).is_ok());
+        let truncated = text.replace(
+            "ts=200 ring=0 seq=1 recorder.dispatch task=128 attempt=0 origin=dispatch arg=2\n",
+            "",
+        );
+        assert!(validate(&truncated).is_err());
+    }
+
+    #[test]
+    fn emit_writes_a_validating_artifact() {
+        let dir = std::env::temp_dir().join("fcma-postmortem-test");
+        let trigger = PostmortemTrigger { kind: "resume.mismatch", task: 3, attempt: 2, worker: 0 };
+        let path = emit_to_dir(&dir, &trigger).expect("emit");
+        assert_eq!(
+            path.file_name().and_then(|n| n.to_str()),
+            Some("postmortem-resume-mismatch-task3-attempt2.txt")
+        );
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let summary = validate(&text).expect("validate");
+        assert!(summary.trigger.starts_with("resume.mismatch"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,397 @@
+//! The flight recorder: always-on, fixed-capacity, wait-free per-thread
+//! rings of compact binary events.
+//!
+//! Where the collector is an opt-in, allocation-per-record tracing
+//! substrate, the recorder is the black box that is *always* running:
+//! every thread that records gets a fixed ring of `capacity` events
+//! (32 bytes each), wraparound keeps the newest, and nothing on the
+//! record path loops, allocates, or takes a lock — a single writer
+//! stores four words and bumps the ring head. On a fault (task panic,
+//! condemnation, fencing, resume mismatch) the cluster driver snapshots
+//! every ring and dumps a postmortem (see [`crate::postmortem`]).
+//!
+//! The ring words are `fcma-sync` facade atomics, so under `fcma-mc`
+//! every store is a scheduling point and the recorder is part of the
+//! explored interleavings, and under the virtual clock timestamps are
+//! deterministic. Readers run concurrently with writers: a snapshot
+//! re-reads the head after copying the slots and conservatively drops
+//! any entry the writer could have been overwriting mid-copy.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use fcma_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::ctx::TraceOrigin;
+
+/// Events per ring unless [`set_capacity`] overrides it.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Words per ring slot: version, timestamp, packed meta, task, argument.
+const WORDS: usize = 5;
+
+/// Recorder on/off. On by default — the recorder exists for the runs
+/// nobody planned to debug.
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Capacity (rounded up to a power of two) applied to rings created
+/// after the call; existing rings keep their size.
+static CAPACITY: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(DEFAULT_CAPACITY);
+
+/// Ring id allocator (stable across snapshots; one per recording thread).
+static NEXT_RING_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Every ring ever registered (threads register lazily on first record).
+static REGISTRY: std::sync::Mutex<Vec<Arc<Ring>>> = std::sync::Mutex::new(Vec::new());
+
+thread_local! {
+    static RING: RefCell<Option<Arc<Ring>>> = const { RefCell::new(None) };
+}
+
+/// What happened, compactly. The wire names (`recorder.*`) are part of
+/// the DESIGN.md §11 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A worker began executing a dispatched attempt.
+    TaskStart,
+    /// A worker finished an attempt (arg: 0 ok, 1 failed).
+    TaskEnd,
+    /// A worker's attempt panicked (caught at the worker boundary).
+    TaskPanic,
+    /// The master dispatched an attempt (arg: worker id).
+    Dispatch,
+    /// The master discarded a late message from a condemned worker.
+    Fence,
+    /// The master condemned a worker past its deadline (arg: worker id).
+    Condemn,
+    /// The master dispatched a speculative clone (arg: worker id).
+    Speculate,
+    /// Checkpoint resume rejected a mismatched file.
+    ResumeMismatch,
+}
+
+impl EventKind {
+    /// The taxonomy name this kind appears under in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::TaskStart => "recorder.task.start",
+            EventKind::TaskEnd => "recorder.task.end",
+            EventKind::TaskPanic => "recorder.task.panic",
+            EventKind::Dispatch => "recorder.dispatch",
+            EventKind::Fence => "recorder.fence",
+            EventKind::Condemn => "recorder.condemn",
+            EventKind::Speculate => "recorder.speculate",
+            EventKind::ResumeMismatch => "recorder.resume.mismatch",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            EventKind::TaskStart => 0,
+            EventKind::TaskEnd => 1,
+            EventKind::TaskPanic => 2,
+            EventKind::Dispatch => 3,
+            EventKind::Fence => 4,
+            EventKind::Condemn => 5,
+            EventKind::Speculate => 6,
+            EventKind::ResumeMismatch => 7,
+        }
+    }
+
+    fn from_code(code: u64) -> EventKind {
+        match code {
+            1 => EventKind::TaskEnd,
+            2 => EventKind::TaskPanic,
+            3 => EventKind::Dispatch,
+            4 => EventKind::Fence,
+            5 => EventKind::Condemn,
+            6 => EventKind::Speculate,
+            7 => EventKind::ResumeMismatch,
+            _ => EventKind::TaskStart,
+        }
+    }
+
+    /// Taxonomy name → kind, for the [`crate::record!`] macro (which
+    /// passes the name as a checked string literal so the `tracename`
+    /// audit pass covers recorder probes too). Unknown names record
+    /// nothing.
+    fn of(name: &str) -> Option<EventKind> {
+        Some(match name {
+            "recorder.task.start" => EventKind::TaskStart,
+            "recorder.task.end" => EventKind::TaskEnd,
+            "recorder.task.panic" => EventKind::TaskPanic,
+            "recorder.dispatch" => EventKind::Dispatch,
+            "recorder.fence" => EventKind::Fence,
+            "recorder.condemn" => EventKind::Condemn,
+            "recorder.speculate" => EventKind::Speculate,
+            "recorder.resume.mismatch" => EventKind::ResumeMismatch,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded flight-recorder entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderEvent {
+    /// Which ring (recording thread) produced it.
+    pub ring: u64,
+    /// Per-ring sequence number (total events written before this one).
+    pub seq: u64,
+    /// Facade-clock nanoseconds (virtual under the virtual clock).
+    pub ts_ns: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Task identity (start voxel), or 0 where not applicable.
+    pub task: u64,
+    /// Attempt number of the task.
+    pub attempt: u32,
+    /// How the attempt was dispatched.
+    pub origin: TraceOrigin,
+    /// Kind-specific argument (usually the worker id).
+    pub arg: u64,
+}
+
+/// One thread's fixed-capacity event ring. Single writer (the owning
+/// thread), any number of concurrent snapshot readers.
+pub struct Ring {
+    id: u64,
+    capacity: usize,
+    /// Total events ever written; `head % capacity` is the next slot.
+    head: AtomicU64,
+    slots: Vec<AtomicU64>,
+}
+
+impl Ring {
+    fn new(id: u64, capacity: usize) -> Ring {
+        let capacity = capacity.max(8).next_power_of_two();
+        let mut slots = Vec::with_capacity(capacity * WORDS);
+        for _ in 0..capacity * WORDS {
+            slots.push(AtomicU64::new(0));
+        }
+        Ring { id, capacity, head: AtomicU64::new(0), slots }
+    }
+
+    /// Events the ring can hold before wrapping.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever written (not capped by capacity).
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// The five words of the slot `seq` maps to. `None` is unreachable
+    /// (`base + WORDS ≤ capacity · WORDS` by construction) but keeps the
+    /// accessor panic-free for the `panicpath` audit pass.
+    fn slot_words(&self, seq: u64) -> Option<&[AtomicU64; WORDS]> {
+        let base = usize::try_from(seq).unwrap_or(0) % self.capacity * WORDS;
+        self.slots.get(base..base + WORDS).and_then(|words| words.try_into().ok())
+    }
+
+    /// Append one event. Wait-free: the slot's version word goes odd
+    /// (`2·seq + 1`, write in progress), the payload words land, the
+    /// version settles even (`2·seq`), and the head advances — five
+    /// stores, no loop, no lock, no allocation. Wraparound silently
+    /// drops the oldest entry.
+    fn push(&self, kind: EventKind, task: u64, attempt: u32, origin: TraceOrigin, arg: u64) {
+        let ts = fcma_sync::time::Instant::now().nanos();
+        let seq = self.head.load(Ordering::Relaxed);
+        let Some([ver, w_ts, w_meta, w_task, w_arg]) = self.slot_words(seq) else {
+            return;
+        };
+        let meta = kind.code() | origin.code() << 8 | u64::from(attempt) << 16;
+        ver.store(2 * seq + 1, Ordering::Release);
+        w_ts.store(ts, Ordering::Relaxed);
+        w_meta.store(meta, Ordering::Relaxed);
+        w_task.store(task, Ordering::Relaxed);
+        w_arg.store(arg, Ordering::Relaxed);
+        ver.store(2 * seq, Ordering::Release);
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Decode the newest events, oldest first. Safe against a concurrent
+    /// writer (seqlock-style): a slot is taken only when its version
+    /// word reads `2·seq` both before and after the payload copy, so a
+    /// slot the writer was overwriting mid-copy is skipped, never
+    /// decoded torn. A quiescent ring yields exactly
+    /// `min(written, capacity)` events.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<RecorderEvent> {
+        let cap = u64::try_from(self.capacity).unwrap_or(u64::MAX);
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity(usize::try_from(head - lo).unwrap_or(0));
+        for seq in lo..head {
+            let Some([ver, w_ts, w_meta, w_task, w_arg]) = self.slot_words(seq) else {
+                continue;
+            };
+            if ver.load(Ordering::Acquire) != 2 * seq {
+                continue; // being overwritten (odd) or already recycled
+            }
+            let ts_ns = w_ts.load(Ordering::Relaxed);
+            let meta = w_meta.load(Ordering::Relaxed);
+            let task = w_task.load(Ordering::Relaxed);
+            let arg = w_arg.load(Ordering::Relaxed);
+            if ver.load(Ordering::Acquire) != 2 * seq {
+                continue; // writer lapped us mid-copy; payload untrusted
+            }
+            out.push(RecorderEvent {
+                ring: self.id,
+                seq,
+                ts_ns,
+                kind: EventKind::from_code(meta & 0xff),
+                task,
+                attempt: u32::try_from(meta >> 16).unwrap_or(u32::MAX),
+                origin: TraceOrigin::from_code(meta >> 8 & 0xff),
+                arg,
+            });
+        }
+        out
+    }
+}
+
+/// Every registered ring's surviving events, merged and ordered by
+/// `(ts_ns, ring, seq)` — a stable cross-thread timeline.
+#[derive(Debug, Clone, Default)]
+pub struct RecorderSnapshot {
+    /// The merged events.
+    pub events: Vec<RecorderEvent>,
+}
+
+impl RecorderSnapshot {
+    /// Events touching `task`, in timeline order (the causal chain a
+    /// postmortem prints for its trigger task).
+    #[must_use]
+    pub fn causal_chain(&self, task: u64) -> Vec<RecorderEvent> {
+        self.events.iter().filter(|e| e.task == task).copied().collect()
+    }
+}
+
+/// Turn the recorder on or off (it starts on). Off, [`record`] is one
+/// relaxed atomic load.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the recorder is on.
+#[must_use]
+pub fn recorder_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Set the ring capacity (rounded up to a power of two, minimum 8) for
+/// rings created after this call. Threads that already recorded keep
+/// their ring.
+pub fn set_capacity(capacity: usize) {
+    CAPACITY.store(capacity.max(8).next_power_of_two(), std::sync::atomic::Ordering::Relaxed);
+}
+
+fn register_ring() -> Arc<Ring> {
+    let ring = Arc::new(Ring::new(
+        NEXT_RING_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        CAPACITY.load(std::sync::atomic::Ordering::Relaxed),
+    ));
+    REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Arc::clone(&ring));
+    ring
+}
+
+/// Append one event to the calling thread's ring (created on first
+/// record). Prefer the [`crate::record!`] macro, whose name literal the
+/// `tracename` audit pass checks against the §11 taxonomy.
+pub fn record(name: &'static str, task: u64, attempt: u32, origin: TraceOrigin, arg: u64) {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let Some(kind) = EventKind::of(name) else {
+        return;
+    };
+    RING.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let ring = slot.get_or_insert_with(register_ring);
+        ring.push(kind, task, attempt, origin, arg);
+    });
+}
+
+/// The calling thread's ring, if it has recorded anything yet (tests
+/// use this to assert on one ring without cross-test interference).
+#[must_use]
+pub fn current_ring() -> Option<Arc<Ring>> {
+    RING.with(|cell| cell.borrow().clone())
+}
+
+/// Snapshot every registered ring into one merged timeline.
+#[must_use]
+pub fn snapshot() -> RecorderSnapshot {
+    let rings: Vec<Arc<Ring>> =
+        REGISTRY.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+    let mut events: Vec<RecorderEvent> = rings.iter().flat_map(|r| r.snapshot()).collect();
+    events.sort_by_key(|e| (e.ts_ns, e.ring, e.seq));
+    RecorderSnapshot { events }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_exactly_the_newest_capacity_events_in_order() {
+        let ring = Ring::new(9000, 16);
+        for i in 0..100u64 {
+            ring.push(EventKind::Dispatch, i, 0, TraceOrigin::Dispatch, 0);
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 16);
+        let tasks: Vec<u64> = events.iter().map(|e| e.task).collect();
+        assert_eq!(tasks, (84..100).collect::<Vec<_>>());
+        assert_eq!(ring.written(), 100);
+    }
+
+    #[test]
+    fn event_fields_round_trip_through_the_packed_words() {
+        let ring = Ring::new(9001, 8);
+        ring.push(EventKind::TaskPanic, 0xdead_beef, 513, TraceOrigin::Speculative, 42);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        let e = events[0];
+        assert_eq!(e.kind, EventKind::TaskPanic);
+        assert_eq!(e.task, 0xdead_beef);
+        assert_eq!(e.attempt, 513);
+        assert_eq!(e.origin, TraceOrigin::Speculative);
+        assert_eq!(e.arg, 42);
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        set_enabled(false);
+        record("recorder.dispatch", 7777, 0, TraceOrigin::Dispatch, 0);
+        set_enabled(true);
+        record("recorder.dispatch", 8888, 0, TraceOrigin::Dispatch, 0);
+        let ring = current_ring().expect("enabled record created a ring");
+        let tasks: Vec<u64> = ring.snapshot().iter().map(|e| e.task).collect();
+        assert!(!tasks.contains(&7777), "disabled record must drop the event");
+        assert!(tasks.contains(&8888));
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            EventKind::TaskStart,
+            EventKind::TaskEnd,
+            EventKind::TaskPanic,
+            EventKind::Dispatch,
+            EventKind::Fence,
+            EventKind::Condemn,
+            EventKind::Speculate,
+            EventKind::ResumeMismatch,
+        ] {
+            assert_eq!(EventKind::of(kind.name()), Some(kind));
+            assert_eq!(EventKind::from_code(kind.code()), kind);
+        }
+        assert_eq!(EventKind::of("recorder.not.a.kind"), None);
+    }
+}

@@ -101,7 +101,6 @@ impl SpanRecord {
     }
 
     /// Look up an attribute by key.
-    // audit: allow(deadpub) — library API exercised by unit tests; kept for external use
     pub fn attr(&self, key: &str) -> Option<&AttrValue> {
         self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
@@ -170,6 +169,59 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by walking the
+    /// cumulative bucket counts and interpolating linearly inside the
+    /// landing bucket, clamped to the exact observed `[min, max]`.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // cast is exact here: count is a tally, f64 mantissa suffices
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            // cast is exact here: bucket tallies for interpolation
+            let (cum_before, cum_after) = (cum as f64, (cum + n) as f64);
+            cum += n;
+            if cum_after >= target {
+                let lo = if i == 0 { 0.0 } else { (1u64 << i) as f64 };
+                let hi = (1u64 << (i + 1)) as f64;
+                let frac = (target - cum_before) / (cum_after - cum_before);
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one (bucket-wise; the moments
+    /// combine exactly). Per-thread and per-shard histograms merge into
+    /// fleet-level ones without keeping raw samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// A counter broken out along one label dimension — e.g. the per-worker
+/// pool stats, where `label` is `"worker"` and `values` maps worker id
+/// to count. Exported to Prometheus as one series per label value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+// audit: allow(deadpub) — part of a referenced public signature; demotion trips private_interfaces
+pub struct LabeledCounter {
+    /// The label key (e.g. `worker`).
+    pub label: String,
+    /// Label value → count.
+    pub values: BTreeMap<u64, u64>,
 }
 
 /// Everything one collector recorded, merged and ready for export.
@@ -180,6 +232,8 @@ pub struct TraceReport {
     pub spans: Vec<SpanRecord>,
     /// Monotonic counters by name.
     pub counters: BTreeMap<String, u64>,
+    /// Labeled counters by name (e.g. `pool.worker.tasks` by worker).
+    pub labeled_counters: BTreeMap<String, LabeledCounter>,
     /// Histograms by name.
     pub histograms: BTreeMap<String, Histogram>,
 }
@@ -395,8 +449,181 @@ impl TraceReport {
                 violations.push(format!("pool.steals ({steals}) > pool.tasks.run ({tasks})"));
             }
         }
+        violations.extend(self.check_causality());
         violations
     }
+
+    /// Cross-thread causality invariants over the `ctx_*` attributes the
+    /// collector stamps from the installed [`crate::TraceCtx`]:
+    ///
+    /// 1. every record carrying a causal context links to a live parent
+    ///    dispatch — a `cluster.dispatch` span with the same
+    ///    `(task, attempt)`;
+    /// 2. a fenced attempt is silent after the fence — no record with a
+    ///    `cluster.fence` event's `(task, attempt)` context starts after
+    ///    the fence fires.
+    ///
+    /// Traces with no causal contexts (serial pipeline runs) pass
+    /// trivially. Folded into [`TraceReport::check_consistency`].
+    pub fn check_causality(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let dispatches: std::collections::BTreeSet<(u64, u64)> = self
+            .spans
+            .iter()
+            .filter(|s| !s.is_event() && s.name == "cluster.dispatch")
+            .filter_map(|s| Some((attr_u64(s, "task")?, attr_u64(s, "attempt")?)))
+            .collect();
+        let mut orphaned: std::collections::BTreeSet<(u64, u64)> =
+            std::collections::BTreeSet::new();
+        for s in &self.spans {
+            let Some(pair) = ctx_pair(s) else {
+                continue;
+            };
+            if !dispatches.contains(&pair) && orphaned.insert(pair) {
+                violations.push(format!(
+                    "record {:?} carries ctx task={} attempt={} with no matching \
+                     cluster.dispatch span",
+                    s.name, pair.0, pair.1
+                ));
+            }
+        }
+        for fence in self.spans.iter().filter(|s| s.is_event() && s.name == "cluster.fence") {
+            let Some(task) = attr_u64(fence, "task") else {
+                continue;
+            };
+            let Some(attempt) = attr_u64(fence, "attempt") else {
+                continue;
+            };
+            for s in &self.spans {
+                if ctx_pair(s) == Some((task, attempt)) && s.start_ns > fence.start_ns {
+                    violations.push(format!(
+                        "record {:?} (ctx task={task} attempt={attempt}) starts after its \
+                         attempt was fenced",
+                        s.name
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// Derive per-span-family duration histograms, in **microseconds**
+    /// (the unit SLO quantile bounds are checked against).
+    pub fn span_duration_histograms(&self) -> BTreeMap<String, Histogram> {
+        let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+        for s in &self.spans {
+            if let Some(dur) = s.dur_ns {
+                // cast is exact here: ns tally scaled to µs for bucketing
+                out.entry(s.name.clone()).or_default().record(dur as f64 / 1e3);
+            }
+        }
+        out
+    }
+
+    /// Render the `fcma top` per-worker utilization table from the
+    /// `cluster.dispatch` spans: tasks run, busy time, utilization
+    /// against the run wall, an ASCII busy timeline, and a straggler
+    /// flag on any worker whose longest dispatch ran more than twice the
+    /// run-wide mean.
+    pub fn top_table(&self) -> String {
+        const TIMELINE: usize = 40;
+        let dispatches: Vec<&SpanRecord> =
+            self.spans.iter().filter(|s| !s.is_event() && s.name == "cluster.dispatch").collect();
+        if dispatches.is_empty() {
+            return "no cluster.dispatch spans in trace (not a cluster run?)\n".to_string();
+        }
+        let t0 = dispatches.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let t1 = dispatches
+            .iter()
+            .map(|s| s.start_ns.saturating_add(s.dur_ns.unwrap_or(0)))
+            .max()
+            .unwrap_or(0);
+        let wall = t1.saturating_sub(t0).max(1);
+        let total_busy: u64 = dispatches.iter().filter_map(|s| s.dur_ns).sum();
+        // cast is exact here: duration tallies for a display threshold
+        let mean_dur = total_busy as f64 / dispatches.len() as f64;
+        let mut workers: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+        for s in &dispatches {
+            workers.entry(attr_u64(s, "worker").unwrap_or(u64::MAX)).or_default().push(s);
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} workers, {} dispatches, wall {}",
+            workers.len(),
+            dispatches.len(),
+            fmt_ns(wall)
+        );
+        let _ = writeln!(
+            out,
+            "{:<6} {:>5} {:>10} {:>6}  {:<TIMELINE$}  flags",
+            "worker", "tasks", "busy", "util", "timeline"
+        );
+        let _ = writeln!(out, "{}", "-".repeat(19 + 8 + TIMELINE + 8));
+        for (wid, spans) in &workers {
+            let busy: u64 = spans.iter().filter_map(|s| s.dur_ns).sum();
+            let mut lane = [false; TIMELINE];
+            let cols = u64::try_from(TIMELINE).unwrap_or(u64::MAX);
+            for s in spans {
+                let end = s.start_ns.saturating_add(s.dur_ns.unwrap_or(0));
+                let cell_of = |t: u64| {
+                    usize::try_from(t.saturating_sub(t0) * cols / wall)
+                        .unwrap_or(TIMELINE - 1)
+                        .min(TIMELINE - 1)
+                };
+                for cell in lane.iter_mut().take(cell_of(end) + 1).skip(cell_of(s.start_ns)) {
+                    *cell = true;
+                }
+            }
+            let timeline: String = lane.iter().map(|&b| if b { '#' } else { '.' }).collect();
+            let mut flags = Vec::new();
+            if let Some(worst) = spans
+                .iter()
+                .filter(|s| {
+                    // cast is exact here: duration tally vs display threshold
+                    s.dur_ns.unwrap_or(0) as f64 > 2.0 * mean_dur
+                })
+                .max_by_key(|s| s.dur_ns.unwrap_or(0))
+            {
+                flags.push(format!("straggler:task={}", attr_u64(worst, "task").unwrap_or(0)));
+            }
+            for s in spans {
+                if s.attr("outcome")
+                    .is_some_and(|o| matches!(o, AttrValue::Str(v) if v == "condemned"))
+                {
+                    flags.push("condemned".to_string());
+                    break;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:<6} {:>5} {:>10} {:>5.1}%  {}  {}",
+                wid,
+                spans.len(),
+                fmt_ns(busy),
+                // cast is exact here: ratio of tallies for display only
+                busy as f64 / wall as f64 * 100.0,
+                timeline,
+                flags.join(" ")
+            );
+        }
+        out
+    }
+}
+
+/// An attribute as `u64`, whatever integer variant it landed in.
+fn attr_u64(s: &SpanRecord, key: &str) -> Option<u64> {
+    match s.attr(key)? {
+        AttrValue::U64(v) => Some(*v),
+        AttrValue::I64(v) => u64::try_from(*v).ok(),
+        _ => None,
+    }
+}
+
+/// The `(ctx_task, ctx_attempt)` causal identity of a record, if the
+/// collector stamped one.
+fn ctx_pair(s: &SpanRecord) -> Option<(u64, u64)> {
+    Some((attr_u64(s, "ctx_task")?, attr_u64(s, "ctx_attempt")?))
 }
 
 /// Render nanoseconds with an adaptive unit (ns/µs/ms/s).

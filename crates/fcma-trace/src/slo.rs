@@ -1,0 +1,261 @@
+//! Service-level objectives over span-family latency quantiles.
+//!
+//! An SLO file is a TOML subset: any number of `[[slo]]` tables, each
+//! naming a span family and a quantile bound:
+//!
+//! ```toml
+//! [[slo]]
+//! span = "stage1.corr"
+//! p = 0.99
+//! max_ms = 250.0
+//! min_count = 10   # optional: skip the rule below this sample count
+//! ```
+//!
+//! `fcma report --slo slo.toml` evaluates every rule against the
+//! report's per-span-family duration histograms and exits nonzero if
+//! any quantile exceeds its bound. Only the subset above is parsed —
+//! no nesting, no arrays, no multi-line strings — which keeps the
+//! parser dependency-free and the failure modes obvious.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::report::Histogram;
+
+/// One quantile bound on one span family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloRule {
+    /// Span family name (e.g. `stage1.corr`).
+    pub span: String,
+    /// Quantile in (0, 1], e.g. `0.99`.
+    pub p: f64,
+    /// Bound on that quantile, in milliseconds.
+    pub max_ms: f64,
+    /// Rule is skipped when the family has fewer samples than this.
+    pub min_count: u64,
+}
+
+/// A parsed SLO file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SloSpec {
+    /// The rules, in file order.
+    pub rules: Vec<SloRule>,
+}
+
+/// One rule the report failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloViolation {
+    /// The failed rule.
+    pub rule: SloRule,
+    /// Observed quantile in milliseconds (`None`: family absent from
+    /// the report entirely, which also violates).
+    pub got_ms: Option<f64>,
+    /// Samples observed for the family.
+    pub count: u64,
+}
+
+impl fmt::Display for SloViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.got_ms {
+            Some(got) => write!(
+                f,
+                "SLO violated: {} p{} = {:.3} ms > {:.3} ms (n={})",
+                self.rule.span,
+                self.rule.p * 100.0,
+                got,
+                self.rule.max_ms,
+                self.count
+            ),
+            None => write!(
+                f,
+                "SLO violated: span family {:?} absent from report (rule p{} <= {:.3} ms)",
+                self.rule.span,
+                self.rule.p * 100.0,
+                self.rule.max_ms
+            ),
+        }
+    }
+}
+
+impl SloSpec {
+    /// Parse the TOML subset described in the module docs.
+    ///
+    /// # Errors
+    /// Returns a `line N: reason` message on the first malformed line,
+    /// unknown key, or incomplete rule.
+    pub fn parse(text: &str) -> Result<SloSpec, String> {
+        struct Partial {
+            line: usize,
+            span: Option<String>,
+            p: Option<f64>,
+            max_ms: Option<f64>,
+            min_count: u64,
+        }
+        fn finish(p: Partial) -> Result<SloRule, String> {
+            let rule = SloRule {
+                span: p.span.ok_or(format!("line {}: [[slo]] missing `span`", p.line))?,
+                p: p.p.ok_or(format!("line {}: [[slo]] missing `p`", p.line))?,
+                max_ms: p.max_ms.ok_or(format!("line {}: [[slo]] missing `max_ms`", p.line))?,
+                min_count: p.min_count,
+            };
+            if rule.p <= 0.0 || rule.p > 1.0 || rule.p.is_nan() {
+                return Err(format!("line {}: p = {} outside (0, 1]", p.line, rule.p));
+            }
+            if rule.max_ms <= 0.0 || rule.max_ms.is_nan() {
+                return Err(format!("line {}: max_ms = {} not positive", p.line, rule.max_ms));
+            }
+            Ok(rule)
+        }
+        let mut rules = Vec::new();
+        let mut current: Option<Partial> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[slo]]" {
+                if let Some(done) = current.take() {
+                    rules.push(finish(done)?);
+                }
+                current =
+                    Some(Partial { line: no, span: None, p: None, max_ms: None, min_count: 0 });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or(format!("line {no}: expected `key = value` or `[[slo]]`"))?;
+            let cur = current.as_mut().ok_or(format!("line {no}: `{key}` before [[slo]]"))?;
+            match key {
+                "span" => {
+                    let quoted = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .ok_or(format!("line {no}: span value must be a quoted string"))?;
+                    cur.span = Some(quoted.to_string());
+                }
+                "p" => {
+                    cur.p =
+                        Some(value.parse().map_err(|_| format!("line {no}: bad float {value:?}"))?);
+                }
+                "max_ms" => {
+                    cur.max_ms =
+                        Some(value.parse().map_err(|_| format!("line {no}: bad float {value:?}"))?);
+                }
+                "min_count" => {
+                    cur.min_count =
+                        value.parse().map_err(|_| format!("line {no}: bad integer {value:?}"))?;
+                }
+                other => return Err(format!("line {no}: unknown key {other:?}")),
+            }
+        }
+        if let Some(done) = current.take() {
+            rules.push(finish(done)?);
+        }
+        Ok(SloSpec { rules })
+    }
+
+    /// Evaluate every rule against per-span-family duration histograms
+    /// (recorded in microseconds, as
+    /// `TraceReport::span_duration_histograms` builds them). Returns the
+    /// violations, empty when the report meets the spec.
+    #[must_use]
+    pub fn check(&self, hists: &BTreeMap<String, Histogram>) -> Vec<SloViolation> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            match hists.get(&rule.span) {
+                None => {
+                    if rule.min_count == 0 {
+                        out.push(SloViolation { rule: rule.clone(), got_ms: None, count: 0 });
+                    }
+                }
+                Some(h) => {
+                    if h.count < rule.min_count {
+                        continue;
+                    }
+                    let got_ms = h.quantile(rule.p) / 1000.0;
+                    if got_ms > rule.max_ms {
+                        out.push(SloViolation {
+                            rule: rule.clone(),
+                            got_ms: Some(got_ms),
+                            count: h.count,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_of(values: &[f64]) -> Histogram {
+        let mut h = Histogram::default();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn parses_rules_with_comments_and_defaults() {
+        let spec = SloSpec::parse(
+            "# fleet SLOs\n\
+             [[slo]]\n\
+             span = \"stage1.corr\"  # the hot one\n\
+             p = 0.99\n\
+             max_ms = 250.0\n\
+             \n\
+             [[slo]]\n\
+             span = \"cluster.dispatch\"\n\
+             p = 0.5\n\
+             max_ms = 1.5\n\
+             min_count = 10\n",
+        )
+        .expect("parse");
+        assert_eq!(spec.rules.len(), 2);
+        assert_eq!(spec.rules[0].span, "stage1.corr");
+        assert_eq!(spec.rules[0].min_count, 0);
+        assert_eq!(spec.rules[1].min_count, 10);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(SloSpec::parse("span = \"x\"\n").is_err(), "key before table");
+        assert!(SloSpec::parse("[[slo]]\nspan = \"x\"\np = 0.5\n").is_err(), "missing max_ms");
+        assert!(SloSpec::parse("[[slo]]\nspan = x\np = 0.5\nmax_ms = 1\n").is_err(), "bare span");
+        assert!(
+            SloSpec::parse("[[slo]]\nspan = \"x\"\np = 1.5\nmax_ms = 1\n").is_err(),
+            "p out of range"
+        );
+        assert!(
+            SloSpec::parse("[[slo]]\nspan = \"x\"\np = 0.5\nmax_ms = 1\nnope = 2\n").is_err(),
+            "unknown key"
+        );
+    }
+
+    #[test]
+    fn check_flags_quantile_over_bound_and_missing_families() {
+        let spec = SloSpec::parse(
+            "[[slo]]\nspan = \"fast\"\np = 0.95\nmax_ms = 1.0\n\
+             [[slo]]\nspan = \"slow\"\np = 0.5\nmax_ms = 0.001\n\
+             [[slo]]\nspan = \"absent\"\np = 0.5\nmax_ms = 1.0\n\
+             [[slo]]\nspan = \"sparse\"\np = 0.5\nmax_ms = 0.001\nmin_count = 100\n",
+        )
+        .expect("parse");
+        let mut hists = BTreeMap::new();
+        hists.insert("fast".to_string(), hist_of(&[100.0, 200.0, 300.0])); // µs, under 1 ms
+        hists.insert("slow".to_string(), hist_of(&[5000.0, 6000.0, 7000.0])); // over 1 µs
+        hists.insert("sparse".to_string(), hist_of(&[9000.0])); // below min_count
+        let violations = spec.check(&hists);
+        let names: Vec<&str> = violations.iter().map(|v| v.rule.span.as_str()).collect();
+        assert_eq!(names, ["slow", "absent"]);
+        assert!(violations[0].got_ms.expect("measured") > 0.001);
+        assert_eq!(violations[1].got_ms, None);
+        assert!(violations[0].to_string().contains("SLO violated"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property test for the flight recorder's wraparound contract: after
+//! `N ≫ capacity` events, a quiescent ring holds **exactly** the newest
+//! `capacity` events, oldest first, with contiguous sequence numbers —
+//! at 1, 2, and 8 recording threads, under the virtual clock so the
+//! property is about ring mechanics, not wall time.
+//!
+//! Each thread records into its own thread-local ring (the recorder is
+//! single-writer by construction), so the per-thread assertion is exact:
+//! no torn-slot skips are tolerated when the writer is the snapshotter.
+
+use fcma_trace::recorder::{self, EventKind};
+use fcma_trace::TraceOrigin;
+use proptest::prelude::*;
+
+/// Push `total` events on one fresh thread with ring capacity
+/// `capacity`, snapshot from that same thread, and check the exact
+/// newest-`capacity` window.
+fn check_thread_window(thread_tag: u64, capacity: usize, total: u64) {
+    for i in 0..total {
+        recorder::record(
+            "recorder.dispatch",
+            thread_tag * 1_000_000 + i,
+            u32::try_from(i % 7).unwrap_or(0),
+            TraceOrigin::Dispatch,
+            thread_tag,
+        );
+    }
+    assert!(recorder::recorder_enabled(), "recorder defaults to on");
+    let ring: std::sync::Arc<recorder::Ring> =
+        recorder::current_ring().expect("recording thread has a ring");
+    assert_eq!(ring.capacity(), capacity, "ring picked up the configured capacity");
+    assert_eq!(ring.written(), total, "every push landed");
+    let events: Vec<recorder::RecorderEvent> = ring.snapshot();
+    let expect = u64::try_from(capacity).unwrap_or(u64::MAX).min(total);
+    assert_eq!(
+        events.len(),
+        usize::try_from(expect).unwrap_or(usize::MAX),
+        "quiescent ring must hold exactly min(written, capacity) events"
+    );
+    for (k, e) in events.iter().enumerate() {
+        let k = u64::try_from(k).unwrap_or(u64::MAX);
+        let seq = total - expect + k;
+        assert_eq!(e.seq, seq, "sequence numbers are contiguous, oldest first");
+        assert_eq!(e.task, thread_tag * 1_000_000 + seq, "payloads match their sequence");
+        assert_eq!(e.attempt, u32::try_from(seq % 7).unwrap_or(0));
+        assert_eq!(e.kind, EventKind::Dispatch);
+        assert_eq!(e.arg, thread_tag);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Wraparound keeps exactly the newest `capacity` events in order,
+    /// for every thread of a 1-, 2-, or 8-thread recording burst.
+    #[test]
+    fn ring_window_is_exact_across_thread_counts(
+        cap_exp in 3u32..7,          // capacities 8..64 (pow2 contract)
+        extra in 1u64..200,          // how far past capacity each thread runs
+        thread_sel in 0usize..3,     // index into the {1, 2, 8} thread ladder
+    ) {
+        let threads = [1usize, 2, 8][thread_sel];
+        let _clock = fcma_sync::clock::VirtualClock::install();
+        let capacity = 1usize << cap_exp;
+        recorder::set_capacity(capacity);
+        let total = u64::try_from(capacity).unwrap_or(u64::MAX) + extra;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                s.spawn(move || check_thread_window(u64::try_from(t).unwrap_or(0) + 1, capacity, total));
+            }
+        });
+    }
+}

@@ -199,6 +199,100 @@ fn speculative_duplicate_is_traced_and_accounted() {
     assert!(straggler.wall >= Duration::from_millis(80), "wall {:?}", straggler.wall);
 }
 
+/// Causal tracing end to end: a chaos run with a panic and a retry must
+/// stamp every worker-side span with the ctx of a live dispatch, mark
+/// the retry's spans with origin `retry`, bridge the flight recorder's
+/// events into the drained report, and drop a validating postmortem
+/// artifact for the panicking task — all under the causality invariants
+/// of `check_consistency`.
+#[test]
+fn causal_context_recorder_bridge_and_postmortem() {
+    use fcma::trace::AttrValue;
+
+    let _clock = VirtualClock::install();
+    let ctx = planted(48); // 3 tasks of 16 voxels
+    let plan = FaultPlan::none().with_fault(16, 0, FaultKind::panic_now());
+    let pm_dir = std::env::temp_dir().join("fcma-obs-postmortem");
+    let _ = std::fs::remove_dir_all(&pm_dir);
+    let cfg = ClusterConfig {
+        n_workers: 3,
+        task_size: 16,
+        postmortem_dir: Some(pm_dir.clone()),
+        ..Default::default()
+    };
+
+    let collector = Collector::new();
+    let scoped = collector.install_scoped();
+    let run = run_cluster_with(&ctx, chaos_exec(plan), &cfg).expect("chaos run must recover");
+    let report = scoped.drain_with_recorder();
+    drop(scoped);
+    assert_eq!(run.scores.len(), 48);
+
+    // Every ctx-stamped record names a dispatch that really happened.
+    let live: Vec<(u64, u64)> = report
+        .spans
+        .iter()
+        .filter(|s| s.name == "cluster.dispatch")
+        .map(|s| {
+            let get = |k: &str| match s.attr(k) {
+                Some(&AttrValue::U64(v)) => v,
+                other => panic!("dispatch span missing {k}: {other:?}"),
+            };
+            (get("task"), get("attempt"))
+        })
+        .collect();
+    assert_eq!(live.len(), 4, "3 first dispatches + 1 retry: {live:?}");
+    assert!(live.contains(&(16, 1)) && live.contains(&(16, 2)), "{live:?}");
+
+    let procs: Vec<_> = report.spans.iter().filter(|s| s.name == "task.process").collect();
+    assert!(!procs.is_empty(), "worker spans must be present");
+    let mut saw_retry = false;
+    for s in &procs {
+        let (Some(&AttrValue::U64(t)), Some(&AttrValue::U64(a))) =
+            (s.attr("ctx_task"), s.attr("ctx_attempt"))
+        else {
+            panic!("task.process span missing causal ctx: {:?}", s.attrs);
+        };
+        assert!(live.contains(&(t, a)), "ctx ({t},{a}) has no parent dispatch");
+        if s.attr("ctx_origin") == Some(&AttrValue::Str("retry".to_string())) {
+            assert_eq!((t, a), (16, 2), "only task 16's second attempt is a retry");
+            saw_retry = true;
+        }
+    }
+    assert!(saw_retry, "the retried attempt's span must carry origin=retry");
+    assert!(report.check_consistency().is_empty(), "{:?}", report.check_consistency());
+    assert!(report.check_causality().is_empty(), "{:?}", report.check_causality());
+
+    // The derived per-family latency histograms behave like quantile
+    // summaries: task.process is present and its quantiles are ordered.
+    let hists = report.span_duration_histograms();
+    let hist = hists.get("task.process").expect("task.process family in the histograms");
+    assert!(hist.quantile(0.99) >= hist.quantile(0.5), "quantiles must be monotone");
+
+    // The live recorder agrees with the bridged view: a merged snapshot
+    // still carries the panicking task's causal chain.
+    let snap: fcma::trace::recorder::RecorderSnapshot = fcma::trace::recorder::snapshot();
+    assert!(!snap.causal_chain(16).is_empty(), "recorder snapshot lost task 16's chain");
+
+    // Flight-recorder events were bridged into the drained report and
+    // survive the Chrome JSON round trip.
+    assert!(report.spans.iter().any(|s| s.name == "recorder.dispatch"));
+    assert!(report.spans.iter().any(|s| s.name == "recorder.task.panic"));
+    let parsed = from_chrome_json(&to_chrome_json(&report)).expect("round trip");
+    assert_eq!(
+        parsed.spans.iter().filter(|s| s.name.starts_with("recorder.")).count(),
+        report.spans.iter().filter(|s| s.name.starts_with("recorder.")).count()
+    );
+
+    // The panic dropped a validating postmortem naming the causal chain.
+    let dump = pm_dir.join("postmortem-task-panic-task16-attempt1.txt");
+    let text = std::fs::read_to_string(&dump).expect("postmortem artifact must exist");
+    let summary = fcma::trace::postmortem::validate(&text).expect("artifact must validate");
+    assert!(summary.trigger.starts_with("task.panic task=16 attempt=1"), "{}", summary.trigger);
+    assert!(summary.chain_len > 0, "causal chain of the panicking task is empty");
+    let _ = std::fs::remove_dir_all(&pm_dir);
+}
+
 /// With no collector installed the same chaos run records nothing and
 /// still succeeds — instrumentation must never perturb scheduling.
 #[test]

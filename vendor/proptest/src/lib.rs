@@ -17,7 +17,9 @@ pub mod prelude {
     //! Single-import surface, mirroring `proptest::prelude`.
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests: `proptest! { #[test] fn f(x in strat) {..} }`.

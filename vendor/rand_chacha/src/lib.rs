@@ -76,8 +76,7 @@ macro_rules! chacha_rng {
                 let mut state = [0u32; 16];
                 state[..4].copy_from_slice(&CHACHA_CONSTANTS);
                 for (i, chunk) in seed.chunks_exact(4).enumerate() {
-                    state[4 + i] =
-                        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                    state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
                 }
                 // Counter and nonce start at zero.
                 $name { state, buffer: [0; 16], index: 16 }
