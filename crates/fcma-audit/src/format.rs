@@ -64,6 +64,83 @@ pub fn render_stats(stats: &[(&'static str, usize, usize)]) -> String {
     out
 }
 
+/// Parse a stats document previously emitted by [`render_stats`] (the
+/// committed `audit-baseline.json`). Accepts only that exact shape —
+/// one `"pass": {"violations": N, "allows": M}` entry per line — and
+/// returns `None` on anything else, so a hand-mangled baseline fails
+/// loudly instead of comparing as empty.
+pub fn parse_stats(json: &str) -> Option<Vec<(String, usize, usize)>> {
+    let mut out = Vec::new();
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "{" || line == "}" {
+            continue;
+        }
+        let rest = line.strip_prefix('"')?;
+        let (pass, rest) = rest.split_once('"')?;
+        let body = rest.trim_start().strip_prefix(':')?.trim_start();
+        let body = body.strip_prefix('{')?.strip_suffix('}')?;
+        let (mut violations, mut allows) = (None, None);
+        for field in body.split(',') {
+            let (k, v) = field.split_once(':')?;
+            let n: usize = v.trim().parse().ok()?;
+            match k.trim().trim_matches('"') {
+                "violations" => violations = Some(n),
+                "allows" => allows = Some(n),
+                _ => return None,
+            }
+        }
+        out.push((pass.to_owned(), violations?, allows?));
+    }
+    Some(out)
+}
+
+/// Render the per-pass drift between a parsed baseline and the current
+/// stats — the reviewable replacement for diffing two JSON blobs.
+/// Passes whose counts match are omitted; identical stats render as the
+/// empty string. Unchanged columns print a single number, changed ones
+/// `old → new`, and passes present on only one side are labelled.
+pub fn render_stats_delta(
+    baseline: &[(String, usize, usize)],
+    current: &[(&'static str, usize, usize)],
+) -> String {
+    let cell = |b: Option<usize>, c: Option<usize>| match (b, c) {
+        (Some(b), Some(c)) if b == c => b.to_string(),
+        (Some(b), Some(c)) => format!("{b} \u{2192} {c}"),
+        (None, Some(c)) => format!("(new) {c}"),
+        (Some(b), None) => format!("{b} (gone)"),
+        (None, None) => String::new(),
+    };
+    let mut rows: Vec<[String; 3]> = Vec::new();
+    for &(pass, v, a) in current {
+        match baseline.iter().find(|(p, ..)| p == pass) {
+            Some(&(_, bv, ba)) if bv == v && ba == a => {}
+            Some(&(_, bv, ba)) => {
+                rows.push([pass.to_owned(), cell(Some(bv), Some(v)), cell(Some(ba), Some(a))]);
+            }
+            None => rows.push([pass.to_owned(), cell(None, Some(v)), cell(None, Some(a))]),
+        }
+    }
+    for (p, bv, ba) in baseline {
+        if !current.iter().any(|(c, ..)| c == p) {
+            rows.push([p.clone(), cell(Some(*bv), None), cell(Some(*ba), None)]);
+        }
+    }
+    if rows.is_empty() {
+        return String::new();
+    }
+    let header = ["pass", "violations", "allows"];
+    let width = |i: usize| {
+        rows.iter().map(|r| r[i].chars().count()).chain([header[i].len()]).max().unwrap_or(0)
+    };
+    let (w0, w1, w2) = (width(0), width(1), width(2));
+    let mut out = format!("{:<w0$}  {:>w1$}  {:>w2$}\n", header[0], header[1], header[2]);
+    for r in &rows {
+        out.push_str(&format!("{:<w0$}  {:>w1$}  {:>w2$}\n", r[0], r[1], r[2]));
+    }
+    out
+}
+
 /// Minimal JSON string escaping (std-only, like the fcma-trace exporter).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -154,6 +231,40 @@ mod tests {
                     \"cast\": {\"violations\": 2, \"allows\": 5},\n  \
                     \"unusedallow\": {\"violations\": 1, \"allows\": 0}\n}\n";
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_parse_roundtrips_render() {
+        let stats = vec![("unsafe", 0usize, 0usize), ("cast", 2, 5), ("unusedallow", 1, 0)];
+        let parsed = parse_stats(&render_stats(&stats)).expect("own output parses");
+        let want: Vec<(String, usize, usize)> =
+            stats.iter().map(|&(p, v, a)| (p.to_owned(), v, a)).collect();
+        assert_eq!(parsed, want);
+        assert!(parse_stats("{\n  \"cast\": {\"violations\": x}\n}\n").is_none());
+        assert!(parse_stats("not json").is_none());
+    }
+
+    #[test]
+    fn stats_delta_golden() {
+        let baseline = vec![
+            ("unsafe".to_owned(), 0usize, 0usize),
+            ("cast".to_owned(), 2, 5),
+            ("gone".to_owned(), 1, 1),
+        ];
+        let current = [("unsafe", 0usize, 0usize), ("cast", 3, 5), ("threadescape", 0, 3)];
+        let got = render_stats_delta(&baseline, &current);
+        let want = "pass          violations    allows\n\
+                    cast               2 \u{2192} 3         5\n\
+                    threadescape     (new) 0   (new) 3\n\
+                    gone            1 (gone)  1 (gone)\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn stats_delta_empty_when_identical() {
+        let baseline = vec![("unsafe".to_owned(), 0usize, 0usize), ("cast".to_owned(), 2, 5)];
+        let current = [("unsafe", 0usize, 0usize), ("cast", 2, 5)];
+        assert_eq!(render_stats_delta(&baseline, &current), "");
     }
 
     #[test]

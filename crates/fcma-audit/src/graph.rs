@@ -153,7 +153,68 @@ pub struct ProtocolEntry {
     pub fields: Vec<String>,
 }
 
-/// The machine-readable architecture contracts from DESIGN.md §12–§13.
+/// One row of the §16 "Atomics contracts" table: the memory orderings
+/// every load/store/RMW site of one atomic in one file may use.
+#[derive(Debug, Clone)]
+pub struct AtomicEntry {
+    /// Receiver ident at the access site (field, binding, or static).
+    pub name: String,
+    /// Workspace-relative path the sites live in (suffix-matched).
+    pub file: String,
+    /// Allowed load orderings; empty when the row declares `(none)`.
+    pub loads: Vec<String>,
+    /// Allowed store/RMW orderings; empty when the row declares `(none)`.
+    pub stores: Vec<String>,
+    /// Backticked pairing partners (the release→acquire edge this
+    /// atomic participates in); empty for fully relaxed atomics.
+    pub pairing: Vec<String>,
+}
+
+/// The declared seqlock protocol shape (§16 "Seqlock shape" table):
+/// which functions implement the odd/even publish protocol over which
+/// version/payload/cursor words.
+#[derive(Debug, Clone)]
+pub struct SeqlockDecl {
+    /// Workspace-relative path of the implementation (suffix-matched).
+    pub file: String,
+    /// Writer function: odd version store, payload stores, even version
+    /// store, cursor store — in that order.
+    pub writer: String,
+    /// Reader function: Acquire version load before *and* after the
+    /// payload loads.
+    pub reader: String,
+    /// The per-slot version word receiver.
+    pub version: String,
+    /// The payload word receivers.
+    pub payload: Vec<String>,
+    /// The publish-cursor (ring head) receiver.
+    pub cursor: String,
+}
+
+/// The §16 "Atomics contracts" section, machine-parsed: every
+/// `Ordering::*` site in the workspace must trace to an [`AtomicEntry`],
+/// and the seqlock implementation must match its declared shape.
+#[derive(Debug, Clone, Default)]
+pub struct AtomicsContract {
+    /// One entry per (atomic, file) pair.
+    pub entries: Vec<AtomicEntry>,
+    /// The declared total count of `Ordering::*` sites, when the
+    /// section carries a "sites:" line; the `atomicorder` pass verifies
+    /// it against the actual count.
+    pub declared_sites: Option<usize>,
+    /// The declared seqlock shape, when the sub-table is present.
+    pub seqlock: Option<SeqlockDecl>,
+}
+
+impl AtomicsContract {
+    /// The entry covering receiver `name` in a file whose path ends
+    /// with the entry's declared `file`.
+    pub fn entry(&self, name: &str, rel_path: &str) -> Option<&AtomicEntry> {
+        self.entries.iter().find(|e| e.name == name && rel_path.ends_with(&e.file))
+    }
+}
+
+/// The machine-readable architecture contracts from DESIGN.md §12–§16.
 #[derive(Debug, Clone, Default)]
 pub struct Contracts {
     /// Allowed direct `fcma-*` dependencies per crate; `None` when the
@@ -170,6 +231,8 @@ pub struct Contracts {
     /// `name` or `Type::name` entries. `None` when the table is absent.
     /// The hot-path passes union these with `// audit: hot` markers.
     pub hot_fns: Option<Vec<String>>,
+    /// The §16 "Atomics contracts" tables; `None` when absent.
+    pub atomics: Option<AtomicsContract>,
 }
 
 /// Extract backtick-quoted tokens from a markdown table cell.
@@ -203,28 +266,85 @@ impl Contracts {
     /// ranked by row order. The hot-functions table works the same way
     /// under a heading containing "Hot functions": each row's first
     /// backticked cell names a hot function.
+    ///
+    /// §16 parses under two further headings: "Atomics contracts" rows
+    /// are `| atomic | file | role | loads | stores | pairing |` with
+    /// backticked orderings, plus an optional prose line containing
+    /// `sites:` followed by the declared total site count; a "Seqlock
+    /// shape" row is `| file | writer | reader | version | payload |
+    /// cursor |`.
     pub fn from_design_md(text: &str) -> Contracts {
         let mut in_section = false;
         let mut in_lock_order = false;
         let mut in_hot = false;
+        let mut in_atomics = false;
+        let mut in_seqlock = false;
         let mut layering: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut protocol: Vec<ProtocolEntry> = Vec::new();
         let mut lock_order: Vec<String> = Vec::new();
         let mut hot_fns: Vec<String> = Vec::new();
+        let mut atomics = AtomicsContract::default();
+        let mut saw_atomics = false;
         for line in text.lines() {
             if line.starts_with('#') {
                 in_lock_order = line.contains("Lock order");
                 in_hot = line.contains("Hot functions");
+                in_atomics = line.contains("Atomics contracts");
+                in_seqlock = line.contains("Seqlock shape");
+                saw_atomics |= in_atomics || in_seqlock;
                 if line.starts_with("## ") {
                     in_section = line.contains("Architecture contracts");
                 }
                 continue;
             }
             if !line.trim_start().starts_with('|') {
+                if in_atomics {
+                    if let Some(rest) = line.split("sites:").nth(1) {
+                        let digits: String = rest
+                            .chars()
+                            .skip_while(|c| !c.is_ascii_digit())
+                            .take_while(char::is_ascii_digit)
+                            .collect();
+                        atomics.declared_sites = digits.parse().ok().or(atomics.declared_sites);
+                    }
+                }
                 continue;
             }
             let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
             if cells.len() < 2 {
+                continue;
+            }
+            if in_atomics {
+                if cells.len() >= 6 {
+                    let name = backticked(cells[0]).into_iter().next();
+                    let file = backticked(cells[1]).into_iter().next();
+                    if let (Some(name), Some(file)) = (name, file) {
+                        atomics.entries.push(AtomicEntry {
+                            name,
+                            file,
+                            loads: backticked(cells[3]),
+                            stores: backticked(cells[4]),
+                            pairing: backticked(cells[5]),
+                        });
+                    }
+                }
+                continue;
+            }
+            if in_seqlock {
+                if cells.len() >= 6 {
+                    let file = backticked(cells[0]).into_iter().next();
+                    let writer = backticked(cells[1]).into_iter().next();
+                    let reader = backticked(cells[2]).into_iter().next();
+                    let version = backticked(cells[3]).into_iter().next();
+                    let payload = backticked(cells[4]);
+                    let cursor = backticked(cells[5]).into_iter().next();
+                    if let (Some(file), Some(writer), Some(reader), Some(version), Some(cursor)) =
+                        (file, writer, reader, version, cursor)
+                    {
+                        atomics.seqlock =
+                            Some(SeqlockDecl { file, writer, reader, version, payload, cursor });
+                    }
+                }
                 continue;
             }
             if in_lock_order {
@@ -267,6 +387,7 @@ impl Contracts {
             protocol: (!protocol.is_empty()).then_some(protocol),
             lock_order: (!lock_order.is_empty()).then_some(lock_order),
             hot_fns: (!hot_fns.is_empty()).then_some(hot_fns),
+            atomics: saw_atomics.then_some(atomics),
         }
     }
 }
@@ -509,6 +630,40 @@ Blah.
         assert!(c2.layering.is_some());
         assert_eq!(c2.lock_order.unwrap(), vec!["shared"]);
         assert_eq!(c2.hot_fns.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn contracts_parse_atomics_tables_count_and_seqlock() {
+        let md = "## 16. Atomics contracts\n\nProse. Total `Ordering::*` sites: 36 (verified).\n\n\
+                  | Atomic | File | Role | Loads | Stores | Pairing |\n|---|---|---|---|---|---|\n\
+                  | `flag` | `fcma-core/src/control.rs` | cancel flag | `Acquire` | `Release` | `flag` release→acquire |\n\
+                  | `ver` | `fcma-trace/src/recorder.rs` | slot version | `Acquire` | `Release` | `ver` |\n\
+                  | `w_ts` | `fcma-trace/src/recorder.rs` | payload | `Relaxed` | `Relaxed` | via `ver` |\n\n\
+                  ### Seqlock shape\n\n\
+                  | File | Writer | Reader | Version | Payload | Cursor |\n|---|---|---|---|---|---|\n\
+                  | `fcma-trace/src/recorder.rs` | `push` | `snapshot` | `ver` | `w_ts`, `w_meta` | `head` |\n\n\
+                  ### After\n\n| `not_atomics` | x |\n";
+        let c = Contracts::from_design_md(md);
+        let a = c.atomics.expect("section parses");
+        assert_eq!(a.declared_sites, Some(36));
+        assert_eq!(a.entries.len(), 3);
+        let flag = a.entry("flag", "crates/fcma-core/src/control.rs").expect("suffix match");
+        assert_eq!(flag.loads, vec!["Acquire"]);
+        assert_eq!(flag.stores, vec!["Release"]);
+        assert_eq!(flag.pairing, vec!["flag"]);
+        assert!(a.entry("flag", "crates/fcma-trace/src/recorder.rs").is_none());
+        let sl = a.seqlock.expect("seqlock row parses");
+        assert_eq!((sl.writer.as_str(), sl.reader.as_str()), ("push", "snapshot"));
+        assert_eq!(sl.version, "ver");
+        assert_eq!(sl.payload, vec!["w_ts", "w_meta"]);
+        assert_eq!(sl.cursor, "head");
+        // §12–§14 parses are unaffected, and documents without §16
+        // yield no atomics contract at all.
+        let both = format!("{DESIGN}\n{md}");
+        let c2 = Contracts::from_design_md(&both);
+        assert!(c2.layering.is_some() && c2.protocol.is_some());
+        assert_eq!(c2.atomics.unwrap().entries.len(), 3);
+        assert!(Contracts::from_design_md(DESIGN).atomics.is_none());
     }
 
     fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {

@@ -9,9 +9,14 @@
 //! layering DAG of DESIGN.md §Architecture contracts, call-graph panic
 //! reachability of library `pub fn`s, master–worker protocol
 //! conformance, workspace-`pub` items nobody references, stale
-//! allow markers, and the DESIGN.md §14 hot-path performance contracts
+//! allow markers, the DESIGN.md §14 hot-path performance contracts
 //! (no allocation, bounds-checked gathers, order-unstable float
-//! accumulation, or I/O/locking callouts inside hot kernel loops).
+//! accumulation, or I/O/locking callouts inside hot kernel loops), and
+//! three race-detection passes: thread-escape analysis of values
+//! captured by pool/spawn/channel boundaries ([`escape`]), Eraser-style
+//! lockset intersection over the call graph ([`lockset`]), and the
+//! DESIGN.md §16 atomics memory-ordering contracts with a seqlock
+//! publish-protocol shape check ([`passes::check_atomicorder`]).
 //!
 //! Run it with `cargo run -p fcma-audit -- check [--format human|json]
 //! [--passes a,b,c]`. Exit code 0 means clean, 1 means violations were
@@ -29,9 +34,11 @@
 
 pub mod cfg;
 pub mod dataflow;
+pub mod escape;
 pub mod format;
 pub mod graph;
 pub mod lexer;
+pub mod lockset;
 pub mod parser;
 pub mod passes;
 pub mod source;
@@ -40,7 +47,7 @@ pub mod workspace;
 use std::io;
 use std::path::Path;
 
-pub use format::{render, render_stats, Format};
+pub use format::{parse_stats, render, render_stats, render_stats_delta, Format};
 pub use passes::{Taxonomy, Violation, Workspace};
 
 use graph::{Contracts, CrateGraph};

@@ -1,0 +1,456 @@
+//! `lockset`: Eraser-style lockset intersection over the call graph.
+//! For every plain (non-synchronized) field of a *shared* struct — one
+//! that also carries a `Mutex`/`RwLock`/`Condvar`/`Atomic*` field, the
+//! marker that its instances are reached from more than one thread —
+//! the set of facade locks held at every access must have a non-empty
+//! intersection whenever the field is written and accessed from two or
+//! more functions. An empty lockset is the classic data-race witness:
+//! no single lock consistently protects the field.
+//!
+//! Held-lock sets reuse the `lockorder` scaffolding: direct `.lock()`
+//! sites are held from their line to the end of the enclosing function
+//! (the same conservative guard lifetime `lockorder` assumes), and a
+//! function's entry set is the *intersection* over its callers of what
+//! each caller holds at the call site, iterated to a fixed point — a
+//! callee reached only from locked contexts inherits the lock, one
+//! reachable from any unlocked context does not.
+//!
+//! Escape hatches: `// audit: allow(lockset) — <reason>` on an access
+//! line, or `// audit: disjoint(<field>) — <reason>` when the access
+//! pattern partitions the field (different tasks touch disjoint parts).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{TypeItem, TypeKind};
+use crate::passes::{contains_word, lock_graph, Violation, Workspace};
+use crate::source::SourceFile;
+
+/// Synchronization primitives whose presence marks a struct as shared.
+const SYNC_TYPES: &[&str] = &["Mutex", "RwLock", "Condvar"];
+
+/// One field of a struct, extracted lexically (the item parser skips
+/// struct bodies).
+struct Field {
+    name: String,
+    type_text: String,
+}
+
+/// One access to a tracked field.
+struct Access {
+    node: usize,
+    file: usize,
+    /// 0-based line.
+    line: usize,
+    write: bool,
+    /// Facade locks held at the access.
+    held: BTreeSet<String>,
+}
+
+/// Pass: see the module docs.
+pub fn check_lockset(ws: &Workspace) -> Vec<Violation> {
+    let (graph, sites) = lock_graph(ws, "lockset");
+    if graph.nodes.is_empty() {
+        return Vec::new();
+    }
+
+    // Entry-held fixed point (see module docs).
+    let universe: BTreeSet<String> =
+        sites.iter().flatten().filter_map(|s| s.recv.clone()).collect();
+    let mut entry: Vec<BTreeSet<String>> = (0..graph.nodes.len())
+        .map(|i| if graph.callers[i].is_empty() { BTreeSet::new() } else { universe.clone() })
+        .collect();
+    loop {
+        let mut changed = false;
+        for i in 0..graph.nodes.len() {
+            for &(j, line) in &graph.callees[i] {
+                let mut contrib = entry[i].clone();
+                contrib.extend(
+                    sites[i].iter().filter(|s| s.line <= line).filter_map(|s| s.recv.clone()),
+                );
+                let next: BTreeSet<String> = entry[j].intersection(&contrib).cloned().collect();
+                if next != entry[j] {
+                    entry[j] = next;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Plain fields of shared structs, by field name.
+    let mut tracked: BTreeMap<String, (String, String)> = BTreeMap::new(); // field → (struct, file)
+    let in_scope_file = |fi: usize| graph.nodes.iter().any(|n| n.file == fi);
+    for (fi, f) in ws.files.iter().enumerate() {
+        if !in_scope_file(fi) {
+            continue;
+        }
+        for t in &ws.parsed[fi].types {
+            if t.kind != TypeKind::Struct || f.in_test_span(t.line) {
+                continue;
+            }
+            let fields = struct_fields(f, t);
+            if !fields.iter().any(|fd| is_sync_type(&fd.type_text)) {
+                continue;
+            }
+            for fd in fields.iter().filter(|fd| !is_sync_type(&fd.type_text)) {
+                tracked
+                    .entry(fd.name.clone())
+                    .or_insert_with(|| (t.name.clone(), f.rel_path.clone()));
+            }
+        }
+    }
+    if tracked.is_empty() {
+        return Vec::new();
+    }
+
+    // Collect accesses across the in-scope call graph.
+    let mut accesses: BTreeMap<&str, Vec<Access>> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        let f = &ws.files[n.file];
+        let Some((b0, b1)) = ws.parsed[n.file].fns[n.idx].body else {
+            continue;
+        };
+        for l in b0..=b1 {
+            let code = &f.scan.code_lines[l];
+            for name in tracked.keys() {
+                let Some(write) = field_access(code, name) else {
+                    continue;
+                };
+                if ws.allowed(n.file, "lockset", l) || ws.disjoint_allowed(n.file, name, l) {
+                    continue;
+                }
+                let mut held = entry[i].clone();
+                held.extend(sites[i].iter().filter(|s| s.line <= l).filter_map(|s| s.recv.clone()));
+                accesses.entry(name.as_str()).push_or(Access {
+                    node: i,
+                    file: n.file,
+                    line: l,
+                    write,
+                    held,
+                });
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (field, acc) in &accesses {
+        let fns: BTreeSet<usize> = acc.iter().map(|a| a.node).collect();
+        if fns.len() < 2 || !acc.iter().any(|a| a.write) {
+            continue;
+        }
+        let mut common = acc[0].held.clone();
+        for a in &acc[1..] {
+            common = common.intersection(&a.held).cloned().collect();
+        }
+        if !common.is_empty() {
+            continue;
+        }
+        let (struct_name, _) = &tracked[*field];
+        let w = acc.iter().find(|a| a.write).unwrap_or(&acc[0]);
+        out.push(Violation {
+            file: ws.files[w.file].rel_path.clone(),
+            line: w.line + 1,
+            pass: "lockset",
+            message: format!(
+                "field `{field}` of shared struct `{struct_name}` is written with an empty \
+                 lockset ({} accessing functions hold no common facade lock); guard every \
+                 access with one declared lock, make the field atomic, or classify it \
+                 `// audit: disjoint({field}) — <reason>`",
+                fns.len()
+            ),
+        });
+    }
+    out
+}
+
+/// Does `Vec::entry(..).push_or(..)` — tiny helper trait to keep the
+/// access-collection loop readable.
+trait PushOr {
+    fn push_or(self, a: Access);
+}
+
+impl PushOr for std::collections::btree_map::Entry<'_, &str, Vec<Access>> {
+    fn push_or(self, a: Access) {
+        self.or_default().push(a);
+    }
+}
+
+/// Is this field type a synchronization primitive (never a plain field)?
+fn is_sync_type(type_text: &str) -> bool {
+    SYNC_TYPES.iter().any(|t| contains_word(type_text, t))
+        || type_text
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .any(|w| w.starts_with("Atomic"))
+}
+
+/// `.field` access on one scrubbed line: `Some(is_write)` for the first
+/// occurrence that is a field access (not a method call), else `None`.
+fn field_access(code: &str, field: &str) -> Option<bool> {
+    let chars: Vec<char> = code.chars().collect();
+    let flen = field.chars().count();
+    let mut i = 0usize;
+    while i + flen < chars.len() + 1 {
+        if chars[i] != '.' {
+            i += 1;
+            continue;
+        }
+        let s = i + 1;
+        if s + flen > chars.len()
+            || chars[s..s + flen].iter().collect::<String>() != field
+            || chars.get(s + flen).is_some_and(|c| c.is_ascii_alphanumeric() || *c == '_')
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = s + flen;
+        while j < chars.len() && chars[j].is_whitespace() {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'(') {
+            i = s + flen; // method call, keep scanning
+            continue;
+        }
+        // `&mut recv.field` is a write-capable borrow.
+        let mut b = i;
+        while b > 0 && (chars[b - 1].is_ascii_alphanumeric() || chars[b - 1] == '_') {
+            b -= 1;
+        }
+        let lead: String = chars[..b].iter().collect();
+        if lead.trim_end().ends_with("&mut") {
+            return Some(true);
+        }
+        let write = match chars.get(j) {
+            Some('=') if chars.get(j + 1) != Some(&'=') && chars.get(j + 1) != Some(&'>') => true,
+            Some(&op) if "+-*/%&|^".contains(op) && chars.get(j + 1) == Some(&'=') => true,
+            _ => false,
+        };
+        return Some(write);
+    }
+    None
+}
+
+/// Lexical field extraction for a struct item (the token-tree parser
+/// deliberately skips struct bodies). Tuple and unit structs yield no
+/// fields.
+fn struct_fields(f: &SourceFile, t: &TypeItem) -> Vec<Field> {
+    let lines = &f.scan.code_lines;
+    let mut fields = Vec::new();
+    // Find the opening `{` (skipping `(`/`;` forms).
+    let mut open: Option<(usize, usize)> = None;
+    'find: for (lno, code) in lines.iter().enumerate().skip(t.line).take(6) {
+        let from = if lno == t.line {
+            // Start after the struct name to skip derive-attr braces.
+            code.find("struct").unwrap_or_default()
+        } else {
+            0
+        };
+        for (col, c) in code.chars().enumerate().skip(from) {
+            match c {
+                '{' => {
+                    open = Some((lno, col));
+                    break 'find;
+                }
+                '(' | ';' => return fields,
+                _ => {}
+            }
+        }
+    }
+    let Some((start_line, start_col)) = open else {
+        return fields;
+    };
+    let mut depth = 0i32; // brace depth
+    let mut nest = 0i32; // paren/bracket/angle depth inside a type
+    let mut pending_name: Option<String> = None;
+    let mut type_text = String::new();
+    let mut word = String::new();
+    let mut in_type = false;
+    for (lno, code) in lines.iter().enumerate().skip(start_line) {
+        for (col, c) in code.chars().enumerate() {
+            if lno == start_line && col < start_col {
+                continue;
+            }
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if let Some(name) = pending_name.take() {
+                            fields.push(Field { name, type_text: std::mem::take(&mut type_text) });
+                        }
+                        return fields;
+                    }
+                }
+                _ => {}
+            }
+            if depth != 1 && !(c == '}' && depth == 0) {
+                if in_type {
+                    type_text.push(c);
+                }
+                continue;
+            }
+            if in_type {
+                match c {
+                    '<' | '(' | '[' => nest += 1,
+                    '>' | ')' | ']' => nest -= 1,
+                    ',' if nest == 0 => {
+                        if let Some(name) = pending_name.take() {
+                            fields.push(Field { name, type_text: std::mem::take(&mut type_text) });
+                        }
+                        in_type = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                type_text.push(c);
+            } else if c.is_ascii_alphanumeric() || c == '_' {
+                word.push(c);
+            } else {
+                if c == ':' && !word.is_empty() && word != "pub" && word != "crate" {
+                    pending_name = Some(std::mem::take(&mut word));
+                    in_type = true;
+                    nest = 0;
+                    continue;
+                }
+                word.clear();
+            }
+        }
+        if in_type {
+            type_text.push(' ');
+        }
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Contracts, CrateGraph};
+    use crate::source::{Role, SourceFile};
+
+    fn ws_of(src: &str) -> Workspace {
+        let f = SourceFile::new("crates/fcma-core/src/a.rs", Some("fcma-core"), Role::Lib, src);
+        Workspace::new(vec![f], CrateGraph::default(), Contracts::default(), None)
+    }
+
+    fn hits(src: &str) -> Vec<Violation> {
+        check_lockset(&ws_of(src))
+    }
+
+    const SHARED: &str = "//! m\nstruct Shared {\n    guard: Mutex<u32>,\n    count: usize,\n}\n";
+
+    #[test]
+    fn empty_lockset_write_fires() {
+        let src = format!(
+            "{SHARED}fn writer(s: &mut Shared) {{\n    s.count += 1;\n}}\n\
+             fn reader(s: &Shared) -> usize {{\n    s.count\n}}\n"
+        );
+        let v = hits(&src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].pass, "lockset");
+        assert!(v[0].message.contains("count"), "{}", v[0].message);
+        assert!(v[0].message.contains("Shared"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn consistently_guarded_field_is_clean() {
+        let src = format!(
+            "{SHARED}fn writer(s: &mut Shared) {{\n    let _g = s.guard.lock();\n    \
+             s.count += 1;\n}}\n\
+             fn reader(s: &Shared) -> usize {{\n    let _g = s.guard.lock();\n    s.count\n}}\n"
+        );
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn lock_inherited_from_caller_entry() {
+        let src = format!(
+            "{SHARED}fn outer(s: &Shared) {{\n    let _g = s.guard.lock();\n    inner(s);\n}}\n\
+             fn inner(s: &Shared) {{\n    s.count += 1;\n}}\n\
+             fn reader(s: &Shared) -> usize {{\n    let _g = s.guard.lock();\n    s.count\n}}\n"
+        );
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn unlocked_caller_breaks_the_inheritance() {
+        let src = format!(
+            "{SHARED}fn outer(s: &Shared) {{\n    let _g = s.guard.lock();\n    inner(s);\n}}\n\
+             fn bare(s: &Shared) {{\n    inner(s);\n}}\n\
+             fn inner(s: &Shared) {{\n    s.count += 1;\n}}\n\
+             fn reader(s: &Shared) -> usize {{\n    let _g = s.guard.lock();\n    s.count\n}}\n"
+        );
+        let v = hits(&src);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn single_function_access_is_quiet() {
+        let src = format!("{SHARED}fn only(s: &mut Shared) {{\n    s.count += 1;\n}}\n");
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn read_only_field_is_quiet() {
+        let src = format!(
+            "{SHARED}fn r1(s: &Shared) -> usize {{\n    s.count\n}}\n\
+             fn r2(s: &Shared) -> usize {{\n    s.count\n}}\n"
+        );
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn atomic_fields_are_not_tracked() {
+        let src = "//! m\nstruct Stats {\n    guard: Mutex<u32>,\n    hits: AtomicU64,\n}\n\
+                   fn w(s: &Stats) {\n    s.hits.fetch_add(1, Ordering::Relaxed);\n}\n\
+                   fn r(s: &Stats) -> u64 {\n    s.hits.load(Ordering::Relaxed)\n}\n";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn struct_without_sync_field_is_not_shared() {
+        let src = "//! m\nstruct Plain {\n    count: usize,\n}\n\
+                   fn w(s: &mut Plain) {\n    s.count += 1;\n}\n\
+                   fn r(s: &Plain) -> usize {\n    s.count\n}\n";
+        assert!(hits(src).is_empty());
+    }
+
+    #[test]
+    fn disjoint_marker_escapes_the_access() {
+        let src = format!(
+            "{SHARED}fn writer(s: &mut Shared) {{\n    \
+             // audit: disjoint(count) — per-task rows, no overlap\n    s.count += 1;\n}}\n\
+             fn reader(s: &Shared) -> usize {{\n    s.count\n}}\n"
+        );
+        assert!(hits(&src).is_empty());
+    }
+
+    #[test]
+    fn method_call_is_not_a_field_access() {
+        assert!(field_access("s.count()", "count").is_none());
+        assert_eq!(field_access("s.count += 1;", "count"), Some(true));
+        assert_eq!(field_access("let x = s.count;", "count"), Some(false));
+        assert_eq!(field_access("take(&mut s.count)", "count"), Some(true));
+        assert_eq!(field_access("if s.count == 3 {", "count"), Some(false));
+        assert!(field_access("discount.apply()", "count").is_none());
+    }
+
+    #[test]
+    fn struct_fields_lexical_extraction() {
+        let f = SourceFile::new(
+            "crates/x/src/a.rs",
+            Some("x"),
+            Role::Lib,
+            "//! m\n#[derive(Debug)]\npub struct S {\n    pub guard: Mutex<u32>,\n    \
+             pub(crate) pairs: Vec<(usize, usize)>,\n    last: Option<u64>,\n}\n\
+             struct Unit;\nstruct Tup(u32);\n",
+        );
+        let t = &crate::parser::parse(&f.scan).types[0];
+        let fields = struct_fields(&f, t);
+        let names: Vec<&str> = fields.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["guard", "pairs", "last"], "{names:?}");
+        assert!(is_sync_type(&fields[0].type_text));
+        assert!(!is_sync_type(&fields[1].type_text));
+    }
+}

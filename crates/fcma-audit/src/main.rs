@@ -1,7 +1,7 @@
 //! Command-line driver for the FCMA static-analysis audit.
 //!
 //! Usage: `fcma-audit check [--root DIR] [--format human|json]
-//! [--passes a,b,c]` or `fcma-audit stats [--root DIR]`.
+//! [--passes a,b,c]` or `fcma-audit stats [--root DIR] [--check FILE]`.
 //!
 //! With no `--root`, the workspace root is resolved from the location
 //! of this crate at compile time (two levels above its manifest), so
@@ -20,6 +20,7 @@ fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut command: Option<String> = None;
     let mut passes: Option<Vec<String>> = None;
+    let mut baseline: Option<PathBuf> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -44,6 +45,13 @@ fn main() -> ExitCode {
                 }
                 None => {
                     eprintln!("fcma-audit: --passes requires a comma-separated pass list");
+                    return ExitCode::from(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => baseline = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("fcma-audit: --check requires a baseline file argument");
                     return ExitCode::from(2);
                 }
             },
@@ -75,40 +83,22 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            // unusedallow decides staleness from which markers the other
-            // passes consumed; on a subset it would flag markers whose
-            // pass simply didn't run.
-            if sel.contains(&"unusedallow") && !ESCAPABLE_PASSES.iter().all(|p| sel.contains(p)) {
-                eprintln!(
-                    "fcma-audit: `unusedallow` needs every escapable pass selected \
-                     (it checks which allow markers were consumed)"
-                );
-                return ExitCode::from(2);
-            }
             sel
         }
     };
 
-    let root =
-        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
-
     match command.as_deref() {
-        Some("check") => {}
+        Some("check") => {
+            if baseline.is_some() {
+                eprintln!("fcma-audit: --check belongs to the `stats` command");
+                return ExitCode::from(2);
+            }
+        }
         Some("stats") => {
             if passes.is_some() {
                 eprintln!("fcma-audit: `stats` always covers every pass; drop --passes");
                 return ExitCode::from(2);
             }
-            return match fcma_audit::analyze(&root) {
-                Ok(ws) => {
-                    print!("{}", fcma_audit::render_stats(&ws.stats()));
-                    ExitCode::SUCCESS
-                }
-                Err(e) => {
-                    eprintln!("fcma-audit: error: {e}");
-                    ExitCode::from(2)
-                }
-            };
         }
         Some(other) => {
             eprintln!("fcma-audit: unknown command `{other}`\n{USAGE}");
@@ -120,45 +110,121 @@ fn main() -> ExitCode {
         }
     }
 
-    match fcma_audit::analyze(&root) {
-        Ok(ws) => {
-            let violations = ws.run_selected(&selected);
-            print!("{}", fcma_audit::render(&violations, format));
-            if violations.is_empty() {
-                // JSON consumers get a silent empty stream; humans get
-                // a confirmation line.
-                if format == Format::Human {
-                    println!("fcma-audit: clean");
-                }
-                ExitCode::SUCCESS
-            } else {
-                if format == Format::Human {
-                    println!("fcma-audit: {} violation(s)", violations.len());
-                }
-                ExitCode::from(1)
-            }
-        }
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    // Analysis first: selection validation below is data-driven (it
+    // needs the workspace's actual markers, not just the pass list).
+    let ws = match fcma_audit::analyze(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("fcma-audit: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+
+    if command.as_deref() == Some("stats") {
+        let stats = ws.stats();
+        let Some(path) = baseline else {
+            print!("{}", fcma_audit::render_stats(&stats));
+            return ExitCode::SUCCESS;
+        };
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fcma-audit: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let Some(base) = fcma_audit::parse_stats(&text) else {
+            eprintln!(
+                "fcma-audit: baseline {} is not a stats document (regenerate it with \
+                 `fcma-audit stats`)",
+                path.display()
+            );
+            return ExitCode::from(2);
+        };
+        let delta = fcma_audit::render_stats_delta(&base, &stats);
+        return if delta.is_empty() {
+            println!("fcma-audit: stats match {}", path.display());
+            ExitCode::SUCCESS
+        } else {
+            println!("fcma-audit: stats drift against {}:", path.display());
+            print!("{delta}");
+            println!("regenerate with `cargo run -p fcma-audit -- stats > {}`", path.display());
+            ExitCode::from(1)
+        };
+    }
+
+    // `unusedallow` decides staleness from which markers the other
+    // passes consumed; excluding a pass whose markers exist in the tree
+    // would flag those markers as stale only because their pass did not
+    // run. Reject exactly those selections, naming the stranded markers.
+    if passes.is_some() && selected.contains(&"unusedallow") {
+        let mut stranded = Vec::new();
+        let race_selected = selected.contains(&"threadescape") && selected.contains(&"lockset");
+        for f in &ws.files {
+            for m in f.markers() {
+                if ESCAPABLE_PASSES.contains(&m.pass.as_str())
+                    && !selected.contains(&m.pass.as_str())
+                {
+                    stranded.push(format!("{}:{}: allow({})", f.rel_path, m.line + 1, m.pass));
+                }
+            }
+            if !race_selected {
+                for d in f.disjoint_markers() {
+                    stranded.push(format!("{}:{}: disjoint({})", f.rel_path, d.line + 1, d.what));
+                }
+            }
+        }
+        if !stranded.is_empty() {
+            eprintln!(
+                "fcma-audit: `unusedallow` is selected but --passes excludes passes whose \
+                 markers exist in the tree (they would be reported stale only because their \
+                 pass did not run); select those passes too, or drop `unusedallow`:"
+            );
+            for s in stranded {
+                eprintln!("  {s}");
+            }
+            return ExitCode::from(2);
+        }
+    }
+
+    let violations = ws.run_selected(&selected);
+    print!("{}", fcma_audit::render(&violations, format));
+    if violations.is_empty() {
+        // JSON consumers get a silent empty stream; humans get a
+        // confirmation line.
+        if format == Format::Human {
+            println!("fcma-audit: clean");
+        }
+        ExitCode::SUCCESS
+    } else {
+        if format == Format::Human {
+            println!("fcma-audit: {} violation(s)", violations.len());
+        }
+        ExitCode::from(1)
     }
 }
 
 const USAGE: &str = "usage: fcma-audit check [--root DIR] [--format human|json] [--passes a,b,c]
-       fcma-audit stats [--root DIR]
+       fcma-audit stats [--root DIR] [--check FILE]
 
 commands:
   check  run the audit passes and print violations (exit 1 if any)
-  stats  print per-pass violation and allow-marker counts as JSON
-         (CI diffs this against the committed audit-baseline.json)
+  stats  print per-pass violation and allow-marker counts as JSON;
+         with --check FILE, compare against the committed baseline and
+         print a per-pass delta table on drift (exit 1)
 
 output:
   --format human  file:line: pass: message (default)
   --format json   one JSON object per violation:
                   {\"file\":…,\"line\":…,\"pass\":…,\"message\":…}
-  --passes a,b,c  run only the named passes (`unusedallow` requires
-                  every escapable pass to be selected with it)
+  --passes a,b,c  run only the named passes; selecting `unusedallow`
+                  while excluding a pass whose allow/disjoint markers
+                  exist in the tree is rejected (stranded markers would
+                  read as stale)
+  --check FILE    (stats) compare against FILE instead of printing
 
 passes:
   unsafe       no `unsafe` blocks anywhere (no escape hatch)
@@ -188,7 +254,16 @@ passes:
                loop without an `// audit: allow(accumorder)` justification
   hotcallout   hot fns call only hot or `// audit: pure` fns; no console
                I/O, trace probes, locks, or blocking calls in hot code
-  unusedallow  every allow marker must suppress something
+  threadescape values captured by closures crossing pool.run*/spawn/
+               channel-send boundaries must be immutable, facade-atomic,
+               lock-guarded, or declared disjoint
+  lockset      plain fields of shared structs written from >=2 fns must
+               hold a non-empty intersection of facade locks
+               (Eraser-style, call-graph entry sets)
+  atomicorder  every Ordering::* site matches a DESIGN.md §16 atomics
+               contract row (orderings allowed, site count, seqlock
+               writer/reader publish shape)
+  unusedallow  every allow or disjoint marker must suppress something
 
 fn markers (on the fn line or the line directly above):
   // audit: hot   treat this fn as hot even if absent from DESIGN.md §14
@@ -207,4 +282,14 @@ escape markers (same line or the line above; reason mandatory):
   // audit: allow(allocinloop) — <reason>
   // audit: allow(boundsinloop) — <reason>
   // audit: allow(accumorder) — <reason>
-  // audit: allow(hotcallout) — <reason>";
+  // audit: allow(hotcallout) — <reason>
+  // audit: allow(threadescape) — <reason>
+  // audit: allow(lockset) — <reason>
+  // audit: allow(atomicorder) — <reason>
+
+disjoint markers (same line or the line above; reason mandatory):
+  // audit: disjoint(<binding or field>) — <reason>
+                  declares that a mutable value handed to worker tasks
+                  is partitioned into non-overlapping per-task pieces
+                  (consumed by threadescape/lockset; stale ones fail
+                  unusedallow)";

@@ -19,12 +19,22 @@
 //! | `boundsinloop`| no `a[i]` induction-variable indexing in innermost hot loops | allow marker |
 //! | `accumorder`  | float accumulators in hot loops must use the blessed fcma-linalg idioms | allow marker |
 //! | `hotcallout`  | hot fns call only hot/`audit: pure` fns — no I/O, tracing, or locking | allow marker |
-//! | `unusedallow` | every allow marker must suppress something | none |
+//! | `threadescape`| values captured by thread-boundary closures are immutable, atomic, lock-guarded, or `audit: disjoint` | allow marker |
+//! | `lockset`     | Eraser-style: fields of shared structs written from ≥2 fns need a non-empty held-lock intersection | allow marker |
+//! | `atomicorder` | every `Ordering::*` site matches a DESIGN.md §16 atomics-contract row; seqlock publish shape | allow marker |
+//! | `unusedallow` | every allow or disjoint marker must suppress something | none |
 //!
 //! Allow markers are comments of the form
 //! `// audit: allow(<pass>) — <reason>` on the offending line or the line
 //! directly above; the reason is mandatory. The `unusedallow` pass runs
 //! last and flags any marker no other pass consumed.
+//!
+//! Disjoint-band markers — `// audit: disjoint(<name>) — <reason>` — are
+//! the race-detector counterpart: they classify a mutable value crossing
+//! a thread boundary as partitioned into non-overlapping per-task pieces
+//! (the `split_at_mut` output-band pattern of DESIGN.md §15). The
+//! `threadescape`/`lockset` passes consume them; `unusedallow` flags the
+//! stale ones.
 //!
 //! The four hot-path passes are scoped by DESIGN.md §14: a fn is *hot*
 //! when the §14 "Hot functions" table names it or an `// audit: hot`
@@ -38,7 +48,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::cfg::FnCfg;
 use crate::dataflow;
-use crate::graph::{CallGraph, Contracts, CrateGraph};
+use crate::graph::{CallGraph, Contracts, CrateGraph, SeqlockDecl};
 use crate::parser::{self, ParsedFile, TypeKind, Vis};
 use crate::source::{marker_allows, Role, SourceFile};
 
@@ -88,7 +98,7 @@ const ROOT_CRATE: &str = "fcma";
 /// substrate below it (its internal registry mutex must keep working
 /// while the facade is in model mode), and the tool/bench crates never
 /// run inside a sweep.
-const SYNC_EXEMPT_CRATES: &[&str] =
+pub(crate) const SYNC_EXEMPT_CRATES: &[&str] =
     &["fcma-sync", "fcma-mc", "fcma-trace", "fcma-audit", "fcma-bench"];
 
 /// `std::sync` items forbidden outside the facade. `Arc`/`Weak` stay
@@ -120,6 +130,9 @@ pub const PASS_NAMES: &[&str] = &[
     "boundsinloop",
     "accumorder",
     "hotcallout",
+    "threadescape",
+    "lockset",
+    "atomicorder",
     "unusedallow",
 ];
 
@@ -137,6 +150,9 @@ pub const ESCAPABLE_PASSES: &[&str] = &[
     "boundsinloop",
     "accumorder",
     "hotcallout",
+    "threadescape",
+    "lockset",
+    "atomicorder",
 ];
 
 /// One diagnostic. Lines are 1-based for display.
@@ -175,6 +191,8 @@ pub struct Workspace {
     pub taxonomy: Option<Taxonomy>,
     /// `(file index, marker line)` of every consumed allow marker.
     used_markers: RefCell<BTreeSet<(usize, usize)>>,
+    /// `(file index, marker line)` of every consumed disjoint marker.
+    used_disjoint: RefCell<BTreeSet<(usize, usize)>>,
 }
 
 impl Workspace {
@@ -193,11 +211,12 @@ impl Workspace {
             contracts,
             taxonomy,
             used_markers: RefCell::new(BTreeSet::new()),
+            used_disjoint: RefCell::new(BTreeSet::new()),
         }
     }
 
     /// The crate key of a file (the root package's files key as `fcma`).
-    fn crate_key(&self, file: usize) -> &str {
+    pub(crate) fn crate_key(&self, file: usize) -> &str {
         self.files[file].crate_name.as_deref().unwrap_or(ROOT_CRATE)
     }
 
@@ -209,6 +228,24 @@ impl Workspace {
             if l < f.scan.comment_lines.len() && marker_allows(&f.scan.comment_lines[l], pass) {
                 self.used_markers.borrow_mut().insert((file, l));
                 return true;
+            }
+        }
+        false
+    }
+
+    /// Does a `// audit: disjoint(<what>)` marker (with its mandatory
+    /// reason) cover 0-based `line` of `file`? A hit is recorded as
+    /// consumed for the `unusedallow` pass.
+    pub fn disjoint_allowed(&self, file: usize, what: &str, line: usize) -> bool {
+        let f = &self.files[file];
+        for l in [line, line.wrapping_sub(1)] {
+            if l < f.scan.comment_lines.len() {
+                let hit = crate::source::parse_disjoint(&f.scan.comment_lines[l])
+                    .is_some_and(|(w, has_reason)| w == what && has_reason);
+                if hit {
+                    self.used_disjoint.borrow_mut().insert((file, l));
+                    return true;
+                }
             }
         }
         false
@@ -273,6 +310,15 @@ impl Workspace {
         }
         if on("hotcallout") {
             v.extend(check_hotcallout(self));
+        }
+        if on("threadescape") {
+            v.extend(crate::escape::check_threadescape(self));
+        }
+        if on("lockset") {
+            v.extend(crate::lockset::check_lockset(self));
+        }
+        if on("atomicorder") {
+            v.extend(check_atomicorder(self));
         }
         // Must run last: it inventories markers the passes above
         // consumed, so it is only meaningful when all of them ran.
@@ -1069,17 +1115,17 @@ fn std_sync_items(code_lines: &[String], lno: usize, from: usize) -> Vec<String>
 }
 
 /// One direct lock-acquisition site in an in-scope function.
-struct LockSite {
+pub(crate) struct LockSite {
     /// Receiver ident of the `.lock()` call, if resolvable.
-    recv: Option<String>,
+    pub(crate) recv: Option<String>,
     /// 0-based line.
-    line: usize,
+    pub(crate) line: usize,
 }
 
-/// Shared scaffolding for the two lock-graph passes: the in-scope call
+/// Shared scaffolding for the lock-graph passes: the in-scope call
 /// graph (library code of non-exempt crates, tests excluded) plus each
 /// node's unsuppressed `.lock()` sites for `pass`.
-fn lock_graph(ws: &Workspace, pass: &str) -> (CallGraph, Vec<Vec<LockSite>>) {
+pub(crate) fn lock_graph(ws: &Workspace, pass: &str) -> (CallGraph, Vec<Vec<LockSite>>) {
     let files: Vec<(String, &ParsedFile)> = ws
         .files
         .iter()
@@ -1734,17 +1780,453 @@ pub fn check_hotcallout(ws: &Workspace) -> Vec<Violation> {
     out
 }
 
+/// The memory orderings the `atomicorder` pass tracks.
+const MEM_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Whether an atomic method reads, writes, or does both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// Atomic method names an `Ordering::` argument can belong to.
+const ATOMIC_OPS: &[(&str, OpClass)] = &[
+    ("load", OpClass::Load),
+    ("store", OpClass::Store),
+    ("swap", OpClass::Rmw),
+    ("fetch_add", OpClass::Rmw),
+    ("fetch_sub", OpClass::Rmw),
+    ("fetch_and", OpClass::Rmw),
+    ("fetch_or", OpClass::Rmw),
+    ("fetch_xor", OpClass::Rmw),
+    ("fetch_update", OpClass::Rmw),
+    ("fetch_max", OpClass::Rmw),
+    ("fetch_min", OpClass::Rmw),
+    ("compare_exchange", OpClass::Rmw),
+    ("compare_exchange_weak", OpClass::Rmw),
+];
+
+/// `Ordering::<variant>` tokens on one scrubbed code line, as
+/// (char position of `Ordering`, variant) pairs. Only the five memory
+/// orderings count — `cmp::Ordering::Less` never matches.
+fn ordering_tokens(code: &str) -> Vec<(usize, &'static str)> {
+    let mut out = Vec::new();
+    for col in site_starts(code, "Ordering::") {
+        let variant: String = code
+            .chars()
+            .skip(col + "Ordering::".len())
+            .take_while(char::is_ascii_alphanumeric)
+            .collect();
+        if let Some(&ord) = MEM_ORDERINGS.iter().find(|&&o| o == variant) {
+            out.push((col, ord));
+        }
+    }
+    out
+}
+
+/// The rightmost `recv.op(` atomic call starting before char `limit`;
+/// returns (receiver ident, op, class).
+fn last_atomic_call(code: &str, limit: usize) -> Option<(String, &'static str, OpClass)> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut best: Option<(usize, String, &'static str, OpClass)> = None;
+    for &(op, class) in ATOMIC_OPS {
+        for s in site_starts_word(code, op) {
+            if s >= limit || s == 0 || chars[s - 1] != '.' {
+                continue;
+            }
+            let mut j = s + op.chars().count();
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if chars.get(j) != Some(&'(') {
+                continue;
+            }
+            let e = s - 1;
+            let mut b = e;
+            while b > 0 && (chars[b - 1].is_ascii_alphanumeric() || chars[b - 1] == '_') {
+                b -= 1;
+            }
+            if b == e {
+                continue;
+            }
+            let recv: String = chars[b..e].iter().collect();
+            if best.as_ref().is_none_or(|&(p, ..)| s > p) {
+                best = Some((s, recv, op, class));
+            }
+        }
+    }
+    best.map(|(_, r, o, c)| (r, o, c))
+}
+
+/// The atomic call an `Ordering::` token at (`lineno`, `col`) belongs
+/// to: the nearest atomic-method call left of the token on its own
+/// line, or on one of the three lines above (rustfmt may wrap a
+/// `compare_exchange` argument list).
+fn atomic_op_at(
+    f: &SourceFile,
+    lineno: usize,
+    col: usize,
+) -> Option<(String, &'static str, OpClass)> {
+    for back in 0..4 {
+        let Some(l) = lineno.checked_sub(back) else {
+            break;
+        };
+        let code = &f.scan.code_lines[l];
+        let limit = if back == 0 { col } else { code.chars().count() };
+        if let Some(hit) = last_atomic_call(code, limit) {
+            return Some(hit);
+        }
+    }
+    None
+}
+
+/// Pass: every explicit memory-ordering site is covered by a DESIGN.md
+/// §16 "Atomics contracts" row, with the ordering it uses among the
+/// row's allowed load/store orderings.
+///
+/// The §16 table is the review record for every hand-placed fence in
+/// the workspace: which atomic, where it lives, which orderings its
+/// loads and stores may use, and which release→acquire pairing makes it
+/// sound. This pass closes the loop in both directions — an `Ordering::*`
+/// site without a row is a violation, and a row without a site is stale.
+/// The declared `sites:` count must match the scan exactly, so a new
+/// fence cannot land without a contract review. When §16 additionally
+/// declares the seqlock shape, the named writer/reader pair is checked
+/// against the odd/even publish protocol (see [`check_seqlock_shape`]).
+/// Escapable per site with `// audit: allow(atomicorder) — <reason>`.
+pub fn check_atomicorder(ws: &Workspace) -> Vec<Violation> {
+    let contract = ws.contracts.atomics.as_ref();
+    let mut out = Vec::new();
+    let mut actual_sites = 0usize;
+    let mut matched: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut first_site: Option<(String, usize)> = None;
+    for (fi, f) in ws.files.iter().enumerate() {
+        if f.role != Role::Lib || EXEMPT_CRATES.contains(&ws.crate_key(fi)) {
+            continue;
+        }
+        for (lineno, code) in f.scan.code_lines.iter().enumerate() {
+            if f.in_test_span(lineno) {
+                continue;
+            }
+            for (col, ord) in ordering_tokens(code) {
+                actual_sites += 1;
+                if first_site.is_none() {
+                    first_site = Some((f.rel_path.clone(), lineno));
+                }
+                let Some(c) = contract else {
+                    continue;
+                };
+                if ws.allowed(fi, "atomicorder", lineno) {
+                    continue;
+                }
+                let Some((recv, op, class)) = atomic_op_at(f, lineno, col) else {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: lineno + 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "cannot associate `Ordering::{ord}` with an atomic operation; \
+                             call the atomic through a named binding"
+                        ),
+                    });
+                    continue;
+                };
+                let Some(e) = c.entry(&recv, &f.rel_path) else {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: lineno + 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "atomic site `{recv}.{op}` (`Ordering::{ord}`) has no DESIGN.md \
+                             §16 row for `{recv}` in this file; add one (or \
+                             `// audit: allow(atomicorder) — <reason>`)"
+                        ),
+                    });
+                    continue;
+                };
+                matched.insert((e.name.clone(), e.file.clone()));
+                let ok = match class {
+                    OpClass::Load => e.loads.iter().any(|o| o == ord),
+                    OpClass::Store => e.stores.iter().any(|o| o == ord),
+                    OpClass::Rmw => e.loads.iter().chain(&e.stores).any(|o| o == ord),
+                };
+                if !ok {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: lineno + 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "`{recv}.{op}` uses `Ordering::{ord}` but its DESIGN.md §16 row \
+                             allows loads [{}] and stores [{}]",
+                            e.loads.join(", "),
+                            e.stores.join(", "),
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    match (contract, first_site) {
+        (None, Some((file, line))) => out.push(Violation {
+            file,
+            line: line + 1,
+            pass: "atomicorder",
+            message: format!(
+                "workspace has {actual_sites} `Ordering::*` site(s) but DESIGN.md has no \
+                 §16 \"Atomics contracts\" table"
+            ),
+        }),
+        (Some(c), _) => {
+            if let Some(declared) = c.declared_sites {
+                if declared != actual_sites {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_owned(),
+                        line: 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "DESIGN.md §16 declares {declared} `Ordering::*` site(s) but the \
+                             workspace has {actual_sites}; update the `sites:` count"
+                        ),
+                    });
+                }
+            }
+            for e in &c.entries {
+                if !matched.contains(&(e.name.clone(), e.file.clone())) {
+                    out.push(Violation {
+                        file: "DESIGN.md".to_owned(),
+                        line: 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "stale DESIGN.md §16 row: atomic `{}` in `{}` matched no \
+                             `Ordering::*` site",
+                            e.name, e.file
+                        ),
+                    });
+                }
+            }
+            if let Some(sl) = &c.seqlock {
+                out.extend(check_seqlock_shape(ws, sl));
+            }
+        }
+        (None, None) => {}
+    }
+    out
+}
+
+/// Shape check for the §16-declared per-slot seqlock: the writer must
+/// publish the version word twice with `Release` (odd — `+ 1` — before
+/// the payload stores, even after), every payload store must be
+/// `Relaxed` and sit between the two publishes, and the cursor must be
+/// released after the even publish; the reader must load the version
+/// with `Acquire` both before and after its `Relaxed` payload loads
+/// (the seq-stability re-check).
+fn check_seqlock_shape(ws: &Workspace, sl: &SeqlockDecl) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let design = |message: String| Violation {
+        file: "DESIGN.md".to_owned(),
+        line: 1,
+        pass: "atomicorder",
+        message,
+    };
+    let Some(fi) = ws.files.iter().position(|f| f.rel_path.ends_with(&sl.file)) else {
+        return vec![design(format!(
+            "§16 seqlock row names `{}`, which is not a workspace file",
+            sl.file
+        ))];
+    };
+    let f = &ws.files[fi];
+    // All `(line, ordering)` sites of `recv.op(` inside a fn body.
+    let sites = |recv: &str, op: &str, span: (usize, usize)| -> Vec<(usize, &'static str)> {
+        let pat = format!("{recv}.{op}");
+        (span.0..=span.1)
+            .filter(|&l| contains_word(&f.scan.code_lines[l], &pat))
+            .filter_map(|l| {
+                ordering_tokens(&f.scan.code_lines[l]).first().map(|&(_, ord)| (l, ord))
+            })
+            .collect()
+    };
+    let body =
+        |name: &str| ws.parsed[fi].fns.iter().find(|fun| fun.name == name).and_then(|fun| fun.body);
+
+    let Some(wspan) = body(&sl.writer) else {
+        return vec![design(format!(
+            "§16 seqlock writer `{}` not found in `{}`",
+            sl.writer, sl.file
+        ))];
+    };
+    let vstores = sites(&sl.version, "store", wspan);
+    if vstores.len() != 2 {
+        out.push(Violation {
+            file: f.rel_path.clone(),
+            line: wspan.0 + 1,
+            pass: "atomicorder",
+            message: format!(
+                "seqlock writer `{}` must publish `{}` exactly twice (odd sequence before \
+                 the payload stores, even after); found {} store(s)",
+                sl.writer,
+                sl.version,
+                vstores.len()
+            ),
+        });
+    } else {
+        let (first, second) = (vstores[0], vstores[1]);
+        if first.1 != "Release" || second.1 != "Release" {
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: first.0 + 1,
+                pass: "atomicorder",
+                message: format!(
+                    "seqlock version publishes of `{}` must both use `Ordering::Release`",
+                    sl.version
+                ),
+            });
+        }
+        if !f.scan.code_lines[first.0].contains("+ 1") {
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: first.0 + 1,
+                pass: "atomicorder",
+                message: format!(
+                    "first publish of `{}` must make the sequence odd (`… + 1`) before the \
+                     payload stores",
+                    sl.version
+                ),
+            });
+        }
+        for p in &sl.payload {
+            let ps = sites(p, "store", wspan);
+            if ps.is_empty() {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: wspan.0 + 1,
+                    pass: "atomicorder",
+                    message: format!(
+                        "seqlock payload `{p}` is never stored inside writer `{}`",
+                        sl.writer
+                    ),
+                });
+                continue;
+            }
+            for (l, ord) in ps {
+                if ord != "Relaxed" || l <= first.0 || l >= second.0 {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: l + 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "seqlock payload store `{p}` must be `Relaxed` and sit between \
+                             the odd and even publishes of `{}`",
+                            sl.version
+                        ),
+                    });
+                }
+            }
+        }
+        let cs = sites(&sl.cursor, "store", wspan);
+        if !cs.iter().any(|&(l, ord)| ord == "Release" && l > second.0) {
+            out.push(Violation {
+                file: f.rel_path.clone(),
+                line: wspan.0 + 1,
+                pass: "atomicorder",
+                message: format!(
+                    "seqlock cursor `{}` must be published with `Release` after the even \
+                     publish of `{}`",
+                    sl.cursor, sl.version
+                ),
+            });
+        }
+    }
+
+    let Some(rspan) = body(&sl.reader) else {
+        out.push(design(format!("§16 seqlock reader `{}` not found in `{}`", sl.reader, sl.file)));
+        return out;
+    };
+    let vloads = sites(&sl.version, "load", rspan);
+    if vloads.len() < 2 || vloads.iter().any(|&(_, ord)| ord != "Acquire") {
+        out.push(Violation {
+            file: f.rel_path.clone(),
+            line: rspan.0 + 1,
+            pass: "atomicorder",
+            message: format!(
+                "seqlock reader `{}` must load `{}` with `Acquire` both before and after \
+                 the payload loads (stability re-check)",
+                sl.reader, sl.version
+            ),
+        });
+    } else {
+        let (lo, hi) = (vloads[0].0, vloads[vloads.len() - 1].0);
+        for p in &sl.payload {
+            let pl = sites(p, "load", rspan);
+            if pl.is_empty() {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: rspan.0 + 1,
+                    pass: "atomicorder",
+                    message: format!(
+                        "seqlock payload `{p}` is never loaded inside reader `{}`",
+                        sl.reader
+                    ),
+                });
+                continue;
+            }
+            for (l, ord) in pl {
+                if ord != "Relaxed" || l <= lo || l >= hi {
+                    out.push(Violation {
+                        file: f.rel_path.clone(),
+                        line: l + 1,
+                        pass: "atomicorder",
+                        message: format!(
+                            "seqlock payload load `{p}` must be `Relaxed` and bracketed by \
+                             the `Acquire` loads of `{}`",
+                            sl.version
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Pass: every allow marker must have suppressed something this run.
 ///
 /// Mirrors `#[warn(unused_allow)]`: a marker naming an unknown pass, a
 /// marker missing its mandatory reason, a marker for a pass with no
 /// escape hatch, and a well-formed marker no pass consumed are all
-/// violations. Must run after every other pass (consumption is recorded
-/// as they go).
+/// violations. Disjoint-band markers get the same treatment: one that
+/// no `threadescape`/`lockset` classification consulted is stale. Must
+/// run after every other pass (consumption is recorded as they go).
 pub fn check_unused_allow(ws: &Workspace) -> Vec<Violation> {
     let used = ws.used_markers.borrow();
+    let used_disjoint = ws.used_disjoint.borrow();
     let mut out = Vec::new();
     for (fi, f) in ws.files.iter().enumerate() {
+        for m in f.disjoint_markers() {
+            let violation = if !m.has_reason {
+                Some(format!(
+                    "disjoint marker for `{}` is missing its mandatory reason \
+                     (`// audit: disjoint({}) — <reason>`)",
+                    m.what, m.what
+                ))
+            } else if !used_disjoint.contains(&(fi, m.line)) {
+                Some(format!(
+                    "stale disjoint marker: `audit: disjoint({})` classifies nothing; remove it",
+                    m.what
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = violation {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: m.line + 1,
+                    pass: "unusedallow",
+                    message,
+                });
+            }
+        }
         for m in f.markers() {
             let violation = if !PASS_NAMES.contains(&m.pass.as_str()) {
                 Some(format!(
@@ -1860,7 +2342,7 @@ fn extract_name(raw_lines: &[String], lno: usize, from: usize) -> Option<(usize,
 }
 
 /// Word-boundary containment: `name` in `line` not flanked by ident chars.
-fn contains_word(line: &str, name: &str) -> bool {
+pub(crate) fn contains_word(line: &str, name: &str) -> bool {
     let bytes = line.as_bytes();
     let is_ident = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
     let mut from = 0;
@@ -2669,5 +3151,164 @@ mod tests {
         let v = ws.run_selected(PASS_NAMES);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].pass, "unusedallow");
+    }
+
+    fn atomics_contracts(md: &str) -> Contracts {
+        Contracts::from_design_md(&format!("## 16. Atomics contracts\n\n{md}"))
+    }
+
+    const FLAG_ROW: &str = "sites: 2\n\n\
+        | Atomic | File | Role | Loads | Stores | Pairing |\n|---|---|---|---|---|---|\n\
+        | `flag` | `fcma-core/src/a.rs` | cancel | `Acquire` | `Release` | `flag` |\n";
+
+    #[test]
+    fn atomicorder_sites_without_section_fire_once() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(flag: &AtomicBool) {\n    flag.store(true, Ordering::Release);\n}\n",
+        );
+        let v = check_atomicorder(&ws_of(vec![f]));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no \u{a7}16"), "{v:?}");
+    }
+
+    #[test]
+    fn atomicorder_row_covers_matching_sites() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(flag: &AtomicBool) -> bool {\n    flag.store(true, Ordering::Release);\n    flag.load(Ordering::Acquire)\n}\n",
+        );
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(FLAG_ROW),
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn atomicorder_flags_disallowed_ordering_and_missing_row() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(flag: &AtomicBool, other: &AtomicUsize) -> bool {\n    other.store(1, Ordering::SeqCst);\n    flag.store(true, Ordering::Relaxed);\n    flag.load(Ordering::Acquire)\n}\n",
+        );
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(&FLAG_ROW.replace("sites: 2", "sites: 3")),
+        ));
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("no DESIGN.md \u{a7}16 row")), "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("allows loads [Acquire]")), "{v:?}");
+    }
+
+    #[test]
+    fn atomicorder_checks_site_count_and_stale_rows() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(flag: &AtomicBool) {\n    flag.store(true, Ordering::Release);\n}\n",
+        );
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(FLAG_ROW),
+        ));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("declares 2"), "{v:?}");
+
+        let stale = "sites: 0\n\n\
+            | Atomic | File | Role | Loads | Stores | Pairing |\n|---|---|---|---|---|---|\n\
+            | `gone` | `fcma-core/src/a.rs` | nothing | `Relaxed` | `Relaxed` | none |\n";
+        let empty = lib_file("fcma-core", "//! m\nfn f() {}\n");
+        let v = check_atomicorder(&ws_with(
+            vec![empty],
+            CrateGraph::default(),
+            atomics_contracts(stale),
+        ));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("stale"), "{v:?}");
+    }
+
+    #[test]
+    fn atomicorder_allow_marker_escapes_a_site() {
+        let f = lib_file(
+            "fcma-core",
+            "//! m\nfn f(x: &AtomicUsize) {\n    // audit: allow(atomicorder) — bench-only knob\n    x.store(1, Ordering::SeqCst);\n}\n",
+        );
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts("sites: 1\n"),
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    const SEQLOCK_MD: &str = "sites: 8\n\n\
+        | Atomic | File | Role | Loads | Stores | Pairing |\n|---|---|---|---|---|---|\n\
+        | `head` | `fcma-core/src/a.rs` | cursor | `Relaxed` | `Release` | via `ver` |\n\
+        | `ver` | `fcma-core/src/a.rs` | version | `Acquire` | `Release` | `ver` |\n\
+        | `w_ts` | `fcma-core/src/a.rs` | payload | `Relaxed` | `Relaxed` | via `ver` |\n\n\
+        ### Seqlock shape\n\n\
+        | File | Writer | Reader | Version | Payload | Cursor |\n|---|---|---|---|---|---|\n\
+        | `fcma-core/src/a.rs` | `push` | `snapshot` | `ver` | `w_ts` | `head` |\n";
+
+    const SEQLOCK_WRITER_OK: &str = "    let seq = self.head.load(Ordering::Relaxed);\n    \
+        self.ver.store(2 * seq + 1, Ordering::Release);\n    \
+        self.w_ts.store(7, Ordering::Relaxed);\n    \
+        self.ver.store(2 * seq, Ordering::Release);\n    \
+        self.head.store(seq + 1, Ordering::Release);\n";
+
+    const SEQLOCK_READER_OK: &str = "fn snapshot(&self) -> u64 {\n    \
+        let _a = self.ver.load(Ordering::Acquire);\n    \
+        let ts = self.w_ts.load(Ordering::Relaxed);\n    \
+        let _b = self.ver.load(Ordering::Acquire);\n    ts\n}\n";
+
+    #[test]
+    fn atomicorder_seqlock_shape_accepts_the_protocol() {
+        let src = format!("//! m\nfn push(&self) {{\n{SEQLOCK_WRITER_OK}}}\n{SEQLOCK_READER_OK}");
+        let f = lib_file("fcma-core", &src);
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(SEQLOCK_MD),
+        ));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn atomicorder_seqlock_mutant_dropped_second_publish_is_caught() {
+        let mutant_writer =
+            SEQLOCK_WRITER_OK.replace("    self.ver.store(2 * seq, Ordering::Release);\n", "");
+        let src = format!("//! m\nfn push(&self) {{\n{mutant_writer}}}\n{SEQLOCK_READER_OK}");
+        let f = lib_file("fcma-core", &src);
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(&SEQLOCK_MD.replace("sites: 8", "sites: 7")),
+        ));
+        assert!(
+            v.iter().any(|x| x.message.contains("exactly twice")),
+            "mutant must trip the shape check: {v:?}"
+        );
+    }
+
+    #[test]
+    fn atomicorder_seqlock_payload_outside_publish_window_fires() {
+        let bad_writer = "    let seq = self.head.load(Ordering::Relaxed);\n    \
+            self.w_ts.store(7, Ordering::Relaxed);\n    \
+            self.ver.store(2 * seq + 1, Ordering::Release);\n    \
+            self.ver.store(2 * seq, Ordering::Release);\n    \
+            self.head.store(seq + 1, Ordering::Release);\n";
+        let src = format!("//! m\nfn push(&self) {{\n{bad_writer}}}\n{SEQLOCK_READER_OK}");
+        let f = lib_file("fcma-core", &src);
+        let v = check_atomicorder(&ws_with(
+            vec![f],
+            CrateGraph::default(),
+            atomics_contracts(SEQLOCK_MD),
+        ));
+        assert!(
+            v.iter().any(|x| x.message.contains("sit between")),
+            "early payload store must fire: {v:?}"
+        );
     }
 }

@@ -55,6 +55,7 @@ const DESIGN_MD: &str = "\
 | `fcma-cluster` | (none) |
 | `fcma-gamma` | (none) |
 | `fcma-hot` | (none) |
+| `fcma-race` | (none) |
 
 | Message | Payload fields | Meaning |
 |---|---|---|
@@ -78,6 +79,13 @@ const DESIGN_MD: &str = "\
 | Function | Where | Why it is hot |
 |---|---|---|
 | `table_hot` | `fcma-hot/src/lib.rs` | fixture: hot via the contracts table rather than a marker |
+
+## 16. Atomics contracts
+
+sites: 1
+
+| Atomic | File | Role | Loads | Stores | Pairing |
+|---|---|---|---|---|---|
 ";
 
 /// Build the seeded workspace and run the audit once.
@@ -261,6 +269,45 @@ fn audited_fixture(tag: &str) -> (Fixture, Vec<Violation>) {
          }\n",
     );
 
+    // fcma-race: one violation per race-detection pass — a `&mut`
+    // capture escaping through `spawn`, a shared-struct field written
+    // with an empty lockset, and an `Ordering::SeqCst` site with no
+    // §16 contract row (the fixture table above is deliberately empty
+    // but declares the matching `sites: 1` count).
+    fx.write("crates/fcma-race/Cargo.toml", "[package]\nname = \"fcma-race\"\n\n[dependencies]\n");
+    fx.write(
+        "crates/fcma-race/src/lib.rs",
+        "//! Seeded: one violation per race-detection pass.\n\
+         \n\
+         /// A `&mut` capture crossing the spawn boundary, unclassified.\n\
+         fn escape_seed(total: &mut usize) {\n\
+             spawn(move || {\n\
+                 *total += 1;\n\
+             });\n\
+         }\n\
+         \n\
+         /// Shared (carries a Mutex) but `count` is written bare.\n\
+         struct SharedCounts {\n\
+             guard: Mutex<u32>,\n\
+             count: usize,\n\
+         }\n\
+         \n\
+         /// Writes `count` holding nothing.\n\
+         fn bump(s: &mut SharedCounts) {\n\
+             s.count += 1;\n\
+         }\n\
+         \n\
+         /// Reads `count` holding nothing.\n\
+         fn peek(s: &SharedCounts) -> usize {\n\
+             s.count\n\
+         }\n\
+         \n\
+         /// An ordering site the (empty) §16 table does not cover.\n\
+         fn arm(flag: &AtomicBool) {\n\
+             flag.store(true, Ordering::SeqCst);\n\
+         }\n",
+    );
+
     let violations = fcma_audit::audit(&fx.root).expect("fixture audit must run");
     (fx, violations)
 }
@@ -438,6 +485,42 @@ fn hotcallout_pass_fires_exactly_once_on_unmarked_callee() {
             && callout[0].message.contains("calls `plain_helper`")
             && callout[0].message.contains("neither hot nor marked pure"),
         "unmarked callee not flagged: {callout:?}"
+    );
+}
+
+#[test]
+fn threadescape_pass_fires_exactly_once_on_escaping_mut_capture() {
+    let (_fx, violations) = audited_fixture("threadescape");
+    let esc = hits(&violations, "threadescape");
+    assert_eq!(esc.len(), 1, "exactly one seeded escape: {esc:?}");
+    assert!(
+        esc[0].file == "crates/fcma-race/src/lib.rs" && esc[0].message.contains("`total`"),
+        "escaping `&mut` capture not flagged: {esc:?}"
+    );
+}
+
+#[test]
+fn lockset_pass_fires_exactly_once_on_empty_lockset_write() {
+    let (_fx, violations) = audited_fixture("lockset");
+    let ls = hits(&violations, "lockset");
+    assert_eq!(ls.len(), 1, "exactly one seeded empty-lockset write: {ls:?}");
+    assert!(
+        ls[0].file == "crates/fcma-race/src/lib.rs"
+            && ls[0].message.contains("`count`")
+            && ls[0].message.contains("`SharedCounts`"),
+        "bare shared-field write not flagged: {ls:?}"
+    );
+}
+
+#[test]
+fn atomicorder_pass_fires_exactly_once_on_undeclared_site() {
+    let (_fx, violations) = audited_fixture("atomicorder");
+    let ao = hits(&violations, "atomicorder");
+    assert_eq!(ao.len(), 1, "exactly one seeded undeclared site: {ao:?}");
+    assert!(
+        ao[0].file == "crates/fcma-race/src/lib.rs"
+            && ao[0].message.contains("no DESIGN.md \u{a7}16 row"),
+        "undeclared `Ordering::SeqCst` site not flagged: {ao:?}"
     );
 }
 

@@ -242,6 +242,7 @@ pub fn corr_normalized_merged_parallel(
 
     let w_max = opts.tile_cols.max(16);
     let max_se = max_subject_epochs(ctx);
+    // audit: disjoint(tasks) — bands are carved by split_at_mut, one non-overlapping chunk per task
     let (_, stats) = pool.run_init_stats(
         tasks,
         || (),

@@ -252,6 +252,7 @@ pub fn gemm_blocked_parallel(
         r0 = r1;
     }
     let _ = rest;
+    // audit: disjoint(tasks) — row bands are carved by split_at_mut, one non-overlapping C band per task
     let (_, stats) = pool.run_init_stats(
         tasks,
         || GemmScratch::new(bs),

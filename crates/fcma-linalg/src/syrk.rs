@@ -174,6 +174,7 @@ pub fn syrk_panel_parallel(
         r0 = r1;
     }
     let _ = rest;
+    // audit: disjoint(tasks) — row bands are carved by split_at_mut, one non-overlapping C band per task
     pool.run_init(
         tasks,
         || SyrkScratch::new(m, PANEL_K),

@@ -169,7 +169,7 @@ proptest! {
         let brain: Vec<Mat> = (0..m_epochs)
             .map(|e| Mat::from_fn(k, n, |r, c| ((r * 5 + c * 11 + e * 2) % 17) as f32 * 0.1 - 0.7))
             .collect();
-        let eps: Vec<EpochPair> = assigned
+        let eps: Vec<EpochPair<'_>> = assigned
             .iter()
             .zip(&brain)
             .map(|(a, b)| EpochPair { assigned: a, brain: b })
@@ -425,7 +425,7 @@ proptest! {
         let brain: Vec<Mat> = (0..m_epochs)
             .map(|e| Mat::from_vec(k, n, pseudo(k * n, seed ^ (e as u64) << 8)))
             .collect();
-        let eps: Vec<EpochPair> = assigned
+        let eps: Vec<EpochPair<'_>> = assigned
             .iter()
             .zip(&brain)
             .map(|(a, b)| EpochPair { assigned: a, brain: b })
@@ -466,7 +466,7 @@ proptest! {
         let brain: Vec<Mat> = (0..m_epochs)
             .map(|e| Mat::from_vec(k, n, pseudo(k * n, seed ^ (e as u64) << 8)))
             .collect();
-        let eps: Vec<EpochPair> = assigned
+        let eps: Vec<EpochPair<'_>> = assigned
             .iter()
             .zip(&brain)
             .map(|(a, b)| EpochPair { assigned: a, brain: b })

@@ -1,0 +1,212 @@
+//! Model-checking the flight recorder's per-slot seqlock.
+//!
+//! The recorder's ring words are `fcma-sync` facade atomics, so under
+//! the model checker every store and load is a scheduling point: the
+//! writer's five-store publish protocol and the reader's bracketed
+//! copy are explored at single-word granularity. Two properties:
+//!
+//! - **No torn payload** — driving the *real*
+//!   [`fcma_trace::recorder`] ring (writer wrapping a small ring,
+//!   reader snapshotting concurrently), every decoded event is
+//!   internally consistent under every explored interleaving, and once
+//!   the writer quiesces its ring yields exactly the newest
+//!   `capacity` events.
+//! - **The protocol is load-bearing** — a local re-implementation of
+//!   the same seqlock with the second sequence bump dropped (the
+//!   even-version publish that marks the slot valid) is caught by the
+//!   checker: the reader's validity check never accepts the slot, so
+//!   the quiescent-completeness assertion trips and the checker
+//!   reports the panic with a replayable schedule.
+//!
+//! The same dropped-bump mutant is also caught statically: the
+//! `atomicorder` audit pass checks the writer publishes the §16
+//! seqlock version word exactly twice.
+
+use std::sync::Arc;
+
+use fcma_mc::{check, check_random, Config, FailureKind};
+use fcma_sync::atomic::{AtomicU64, Ordering};
+use fcma_sync::{channel, thread};
+use fcma_trace::recorder;
+use fcma_trace::TraceOrigin;
+
+/// Payload relation every decoded event must satisfy: the writer only
+/// ever records `arg = task * TAG`.
+const TAG: u64 = 1000;
+
+/// Events the writer pushes; more than the ring holds, so the writer
+/// laps the reader and overwrite skipping is exercised.
+const WRITES: u64 = 12;
+
+/// Small bounds: the seqlock root has hundreds of scheduling points,
+/// so exhaustive DFS is hopeless — explore a bounded slice of the
+/// interleaving space and a batch of random walks on top.
+fn cfg() -> Config {
+    Config { max_preemptions: 1, max_executions: 192, ..Config::default() }
+}
+
+/// Writer thread pushes `WRITES` events through the real recorder
+/// (wrapping its ring), while the root snapshots concurrently and
+/// checks every decoded event for torn payloads. The registry
+/// accumulates rings across executions and tests in this binary; the
+/// payload relation holds for every event ever written, so asserting
+/// the relation (rather than counts) stays sound.
+fn recorder_root() {
+    recorder::set_capacity(8);
+    recorder::set_enabled(true);
+    let (tx, rx) = channel::unbounded();
+    thread::spawn(move || {
+        for i in 1..=WRITES {
+            recorder::record("recorder.dispatch", i, 0, TraceOrigin::Dispatch, i * TAG);
+        }
+        // Quiescent completeness on this thread's own ring: the newest
+        // `capacity` events survive, in order, untorn.
+        let ring = recorder::current_ring().expect("writer has recorded");
+        let events = ring.snapshot();
+        let cap = u64::try_from(ring.capacity()).expect("small capacity");
+        assert_eq!(
+            events.len(),
+            usize::try_from(cap.min(WRITES)).expect("small count"),
+            "a quiescent ring must yield exactly min(written, capacity) events"
+        );
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.seq, WRITES - cap + u64::try_from(i).expect("small index"));
+            assert_eq!(ev.arg, ev.task * TAG, "torn payload in quiescent snapshot: {ev:?}");
+        }
+        tx.send(()).expect("root is alive");
+    });
+    // Concurrent reader: merged snapshots while the writer is mid-push.
+    for _ in 0..2 {
+        for ev in recorder::snapshot().events {
+            assert_eq!(ev.arg, ev.task * TAG, "torn payload in concurrent snapshot: {ev:?}");
+        }
+    }
+    rx.recv().expect("writer finishes");
+}
+
+#[test]
+fn recorder_seqlock_has_no_torn_payloads_under_dfs() {
+    let outcome = check(&cfg(), recorder_root);
+    assert!(
+        outcome.failure().is_none(),
+        "recorder seqlock must survive explored interleavings: {:?}",
+        outcome.failure()
+    );
+}
+
+#[test]
+fn recorder_seqlock_has_no_torn_payloads_under_random_walks() {
+    let outcome = check_random(&cfg(), 0x5e91_0c4a, recorder_root);
+    assert!(
+        outcome.failure().is_none(),
+        "recorder seqlock must survive random schedules: {:?}",
+        outcome.failure()
+    );
+}
+
+/// A local copy of the recorder's slot protocol, three words per slot
+/// (version, task, arg), with the even-version publish made optional so
+/// the dropped-second-bump mutant can be armed.
+struct SlotRing {
+    head: AtomicU64,
+    words: Vec<AtomicU64>,
+    capacity: u64,
+    bump_even: bool,
+}
+
+const WORDS: usize = 3;
+
+impl SlotRing {
+    fn new(capacity: u64, bump_even: bool) -> SlotRing {
+        let mut words = Vec::new();
+        for _ in 0..usize::try_from(capacity).expect("small capacity") * WORDS {
+            words.push(AtomicU64::new(0));
+        }
+        SlotRing { head: AtomicU64::new(0), words, capacity, bump_even }
+    }
+
+    fn slot(&self, seq: u64) -> &[AtomicU64] {
+        let base = usize::try_from(seq % self.capacity).expect("bounded") * WORDS;
+        &self.words[base..base + WORDS]
+    }
+
+    fn push(&self, task: u64, arg: u64) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let [ver, w_task, w_arg] = self.slot(seq) else { unreachable!() };
+        ver.store(2 * seq + 1, Ordering::Release);
+        w_task.store(task, Ordering::Relaxed);
+        w_arg.store(arg, Ordering::Relaxed);
+        if self.bump_even {
+            ver.store(2 * seq, Ordering::Release);
+        }
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Seqlock reader: a slot counts only when its version reads
+    /// `2·seq` both before and after the payload copy.
+    fn snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head.saturating_sub(self.capacity);
+        let mut out = Vec::new();
+        for seq in lo..head {
+            let [ver, w_task, w_arg] = self.slot(seq) else { unreachable!() };
+            if ver.load(Ordering::Acquire) != 2 * seq {
+                continue;
+            }
+            let task = w_task.load(Ordering::Relaxed);
+            let arg = w_arg.load(Ordering::Relaxed);
+            if ver.load(Ordering::Acquire) != 2 * seq {
+                continue;
+            }
+            out.push((seq, task, arg));
+        }
+        out
+    }
+}
+
+/// Root driving a [`SlotRing`]: writer pushes 6 events into a
+/// 4-slot ring, the root reads concurrently (torn slots skipped), and
+/// after the writer quiesces the newest `capacity` events must all be
+/// present and untorn.
+fn slot_ring_root(bump_even: bool) {
+    let ring = Arc::new(SlotRing::new(4, bump_even));
+    let writer = Arc::clone(&ring);
+    let (tx, rx) = channel::unbounded();
+    thread::spawn(move || {
+        for i in 1..=6u64 {
+            writer.push(i, i * TAG);
+        }
+        tx.send(()).expect("root is alive");
+    });
+    for (_, task, arg) in ring.snapshot() {
+        assert_eq!(arg, task * TAG, "torn payload in concurrent snapshot");
+    }
+    rx.recv().expect("writer finishes");
+    let quiescent = ring.snapshot();
+    assert_eq!(quiescent.len(), 4, "a quiescent ring must yield its newest capacity events");
+    for (seq, task, arg) in quiescent {
+        assert_eq!(task, seq + 1, "slot holds the wrong event");
+        assert_eq!(arg, task * TAG, "torn payload in quiescent snapshot");
+    }
+}
+
+#[test]
+fn intact_slot_ring_passes_the_checker() {
+    let outcome = check(&cfg(), || slot_ring_root(true));
+    assert!(
+        outcome.failure().is_none(),
+        "the faithful protocol copy must pass: {:?}",
+        outcome.failure()
+    );
+}
+
+#[test]
+fn dropped_second_bump_mutant_is_caught() {
+    let outcome = check(&cfg(), || slot_ring_root(false));
+    let failure = outcome.failure().expect("the armed mutant must fail under the checker");
+    assert!(
+        matches!(failure.kind, FailureKind::Panic { .. }),
+        "expected the quiescent-completeness assertion to trip: {failure}"
+    );
+    assert!(!failure.schedule.is_empty(), "the counterexample must be replayable");
+}

@@ -9,7 +9,7 @@ use fcma::fmri::geometry::{extract_clusters, Grid3};
 use fcma::fmri::mask::VoxelMask;
 use fcma::fmri::Placement;
 use fcma::prelude::*;
-use fcma::svm::{load_model, save_model, train_phisvm, SolverKind};
+use fcma::svm::{load_model, save_model, SolverKind};
 
 /// Masking must not change the scores of surviving voxels relative to a
 /// run over the same voxel set: the pipeline sees the compacted dataset
