@@ -99,7 +99,9 @@ pub fn parse_stats(json: &str) -> Option<Vec<(String, usize, usize)>> {
 /// stats — the reviewable replacement for diffing two JSON blobs.
 /// Passes whose counts match are omitted; identical stats render as the
 /// empty string. Unchanged columns print a single number, changed ones
-/// `old → new`, and passes present on only one side are labelled.
+/// `old → new`, and passes present on only one side are labelled. Rows
+/// are sorted lexicographically by pass name so the table is stable
+/// across runs even when passes appear or disappear.
 pub fn render_stats_delta(
     baseline: &[(String, usize, usize)],
     current: &[(&'static str, usize, usize)],
@@ -129,6 +131,7 @@ pub fn render_stats_delta(
     if rows.is_empty() {
         return String::new();
     }
+    rows.sort_by(|a, b| a[0].cmp(&b[0]));
     let header = ["pass", "violations", "allows"];
     let width = |i: usize| {
         rows.iter().map(|r| r[i].chars().count()).chain([header[i].len()]).max().unwrap_or(0)
@@ -142,7 +145,7 @@ pub fn render_stats_delta(
 }
 
 /// Minimal JSON string escaping (std-only, like the fcma-trace exporter).
-fn json_str(s: &str) -> String {
+pub fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -255,9 +258,9 @@ mod tests {
         let got = render_stats_delta(&baseline, &current);
         let want = "pass          violations    allows\n\
                     cast               2 \u{2192} 3         5\n\
-                    threadescape     (new) 0   (new) 3\n\
-                    gone            1 (gone)  1 (gone)\n";
-        assert_eq!(got, want);
+                    gone            1 (gone)  1 (gone)\n\
+                    threadescape     (new) 0   (new) 3\n";
+        assert_eq!(got, want, "delta rows sort lexicographically by pass name");
     }
 
     #[test]

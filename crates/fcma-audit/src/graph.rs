@@ -214,7 +214,110 @@ impl AtomicsContract {
     }
 }
 
-/// The machine-readable architecture contracts from DESIGN.md §12–§16.
+/// One row of the §17 "Mutation contracts" table: a mutant class with
+/// its expected killers and the minimum kill score `fcma-mut --check`
+/// enforces for it.
+#[derive(Debug, Clone)]
+pub struct MutationRow {
+    /// 0-based DESIGN.md line of the row.
+    pub line: usize,
+    /// Mutant-class name (one of [`crate::mutants::MUTANT_CLASSES`]).
+    pub class: String,
+    /// Backticked killer names (`audit` pass names, `test`,
+    /// `model-check`) — documentation plus the expected-killer hint the
+    /// engine tries first.
+    pub killers: Vec<String>,
+    /// Minimum percentage of non-equivalent mutants that must be killed.
+    pub min_score: u32,
+}
+
+/// A named defect in a machine-parsed DESIGN.md contract table. The
+/// parser records these instead of silently skipping the row: a
+/// malformed contract that parses as "no contract" would let the very
+/// drift the tables exist to catch slip through unreported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContractError {
+    /// A §13 lock-order data row carries no backticked lock name.
+    MalformedLockOrderRow {
+        /// 0-based DESIGN.md line.
+        line: usize,
+    },
+    /// A §16 atomics row allows an ordering that is not a
+    /// `std::sync::atomic::Ordering` variant.
+    UnknownOrdering {
+        /// 0-based DESIGN.md line.
+        line: usize,
+        /// The unrecognized ordering token.
+        ordering: String,
+    },
+    /// A §14 hot-functions row repeats a function already declared hot.
+    DuplicateHotFn {
+        /// 0-based DESIGN.md line.
+        line: usize,
+        /// The duplicated function name.
+        name: String,
+    },
+    /// A §17 mutation row is missing its class or min-score cell, or
+    /// the score is not a percentage.
+    MalformedMutationRow {
+        /// 0-based DESIGN.md line.
+        line: usize,
+    },
+    /// A §17 mutation row names a class the engine does not implement.
+    UnknownMutantClass {
+        /// 0-based DESIGN.md line.
+        line: usize,
+        /// The unrecognized class name.
+        class: String,
+    },
+    /// A §17 mutation row repeats a class already declared.
+    DuplicateMutationRow {
+        /// 0-based DESIGN.md line.
+        line: usize,
+        /// The duplicated class name.
+        class: String,
+    },
+}
+
+impl std::fmt::Display for ContractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContractError::MalformedLockOrderRow { line } => {
+                write!(f, "DESIGN.md:{}: lock-order row has no backticked lock name", line + 1)
+            }
+            ContractError::UnknownOrdering { line, ordering } => write!(
+                f,
+                "DESIGN.md:{}: atomics row allows unknown ordering `{ordering}` \
+                 (known: Relaxed, Acquire, Release, AcqRel, SeqCst)",
+                line + 1
+            ),
+            ContractError::DuplicateHotFn { line, name } => {
+                write!(f, "DESIGN.md:{}: hot-functions row repeats `{name}`", line + 1)
+            }
+            ContractError::MalformedMutationRow { line } => write!(
+                f,
+                "DESIGN.md:{}: mutation row needs a backticked class and a numeric \
+                 min-score percentage",
+                line + 1
+            ),
+            ContractError::UnknownMutantClass { line, class } => write!(
+                f,
+                "DESIGN.md:{}: mutation row names unknown mutant class `{class}` \
+                 (known: {})",
+                line + 1,
+                crate::mutants::MUTANT_CLASSES.join(", ")
+            ),
+            ContractError::DuplicateMutationRow { line, class } => {
+                write!(f, "DESIGN.md:{}: mutation row repeats class `{class}`", line + 1)
+            }
+        }
+    }
+}
+
+/// The `std::sync::atomic::Ordering` variants a §16 row may allow.
+const KNOWN_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The machine-readable architecture contracts from DESIGN.md §12–§17.
 #[derive(Debug, Clone, Default)]
 pub struct Contracts {
     /// Allowed direct `fcma-*` dependencies per crate; `None` when the
@@ -233,6 +336,11 @@ pub struct Contracts {
     pub hot_fns: Option<Vec<String>>,
     /// The §16 "Atomics contracts" tables; `None` when absent.
     pub atomics: Option<AtomicsContract>,
+    /// The §17 "Mutation contracts" table; `None` when absent.
+    pub mutation: Option<Vec<MutationRow>>,
+    /// Named parse defects. Non-empty errors fail the CLI (exit 2): a
+    /// contract that cannot be parsed must not silently vanish.
+    pub errors: Vec<ContractError>,
 }
 
 /// Extract backtick-quoted tokens from a markdown table cell.
@@ -272,26 +380,45 @@ impl Contracts {
     /// backticked orderings, plus an optional prose line containing
     /// `sites:` followed by the declared total site count; a "Seqlock
     /// shape" row is `| file | writer | reader | version | payload |
-    /// cursor |`.
+    /// cursor |`. §17 "Mutation contracts" rows are `| class | expected
+    /// killers | min score |`.
+    ///
+    /// Malformed data rows are recorded as named [`ContractError`]s, not
+    /// skipped: a §13 row with no backticked lock name, a §16 row
+    /// allowing an unknown ordering, a duplicate §14 hot-fn entry, and
+    /// the §17 analogues all surface in [`Contracts::errors`]. Header
+    /// rows (the row directly above a `|---|` separator) and separator
+    /// rows are structural and never validated.
     pub fn from_design_md(text: &str) -> Contracts {
         let mut in_section = false;
         let mut in_lock_order = false;
         let mut in_hot = false;
         let mut in_atomics = false;
         let mut in_seqlock = false;
+        let mut in_mutation = false;
         let mut layering: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
         let mut protocol: Vec<ProtocolEntry> = Vec::new();
         let mut lock_order: Vec<String> = Vec::new();
         let mut hot_fns: Vec<String> = Vec::new();
         let mut atomics = AtomicsContract::default();
         let mut saw_atomics = false;
-        for line in text.lines() {
+        let mut mutation: Vec<MutationRow> = Vec::new();
+        let mut saw_mutation = false;
+        let mut errors: Vec<ContractError> = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        let is_separator = |l: &str| {
+            let t = l.trim();
+            t.starts_with('|') && t.chars().all(|c| matches!(c, '|' | '-' | ':' | ' '))
+        };
+        for (lineno, &line) in lines.iter().enumerate() {
             if line.starts_with('#') {
                 in_lock_order = line.contains("Lock order");
                 in_hot = line.contains("Hot functions");
                 in_atomics = line.contains("Atomics contracts");
                 in_seqlock = line.contains("Seqlock shape");
+                in_mutation = line.contains("Mutation contracts");
                 saw_atomics |= in_atomics || in_seqlock;
+                saw_mutation |= in_mutation;
                 if line.starts_with("## ") {
                     in_section = line.contains("Architecture contracts");
                 }
@@ -310,6 +437,11 @@ impl Contracts {
                 }
                 continue;
             }
+            // Structural rows: the `|---|` separator and the header row
+            // directly above one carry no contract data.
+            if is_separator(line) || lines.get(lineno + 1).is_some_and(|n| is_separator(n)) {
+                continue;
+            }
             let cells: Vec<&str> = line.trim().trim_matches('|').split('|').collect();
             if cells.len() < 2 {
                 continue;
@@ -318,6 +450,14 @@ impl Contracts {
                 if cells.len() >= 6 {
                     let name = backticked(cells[0]).into_iter().next();
                     let file = backticked(cells[1]).into_iter().next();
+                    for tok in backticked(cells[3]).iter().chain(backticked(cells[4]).iter()) {
+                        if !KNOWN_ORDERINGS.contains(&tok.as_str()) {
+                            errors.push(ContractError::UnknownOrdering {
+                                line: lineno,
+                                ordering: tok.clone(),
+                            });
+                        }
+                    }
                     if let (Some(name), Some(file)) = (name, file) {
                         atomics.entries.push(AtomicEntry {
                             name,
@@ -350,14 +490,45 @@ impl Contracts {
             if in_lock_order {
                 // First backticked token anywhere in the row names the
                 // lock (the leading cell is typically the rank number).
-                if let Some(name) = cells.iter().find_map(|c| backticked(c).into_iter().next()) {
-                    lock_order.push(name);
+                match cells.iter().find_map(|c| backticked(c).into_iter().next()) {
+                    Some(name) => lock_order.push(name),
+                    None => errors.push(ContractError::MalformedLockOrderRow { line: lineno }),
                 }
                 continue;
             }
             if in_hot {
                 if let Some(name) = backticked(cells[0]).into_iter().next() {
-                    hot_fns.push(name);
+                    if hot_fns.contains(&name) {
+                        errors.push(ContractError::DuplicateHotFn { line: lineno, name });
+                    } else {
+                        hot_fns.push(name);
+                    }
+                }
+                continue;
+            }
+            if in_mutation {
+                let class = backticked(cells[0]).into_iter().next();
+                let score: Option<u32> = cells.get(2).and_then(|c| {
+                    let digits: String = c.chars().filter(char::is_ascii_digit).collect();
+                    digits.parse().ok()
+                });
+                match (class, score) {
+                    (Some(class), Some(min_score)) if min_score <= 100 => {
+                        if !crate::mutants::MUTANT_CLASSES.contains(&class.as_str()) {
+                            errors.push(ContractError::UnknownMutantClass { line: lineno, class });
+                        } else if mutation.iter().any(|r| r.class == class) {
+                            errors
+                                .push(ContractError::DuplicateMutationRow { line: lineno, class });
+                        } else {
+                            mutation.push(MutationRow {
+                                line: lineno,
+                                class,
+                                killers: backticked(cells[1]),
+                                min_score,
+                            });
+                        }
+                    }
+                    _ => errors.push(ContractError::MalformedMutationRow { line: lineno }),
                 }
                 continue;
             }
@@ -388,6 +559,8 @@ impl Contracts {
             lock_order: (!lock_order.is_empty()).then_some(lock_order),
             hot_fns: (!hot_fns.is_empty()).then_some(hot_fns),
             atomics: saw_atomics.then_some(atomics),
+            mutation: saw_mutation.then_some(mutation),
+            errors,
         }
     }
 }
@@ -664,6 +837,103 @@ Blah.
         assert!(c2.layering.is_some() && c2.protocol.is_some());
         assert_eq!(c2.atomics.unwrap().entries.len(), 3);
         assert!(Contracts::from_design_md(DESIGN).atomics.is_none());
+    }
+
+    #[test]
+    fn malformed_lock_order_row_is_a_named_error() {
+        let md = "### Lock order\n\n\
+                  | Rank | Lock | Protects |\n|---|---|---|\n\
+                  | 1 | `shared` | the C matrix |\n\
+                  | 2 | attempts without backticks | chaos |\n";
+        let c = Contracts::from_design_md(md);
+        // The good row still parses; the bad one is reported, not skipped.
+        assert_eq!(c.lock_order.unwrap(), vec!["shared"]);
+        assert_eq!(c.errors, vec![ContractError::MalformedLockOrderRow { line: 5 }]);
+        let msg = c.errors[0].to_string();
+        assert!(msg.starts_with("DESIGN.md:6:"), "1-based line in message: {msg}");
+        // Header and separator rows are structure, not malformed data.
+        let clean = Contracts::from_design_md(
+            "### Lock order\n\n| Rank | Lock | Protects |\n|---|---|---|\n| 1 | `shared` | x |\n",
+        );
+        assert!(clean.errors.is_empty(), "{:?}", clean.errors);
+    }
+
+    #[test]
+    fn unknown_atomics_ordering_is_a_named_error() {
+        let md = "## 16. Atomics contracts\n\n\
+                  | Atomic | File | Role | Loads | Stores | Pairing |\n|---|---|---|---|---|---|\n\
+                  | `flag` | `a.rs` | x | `Aquire` | `Release` | none |\n\
+                  | `ver` | `a.rs` | x | `Acquire` | `Relaxd`, `Release` | none |\n";
+        let c = Contracts::from_design_md(md);
+        assert_eq!(
+            c.errors,
+            vec![
+                ContractError::UnknownOrdering { line: 4, ordering: "Aquire".to_owned() },
+                ContractError::UnknownOrdering { line: 5, ordering: "Relaxd".to_owned() },
+            ]
+        );
+        assert!(c.errors[0].to_string().contains("`Aquire`"));
+        // Both rows still enter the table — a typo'd row must not make
+        // its sites look uncontracted on top of the parse error.
+        assert_eq!(c.atomics.unwrap().entries.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_hot_fn_is_a_named_error() {
+        let md = "### Hot functions\n\n\
+                  | Function | Crate | Role |\n|---|---|---|\n\
+                  | `syrk_panel_scratch` | `fcma-linalg` | panel |\n\
+                  | `syrk_panel_scratch` | `fcma-linalg` | panel again |\n";
+        let c = Contracts::from_design_md(md);
+        assert_eq!(c.hot_fns.unwrap(), vec!["syrk_panel_scratch"]);
+        assert_eq!(
+            c.errors,
+            vec![ContractError::DuplicateHotFn { line: 5, name: "syrk_panel_scratch".to_owned() }]
+        );
+    }
+
+    #[test]
+    fn mutation_contracts_table_parses() {
+        let md = "## 17. Mutation contracts\n\nProse about the kill matrix.\n\n\
+                  | Class | Expected killers | Min score |\n|---|---|---|\n\
+                  | `ordering-weaken` | `atomicorder` | 100 |\n\
+                  | `arith-swap` | tests | 80 |\n\
+                  | `lock-delete` | `lockset`, model check | 90 |\n";
+        let c = Contracts::from_design_md(md);
+        assert!(c.errors.is_empty(), "{:?}", c.errors);
+        let rows = c.mutation.expect("section parses");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].class, "ordering-weaken");
+        assert_eq!(rows[0].killers, vec!["atomicorder"]);
+        assert_eq!(rows[0].min_score, 100);
+        assert_eq!(rows[1].min_score, 80);
+        assert_eq!(rows[2].killers, vec!["lockset"]);
+        // No §17 heading → no mutation contract at all.
+        assert!(Contracts::from_design_md(DESIGN).mutation.is_none());
+    }
+
+    #[test]
+    fn mutation_contract_errors_are_named() {
+        let md = "## 17. Mutation contracts\n\n\
+                  | Class | Expected killers | Min score |\n|---|---|---|\n\
+                  | `arith-swap` | tests | 80 |\n\
+                  | `no-such-class` | tests | 80 |\n\
+                  | `arith-swap` | tests | 90 |\n\
+                  | `cmp-flip` | tests | 300 |\n\
+                  | not backticked | tests | 80 |\n";
+        let c = Contracts::from_design_md(md);
+        assert_eq!(c.mutation.unwrap().len(), 1, "only the first row is good");
+        assert_eq!(
+            c.errors,
+            vec![
+                ContractError::UnknownMutantClass { line: 5, class: "no-such-class".to_owned() },
+                ContractError::DuplicateMutationRow { line: 6, class: "arith-swap".to_owned() },
+                ContractError::MalformedMutationRow { line: 7 },
+                ContractError::MalformedMutationRow { line: 8 },
+            ]
+        );
+        let unknown = c.errors[0].to_string();
+        assert!(unknown.contains("accum-reorder"), "lists known classes: {unknown}");
     }
 
     fn graph_of(sources: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {

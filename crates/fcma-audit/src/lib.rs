@@ -39,6 +39,7 @@ pub mod format;
 pub mod graph;
 pub mod lexer;
 pub mod lockset;
+pub mod mutants;
 pub mod parser;
 pub mod passes;
 pub mod source;

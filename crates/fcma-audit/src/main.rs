@@ -1,16 +1,19 @@
 //! Command-line driver for the FCMA static-analysis audit.
 //!
 //! Usage: `fcma-audit check [--root DIR] [--format human|json]
-//! [--passes a,b,c]` or `fcma-audit stats [--root DIR] [--check FILE]`.
+//! [--passes a,b,c] [--changed [--since REF]]`,
+//! `fcma-audit stats [--root DIR] [--check FILE]`, or
+//! `fcma-audit mutants [--root DIR] [--format human|json]`.
 //!
 //! With no `--root`, the workspace root is resolved from the location
 //! of this crate at compile time (two levels above its manifest), so
 //! `cargo run -p fcma-audit -- check` works from any directory inside
 //! the workspace.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use fcma_audit::format::json_str;
 use fcma_audit::passes::{ESCAPABLE_PASSES, PASS_NAMES};
 use fcma_audit::Format;
 
@@ -21,6 +24,8 @@ fn main() -> ExitCode {
     let mut command: Option<String> = None;
     let mut passes: Option<Vec<String>> = None;
     let mut baseline: Option<PathBuf> = None;
+    let mut changed = false;
+    let mut since: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -29,6 +34,14 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("fcma-audit: --root requires a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--changed" => changed = true,
+            "--since" => match it.next() {
+                Some(r) => since = Some(r.clone()),
+                None => {
+                    eprintln!("fcma-audit: --since requires a git ref argument");
                     return ExitCode::from(2);
                 }
             },
@@ -100,6 +113,12 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        Some("mutants") => {
+            if passes.is_some() || baseline.is_some() {
+                eprintln!("fcma-audit: `mutants` takes only --root and --format");
+                return ExitCode::from(2);
+            }
+        }
         Some(other) => {
             eprintln!("fcma-audit: unknown command `{other}`\n{USAGE}");
             return ExitCode::from(2);
@@ -108,6 +127,14 @@ fn main() -> ExitCode {
             eprintln!("fcma-audit: missing command\n{USAGE}");
             return ExitCode::from(2);
         }
+    }
+    if (changed || since.is_some()) && command.as_deref() != Some("check") {
+        eprintln!("fcma-audit: --changed/--since belong to the `check` command");
+        return ExitCode::from(2);
+    }
+    if since.is_some() && !changed {
+        eprintln!("fcma-audit: --since requires --changed");
+        return ExitCode::from(2);
     }
 
     let root =
@@ -122,6 +149,45 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    // A malformed DESIGN.md contract row is a tool-level failure for
+    // every command: the passes would otherwise run against a silently
+    // weaker contract than the one the document appears to declare.
+    if !ws.contracts.errors.is_empty() {
+        for e in &ws.contracts.errors {
+            eprintln!("fcma-audit: {e}");
+        }
+        eprintln!(
+            "fcma-audit: {} malformed DESIGN.md contract row(s); fix the document",
+            ws.contracts.errors.len()
+        );
+        return ExitCode::from(2);
+    }
+
+    if command.as_deref() == Some("mutants") {
+        let mutants = fcma_audit::mutants::enumerate(&ws);
+        for m in &mutants {
+            match format {
+                Format::Human => {
+                    println!("{}:{}: {}: {}", m.rel_path, m.line + 1, m.class, m.description);
+                }
+                Format::Json => println!(
+                    "{{\"id\":{},\"class\":{},\"file\":{},\"line\":{},\"fn\":{},\
+                     \"description\":{}}}",
+                    json_str(&m.id()),
+                    json_str(m.class),
+                    json_str(&m.rel_path),
+                    m.line + 1,
+                    json_str(m.fn_name.as_deref().unwrap_or("")),
+                    json_str(&m.description)
+                ),
+            }
+        }
+        if format == Format::Human {
+            println!("fcma-audit: {} mutant(s) enumerated", mutants.len());
+        }
+        return ExitCode::SUCCESS;
+    }
 
     if command.as_deref() == Some("stats") {
         let stats = ws.stats();
@@ -190,7 +256,18 @@ fn main() -> ExitCode {
         }
     }
 
-    let violations = ws.run_selected(&selected);
+    let mut violations = ws.run_selected(&selected);
+    if changed {
+        match changed_files(&root, since.as_deref().unwrap_or("HEAD")) {
+            Some(files) => {
+                violations.retain(|v| files.contains(&v.file));
+            }
+            None => eprintln!(
+                "fcma-audit: --changed: git unavailable or not a repository; \
+                 reporting the full run"
+            ),
+        }
+    }
     print!("{}", fcma_audit::render(&violations, format));
     if violations.is_empty() {
         // JSON consumers get a silent empty stream; humans get a
@@ -207,14 +284,38 @@ fn main() -> ExitCode {
     }
 }
 
+/// Workspace-relative paths changed against `reference`, per
+/// `git diff --name-only` plus untracked files; `None` when git is
+/// unavailable or the root is not a repository, in which case the
+/// caller falls back to the full run (a scoping aid must never hide
+/// violations just because git is missing).
+fn changed_files(root: &Path, reference: &str) -> Option<std::collections::BTreeSet<String>> {
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new("git").arg("-C").arg(root).args(args).output().ok()?;
+        out.status.success().then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+    };
+    let diff = run(&["diff", "--name-only", reference])?;
+    let untracked = run(&["ls-files", "--others", "--exclude-standard"]).unwrap_or_default();
+    Some(diff.lines().chain(untracked.lines()).map(str::to_owned).collect())
+}
+
 const USAGE: &str = "usage: fcma-audit check [--root DIR] [--format human|json] [--passes a,b,c]
+                        [--changed [--since REF]]
        fcma-audit stats [--root DIR] [--check FILE]
+       fcma-audit mutants [--root DIR] [--format human|json]
 
 commands:
-  check  run the audit passes and print violations (exit 1 if any)
-  stats  print per-pass violation and allow-marker counts as JSON;
-         with --check FILE, compare against the committed baseline and
-         print a per-pass delta table on drift (exit 1)
+  check    run the audit passes and print violations (exit 1 if any)
+  stats    print per-pass violation and allow-marker counts as JSON;
+           with --check FILE, compare against the committed baseline and
+           print a per-pass delta table on drift (exit 1)
+  mutants  enumerate the semantic mutants the fcma-mut engine would
+           apply, as file:line: class: description (or --format json);
+           the classification itself lives in `cargo run -p fcma-mut`
+
+any command exits 2 when DESIGN.md contains malformed contract rows
+(bad lock-order/atomics/hot-fn/mutation table entries are named errors,
+never silent skips)
 
 output:
   --format human  file:line: pass: message (default)
@@ -225,6 +326,11 @@ output:
                   exist in the tree is rejected (stranded markers would
                   read as stale)
   --check FILE    (stats) compare against FILE instead of printing
+  --changed       (check) report only violations in files changed per
+                  `git diff --name-only` against --since REF (default
+                  HEAD) plus untracked files; every pass still runs over
+                  the whole tree, so cross-file analyses stay sound.
+                  Falls back to the full report when git is unavailable
 
 passes:
   unsafe       no `unsafe` blocks anywhere (no escape hatch)
@@ -292,4 +398,12 @@ disjoint markers (same line or the line above; reason mandatory):
                   declares that a mutable value handed to worker tasks
                   is partitioned into non-overlapping per-task pieces
                   (consumed by threadescape/lockset; stale ones fail
-                  unusedallow)";
+                  unusedallow)
+
+mutation-triage markers (same line or the line above; reason mandatory):
+  // audit: equivalent(<mutant class>) — <reason>
+                  declares that the mutant fcma-mut seeds at this site is
+                  semantically equivalent to the original program, so no
+                  oracle can kill it; unknown classes, missing reasons,
+                  and markers with no enumerated mutant under them fail
+                  unusedallow";

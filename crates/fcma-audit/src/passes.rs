@@ -87,7 +87,7 @@ const DRIVER_FILE: &str = "crates/fcma-cluster/src/driver.rs";
 /// a panic or an unused `pub` item there cannot take down a worker.
 /// Every other library crate — including any future one — is in scope
 /// by default.
-const EXEMPT_CRATES: &[&str] = &["fcma-audit", "fcma-bench", "fcma-mc"];
+const EXEMPT_CRATES: &[&str] = &["fcma-audit", "fcma-bench", "fcma-mc", "fcma-mut"];
 
 /// The package name of the workspace root crate.
 const ROOT_CRATE: &str = "fcma";
@@ -111,6 +111,11 @@ const FORBIDDEN_STD_SYNC: &[&str] =
 /// file I/O — and are therefore forbidden while a facade lock is held.
 const BLOCKING_CALLS: &[&str] =
     &["recv", "recv_timeout", "read_to_string", "write_all", "flush", "sync_all"];
+
+/// The mutant classes an `// audit: equivalent(<class>)` triage marker
+/// may name (alias of [`crate::mutants::MUTANT_CLASSES`], kept local so
+/// the marker checks read without a module hop).
+const MUTANT_CLASSES_FOR_MARKERS: &[&str] = crate::mutants::MUTANT_CLASSES;
 
 /// Every pass name an allow marker may reference, in `run_all` order.
 pub const PASS_NAMES: &[&str] = &[
@@ -215,8 +220,32 @@ impl Workspace {
         }
     }
 
+    /// Parse-free constructor for callers that already hold the parsed
+    /// views (the mutation engine's per-mutant overlay re-parses one
+    /// file and clones the rest — re-parsing the whole workspace for
+    /// every mutant would dominate its runtime). `parsed` must be
+    /// index-parallel with `files`.
+    pub fn with_parsed(
+        files: Vec<SourceFile>,
+        parsed: Vec<ParsedFile>,
+        crates: CrateGraph,
+        contracts: Contracts,
+        taxonomy: Option<Taxonomy>,
+    ) -> Workspace {
+        debug_assert_eq!(files.len(), parsed.len());
+        Workspace {
+            files,
+            parsed,
+            crates,
+            contracts,
+            taxonomy,
+            used_markers: RefCell::new(BTreeSet::new()),
+            used_disjoint: RefCell::new(BTreeSet::new()),
+        }
+    }
+
     /// The crate key of a file (the root package's files key as `fcma`).
-    pub(crate) fn crate_key(&self, file: usize) -> &str {
+    pub fn crate_key(&self, file: usize) -> &str {
         self.files[file].crate_name.as_deref().unwrap_or(ROOT_CRATE)
     }
 
@@ -1785,7 +1814,7 @@ const MEM_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "Seq
 
 /// Whether an atomic method reads, writes, or does both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpClass {
+pub(crate) enum OpClass {
     Load,
     Store,
     Rmw,
@@ -1811,7 +1840,7 @@ const ATOMIC_OPS: &[(&str, OpClass)] = &[
 /// `Ordering::<variant>` tokens on one scrubbed code line, as
 /// (char position of `Ordering`, variant) pairs. Only the five memory
 /// orderings count — `cmp::Ordering::Less` never matches.
-fn ordering_tokens(code: &str) -> Vec<(usize, &'static str)> {
+pub(crate) fn ordering_tokens(code: &str) -> Vec<(usize, &'static str)> {
     let mut out = Vec::new();
     for col in site_starts(code, "Ordering::") {
         let variant: String = code
@@ -1864,7 +1893,7 @@ fn last_atomic_call(code: &str, limit: usize) -> Option<(String, &'static str, O
 /// to: the nearest atomic-method call left of the token on its own
 /// line, or on one of the three lines above (rustfmt may wrap a
 /// `compare_exchange` argument list).
-fn atomic_op_at(
+pub(crate) fn atomic_op_at(
     f: &SourceFile,
     lineno: usize,
     col: usize,
@@ -2196,13 +2225,60 @@ fn check_seqlock_shape(ws: &Workspace, sl: &SeqlockDecl) -> Vec<Violation> {
 /// marker missing its mandatory reason, a marker for a pass with no
 /// escape hatch, and a well-formed marker no pass consumed are all
 /// violations. Disjoint-band markers get the same treatment: one that
-/// no `threadescape`/`lockset` classification consulted is stale. Must
-/// run after every other pass (consumption is recorded as they go).
+/// no `threadescape`/`lockset` classification consulted is stale, and
+/// `// audit: equivalent(<class>)` mutation-triage markers are checked
+/// the same way — the class must be one the mutation engine implements
+/// and an enumerated mutant of that class must sit under the marker,
+/// so a triage comment cannot outlive the code it excuses. Must run
+/// after every other pass (consumption is recorded as they go).
 pub fn check_unused_allow(ws: &Workspace) -> Vec<Violation> {
     let used = ws.used_markers.borrow();
     let used_disjoint = ws.used_disjoint.borrow();
     let mut out = Vec::new();
+    // Mutant sites only matter when a triage marker exists somewhere;
+    // the enumeration is one extra linear scan in that case.
+    let mutant_sites: Option<BTreeSet<(usize, &'static str, usize)>> =
+        ws.files.iter().any(|f| !f.equivalent_markers().is_empty()).then(|| {
+            crate::mutants::enumerate(ws).into_iter().map(|m| (m.file, m.class, m.line)).collect()
+        });
     for (fi, f) in ws.files.iter().enumerate() {
+        for m in f.equivalent_markers() {
+            let covers_site = |sites: &BTreeSet<(usize, &'static str, usize)>| {
+                MUTANT_CLASSES_FOR_MARKERS.iter().any(|&c| {
+                    c == m.class
+                        && (sites.contains(&(fi, c, m.line))
+                            || sites.contains(&(fi, c, m.line + 1)))
+                })
+            };
+            let violation = if !MUTANT_CLASSES_FOR_MARKERS.contains(&m.class.as_str()) {
+                Some(format!(
+                    "equivalent marker names unknown mutant class `{}` (known: {})",
+                    m.class,
+                    MUTANT_CLASSES_FOR_MARKERS.join(", ")
+                ))
+            } else if !m.has_reason {
+                Some(format!(
+                    "equivalent marker for `{}` is missing its mandatory reason \
+                     (`// audit: equivalent({}) — <reason>`)",
+                    m.class, m.class
+                ))
+            } else if !mutant_sites.as_ref().is_some_and(covers_site) {
+                Some(format!(
+                    "stale equivalent marker: no `{}` mutant is enumerated under it; remove it",
+                    m.class
+                ))
+            } else {
+                None
+            };
+            if let Some(message) = violation {
+                out.push(Violation {
+                    file: f.rel_path.clone(),
+                    line: m.line + 1,
+                    pass: "unusedallow",
+                    message,
+                });
+            }
+        }
         for m in f.disjoint_markers() {
             let violation = if !m.has_reason {
                 Some(format!(
@@ -2282,7 +2358,7 @@ fn is_snake_dotted(name: &str) -> bool {
 
 /// Char positions where `pat` occurs in `line` with a non-identifier
 /// character (or line start) on its left.
-fn site_starts(line: &str, pat: &str) -> Vec<usize> {
+pub(crate) fn site_starts(line: &str, pat: &str) -> Vec<usize> {
     let chars: Vec<char> = line.chars().collect();
     let pat_chars: Vec<char> = pat.chars().collect();
     let mut out = Vec::new();
@@ -3011,6 +3087,34 @@ mod tests {
         assert!(v.iter().any(|x| x.message.contains("suppresses nothing")));
         assert!(v.iter().any(|x| x.message.contains("unknown pass `frobnicate`")));
         assert!(v.iter().any(|x| x.message.contains("missing its mandatory reason")));
+    }
+
+    #[test]
+    fn unusedallow_validates_equivalent_markers() {
+        // A live triage marker: an arith-swap mutant is enumerated on
+        // the line below it. A stale one: the marked line has no mutant
+        // of that class. And an unknown class is always flagged.
+        let f = lib_file(
+            "fcma-core",
+            "//! m\npub fn f(a: usize, b: usize) -> usize {\n    \
+             // audit: equivalent(arith-swap) — a and b are both zero here\n    a + b\n}\n\
+             // audit: equivalent(arith-swap) — nothing below\nfn g() {}\n\
+             // audit: equivalent(no-such-class) — bad\nfn h() {}\n\
+             // audit: equivalent(cmp-flip)\nfn i(x: usize) -> bool {\n    x < 1\n}\n",
+        );
+        let ws = ws_of(vec![f]);
+        let v = check_unused_allow(&ws);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("no `arith-swap` mutant is enumerated")));
+        assert!(v.iter().any(|x| x.message.contains("unknown mutant class `no-such-class`")));
+        assert!(
+            v.iter().any(|x| x.message.contains("equivalent marker for `cmp-flip` is missing")),
+            "{v:?}"
+        );
+        assert!(
+            !v.iter().any(|x| x.line == 3),
+            "the live marker on line 3 must not be flagged: {v:?}"
+        );
     }
 
     #[test]

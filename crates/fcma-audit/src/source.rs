@@ -54,6 +54,21 @@ pub struct DisjointMarker {
     pub has_reason: bool,
 }
 
+/// One `// audit: equivalent(<class>)` marker comment: the triage
+/// record that a mutant of the named class at this site is semantically
+/// equivalent to the original code, so no oracle can (or should) kill
+/// it. Consumed by `fcma-mut`; stale or reasonless ones fail
+/// `unusedallow` exactly like disjoint markers.
+#[derive(Debug, Clone)]
+pub struct EquivalentMarker {
+    /// 0-based line of the marker comment.
+    pub line: usize,
+    /// The mutant-class name inside the parentheses.
+    pub class: String,
+    /// Whether the mandatory reason text is present.
+    pub has_reason: bool,
+}
+
 /// One analyzed source file.
 #[derive(Debug, Clone)]
 pub struct SourceFile {
@@ -170,6 +185,30 @@ impl SourceFile {
         out
     }
 
+    /// Does a `// audit: equivalent(<class>)` marker with a reason cover
+    /// 0-based `line`? Same two-line window and doc-comment exclusion as
+    /// [`Self::allow_marker`]; a marker without a reason is absent.
+    pub fn equivalent_marker(&self, class: &str, line: usize) -> bool {
+        let hit = |l: usize| {
+            parse_equivalent(&self.scan.comment_lines[l])
+                .is_some_and(|(c, has_reason)| c == class && has_reason)
+        };
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+
+    /// Every `audit: equivalent(...)` marker comment in the file, in
+    /// order. Used by `unusedallow` to flag malformed or stale triage
+    /// markers (a declaration no enumerated mutant site actually hits).
+    pub fn equivalent_markers(&self) -> Vec<EquivalentMarker> {
+        let mut out = Vec::new();
+        for (line, comment) in self.scan.comment_lines.iter().enumerate() {
+            if let Some((class, has_reason)) = parse_equivalent(comment) {
+                out.push(EquivalentMarker { line, class, has_reason });
+            }
+        }
+        out
+    }
+
     /// Does a `// audit: <kind>` function marker (`audit: hot` or
     /// `audit: pure`) sit on 0-based `line` or the line directly above?
     ///
@@ -256,6 +295,29 @@ const MARKER_PREFIX: &str = "audit: allow(";
 
 /// The comment prefix that introduces a disjoint-band declaration.
 const DISJOINT_PREFIX: &str = "audit: disjoint(";
+
+/// The comment prefix that introduces an equivalent-mutant triage.
+const EQUIVALENT_PREFIX: &str = "audit: equivalent(";
+
+/// Parse a `// audit: equivalent(<class>) — <reason>` marker out of a
+/// collected comment line. Returns the mutant class and whether the
+/// mandatory reason is present; doc comments never carry markers.
+pub fn parse_equivalent(comment: &str) -> Option<(String, bool)> {
+    if is_doc_comment(comment) {
+        return None;
+    }
+    let p = comment.find(EQUIVALENT_PREFIX)?;
+    let rest = &comment[p + EQUIVALENT_PREFIX.len()..];
+    let close = rest.find(')')?;
+    let class = rest[..close].trim().to_owned();
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix('\u{2014}')
+        .or_else(|| after.strip_prefix('-'))
+        .or_else(|| after.strip_prefix(':'))
+        .map_or("", str::trim);
+    Some((class, !reason.is_empty()))
+}
 
 /// Parse a `// audit: disjoint(<what>) — <reason>` marker out of a
 /// collected comment line. Returns the declared name and whether the
@@ -471,6 +533,26 @@ mod tests {
         assert_eq!((ms[0].line, ms[0].what.as_str(), ms[0].has_reason), (0, "tasks", true));
         assert_eq!((ms[2].line, ms[2].what.as_str(), ms[2].has_reason), (3, "tasks", false));
         assert_eq!(ms[3].what, "rows");
+    }
+
+    #[test]
+    fn equivalent_marker_window_class_and_reason() {
+        let f = lib(
+            "// audit: equivalent(arith-swap) — saturating add, swap is identity here\nfn a() {}\n\
+             fn b() {} // audit: equivalent(cmp-flip) — loop is empty either way\n\
+             // audit: equivalent(arith-swap)\nfn c() {}\n\
+             /// audit: equivalent(arith-swap) — doc mention\nfn d() {}\n",
+        );
+        assert!(f.equivalent_marker("arith-swap", 1), "marker on the line above");
+        assert!(f.equivalent_marker("cmp-flip", 2), "marker on the line itself");
+        assert!(!f.equivalent_marker("arith-swap", 4), "reason is mandatory");
+        assert!(!f.equivalent_marker("cmp-flip", 1), "classes must match");
+        assert!(!f.equivalent_marker("arith-swap", 6), "doc comments never carry markers");
+        let ms = f.equivalent_markers();
+        assert_eq!(ms.len(), 3, "{ms:?}");
+        assert_eq!((ms[0].line, ms[0].class.as_str(), ms[0].has_reason), (0, "arith-swap", true));
+        assert_eq!((ms[1].line, ms[1].class.as_str(), ms[1].has_reason), (2, "cmp-flip", true));
+        assert_eq!((ms[2].line, ms[2].class.as_str(), ms[2].has_reason), (3, "arith-swap", false));
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Bounded kill attempts for the concurrency mutants `fcma-mut` seeds.
+//!
+//! The static passes and the tier-1 tests cannot kill every mutant
+//! class: a deleted lock or a skipped seqlock publish is a *race*, and
+//! a deterministic test observes it only by luck. This module gives the
+//! mutation engine a third oracle — drive a small model of the mutated
+//! protocol through the checker's bounded-preemption DFS and see
+//! whether any explored schedule fails.
+//!
+//! The models are deliberately tiny ports of the real protocols (the
+//! recorder's three-word slot seqlock, a facade-mutex counter), with
+//! the mutation armed as a constructor flag — the same pattern as the
+//! dropped-second-bump test in `tests/seqlock.rs`. Honesty matters
+//! here: the checker serializes every execution, which makes it
+//! *sequentially consistent by construction*. It can catch mutants
+//! whose damage shows up under SC interleavings (a skipped publish, an
+//! elided lock) but is **blind to ordering strength** — `Relaxed` and
+//! `Release` generate the same SC executions, so weakening an
+//! `Ordering` honestly reports "not killed" and the kill credit for the
+//! `ordering-weaken` class belongs to the static `atomicorder` pass
+//! alone. [`KillAttempt::detail`] spells out which of the two cases
+//! applied, and the report surfaces it.
+
+use std::sync::Arc;
+
+use crate::{check, Config, FailureKind};
+use fcma_sync::atomic::{AtomicU64, Ordering};
+use fcma_sync::{channel, thread, Mutex};
+
+/// The concurrency-mutant shapes the checker can attempt to kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolMutant {
+    /// The writer's even-version publish (second bump) is dropped, so
+    /// no slot is ever marked valid. SC-visible: killable.
+    SeqlockSkipSecondBump,
+    /// The writer's version stores are weakened to `Relaxed`.
+    /// SC-invisible: the checker honestly reports not killed.
+    SeqlockRelaxedPublish,
+    /// The reader's bracketing version loads are weakened to `Relaxed`.
+    /// SC-invisible: the checker honestly reports not killed.
+    SeqlockRelaxedReaderCheck,
+    /// A shared counter's mutex acquisition is elided, turning its
+    /// read-modify-write into a racy load/store pair. SC-visible: a
+    /// lost update appears within one preemption.
+    LockElision,
+}
+
+impl ProtocolMutant {
+    /// Every shape, for exercising the whole battery.
+    pub const ALL: &'static [ProtocolMutant] = &[
+        ProtocolMutant::SeqlockSkipSecondBump,
+        ProtocolMutant::SeqlockRelaxedPublish,
+        ProtocolMutant::SeqlockRelaxedReaderCheck,
+        ProtocolMutant::LockElision,
+    ];
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolMutant::SeqlockSkipSecondBump => "seqlock-skip-second-bump",
+            ProtocolMutant::SeqlockRelaxedPublish => "seqlock-relaxed-publish",
+            ProtocolMutant::SeqlockRelaxedReaderCheck => "seqlock-relaxed-reader-check",
+            ProtocolMutant::LockElision => "lock-elision",
+        }
+    }
+}
+
+/// Result of one bounded kill attempt.
+#[derive(Debug, Clone)]
+pub struct KillAttempt {
+    /// Did any explored schedule fail?
+    pub killed: bool,
+    /// Executions the checker ran.
+    pub executions: usize,
+    /// What happened, for the kill-matrix report: the failure class and
+    /// schedule length on a kill, or why the checker cannot see this
+    /// mutant on a miss.
+    pub detail: String,
+}
+
+/// Attempt to kill `mutant` under `cfg`'s exploration bounds.
+///
+/// The seqlock shapes drive [`slot_ring_root`]; [`ProtocolMutant::LockElision`]
+/// drives [`counter_root`]. A `killed: false` result for the two
+/// `Relaxed` weakenings is the expected, honest answer — see the module
+/// docs — and the returned detail says so.
+pub fn attempt(mutant: ProtocolMutant, cfg: &Config) -> KillAttempt {
+    let outcome = match mutant {
+        ProtocolMutant::LockElision => check(cfg, || counter_root(false)),
+        m => check(cfg, move || slot_ring_root(SeqlockArming::from(m))),
+    };
+    match outcome.failure() {
+        Some(f) => KillAttempt {
+            killed: true,
+            executions: f.executions,
+            detail: format!(
+                "killed by model check: {} (schedule length {})",
+                failure_label(&f.kind),
+                f.schedule.len()
+            ),
+        },
+        None => {
+            let executions = match outcome {
+                crate::Outcome::Pass { executions, .. } => executions,
+                crate::Outcome::Fail(_) => unreachable!("failure handled above"),
+            };
+            let detail = match mutant {
+                ProtocolMutant::SeqlockRelaxedPublish
+                | ProtocolMutant::SeqlockRelaxedReaderCheck => format!(
+                    "not killed in {executions} execution(s): the checker explores \
+                     sequentially consistent schedules only, so ordering weakening is \
+                     invisible to it (the static atomicorder pass is the oracle here)"
+                ),
+                _ => format!("not killed in {executions} execution(s)"),
+            };
+            KillAttempt { killed: false, executions, detail }
+        }
+    }
+}
+
+/// One-line label for a failure kind (the full report is multi-line).
+fn failure_label(kind: &FailureKind) -> &'static str {
+    match kind {
+        FailureKind::Deadlock { .. } => "deadlock",
+        FailureKind::Panic { .. } => "assertion panic",
+        FailureKind::DoubleCompletion { .. } => "double completion",
+        FailureKind::SendAfterClose { .. } => "send after close",
+        FailureKind::StepLimit => "step limit",
+        FailureKind::ReplayDiverged { .. } => "replay divergence",
+    }
+}
+
+/// Which seqlock words the armed mutant degrades.
+#[derive(Debug, Clone, Copy)]
+struct SeqlockArming {
+    /// Publish the even version at all?
+    bump_even: bool,
+    /// Ordering for the writer's version stores.
+    publish: Ordering,
+    /// Ordering for the reader's bracketing version loads.
+    reader_check: Ordering,
+}
+
+impl SeqlockArming {
+    /// The unmutated protocol.
+    fn faithful() -> SeqlockArming {
+        SeqlockArming {
+            bump_even: true,
+            publish: Ordering::Release,
+            reader_check: Ordering::Acquire,
+        }
+    }
+}
+
+impl From<ProtocolMutant> for SeqlockArming {
+    fn from(m: ProtocolMutant) -> SeqlockArming {
+        let faithful = SeqlockArming::faithful();
+        match m {
+            ProtocolMutant::SeqlockSkipSecondBump => SeqlockArming { bump_even: false, ..faithful },
+            ProtocolMutant::SeqlockRelaxedPublish => {
+                SeqlockArming { publish: Ordering::Relaxed, ..faithful }
+            }
+            ProtocolMutant::SeqlockRelaxedReaderCheck => {
+                SeqlockArming { reader_check: Ordering::Relaxed, ..faithful }
+            }
+            ProtocolMutant::LockElision => faithful,
+        }
+    }
+}
+
+/// Words per slot: version, task, arg — the recorder's layout shrunk to
+/// one payload word pair.
+const WORDS: usize = 3;
+
+/// Payload relation the reader asserts: `arg = task * TAG`.
+const TAG: u64 = 1000;
+
+/// A three-word-slot seqlock ring, the model under test for the
+/// seqlock mutants. Mirrors `fcma_trace::recorder`'s slot protocol.
+struct SlotRing {
+    head: AtomicU64,
+    words: Vec<AtomicU64>,
+    capacity: u64,
+    arming: SeqlockArming,
+}
+
+impl SlotRing {
+    fn new(capacity: u64, arming: SeqlockArming) -> SlotRing {
+        let mut words = Vec::new();
+        for _ in 0..usize::try_from(capacity).unwrap_or(usize::MAX) * WORDS {
+            words.push(AtomicU64::new(0));
+        }
+        SlotRing { head: AtomicU64::new(0), words, capacity, arming }
+    }
+
+    fn slot(&self, seq: u64) -> &[AtomicU64] {
+        let base = usize::try_from(seq % self.capacity).unwrap_or(0) * WORDS;
+        &self.words[base..base + WORDS]
+    }
+
+    /// Writer: odd version, payload, even version, head bump.
+    fn push(&self, task: u64, arg: u64) {
+        let seq = self.head.load(Ordering::Relaxed);
+        let [ver, w_task, w_arg] = self.slot(seq) else { unreachable!() };
+        ver.store(2 * seq + 1, self.arming.publish);
+        w_task.store(task, Ordering::Relaxed);
+        w_arg.store(arg, Ordering::Relaxed);
+        if self.arming.bump_even {
+            ver.store(2 * seq, self.arming.publish);
+        }
+        self.head.store(seq + 1, Ordering::Release);
+    }
+
+    /// Reader: a slot counts only when its version reads `2·seq` both
+    /// before and after the payload copy.
+    fn snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let head = self.head.load(Ordering::Acquire);
+        let lo = head.saturating_sub(self.capacity);
+        let mut out = Vec::new();
+        for seq in lo..head {
+            let [ver, w_task, w_arg] = self.slot(seq) else { unreachable!() };
+            if ver.load(self.arming.reader_check) != 2 * seq {
+                continue;
+            }
+            let task = w_task.load(Ordering::Relaxed);
+            let arg = w_arg.load(Ordering::Relaxed);
+            if ver.load(self.arming.reader_check) != 2 * seq {
+                continue;
+            }
+            out.push((seq, task, arg));
+        }
+        out
+    }
+}
+
+/// Checked root for the seqlock shapes: writer pushes 6 events into a
+/// 4-slot ring while the root snapshots concurrently; after the writer
+/// quiesces, the newest `capacity` events must be present and untorn.
+fn slot_ring_root(arming: SeqlockArming) {
+    let ring = Arc::new(SlotRing::new(4, arming));
+    let writer = Arc::clone(&ring);
+    let (tx, rx) = channel::unbounded();
+    thread::spawn(move || {
+        for i in 1..=6u64 {
+            writer.push(i, i * TAG);
+        }
+        tx.send(()).expect("root is alive");
+    });
+    for (_, task, arg) in ring.snapshot() {
+        assert_eq!(arg, task * TAG, "torn payload in concurrent snapshot");
+    }
+    rx.recv().expect("writer finishes");
+    let quiescent = ring.snapshot();
+    assert_eq!(quiescent.len(), 4, "a quiescent ring must yield its newest capacity events");
+    for (seq, task, arg) in quiescent {
+        assert_eq!(task, seq + 1, "slot holds the wrong event");
+        assert_eq!(arg, task * TAG, "torn payload in quiescent snapshot");
+    }
+}
+
+/// Increments each thread performs on the shared counter.
+const INCREMENTS: u64 = 2;
+
+/// Checked root for [`ProtocolMutant::LockElision`]: two threads bump a
+/// shared counter [`INCREMENTS`] times each. `guarded` keeps the facade
+/// mutex around the read-modify-write; the mutant drops it, exposing
+/// the lost-update window the checker finds within one preemption.
+fn counter_root(guarded: bool) {
+    let shared = Arc::new((Mutex::new(()), AtomicU64::new(0)));
+    let (tx, rx) = channel::unbounded();
+    for _ in 0..2 {
+        let shared = Arc::clone(&shared);
+        let tx = tx.clone();
+        thread::spawn(move || {
+            let (lock, counter) = &*shared;
+            for _ in 0..INCREMENTS {
+                if guarded {
+                    let _g = lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                } else {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                }
+            }
+            tx.send(()).expect("root is alive");
+        });
+    }
+    rx.recv().expect("first worker finishes");
+    rx.recv().expect("second worker finishes");
+    let (_, counter) = &*shared;
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        2 * INCREMENTS,
+        "lost update: unguarded increments raced"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config { max_preemptions: 1, max_executions: 256, ..Config::default() }
+    }
+
+    #[test]
+    fn faithful_models_pass_the_checker() {
+        let seqlock = check(&cfg(), || slot_ring_root(SeqlockArming::faithful()));
+        assert!(seqlock.failure().is_none(), "{:?}", seqlock.failure());
+        let counter = check(&cfg(), || counter_root(true));
+        assert!(counter.failure().is_none(), "{:?}", counter.failure());
+    }
+
+    #[test]
+    fn skip_second_bump_is_killed() {
+        let a = attempt(ProtocolMutant::SeqlockSkipSecondBump, &cfg());
+        assert!(a.killed, "{}", a.detail);
+        assert!(a.detail.contains("assertion panic"), "{}", a.detail);
+    }
+
+    #[test]
+    fn lock_elision_is_killed() {
+        let a = attempt(ProtocolMutant::LockElision, &cfg());
+        assert!(a.killed, "{}", a.detail);
+    }
+
+    #[test]
+    fn ordering_weakenings_are_honestly_not_killed() {
+        for m in [ProtocolMutant::SeqlockRelaxedPublish, ProtocolMutant::SeqlockRelaxedReaderCheck]
+        {
+            let a = attempt(m, &cfg());
+            assert!(!a.killed, "{}: SC-blind checker must not claim this kill", m.name());
+            assert!(a.detail.contains("atomicorder"), "{}", a.detail);
+            assert!(a.executions > 0);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = ProtocolMutant::ALL.iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "seqlock-skip-second-bump",
+                "seqlock-relaxed-publish",
+                "seqlock-relaxed-reader-check",
+                "lock-elision"
+            ]
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! fcma-mut: mutation analysis proving the audit passes, the model
+//! checker, and the tier-1 tests are load-bearing.
+//!
+//! A static-analysis suite that never fails is indistinguishable from
+//! one that checks nothing. This crate turns that doubt into a
+//! measurement: it seeds typed semantic faults (mutants) into the
+//! workspace through [`fcma_audit::mutants`]'s enumeration, applies
+//! each one via an **in-memory source overlay** (no disk churn, no
+//! rebuilds), and asks the oracles whether they notice:
+//!
+//! - **killed-by-audit** — one of the 20 `fcma-audit` passes raises a
+//!   violation against the mutated tree that the clean tree does not
+//!   have;
+//! - **killed-by-mc** — for concurrency mutants, a bounded
+//!   model-checking attempt ([`fcma_mc::mutants`]) finds a failing
+//!   schedule in a small model of the mutated protocol;
+//! - **killed-by-test** — for deterministic mutants, the mutated
+//!   function is reachable from a tier-1 test through the conservative
+//!   call graph, so a targeted `cargo test` subset exercises the fault.
+//!   This is a *static prediction*, not a per-mutant test run: the
+//!   engine's in-memory overlay never touches the build tree, and the
+//!   call-graph reachability it uses is the same analysis `panicpath`
+//!   trusts. Concurrency mutants are **never** credited to tests — a
+//!   deterministic test observes a race only by luck;
+//! - **surviving** — no oracle fires. A surviving mutant is either
+//!   triaged as semantically equivalent with an
+//!   `// audit: equivalent(<class>) — <reason>` marker at its site
+//!   (tracked for staleness by the `unusedallow` pass, exactly like
+//!   disjoint markers), or it is a named gap the kill-matrix report
+//!   surfaces and CI fails on.
+//!
+//! The per-class kill matrix is compared against a committed
+//! `mutation-baseline.json` and DESIGN.md §17's "Mutation contracts"
+//! table (minimum kill score per class), mirroring how
+//! `fcma-audit stats --check` pins the violation counts.
+
+pub mod engine;
+pub mod report;
+
+pub use engine::{run, Analysis, Classified, RunConfig, Verdict};
+pub use report::{parse_matrix, render_matrix, render_matrix_delta, ClassRow};

@@ -64,6 +64,22 @@ impl<T> Sender<T> {
         self.chan.cv.notify_one();
         Ok(())
     }
+
+    /// Give up this handle's claim on the channel: decrement the sender
+    /// count and, when this was the last sender, wake every blocked
+    /// receiver so it observes the disconnect instead of sleeping
+    /// forever. Named (rather than inlined in `Drop::drop`, which no
+    /// call graph can see) so tests exercise the disconnect edge
+    /// directly.
+    fn release(&self) {
+        let mut st = self.chan.state.lock();
+        st.senders -= 1;
+        let disconnected = st.senders == 0;
+        drop(st);
+        if disconnected {
+            self.chan.cv.notify_all();
+        }
+    }
 }
 
 impl<T> Clone for Sender<T> {
@@ -75,13 +91,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.chan.state.lock();
-        st.senders -= 1;
-        let disconnected = st.senders == 0;
-        drop(st);
-        if disconnected {
-            self.chan.cv.notify_all();
-        }
+        self.release();
     }
 }
 
@@ -224,3 +234,21 @@ impl fmt::Display for RecvTimeoutError {
 }
 
 impl std::error::Error for RecvTimeoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn last_sender_release_drains_then_disconnects() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(1).unwrap();
+        tx.release();
+        // `release` already gave up the handle's claim; dropping it too
+        // would double-decrement the sender count.
+        std::mem::forget(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+}
